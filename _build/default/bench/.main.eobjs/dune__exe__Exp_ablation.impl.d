@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Fxmark List Printf Simurgh_core Simurgh_nvmm Simurgh_sim Simurgh_workloads Util

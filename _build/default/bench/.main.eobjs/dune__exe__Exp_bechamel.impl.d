@@ -1,0 +1,1 @@
+bench/exp_bechamel.ml: Analyze Bechamel Benchmark Hashtbl Instance Measure Printf Simurgh_alloc Simurgh_core Simurgh_nvmm Simurgh_sim Staged Test Time Toolkit Util

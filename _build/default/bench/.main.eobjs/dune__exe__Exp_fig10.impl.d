@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: List Printf Simurgh_core Simurgh_sim Simurgh_workloads Targets Util Ycsb

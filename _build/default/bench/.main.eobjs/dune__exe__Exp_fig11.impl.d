@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Linux_tree List Printf Simurgh_baselines Simurgh_core Simurgh_sim Simurgh_workloads Tar_sim Targets Util

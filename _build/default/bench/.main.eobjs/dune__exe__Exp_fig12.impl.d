@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Git_sim Linux_tree List Printf Simurgh_baselines Simurgh_core Simurgh_sim Simurgh_workloads Targets Util

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Fxmark List Printf Simurgh_sim Simurgh_workloads Targets Util

@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Fxmark List Printf Simurgh_workloads Targets Util

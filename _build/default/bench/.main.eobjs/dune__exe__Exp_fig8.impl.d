@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Filebench List Printf Simurgh_baselines Simurgh_core Simurgh_sim Simurgh_workloads Targets Util

@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: List Printf Simurgh_baselines Simurgh_core Simurgh_sim Simurgh_workloads Targets Util Ycsb

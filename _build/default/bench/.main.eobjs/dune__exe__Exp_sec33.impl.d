@@ -1,0 +1,1 @@
+bench/exp_sec33.ml: Gem5 List Printf Simurgh_hw Util

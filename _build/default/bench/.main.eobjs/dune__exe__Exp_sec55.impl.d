@@ -1,0 +1,1 @@
+bench/exp_sec55.ml: Float Fmt Linux_tree Printf Simurgh_alloc Simurgh_core Simurgh_nvmm Simurgh_workloads Sys Util

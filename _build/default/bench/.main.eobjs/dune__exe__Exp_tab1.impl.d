@@ -1,0 +1,1 @@
+bench/exp_tab1.ml: Float Git_sim Instrument Linux_tree Printf Simurgh_baselines Simurgh_sim Simurgh_workloads Tar_sim Util Ycsb

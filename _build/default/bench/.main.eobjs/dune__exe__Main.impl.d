@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_bechamel Exp_fig10 Exp_fig11 Exp_fig12 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_sec33 Exp_sec55 Exp_tab1 List Printf String Sys

@@ -1,0 +1,69 @@
+(** Wall-clock microbenchmarks of the real data-structure hot paths,
+    using Bechamel.  These complement the virtual-time experiments: they
+    measure what this implementation actually costs on the host CPU
+    (directory hash operations, slab allocation, path resolution,
+    Zipfian sampling). *)
+
+open Bechamel
+open Toolkit
+
+let make_fs () =
+  let region = Simurgh_nvmm.Region.create (64 * 1024 * 1024) in
+  let fs = Simurgh_core.Fs.mkfs ~euid:0 region in
+  Simurgh_core.Fs.mkdir fs "/d";
+  for i = 0 to 999 do
+    Simurgh_core.Fs.create_file fs (Printf.sprintf "/d/f%d" i)
+  done;
+  fs
+
+let benches () =
+  let fs = make_fs () in
+  let counter = ref 0 in
+  let create =
+    Test.make ~name:"simurgh/create+unlink"
+      (Staged.stage (fun () ->
+           incr counter;
+           let p = Printf.sprintf "/d/tmp%d" !counter in
+           Simurgh_core.Fs.create_file fs p;
+           Simurgh_core.Fs.unlink fs p))
+  in
+  let lookup =
+    Test.make ~name:"simurgh/stat"
+      (Staged.stage (fun () ->
+           ignore (Simurgh_core.Fs.stat fs "/d/f500")))
+  in
+  let region = Simurgh_nvmm.Region.create (32 * 1024 * 1024) in
+  let layout = Simurgh_core.Layout.format region ~cores:10 in
+  let slab = layout.Simurgh_core.Layout.inode_slab in
+  let slab_bench =
+    Test.make ~name:"slab/alloc+free"
+      (Staged.stage (fun () ->
+           match Simurgh_alloc.Slab_alloc.alloc slab with
+           | Some p -> Simurgh_alloc.Slab_alloc.free slab p
+           | None -> assert false))
+  in
+  let rng = Simurgh_sim.Rng.create 1L in
+  let zipf = Simurgh_sim.Zipf.create 100000 in
+  let zipf_bench =
+    Test.make ~name:"zipf/sample"
+      (Staged.stage (fun () ->
+           ignore (Simurgh_sim.Zipf.sample_scrambled zipf rng)))
+  in
+  [ create; lookup; slab_bench; zipf_bench ]
+
+let run ~scale:_ =
+  Util.header "bechamel: wall-clock hot paths (host CPU)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let suite = Test.make_grouped ~name:"hotpaths" (benches ()) in
+  let raw = Benchmark.all cfg instances suite in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-32s %10.1f ns/op\n" name est
+      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+    results

@@ -1,0 +1,22 @@
+(** Fig. 10: YCSB execution-time breakdown (application / data copy /
+    file system) for Simurgh — the paper's point is that Simurgh's FS
+    share stays below ~10%, so further FS optimization cannot buy much. *)
+
+open Simurgh_workloads
+module Y = Ycsb
+module Y_simurgh = Y.Make (Simurgh_core.Fs)
+
+let run ~scale =
+  let records = Util.scaled ~scale 8000 in
+  let ops = Util.scaled ~scale 8000 in
+  Util.header "fig10: YCSB execution-time breakdown for Simurgh";
+  List.iter
+    (fun w ->
+      let fs = Targets.fresh_simurgh ~region_mb:512 () in
+      let m = Simurgh_sim.Machine.create () in
+      let r = Y_simurgh.run m fs w ~records ~ops ~threads:1 in
+      Util.pp_breakdown (Y.name w) (r.Y.app_frac, r.Y.copy_frac, r.Y.fs_frac))
+    Y.all;
+  Printf.printf
+    "paper shape: Simurgh's file-system share is below ~10%% in every \
+     workload\n"

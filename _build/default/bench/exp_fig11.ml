@@ -1,0 +1,80 @@
+(** Fig. 11: tar pack / unpack of a Linux-like source tree on every file
+    system (throughput in MB/s of archive payload). *)
+
+open Simurgh_workloads
+
+module T_simurgh = Tar_sim.Make (Simurgh_core.Fs)
+module T_nova = Tar_sim.Make (Simurgh_baselines.Nova)
+module T_pmfs = Tar_sim.Make (Simurgh_baselines.Pmfs)
+module T_ext4 = Tar_sim.Make (Simurgh_baselines.Ext4dax)
+module T_splitfs = Tar_sim.Make (Simurgh_baselines.Splitfs)
+module Tree_s = Linux_tree.Make (Simurgh_core.Fs)
+module Tree_n = Linux_tree.Make (Simurgh_baselines.Nova)
+module Tree_p = Linux_tree.Make (Simurgh_baselines.Pmfs)
+module Tree_e = Linux_tree.Make (Simurgh_baselines.Ext4dax)
+module Tree_sp = Linux_tree.Make (Simurgh_baselines.Splitfs)
+
+let run ~scale =
+  let tree =
+    Linux_tree.generate
+      { Linux_tree.default with Linux_tree.files = Util.scaled ~scale 1500 }
+  in
+  Util.header
+    (Printf.sprintf "fig11: tar pack/unpack (MB/s; %d files, %.1f MB)"
+       (List.length (snd tree))
+       (float_of_int (Tree_s.total_bytes tree) /. 1e6));
+  Printf.printf "%-12s %10s %10s\n" "" "pack" "unpack";
+  let run_one name populate pack unpack =
+    let pack_r, unpack_r = pack (), unpack () in
+    ignore populate;
+    Printf.printf "%-12s %10.1f %10.1f\n" name pack_r unpack_r
+  in
+  (* Simurgh *)
+  (let fs = Targets.fresh_simurgh ~region_mb:768 () in
+   Tree_s.populate fs tree;
+   let m = Simurgh_sim.Machine.create () in
+   let thr = Simurgh_sim.Sthread.create 0 in
+   let p = T_simurgh.pack ~thr m fs ~archive:"/a.tar" tree in
+   let u = T_simurgh.unpack ~thr m fs ~archive:"/a.tar" tree ~dst:"/out" in
+   run_one "Simurgh" ()
+     (fun () -> p.Tar_sim.throughput_mb_s)
+     (fun () -> u.Tar_sim.throughput_mb_s));
+  (let fs = Simurgh_baselines.Nova.create () in
+   Tree_n.populate fs tree;
+   let m = Simurgh_sim.Machine.create () in
+   let thr = Simurgh_sim.Sthread.create 0 in
+   let p = T_nova.pack ~thr m fs ~archive:"/a.tar" tree in
+   let u = T_nova.unpack ~thr m fs ~archive:"/a.tar" tree ~dst:"/out" in
+   run_one "NOVA" ()
+     (fun () -> p.Tar_sim.throughput_mb_s)
+     (fun () -> u.Tar_sim.throughput_mb_s));
+  (let fs = Simurgh_baselines.Splitfs.create () in
+   Tree_sp.populate fs tree;
+   let m = Simurgh_sim.Machine.create () in
+   let thr = Simurgh_sim.Sthread.create 0 in
+   let p = T_splitfs.pack ~thr m fs ~archive:"/a.tar" tree in
+   let u = T_splitfs.unpack ~thr m fs ~archive:"/a.tar" tree ~dst:"/out" in
+   run_one "SplitFS" ()
+     (fun () -> p.Tar_sim.throughput_mb_s)
+     (fun () -> u.Tar_sim.throughput_mb_s));
+  (let fs = Simurgh_baselines.Pmfs.create () in
+   Tree_p.populate fs tree;
+   let m = Simurgh_sim.Machine.create () in
+   let thr = Simurgh_sim.Sthread.create 0 in
+   let p = T_pmfs.pack ~thr m fs ~archive:"/a.tar" tree in
+   let u = T_pmfs.unpack ~thr m fs ~archive:"/a.tar" tree ~dst:"/out" in
+   run_one "PMFS" ()
+     (fun () -> p.Tar_sim.throughput_mb_s)
+     (fun () -> u.Tar_sim.throughput_mb_s));
+  (let fs = Simurgh_baselines.Ext4dax.create () in
+   Tree_e.populate fs tree;
+   let m = Simurgh_sim.Machine.create () in
+   let thr = Simurgh_sim.Sthread.create 0 in
+   let p = T_ext4.pack ~thr m fs ~archive:"/a.tar" tree in
+   let u = T_ext4.unpack ~thr m fs ~archive:"/a.tar" tree ~dst:"/out" in
+   run_one "EXT4-DAX" ()
+     (fun () -> p.Tar_sim.throughput_mb_s)
+     (fun () -> u.Tar_sim.throughput_mb_s));
+  Printf.printf
+    "paper shape: Simurgh fastest on both; ~2x others on unpack (per-file \
+     attribute syscalls avoided)\n"

@@ -1,0 +1,49 @@
+(** Fig. 12: git add / commit / reset throughput (files per second) on a
+    Linux-like source tree, for every file system. *)
+
+open Simurgh_workloads
+
+module G_simurgh = Git_sim.Make (Simurgh_core.Fs)
+module G_nova = Git_sim.Make (Simurgh_baselines.Nova)
+module G_pmfs = Git_sim.Make (Simurgh_baselines.Pmfs)
+module G_ext4 = Git_sim.Make (Simurgh_baselines.Ext4dax)
+module G_splitfs = Git_sim.Make (Simurgh_baselines.Splitfs)
+module Tree_s = Linux_tree.Make (Simurgh_core.Fs)
+module Tree_n = Linux_tree.Make (Simurgh_baselines.Nova)
+module Tree_p = Linux_tree.Make (Simurgh_baselines.Pmfs)
+module Tree_e = Linux_tree.Make (Simurgh_baselines.Ext4dax)
+module Tree_sp = Linux_tree.Make (Simurgh_baselines.Splitfs)
+
+let print_result name (r : Git_sim.result) =
+  let per_s s = if s > 0.0 then float_of_int r.Git_sim.files /. s else 0.0 in
+  Printf.printf "%-12s %10.0f %10.0f %10.0f\n" name
+    (per_s r.Git_sim.add_s) (per_s r.Git_sim.commit_s)
+    (per_s r.Git_sim.reset_s)
+
+let run ~scale =
+  let tree =
+    Linux_tree.generate
+      { Linux_tree.default with Linux_tree.files = Util.scaled ~scale 1500 }
+  in
+  Util.header
+    (Printf.sprintf "fig12: git add/commit/reset (files/s; %d files)"
+       (List.length (snd tree)));
+  Printf.printf "%-12s %10s %10s %10s\n" "" "add" "commit" "reset";
+  (let fs = Targets.fresh_simurgh ~region_mb:768 () in
+   Tree_s.populate fs tree;
+   print_result "Simurgh" (G_simurgh.run (Simurgh_sim.Machine.create ()) fs tree));
+  (let fs = Simurgh_baselines.Nova.create () in
+   Tree_n.populate fs tree;
+   print_result "NOVA" (G_nova.run (Simurgh_sim.Machine.create ()) fs tree));
+  (let fs = Simurgh_baselines.Splitfs.create () in
+   Tree_sp.populate fs tree;
+   print_result "SplitFS" (G_splitfs.run (Simurgh_sim.Machine.create ()) fs tree));
+  (let fs = Simurgh_baselines.Pmfs.create () in
+   Tree_p.populate fs tree;
+   print_result "PMFS" (G_pmfs.run (Simurgh_sim.Machine.create ()) fs tree));
+  (let fs = Simurgh_baselines.Ext4dax.create () in
+   Tree_e.populate fs tree;
+   print_result "EXT4-DAX" (G_ext4.run (Simurgh_sim.Machine.create ()) fs tree));
+  Printf.printf
+    "paper shape: add/reset dominated by application work (all similar); \
+     commit is stat-heavy, Simurgh ~1.5x PMFS, PMFS best of the kernel FSes\n"

@@ -1,0 +1,90 @@
+(** Fig. 8 (and Table 2): Filebench varmail / webserver / webproxy /
+    fileserver throughput for every file system.  Table 2's workload
+    settings are printed for reference; populations are scaled down by
+    default (see DESIGN.md). *)
+
+open Simurgh_workloads
+module FB = Filebench
+
+module Fb_simurgh = FB.Make (Simurgh_core.Fs)
+module Fb_nova = FB.Make (Simurgh_baselines.Nova)
+module Fb_pmfs = FB.Make (Simurgh_baselines.Pmfs)
+module Fb_ext4 = FB.Make (Simurgh_baselines.Ext4dax)
+module Fb_splitfs = FB.Make (Simurgh_baselines.Splitfs)
+
+let personalities = [ FB.Varmail; FB.Webserver; FB.Webproxy; FB.Fileserver ]
+
+let print_table2 cfgs =
+  Util.header "tab2: Filebench workload settings (scaled)";
+  Printf.printf "%-12s %8s %10s %10s %8s\n" "workload" "#files" "file-size"
+    "dir-width" "threads";
+  List.iter
+    (fun (p, (c : FB.config)) ->
+      Printf.printf "%-12s %8d %9dK %10s %8d\n" (FB.name p) c.FB.files
+        (c.FB.file_size / 1024)
+        (if c.FB.dir_width = 0 then "flat" else string_of_int c.FB.dir_width)
+        c.FB.threads)
+    cfgs
+
+let loops_for = function
+  | FB.Varmail -> 12
+  | FB.Webserver -> 4
+  | FB.Webproxy -> 4
+  | FB.Fileserver -> 4
+
+(* population scale relative to Table 2 (0.5 keeps the suite fast and the
+   Simurgh region within DRAM; --scale multiplies it) *)
+let pop_scale scale p =
+  scale *. (match p with FB.Fileserver -> 0.2 | _ -> 0.5)
+
+let run ~scale =
+  let cfgs =
+    List.map (fun p -> (p, FB.config ~scale:(pop_scale scale p) p)) personalities
+  in
+  print_table2 cfgs;
+  Util.header "fig8: Filebench throughput (Kops/s)";
+  Printf.printf "%-12s" "";
+  List.iter (fun (p, _) -> Printf.printf " %11s" (FB.name p)) cfgs;
+  print_newline ();
+  let runners =
+    [
+      ("Simurgh",
+       fun (cfg : FB.config) p ->
+         let fs = Targets.fresh_simurgh ~region_mb:768 () in
+         let m = Simurgh_sim.Machine.create () in
+         Fb_simurgh.run m fs p ~cfg ~loops_per_thread:(loops_for p));
+      ("NOVA",
+       fun cfg p ->
+         let fs = Simurgh_baselines.Nova.create () in
+         let m = Simurgh_sim.Machine.create () in
+         Fb_nova.run m fs p ~cfg ~loops_per_thread:(loops_for p));
+      ("SplitFS",
+       fun cfg p ->
+         let fs = Simurgh_baselines.Splitfs.create () in
+         let m = Simurgh_sim.Machine.create () in
+         Fb_splitfs.run m fs p ~cfg ~loops_per_thread:(loops_for p));
+      ("PMFS",
+       fun cfg p ->
+         let fs = Simurgh_baselines.Pmfs.create () in
+         let m = Simurgh_sim.Machine.create () in
+         Fb_pmfs.run m fs p ~cfg ~loops_per_thread:(loops_for p));
+      ("EXT4-DAX",
+       fun cfg p ->
+         let fs = Simurgh_baselines.Ext4dax.create () in
+         let m = Simurgh_sim.Machine.create () in
+         Fb_ext4.run m fs p ~cfg ~loops_per_thread:(loops_for p));
+    ]
+  in
+  List.iter
+    (fun (name, runner) ->
+      Printf.printf "%-12s" name;
+      List.iter
+        (fun (p, cfg) ->
+          let r = runner cfg p in
+          Printf.printf " %11.1f" (Util.kops r.FB.ops_per_s))
+        cfgs;
+      print_newline ())
+    runners;
+  Printf.printf
+    "paper shape: varmail Simurgh ~1.7x NOVA; webserver all similar; \
+     webproxy Simurgh ~1.1x NOVA, PMFS poor; fileserver Simurgh ~ NOVA\n"

@@ -1,0 +1,82 @@
+(** Fig. 9: YCSB Load A and Run A-F on the LSM store (LevelDB stand-in),
+    throughput normalized to SplitFS as in the paper. *)
+
+open Simurgh_workloads
+module Y = Ycsb
+
+module Y_simurgh = Y.Make (Simurgh_core.Fs)
+module Y_nova = Y.Make (Simurgh_baselines.Nova)
+module Y_pmfs = Y.Make (Simurgh_baselines.Pmfs)
+module Y_ext4 = Y.Make (Simurgh_baselines.Ext4dax)
+module Y_splitfs = Y.Make (Simurgh_baselines.Splitfs)
+
+let threads = 4
+
+let run_all ~records ~ops =
+  let run name f =
+    ( name,
+      List.map
+        (fun w -> (w, f w))
+        Y.all )
+  in
+  [
+    run "Simurgh" (fun w ->
+        let fs = Targets.fresh_simurgh ~region_mb:512 () in
+        let m = Simurgh_sim.Machine.create () in
+        Y_simurgh.run m fs w ~records ~ops ~threads);
+    run "NOVA" (fun w ->
+        let fs = Simurgh_baselines.Nova.create () in
+        let m = Simurgh_sim.Machine.create () in
+        Y_nova.run m fs w ~records ~ops ~threads);
+    run "SplitFS" (fun w ->
+        let fs = Simurgh_baselines.Splitfs.create () in
+        let m = Simurgh_sim.Machine.create () in
+        Y_splitfs.run m fs w ~records ~ops ~threads);
+    run "PMFS" (fun w ->
+        let fs = Simurgh_baselines.Pmfs.create () in
+        let m = Simurgh_sim.Machine.create () in
+        Y_pmfs.run m fs w ~records ~ops ~threads);
+    run "EXT4-DAX" (fun w ->
+        let fs = Simurgh_baselines.Ext4dax.create () in
+        let m = Simurgh_sim.Machine.create () in
+        Y_ext4.run m fs w ~records ~ops ~threads);
+  ]
+
+let run ~scale =
+  let records = Util.scaled ~scale 8000 in
+  let ops = Util.scaled ~scale 8000 in
+  Util.header
+    (Printf.sprintf
+       "fig9: YCSB throughput normalized to SplitFS (records=%d ops=%d \
+        threads=%d)"
+       records ops threads);
+  let all = run_all ~records ~ops in
+  let splitfs = List.assoc "SplitFS" all in
+  Printf.printf "%-12s" "";
+  List.iter (fun w -> Printf.printf " %8s" (Y.name w)) Y.all;
+  print_newline ();
+  List.iter
+    (fun (name, results) ->
+      Printf.printf "%-12s" name;
+      List.iter
+        (fun (w, (r : Y.result)) ->
+          let base = (List.assoc w splitfs).Y.ops_per_s in
+          Printf.printf " %8.2f"
+            (if base > 0.0 then r.Y.ops_per_s /. base else 0.0))
+        results;
+      print_newline ())
+    all;
+  Printf.printf
+    "absolute Kops/s:\n";
+  List.iter
+    (fun (name, results) ->
+      Printf.printf "%-12s" name;
+      List.iter
+        (fun (_, (r : Y.result)) ->
+          Printf.printf " %8.1f" (Util.kops r.Y.ops_per_s))
+        results;
+      print_newline ())
+    all;
+  Printf.printf
+    "paper shape: Simurgh highest in every workload; largest gain over \
+     SplitFS in RunA (~1.36x)\n"

@@ -1,0 +1,30 @@
+(** Section 3.3: cycle counts of jmpp/pret vs. call/ret vs. syscall,
+    measured on the gem5-lite micro-op simulator, broken down by
+    execution block as in the paper's artifact. *)
+
+open Simurgh_hw
+
+let run ~scale:_ =
+  Util.header "sec33: protected-function cycle counts (gem5-lite)";
+  List.iter
+    (fun seq ->
+      let total_cycles, warm = Gem5.measure ~iterations:100 seq in
+      Printf.printf "%-28s %5d cycles/iteration  (100 iters: %d cycles)\n"
+        seq.Gem5.mnemonic warm total_cycles;
+      List.iter
+        (fun (name, c) -> Printf.printf "    %-52s %4d\n" name c)
+        (Gem5.report seq))
+    Gem5.all;
+  let call = Gem5.total Gem5.call_ret in
+  let jmpp = Gem5.total Gem5.jmpp_pret in
+  let sys_hw = Gem5.total Gem5.syscall_hw in
+  let sys_gem5 = Gem5.total Gem5.syscall_gem5 in
+  Printf.printf
+    "\nsummary: call/ret %d, jmpp/pret %d (surcharge %+d), empty syscall \
+     (gem5) %d, geteuid (real HW) %d -> jmpp is %.1fx faster than the real \
+     syscall\n"
+    call jmpp (jmpp - call) sys_gem5 sys_hw
+    (float_of_int sys_hw /. float_of_int jmpp);
+  Printf.printf
+    "paper:   call/ret ~24, jmpp/pret ~70 (+46), syscall ~1200 (gem5) / \
+     ~400 (HW); jmpp ~6x faster than syscall\n"

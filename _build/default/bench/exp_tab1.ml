@@ -1,0 +1,62 @@
+(** Table 1: execution-time breakdown (application / data copy / file
+    system) for NOVA under YCSB LoadA, tar pack and git commit. *)
+
+open Simurgh_workloads
+module Y = Ycsb
+module Y_nova = Y.Make (Simurgh_baselines.Nova)
+module I = Instrument
+module INova = I.Make (Simurgh_baselines.Nova)
+module Tar_i = Tar_sim.Make (INova)
+module Git_i = Git_sim.Make (INova)
+module Tree_i = Linux_tree.Make (INova)
+
+(* Breakdown of an instrumented single-threaded phase. *)
+let breakdown cm (acc : I.acc) total_cycles =
+  let copy = I.copy_cycles cm acc.I.copy_bytes in
+  let fs = Float.max 0.0 (acc.I.fs_cycles -. copy) in
+  let app = Float.max 0.0 (total_cycles -. fs -. copy) in
+  let tot = Float.max 1.0 (app +. copy +. fs) in
+  (app /. tot, copy /. tot, fs /. tot)
+
+let reset_acc (acc : I.acc) =
+  acc.I.fs_cycles <- 0.0;
+  acc.I.copy_bytes <- 0;
+  acc.I.calls <- 0
+
+let run ~scale =
+  Util.header "tab1: NOVA execution-time breakdown";
+  let cm = Simurgh_sim.Cost_model.default in
+  (* YCSB LoadA *)
+  let records = Util.scaled ~scale 8000 in
+  let fs = Simurgh_baselines.Nova.create () in
+  let m = Simurgh_sim.Machine.create () in
+  let r = Y_nova.run m fs Y.Load_a ~records ~ops:records ~threads:1 in
+  Util.pp_breakdown "YCSB LoadA" (r.Y.app_frac, r.Y.copy_frac, r.Y.fs_frac);
+  (* tar pack *)
+  let tree =
+    Linux_tree.generate
+      { Linux_tree.default with Linux_tree.files = Util.scaled ~scale 1500 }
+  in
+  let _, files = tree in
+  let ifs = (Simurgh_baselines.Nova.create (), I.fresh_acc ()) in
+  Tree_i.populate ifs tree;
+  let m = Simurgh_sim.Machine.create () in
+  reset_acc (snd ifs);
+  let pr = Tar_i.pack m ifs ~archive:"/a.tar" tree in
+  breakdown cm (snd ifs)
+    (pr.Tar_sim.seconds *. cm.Simurgh_sim.Cost_model.freq_hz)
+  |> Util.pp_breakdown "Tar Pack";
+  (* git commit: instrument only the commit phase *)
+  let ifs = (Simurgh_baselines.Nova.create (), I.fresh_acc ()) in
+  Tree_i.populate ifs tree;
+  Git_i.setup_git ifs;
+  let m = Simurgh_sim.Machine.create () in
+  let thr = Simurgh_sim.Sthread.create 0 in
+  ignore (Git_i.add m thr ifs files);
+  reset_acc (snd ifs);
+  let commit_s = Git_i.commit m thr ifs files in
+  breakdown cm (snd ifs) (commit_s *. cm.Simurgh_sim.Cost_model.freq_hz)
+  |> Util.pp_breakdown "Git Commit";
+  Printf.printf
+    "paper: LoadA 27/18/55, Tar Pack 8/36/56, Git Commit 33/0.5/66 \
+     (app/copy/FS %%)\n"

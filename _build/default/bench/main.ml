@@ -1,0 +1,71 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (see DESIGN.md Section 3 for the experiment index).
+
+    Usage:
+      dune exec bench/main.exe                   -- run everything
+      dune exec bench/main.exe -- fig7b fig9     -- selected experiments
+      dune exec bench/main.exe -- --scale 2.0 all
+      dune exec bench/main.exe -- --list *)
+
+let experiments : (string * string * (scale:float -> unit)) list =
+  [
+    ("sec33", "cycle counts: call vs jmpp/pret vs syscall (gem5-lite)",
+     Exp_sec33.run);
+    ("tab1", "Table 1: NOVA execution-time breakdown", Exp_tab1.run);
+    ("fig6", "Fig. 6: FxMark DRBL original vs adapted read bandwidth",
+     Exp_fig6.run);
+    ("fig7", "Fig. 7a-l: all FxMark microbenchmarks", Exp_fig7.run);
+    ("tab2+fig8", "Table 2 + Fig. 8: Filebench workloads", Exp_fig8.run);
+    ("fig9", "Fig. 9: YCSB throughput (normalized to SplitFS)", Exp_fig9.run);
+    ("fig10", "Fig. 10: YCSB breakdown for Simurgh", Exp_fig10.run);
+    ("fig11", "Fig. 11: tar pack/unpack", Exp_fig11.run);
+    ("fig12", "Fig. 12: git add/commit/reset", Exp_fig12.run);
+    ("sec55", "Section 5.5: crash-recovery time", Exp_sec55.run);
+    ("ablation", "ablations of Simurgh design choices", Exp_ablation.run);
+    ("bechamel", "wall-clock hot paths (host CPU)", Exp_bechamel.run);
+  ]
+
+let is_fig7_sub id =
+  String.length id = 5 && String.sub id 0 4 = "fig7" && id.[4] >= 'a'
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1.0 in
+  let ids = ref [] in
+  let list_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--list" :: rest ->
+        list_only := true;
+        parse rest
+    | id :: rest ->
+        ids := id :: !ids;
+        parse rest
+  in
+  parse args;
+  if !list_only then begin
+    List.iter
+      (fun (id, desc, _) -> Printf.printf "%-10s %s\n" id desc)
+      experiments;
+    exit 0
+  end;
+  let ids = match List.rev !ids with [] | [ "all" ] -> [] | l -> l in
+  Printf.printf
+    "Simurgh reproduction benchmark harness (scale=%.2f). Throughputs are \
+     virtual-time (modeled 2.5 GHz Xeon + Optane; see DESIGN.md).\n"
+    !scale;
+  let run_id id =
+    if is_fig7_sub id then Exp_fig7.run_one ~scale:!scale id
+    else
+      match List.find_opt (fun (i, _, _) -> i = id) experiments with
+      | Some (_, _, f) -> f ~scale:!scale
+      | None ->
+          Printf.printf
+            "unknown experiment %S (use --list; fig7a..fig7l also work)\n" id
+  in
+  match ids with
+  | [] -> List.iter (fun (_, _, f) -> f ~scale:!scale) experiments
+  | ids -> List.iter run_id ids

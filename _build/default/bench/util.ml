@@ -1,0 +1,27 @@
+(** Shared helpers for the experiment harness. *)
+
+let thread_counts = [ 1; 2; 4; 7; 10 ]
+
+let header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let row_header name = Printf.printf "%-18s" name
+
+let print_series fmt values =
+  List.iter (fun v -> Printf.printf fmt v) values;
+  print_newline ()
+
+let print_thread_header () =
+  Printf.printf "%-18s" "threads";
+  List.iter (fun t -> Printf.printf " %9d" t) thread_counts;
+  print_newline ()
+
+(** ops per thread scaled by the experiment scale factor. *)
+let scaled ~scale base = max 64 (int_of_float (float_of_int base *. scale))
+
+let kops v = v /. 1000.0
+let mops v = v /. 1.0e6
+
+let pp_breakdown name (app, copy, fs) =
+  Printf.printf "%-12s  app %5.1f%%   data-copy %5.1f%%   file-system %5.1f%%\n"
+    name (100.0 *. app) (100.0 *. copy) (100.0 *. fs)

@@ -1,0 +1,21 @@
+open Simurgh_workloads
+module FB = Filebench
+module FbS = FB.Make (Simurgh_core.Fs)
+module FbN = FB.Make (Simurgh_baselines.Nova)
+let probe name run =
+  Hashtbl.reset Simurgh_sim.Vlock.Spin.wait_by_site;
+  let m = Simurgh_sim.Machine.create () in
+  let r = run m in
+  Printf.printf "%s: %.1f Kops rd=%.0f wr=%.0f\n" name (r.FB.ops_per_s /. 1000.)
+    (Simurgh_sim.Resource.busy_cycles m.Simurgh_sim.Machine.nvmm_read_srv)
+    (Simurgh_sim.Resource.busy_cycles m.Simurgh_sim.Machine.nvmm_write_srv);
+  Hashtbl.iter (fun site w -> if !w > 1e6 then Printf.printf "  wait %-12s %.0f\n" site !w)
+    Simurgh_sim.Vlock.Spin.wait_by_site
+let () =
+  let cfg = FB.config ~scale:0.5 FB.Webserver in
+  probe "Simurgh webserver" (fun m ->
+    let fs = Targets.fresh_simurgh ~region_mb:768 () in
+    FbS.run m fs FB.Webserver ~cfg ~loops_per_thread:4);
+  probe "NOVA webserver" (fun m ->
+    let fs = Simurgh_baselines.Nova.create () in
+    FbN.run m fs FB.Webserver ~cfg ~loops_per_thread:4)

@@ -1,0 +1,40 @@
+(* Quick functional smoke test of the Simurgh FS. *)
+open Simurgh_core
+open Simurgh_fs_common
+
+let () =
+  let region = Simurgh_nvmm.Region.create (32 * 1024 * 1024) in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/home";
+  Fs.mkdir fs "/home/user";
+  for i = 0 to 99 do
+    Fs.create_file fs (Printf.sprintf "/home/user/file%d" i)
+  done;
+  let fd = Fs.openf fs Types.rdwr "/home/user/file5" in
+  let n = Fs.append fs fd (Bytes.of_string "hello simurgh") in
+  assert (n = 13);
+  let back = Fs.pread fs fd ~pos:0 ~len:13 in
+  assert (Bytes.to_string back = "hello simurgh");
+  Fs.close fs fd;
+  let st = Fs.stat fs "/home/user/file5" in
+  assert (st.Types.size = 13);
+  Fs.rename fs "/home/user/file5" "/home/user/renamed";
+  assert (not (Fs.exists fs "/home/user/file5"));
+  assert (Fs.exists fs "/home/user/renamed");
+  Fs.mkdir fs "/tmp";
+  Fs.rename fs "/home/user/renamed" "/tmp/moved";
+  assert (Fs.exists fs "/tmp/moved");
+  let names = Fs.readdir fs "/home/user" in
+  Printf.printf "readdir /home/user: %d entries\n" (List.length names);
+  assert (List.length names = 99);
+  for i = 0 to 99 do
+    if i <> 5 then Fs.unlink fs (Printf.sprintf "/home/user/file%d" i)
+  done;
+  assert (Fs.readdir fs "/home/user" = []);
+  Fs.symlink fs ~target:"/tmp/moved" "/home/link";
+  let st2 = Fs.stat fs "/home/link" in
+  assert (st2.Types.size = 13);
+  assert (Fs.readlink fs "/home/link" = "/tmp/moved");
+  Fs.hardlink fs ~existing:"/tmp/moved" "/home/hard";
+  assert ((Fs.stat fs "/home/hard").Types.nlink = 2);
+  Printf.printf "smoke: all assertions passed\n"

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes Fmt List Printf Simurgh_core Simurgh_fs_common Simurgh_nvmm Types

@@ -1,0 +1,1 @@
+examples/kv_store.ml: List Printf Simurgh_core Simurgh_kvstore Simurgh_nvmm String

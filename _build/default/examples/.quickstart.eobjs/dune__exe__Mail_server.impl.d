@@ -1,0 +1,1 @@
+examples/mail_server.ml: Bytes Engine Fs_intf Machine Printf Simurgh_baselines Simurgh_core Simurgh_fs_common Simurgh_nvmm Simurgh_sim Sthread Types

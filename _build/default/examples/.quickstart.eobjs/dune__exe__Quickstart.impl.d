@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Fmt Printf Simurgh_core Simurgh_fs_common Simurgh_nvmm String Types

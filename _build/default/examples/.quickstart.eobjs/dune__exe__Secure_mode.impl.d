@@ -1,0 +1,1 @@
+examples/secure_mode.ml: Bytes Cpu Errno Fault Fmt List Page_table Printf Privilege Protected Simurgh_core Simurgh_fs_common Simurgh_hw Simurgh_nvmm Types

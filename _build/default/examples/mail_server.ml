@@ -1,0 +1,84 @@
+(* Mail-server scenario: the shared-directory workload the paper's
+   evaluation highlights (Section 5.2: "Many real world applications,
+   e.g., from HPC and mail servers, suffer from performance penalties or
+   have to adapt their code to avoid shared directories").
+
+   A maildir-style queue: N delivery agents concurrently create message
+   files in one shared /queue directory, then a delivery pass renames
+   each message into the recipient's mailbox (cross-directory rename) —
+   exactly the create/rename mix that serializes on the VFS directory
+   mutex in kernel file systems but scales on Simurgh's per-line busy
+   flags.  The example runs the same workload on Simurgh and on the NOVA
+   baseline and prints modeled throughputs.
+
+   Run with: dune exec examples/mail_server.exe *)
+
+open Simurgh_sim
+open Simurgh_fs_common
+
+let agents = 8
+let messages_per_agent = 800
+let mailboxes = 16
+
+module Run (F : Fs_intf.S) = struct
+  let deliver fs machine =
+    (* setup: the spool and the mailboxes *)
+    F.mkdir fs "/queue";
+    for m = 0 to mailboxes - 1 do
+      F.mkdir fs (Printf.sprintf "/mbox%02d" m)
+    done;
+    let body = Bytes.make 2048 'm' in
+    (* phase 1: concurrent delivery into the shared queue *)
+    let enqueue =
+      Engine.run_ops machine ~threads:agents
+        ~ops_per_thread:messages_per_agent (fun ctx i ->
+          let tid = ctx.Machine.thr.Sthread.tid in
+          let path = Printf.sprintf "/queue/msg-%d-%d" tid i in
+          F.create_file ~ctx fs path;
+          let fd = F.openf ~ctx fs Types.wronly path in
+          ignore (F.append ~ctx fs fd body);
+          F.fsync ~ctx fs fd;
+          F.close ~ctx fs fd)
+    in
+    let enq_tput = Engine.throughput machine enqueue in
+    (* phase 2: concurrent dispatch — cross-directory renames *)
+    Machine.reset machine;
+    let dispatch =
+      Engine.run_ops machine ~threads:agents
+        ~ops_per_thread:messages_per_agent (fun ctx i ->
+          let tid = ctx.Machine.thr.Sthread.tid in
+          let src = Printf.sprintf "/queue/msg-%d-%d" tid i in
+          let dst =
+            Printf.sprintf "/mbox%02d/msg-%d-%d" ((tid + i) mod mailboxes) tid i
+          in
+          F.rename ~ctx fs src dst)
+    in
+    let disp_tput = Engine.throughput machine dispatch in
+    (enq_tput, disp_tput)
+end
+
+let () =
+  Printf.printf
+    "maildir scenario: %d agents x %d messages, one shared /queue\n\n" agents
+    messages_per_agent;
+  Printf.printf "%-10s %18s %18s\n" "" "enqueue (msg/s)" "dispatch (msg/s)";
+  (* Simurgh *)
+  let module S = Run (Simurgh_core.Fs) in
+  let region = Simurgh_nvmm.Region.create (256 * 1024 * 1024) in
+  let fs = Simurgh_core.Fs.mkfs ~euid:0 region in
+  let m = Machine.create () in
+  let enq_s, disp_s = S.deliver fs m in
+  Printf.printf "%-10s %18.0f %18.0f\n" "Simurgh" enq_s disp_s;
+  (* NOVA baseline *)
+  let module N = Run (Simurgh_baselines.Nova) in
+  let fs = Simurgh_baselines.Nova.create () in
+  let m = Machine.create () in
+  let enq_n, disp_n = N.deliver fs m in
+  Printf.printf "%-10s %18.0f %18.0f\n" "NOVA" enq_n disp_n;
+  Printf.printf
+    "\nSimurgh advantage: %.1fx on enqueue, %.1fx on dispatch\n"
+    (enq_s /. enq_n) (disp_s /. disp_n);
+  print_endline
+    "(the kernel FS serializes the shared /queue directory on its inode\n\
+    \ mutex; Simurgh's hash-row busy flags let the agents proceed in\n\
+    \ parallel)"

@@ -1,0 +1,1 @@
+lib/alloc/block_alloc.ml: Array List Printexc Printf Region Simurgh_nvmm Simurgh_sim

@@ -1,0 +1,1 @@
+lib/alloc/ctx_util.ml: Simurgh_sim

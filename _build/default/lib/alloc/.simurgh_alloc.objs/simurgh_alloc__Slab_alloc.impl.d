@@ -1,0 +1,1 @@
+lib/alloc/slab_alloc.ml: Block_alloc Ctx_util Queue Region Simurgh_nvmm Simurgh_sim

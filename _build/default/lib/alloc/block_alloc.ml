@@ -1,0 +1,392 @@
+(** Segmented block allocator (paper Section 4.2, "Block allocation").
+
+    The managed space is divided into [segments] contiguous block ranges
+    (the paper uses 2x the core count, following Hoard).  Each segment
+    keeps an address-ordered free list of ranges threaded through the
+    free blocks themselves; a per-segment busy flag provides mutual
+    exclusion and a [last_accessed] timestamp lets peers detect a holder
+    that crashed while holding the lock.  Threads pick a segment with a
+    modulo function of the allocation hint (the inode pointer), which
+    both clusters a file's blocks and spreads files across segments; a
+    busy segment is simply skipped in favour of the next one.
+
+    Frees push the range onto the head of the segment's list in O(1)
+    (the paper: "adds the block to the list of free blocks").  When a
+    first-fit walk fails to find a fitting range quickly, the segment is
+    coalesced (ranges sorted and merged) and the walk retried — lazy
+    coalescing keeps the common path short while still recovering large
+    contiguous ranges, and a format/alloc-all/free-all cycle restores
+    the initial state. *)
+
+open Simurgh_nvmm
+
+let magic = 0xb10ca1
+let header_fixed = 32
+let seg_header_size = 24
+(* Free-range node, stored in the first 16 bytes of the range itself. *)
+let node_next = 0
+let node_count = 8
+
+type t = {
+  region : Region.t;
+  off : int;  (** header location in the region *)
+  block_size : int;
+  segments : int;
+  base : int;  (** first managed byte *)
+  total_blocks : int;
+  locks : Simurgh_sim.Vlock.Spin.t array;  (** virtual-time segment locks *)
+}
+
+let header_size ~segments = header_fixed + (segments * seg_header_size)
+let seg_off t i = t.off + header_fixed + (i * seg_header_size)
+let seg_flag t i = seg_off t i
+let seg_last_accessed t i = seg_off t i + 8
+let seg_head t i = seg_off t i + 16
+
+let blocks_per_segment t = (t.total_blocks + t.segments - 1) / t.segments
+
+let seg_first_block t i = i * blocks_per_segment t
+let seg_block_count t i =
+  min (blocks_per_segment t) (t.total_blocks - seg_first_block t i)
+
+let block_addr t b = t.base + (b * t.block_size)
+let block_of_addr t addr = (addr - t.base) / t.block_size
+
+let attach region ~off =
+  let m = Region.read_u32 region off in
+  if m <> magic then invalid_arg "Block_alloc.attach: bad magic";
+  let block_size = Region.read_u32 region (off + 4) in
+  let segments = Region.read_u32 region (off + 8) in
+  let base = Region.read_u62 region (off + 16) in
+  let total_blocks = Region.read_u62 region (off + 24) in
+  {
+    region;
+    off;
+    block_size;
+    segments;
+    base;
+    total_blocks;
+    locks = Array.init segments (fun _ -> Simurgh_sim.Vlock.Spin.create ~site:"balloc-seg" ());
+  }
+
+let format region ~off ~base ~blocks ~block_size ~segments =
+  if block_size < 16 then
+    invalid_arg "Block_alloc.format: block_size must be >= 16";
+  if segments < 1 || blocks < segments then
+    invalid_arg "Block_alloc.format: bad segment/block counts";
+  Region.write_u32 region off magic;
+  Region.write_u32 region (off + 4) block_size;
+  Region.write_u32 region (off + 8) segments;
+  Region.write_u62 region (off + 16) base;
+  Region.write_u62 region (off + 24) blocks;
+  let t = attach region ~off in
+  for i = 0 to segments - 1 do
+    Region.write_u8 region (seg_flag t i) 0;
+    Region.write_u62 region (seg_last_accessed t i) 0;
+    let first = seg_first_block t i and count = seg_block_count t i in
+    if count > 0 then begin
+      let node = block_addr t first in
+      Region.write_u62 region (node + node_next) 0;
+      Region.write_u62 region (node + node_count) count;
+      Region.write_u62 region (seg_head t i) node
+    end
+    else Region.write_u62 region (seg_head t i) 0
+  done;
+  Region.persist region off (header_size ~segments);
+  t
+
+(* --- virtual-time charging ------------------------------------------- *)
+
+let charge_lines ?ctx ~read ~write () =
+  match ctx with
+  | None -> ()
+  | Some ctx ->
+      (* free-list nodes are hot under allocation churn: blended latency *)
+      Simurgh_sim.Machine.nvmm_meta_read_lines ctx read;
+      Simurgh_sim.Machine.nvmm_write_lines ctx write
+
+(* --- segment locking with crash detection ----------------------------- *)
+
+(** Virtual-time threshold after which a lock holder is presumed dead
+    (paper: "the maximum duration that a process is allowed to hold a
+    lock"). *)
+let crash_threshold_cycles = 5.0e6
+
+let lock_segment ?ctx t i =
+  (match ctx with
+  | Some ctx -> Simurgh_sim.Vlock.Spin.acquire ctx t.locks.(i)
+  | None -> ());
+  Region.write_u8 t.region (seg_flag t i) 1;
+  let now =
+    match ctx with
+    | Some ctx -> int_of_float (Simurgh_sim.Machine.now ctx)
+    | None -> 0
+  in
+  Region.write_u62 t.region (seg_last_accessed t i) now;
+  Region.persist t.region (seg_flag t i) 16
+
+let unlock_segment ?ctx t i =
+  Region.write_u8 t.region (seg_flag t i) 0;
+  Region.persist t.region (seg_flag t i) 1;
+  match ctx with
+  | Some ctx -> Simurgh_sim.Vlock.Spin.release ctx t.locks.(i)
+  | None -> ()
+
+(** A peer observing flag=1 with a stale timestamp reclaims the lock
+    (process-crash recovery path). *)
+let segment_is_stuck ?ctx t i =
+  Region.read_u8 t.region (seg_flag t i) = 1
+  &&
+  match ctx with
+  | None -> true
+  | Some ctx ->
+      let last =
+        float_of_int (Region.read_u62 t.region (seg_last_accessed t i))
+      in
+      Simurgh_sim.Machine.now ctx -. last > crash_threshold_cycles
+
+let recover_segment t i =
+  Region.write_u8 t.region (seg_flag t i) 0;
+  Region.persist t.region (seg_flag t i) 1
+
+(* --- free-list manipulation (caller holds the segment lock) ----------- *)
+
+let read_node t addr =
+  (Region.read_u62 t.region (addr + node_next),
+   Region.read_u62 t.region (addr + node_count))
+
+let write_node t addr ~next ~count =
+  Region.write_u62 t.region (addr + node_next) next;
+  Region.write_u62 t.region (addr + node_count) count;
+  Region.persist t.region addr 16
+
+(* Sort and merge every range of segment [i]; caller holds the lock. *)
+let coalesce_segment ?ctx t i =
+  let head_addr = seg_head t i in
+  let ranges = ref [] in
+  let hops = ref 0 in
+  let rec collect node =
+    if node <> 0 then begin
+      incr hops;
+      let next, count = read_node t node in
+      ranges := (node, count) :: !ranges;
+      collect next
+    end
+  in
+  collect (Region.read_u62 t.region head_addr);
+  let sorted = List.sort compare !ranges in
+  let merged =
+    List.fold_left
+      (fun acc (a, c) ->
+        match acc with
+        | (pa, pc) :: rest when pa + (pc * t.block_size) = a ->
+            (pa, pc + c) :: rest
+        | _ -> (a, c) :: acc)
+      [] sorted
+    (* accumulated in descending address order: rebuild ascending list *)
+  in
+  let rec rebuild next = function
+    | [] -> next
+    | (a, c) :: rest ->
+        write_node t a ~next ~count:c;
+        rebuild a rest
+  in
+  let head = rebuild 0 merged in
+  Region.write_u62 t.region head_addr head;
+  Region.persist t.region head_addr 8;
+  charge_lines ?ctx ~read:!hops ~write:(!hops + 1) ()
+
+(* First-fit within a segment; splits the tail of the chosen range.
+   A walk that exceeds [walk_budget] hops without a fit triggers a
+   coalesce of the segment and one retry. *)
+let walk_budget = 48
+
+let alloc_in_segment ?ctx t i n =
+  let head_addr = seg_head t i in
+  let rec attempt ~may_coalesce =
+    let rec walk prev node hops =
+      if node = 0 then begin
+        charge_lines ?ctx ~read:(min hops walk_budget + 1) ~write:0 ();
+        if may_coalesce && hops > 0 then begin
+          coalesce_segment ?ctx t i;
+          attempt ~may_coalesce:false
+        end
+        else None
+      end
+      else if hops > walk_budget && may_coalesce then begin
+        charge_lines ?ctx ~read:(walk_budget + 1) ~write:0 ();
+        coalesce_segment ?ctx t i;
+        attempt ~may_coalesce:false
+      end
+      else
+        let next, count = read_node t node in
+        if count >= n then begin
+          let remaining = count - n in
+          let grabbed = node + (remaining * t.block_size) in
+          if remaining = 0 then begin
+            (* unlink the node *)
+            (match prev with
+            | None -> Region.write_u62 t.region head_addr next
+            | Some p ->
+                Region.write_u62 t.region (p + node_next) next);
+            Region.persist t.region
+              (match prev with None -> head_addr | Some p -> p)
+              16
+          end
+          else write_node t node ~next ~count:remaining;
+          charge_lines ?ctx ~read:(hops + 1) ~write:2 ();
+          Some grabbed
+        end
+        else walk (Some node) next (hops + 1)
+    in
+    walk None (Region.read_u62 t.region head_addr) 0
+  in
+  attempt ~may_coalesce:true
+
+(* O(1) head insert (deferred coalescing). *)
+let free_in_segment ?ctx t i ~addr ~count =
+  let head_addr = seg_head t i in
+  let old_head = Region.read_u62 t.region head_addr in
+  write_node t addr ~next:old_head ~count;
+  Region.write_u62 t.region head_addr addr;
+  Region.persist t.region head_addr 8;
+  charge_lines ?ctx ~read:0 ~write:2 ()
+
+
+
+(* --- public API -------------------------------------------------------- *)
+
+(** Allocate [n] contiguous blocks; [hint] (e.g. the file's inode
+    pointer) selects the starting segment.  Returns the byte address of
+    the range, or [None] when no segment can satisfy the request. *)
+let segment_busy ?ctx t i =
+  match ctx with
+  | None -> false
+  | Some ctx ->
+      Simurgh_sim.Vlock.Spin.busy t.locks.(i)
+        ~now:(Simurgh_sim.Machine.now ctx)
+
+let alloc ?ctx ?(hint = 0) t n =
+  if n <= 0 then invalid_arg "Block_alloc.alloc: n must be positive";
+  (* multiplicative hash of the hint (inode pointer): slab-allocated
+     inodes are spaced by the object size, so a plain modulo would alias
+     to a few segments *)
+  let start = abs (hint * 0x9e3779b1) mod t.segments in
+  (* paper: "If a process selects a busy segment, it simply moves to the
+     next segment."  [skip_busy] relaxes on the second sweep so requests
+     still succeed when every segment is busy. *)
+  let rec try_seg k ~skip_busy =
+    if k >= t.segments then
+      if skip_busy then try_seg 0 ~skip_busy:false else None
+    else
+      let i = (start + k) mod t.segments in
+      if skip_busy && segment_busy ?ctx t i then
+        try_seg (k + 1) ~skip_busy
+      else begin
+        if segment_is_stuck ?ctx t i then recover_segment t i;
+        lock_segment ?ctx t i;
+        let r = alloc_in_segment ?ctx t i n in
+        unlock_segment ?ctx t i;
+        match r with Some _ -> r | None -> try_seg (k + 1) ~skip_busy
+      end
+  in
+  try_seg 0 ~skip_busy:(t.segments > 1)
+
+(** Return [n] blocks starting at byte address [addr] to their segment. *)
+let free ?ctx t ~addr n =
+  if n <= 0 then invalid_arg "Block_alloc.free: n must be positive";
+  let b = block_of_addr t addr in
+  if b < 0 || b + n > t.total_blocks then
+    invalid_arg "Block_alloc.free: range outside managed space";
+  let i = min (b / blocks_per_segment t) (t.segments - 1) in
+  if segment_is_stuck ?ctx t i then recover_segment t i;
+  lock_segment ?ctx t i;
+  free_in_segment ?ctx t i ~addr ~count:n;
+  unlock_segment ?ctx t i
+
+(** Total free blocks (walks every list; diagnostic). *)
+let free_blocks t =
+  let total = ref 0 in
+  for i = 0 to t.segments - 1 do
+    let rec walk node =
+      if node <> 0 then begin
+        let next, count = read_node t node in
+        total := !total + count;
+        walk next
+      end
+    in
+    walk (Region.read_u62 t.region (seg_head t i))
+  done;
+  !total
+
+(** Structural check: every free range lies within its segment and no
+    two ranges overlap (lists are unordered between coalesces). *)
+let check_invariants t =
+  let ok = ref (Ok ()) in
+  let fail fmt = Printf.ksprintf (fun s -> ok := Error s) fmt in
+  (try
+     for i = 0 to t.segments - 1 do
+       let lo = block_addr t (seg_first_block t i) in
+       let hi = lo + (seg_block_count t i * t.block_size) in
+       let ranges = ref [] in
+       let rec walk node =
+         if node <> 0 then begin
+           let next, count = read_node t node in
+           if node < lo || node + (count * t.block_size) > hi then
+             fail "segment %d: range %#x+%d blocks escapes [%#x,%#x)" i node
+               count lo hi;
+           ranges := (node, count) :: !ranges;
+           walk next
+         end
+       in
+       walk (Region.read_u62 t.region (seg_head t i));
+       let sorted = List.sort compare !ranges in
+       let rec overlap = function
+         | (a, c) :: ((b, _) :: _ as rest) ->
+             if a + (c * t.block_size) > b then
+               fail "segment %d: overlapping free ranges at %#x" i b;
+             overlap rest
+         | _ -> ()
+       in
+       overlap sorted
+     done
+   with e -> fail "exception: %s" (Printexc.to_string e));
+  !ok
+
+let block_size t = t.block_size
+let segments t = t.segments
+let total_blocks t = t.total_blocks
+let base t = t.base
+
+(** Rebuild every segment's free list from scratch given a predicate
+    telling which blocks are in use (full-system mark-and-sweep recovery,
+    paper Section 5.5).  Also clears any stuck segment locks. *)
+let rebuild_free_lists t ~in_use =
+  for i = 0 to t.segments - 1 do
+    Region.write_u8 t.region (seg_flag t i) 0;
+    let first = seg_first_block t i and count = seg_block_count t i in
+    (* collect maximal free runs in address order *)
+    let head = ref 0 in
+    let tail = ref 0 (* address of last node written *) in
+    let run_start = ref (-1) in
+    let flush_run stop =
+      if !run_start >= 0 then begin
+        let addr = block_addr t !run_start in
+        write_node t addr ~next:0 ~count:(stop - !run_start);
+        if !head = 0 then head := addr
+        else begin
+          Region.write_u62 t.region (!tail + node_next) addr;
+          Region.persist t.region !tail 16
+        end;
+        tail := addr;
+        run_start := -1
+      end
+    in
+    for b = first to first + count - 1 do
+      if in_use b then flush_run b
+      else if !run_start < 0 then run_start := b
+    done;
+    flush_run (first + count);
+    Region.write_u62 t.region (seg_head t i) !head;
+    Region.persist t.region (seg_off t i) seg_header_size
+  done

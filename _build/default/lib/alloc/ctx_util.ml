@@ -1,0 +1,12 @@
+(** Helpers shared by the allocators: all allocator entry points accept
+    an optional virtual-time context so the same code paths serve both
+    benchmarks (with time accounting) and unit tests (without). *)
+
+let with_spin ?ctx lock f =
+  match ctx with
+  | None -> f ()
+  | Some ctx ->
+      Simurgh_sim.Vlock.Spin.acquire ctx lock;
+      let r = f () in
+      Simurgh_sim.Vlock.Spin.release ctx lock;
+      r

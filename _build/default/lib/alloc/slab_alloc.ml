@@ -1,0 +1,229 @@
+(** Metadata object allocator (paper Section 4.2, "Data structure
+    allocator").
+
+    A slab-like pool of fixed-size objects (inodes, file entries,
+    directory hash blocks) carved out of segments obtained from the block
+    allocator.  Every object carries two atomic flag bits in its first
+    byte:
+
+    - [valid]: set by the allocator when the object is handed out, unset
+      first on deallocation;
+    - [dirty]: set while the object is "unprocessed" — allocated but not
+      yet linked into the file system, or being torn down.
+
+    States: 00 = free, 11 = allocated-unprocessed, 10 = live,
+    01 = mid-deallocation (object being zeroed).  A crash leaves 11/01
+    objects for recovery to reclaim; 10 objects are reachable iff the FS
+    metadata graph references them (mark-and-sweep).  New segments are
+    allocated on demand and their layout is recorded in a persistent
+    segment list so recovery can enumerate every object. *)
+
+open Simurgh_nvmm
+
+let magic = 0x51ab
+let header_fixed = 24
+(* Slab segment header: [next u62][objects u32][pad u32], then objects. *)
+let seg_header = 16
+
+let flag_valid = 0x1
+let flag_dirty = 0x2
+
+type t = {
+  region : Region.t;
+  off : int;
+  obj_size : int;  (** payload + 8-byte flag/pad prefix, 8-aligned *)
+  objs_per_seg : int;
+  blocks_per_seg : int;
+  block_alloc : Block_alloc.t;
+  free_cache : int Queue.t;  (** volatile free-object cache (shared DRAM) *)
+  cache_lock : Simurgh_sim.Vlock.Spin.t;
+  mutable live : int;  (** volatile live-object counter (diagnostics) *)
+}
+
+(* Object layout: byte 0 = flags, bytes 8.. = payload. *)
+let obj_header = 8
+
+let slot_size t = obj_header + t.obj_size
+
+let header_size = header_fixed
+
+let seg_list_head t = t.off + 8
+
+let attach region ~off ~block_alloc =
+  let m = Region.read_u32 region off in
+  if m <> magic then invalid_arg "Slab_alloc.attach: bad magic";
+  let obj_size = Region.read_u32 region (off + 4) in
+  let objs_per_seg = Region.read_u32 region (off + 16) in
+  let blocks_per_seg = Region.read_u32 region (off + 20) in
+  let t =
+    {
+      region;
+      off;
+      obj_size;
+      objs_per_seg;
+      blocks_per_seg;
+      block_alloc;
+      free_cache = Queue.create ();
+      cache_lock = Simurgh_sim.Vlock.Spin.create ~site:"slab-cache" ();
+      live = 0;
+    }
+  in
+  t
+
+let format region ~off ~obj_size ~block_alloc ~objs_per_seg =
+  if obj_size <= 0 || obj_size mod 8 <> 0 then
+    invalid_arg "Slab_alloc.format: obj_size must be positive and 8-aligned";
+  let bs = Block_alloc.block_size block_alloc in
+  let bytes_needed = seg_header + (objs_per_seg * (obj_header + obj_size)) in
+  let blocks_per_seg = (bytes_needed + bs - 1) / bs in
+  Region.write_u32 region off magic;
+  Region.write_u32 region (off + 4) obj_size;
+  Region.write_u62 region (off + 8) 0 (* segment list head *);
+  Region.write_u32 region (off + 16) objs_per_seg;
+  Region.write_u32 region (off + 20) blocks_per_seg;
+  Region.persist region off header_fixed;
+  attach region ~off ~block_alloc
+
+let obj_addr t seg i = seg + seg_header + (i * slot_size t)
+let flags t addr = Region.read_u8 t.region addr
+let payload addr = addr + obj_header
+
+(* Add a fresh segment from the block allocator; its layout is persisted
+   in the slab's segment list (paper: "Simurgh saves the layout of the
+   preallocated metadata spaces inside the superblock"). *)
+let grow ?ctx t =
+  match Block_alloc.alloc ?ctx t.block_alloc t.blocks_per_seg with
+  | None -> false
+  | Some seg ->
+      Region.zero t.region seg (t.blocks_per_seg * Block_alloc.block_size t.block_alloc);
+      let old_head = Region.read_u62 t.region (seg_list_head t) in
+      Region.write_u62 t.region seg old_head;
+      Region.write_u32 t.region (seg + 8) t.objs_per_seg;
+      Region.persist t.region seg seg_header;
+      Region.write_u62 t.region (seg_list_head t) seg;
+      Region.persist t.region (seg_list_head t) 8;
+      for i = t.objs_per_seg - 1 downto 0 do
+        Queue.push (obj_addr t seg i) t.free_cache
+      done;
+      true
+
+let charge ?ctx ~read ~write () =
+  match ctx with
+  | None -> ()
+  | Some ctx ->
+      Simurgh_sim.Machine.nvmm_read_lines ctx read;
+      Simurgh_sim.Machine.nvmm_write_lines ctx write
+
+(** Allocate one object: returns the *payload* address with valid+dirty
+    set and persisted.  The caller initializes the payload and then calls
+    [commit] to clear the dirty bit.  Returns [None] when NVMM is
+    exhausted. *)
+let rec alloc ?ctx t =
+  let candidate =
+    Ctx_util.with_spin ?ctx t.cache_lock (fun () ->
+        if Queue.is_empty t.free_cache then None
+        else Some (Queue.pop t.free_cache))
+  in
+  match candidate with
+  | None -> if grow ?ctx t then alloc ?ctx t else None
+  | Some addr ->
+      let f = flags t addr in
+      if f land (flag_valid lor flag_dirty) <> 0 then
+        (* stale cache entry (e.g. after recovery rebuilt state) *)
+        alloc ?ctx t
+      else begin
+        Region.write_u8 t.region addr (flag_valid lor flag_dirty);
+        Region.persist t.region addr 1;
+        charge ?ctx ~read:1 ~write:1 ();
+        t.live <- t.live + 1;
+        Some (payload addr)
+      end
+
+(** Clear the dirty bit: the object is initialized and linked. *)
+let commit ?ctx t paddr =
+  let addr = paddr - obj_header in
+  Region.write_u8 t.region addr flag_valid;
+  Region.persist t.region addr 1;
+  charge ?ctx ~read:0 ~write:1 ()
+
+(** Mark an object unprocessed again (start of a teardown/transition). *)
+let mark_dirty ?ctx t paddr =
+  let addr = paddr - obj_header in
+  Region.write_u8 t.region addr (flag_valid lor flag_dirty);
+  Region.persist t.region addr 1;
+  charge ?ctx ~read:0 ~write:1 ()
+
+(** First half of deallocation: unset valid, set dirty (state 01,
+    Fig. 5b step 2) and persist.  The object is now recognizably
+    mid-teardown for any observer, including recovery. *)
+let begin_free ?ctx t paddr =
+  let addr = paddr - obj_header in
+  Region.write_u8 t.region addr flag_dirty;
+  Region.persist t.region addr 1;
+  charge ?ctx ~read:0 ~write:1 ()
+
+(** Second half: zero the payload, then unset dirty (state 00). *)
+let finish_free ?ctx t paddr =
+  let addr = paddr - obj_header in
+  Region.zero t.region paddr t.obj_size;
+  Region.persist t.region paddr t.obj_size;
+  Region.write_u8 t.region addr 0;
+  Region.persist t.region addr 1;
+  charge ?ctx ~read:0 ~write:(1 + (t.obj_size / 64)) ();
+  t.live <- t.live - 1;
+  Ctx_util.with_spin ?ctx t.cache_lock (fun () ->
+      Queue.push addr t.free_cache)
+
+(** Deallocate in one go: [begin_free] then [finish_free]. *)
+let free ?ctx t paddr =
+  begin_free ?ctx t paddr;
+  finish_free ?ctx t paddr
+
+let obj_flags t paddr = flags t (paddr - obj_header)
+let is_live t paddr = obj_flags t paddr = flag_valid
+let is_unprocessed t paddr = obj_flags t paddr = flag_valid lor flag_dirty
+let live_objects t = t.live
+
+(** Enumerate every object slot with its flags: (payload_addr, flags). *)
+let iter_objects t f =
+  let rec seg_loop seg =
+    if seg <> 0 then begin
+      for i = 0 to t.objs_per_seg - 1 do
+        let addr = obj_addr t seg i in
+        f (payload addr) (flags t addr)
+      done;
+      seg_loop (Region.read_u62 t.region seg)
+    end
+  in
+  seg_loop (Region.read_u62 t.region (seg_list_head t))
+
+(** Rebuild the volatile free cache and the live counter from persistent
+    flags; [reclaim] additionally resets 11/01 (crash-interrupted)
+    objects to free.  Used at attach/recovery time. *)
+let rebuild_cache ?(reclaim = false) t =
+  Queue.clear t.free_cache;
+  t.live <- 0;
+  iter_objects t (fun paddr f ->
+      let addr = paddr - obj_header in
+      if f = 0 then Queue.push addr t.free_cache
+      else if f = flag_valid then t.live <- t.live + 1
+      else if reclaim then begin
+        Region.zero t.region paddr t.obj_size;
+        Region.write_u8 t.region addr 0;
+        Region.persist t.region addr 1;
+        Queue.push addr t.free_cache
+      end)
+
+let obj_size t = t.obj_size
+let blocks_per_segment t = t.blocks_per_seg
+
+(** Enumerate slab segment base addresses (for block-usage marking in
+    full-system recovery). *)
+let iter_segments t f =
+  let rec go seg =
+    if seg <> 0 then begin
+      f seg;
+      go (Region.read_u62 t.region seg)
+    end
+  in
+  go (Region.read_u62 t.region (seg_list_head t))

@@ -1,0 +1,1 @@
+lib/baselines/ext4dax.ml: Kernel_fs Profile

@@ -1,0 +1,1 @@
+lib/baselines/kernel_fs.ml: Bytes Cost_model Errno Hashtbl Machine Path Profile Simurgh_fs_common Simurgh_sim Simurgh_vfs String Types Vlock

@@ -1,0 +1,1 @@
+lib/baselines/nova.ml: Kernel_fs Profile

@@ -1,0 +1,1 @@
+lib/baselines/pmfs.ml: Kernel_fs Profile

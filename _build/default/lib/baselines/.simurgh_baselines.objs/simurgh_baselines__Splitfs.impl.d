@@ -1,0 +1,1 @@
+lib/baselines/splitfs.ml: Kernel_fs Profile

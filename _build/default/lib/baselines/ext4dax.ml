@@ -1,0 +1,8 @@
+(** EXT4 in DAX mode: the general-purpose kernel file system with direct
+    NVMM access.  Strong on large-file data paths, weighed down on
+    metadata by JBD2 transactions and the generic VFS locking. *)
+
+include Kernel_fs
+
+let name = "EXT4-DAX"
+let create () = Kernel_fs.create Profile.ext4dax

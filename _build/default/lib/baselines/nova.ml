@@ -1,0 +1,9 @@
+(** NOVA baseline (Xu & Swanson, FAST '16): log-structured NVMM file
+    system with per-inode logs, a volatile radix index and per-CPU block
+    allocators.  Configured with inline writes, as in the paper's
+    evaluation setup. *)
+
+include Kernel_fs
+
+let name = "NOVA"
+let create () = Kernel_fs.create Profile.nova

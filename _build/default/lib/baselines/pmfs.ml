@@ -1,0 +1,10 @@
+(** PMFS baseline (Dulloor et al., EuroSys '14): undo-logged persistent
+    memory file system with unsorted linear directories and a serial
+    block allocator — the two traits the paper's evaluation repeatedly
+    surfaces (poor unlink in large directories, flat appendfile beyond
+    four threads). *)
+
+include Kernel_fs
+
+let name = "PMFS"
+let create () = Kernel_fs.create Profile.pmfs

@@ -1,0 +1,125 @@
+(** Per-design cost and structure profile for the kernel file systems.
+
+    The shared {!Kernel_fs} engine implements full POSIX-ish semantics
+    behind a simulated VFS; each baseline is a profile describing the
+    mechanisms that distinguish it in the paper's evaluation:
+
+    - how expensive a directory lookup is (NOVA: volatile radix tree,
+      PMFS: unsorted linear dentry list, EXT4: htree),
+    - how metadata updates are journaled (undo log, per-inode log, JBD2),
+    - whether the block allocator is serial or per-CPU,
+    - whether the data path still traps into the kernel (SplitFS doesn't),
+    - whether appends are staged in user space (SplitFS). *)
+
+type allocator = Serial | Per_cpu
+
+type journal =
+  | Undo_log of { writes_per_op : int }  (** PMFS: log old values first *)
+  | Per_inode_log of { writes_per_op : int }  (** NOVA *)
+  | Jbd2 of { handle_cycles : float; writes_per_op : int }  (** EXT4 *)
+
+type t = {
+  name : string;
+  (* directory lookup cost as NVMM line reads, given directory size *)
+  lookup_reads : int -> int;
+  (* metadata-op structure *)
+  journal : journal;
+  create_cycles : float;
+      (** FS-internal CPU work per create, performed while the VFS holds
+          the parent's inode mutex (inode allocation and initialization,
+          dentry instantiation, security hooks, quota, ...) *)
+  unlink_cycles : float;
+  rename_cycles : float;
+  create_writes : int;  (** NVMM line writes per create beyond the journal *)
+  unlink_writes : int;
+  rename_writes : int;
+  allocator : allocator;
+  alloc_cost : blocks:int -> float;
+      (** CPU work to allocate [blocks] 4-KiB blocks; serial allocators
+          perform it while holding the global allocator lock *)
+  (* data path *)
+  data_syscall : bool;  (** false: user-space data ops (SplitFS) *)
+  staged_appends : int;
+      (** >0: appends staged in user space, one relink syscall per N
+          appends (SplitFS); 0: normal path *)
+  append_meta_writes : int;  (** mapping/index updates per append *)
+  fsync_cycles : float;  (** journal flush / commit work on fsync *)
+}
+
+let nova =
+  {
+    name = "NOVA";
+    (* volatile radix tree over dentry log: O(1) DRAM lookups, one NVMM
+       read to validate the log entry *)
+    lookup_reads = (fun _ -> 1);
+    journal = Per_inode_log { writes_per_op = 2 };
+    create_cycles = 4600.0;
+    unlink_cycles = 3900.0;
+    rename_cycles = 6500.0;
+    create_writes = 2 (* inode init + dentry log append *);
+    unlink_writes = 2;
+    rename_writes = 4 (* lightweight journal for the two pointers *);
+    allocator = Per_cpu;
+    (* per-CPU free lists, but one log entry per allocated extent *)
+    alloc_cost = (fun ~blocks -> 250.0 *. float_of_int (1 + (blocks / 128)));
+    data_syscall = true;
+    staged_appends = 0;
+    append_meta_writes = 2 (* log entry + tail pointer *);
+    fsync_cycles = 300.0 (* data already persistent; log tail check *);
+  }
+
+let pmfs =
+  {
+    name = "PMFS";
+    (* unsorted dentry list: scan half the directory on average, ~32
+       dentries per 4 KiB block *)
+    lookup_reads = (fun n -> 1 + (n / 64));
+    journal = Undo_log { writes_per_op = 4 };
+    create_cycles = 4200.0;
+    unlink_cycles = 3700.0;
+    rename_cycles = 6000.0;
+    create_writes = 3;
+    unlink_writes = 3;
+    rename_writes = 5;
+    allocator = Serial;
+    (* one global bitmap scan per allocation, regardless of size: cheap
+       for bulk requests (high fallocate base) but fully serialized (flat
+       beyond ~4 threads in appendfile, Fig. 7g/7h) *)
+    alloc_cost = (fun ~blocks:_ -> 1900.0);
+    data_syscall = true;
+    staged_appends = 0;
+    append_meta_writes = 3 (* b-tree update under undo log *);
+    fsync_cycles = 250.0;
+  }
+
+let ext4dax =
+  {
+    name = "EXT4-DAX";
+    (* htree: root + leaf probe *)
+    lookup_reads = (fun _ -> 2);
+    journal = Jbd2 { handle_cycles = 900.0; writes_per_op = 4 };
+    create_cycles = 7200.0;
+    unlink_cycles = 6300.0;
+    rename_cycles = 8200.0;
+    create_writes = 4 (* inode bitmap, inode, dir block, group desc *);
+    unlink_writes = 4;
+    rename_writes = 6;
+    allocator = Serial;
+    (* extent tree: one extent covers the whole request *)
+    alloc_cost = (fun ~blocks:_ -> 1600.0);
+    data_syscall = true;
+    staged_appends = 0;
+    append_meta_writes = 3 (* extent tree + inode under JBD2 *);
+    fsync_cycles = 2500.0 (* JBD2 transaction commit *);
+  }
+
+let splitfs =
+  {
+    ext4dax with
+    name = "SplitFS";
+    (* metadata path is EXT4-DAX's; the data path lives in user space *)
+    data_syscall = false;
+    staged_appends = 32 (* one relink syscall per 32 staged appends *);
+    append_meta_writes = 1 (* staging-file tail only *);
+    fsync_cycles = 1200.0 (* relink of the staged region *);
+  }

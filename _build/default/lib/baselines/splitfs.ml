@@ -1,0 +1,9 @@
+(** SplitFS baseline (Kadekodi et al., SOSP '19) in POSIX mode: the data
+    path is served in user space over memory-mapped staging files (no
+    syscall; appends staged and relinked in batches), while every
+    metadata operation goes through EXT4-DAX underneath. *)
+
+include Kernel_fs
+
+let name = "SplitFS"
+let create () = Kernel_fs.create Profile.splitfs

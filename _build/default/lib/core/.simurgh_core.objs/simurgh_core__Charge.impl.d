@@ -1,0 +1,1 @@
+lib/core/charge.ml: Machine Simurgh_sim Vlock

@@ -1,0 +1,1 @@
+lib/core/dirblock.ml: Fentry Name_hash Region Simurgh_nvmm

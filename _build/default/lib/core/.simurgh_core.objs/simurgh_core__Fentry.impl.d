@@ -1,0 +1,1 @@
+lib/core/fentry.ml: Bytes Char Region Simurgh_nvmm String

@@ -1,0 +1,1 @@
+lib/core/fs.ml: Buffer Bytes Charge Dirblock Errno Fentry Inode Layout List Locks Name_hash Openfile Path Printf Region Simurgh_alloc Simurgh_fs_common Simurgh_nvmm Simurgh_sim String Types

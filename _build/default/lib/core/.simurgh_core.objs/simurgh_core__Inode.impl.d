@@ -1,0 +1,1 @@
+lib/core/inode.ml: Region Simurgh_nvmm

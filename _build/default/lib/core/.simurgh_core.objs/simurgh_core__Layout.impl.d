@@ -1,0 +1,1 @@
+lib/core/layout.ml: Fentry Inode Region Simurgh_alloc Simurgh_nvmm

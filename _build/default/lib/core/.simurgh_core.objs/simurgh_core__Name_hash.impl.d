@@ -1,0 +1,1 @@
+lib/core/name_hash.ml: Char Int64 String

@@ -1,0 +1,1 @@
+lib/core/openfile.ml: Array Charge

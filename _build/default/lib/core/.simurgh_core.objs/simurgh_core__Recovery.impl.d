@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Bytes Char Dirblock Fentry Fmt Fs Hashtbl Inode Layout List Name_hash Region Simurgh_alloc Simurgh_nvmm

@@ -1,0 +1,1 @@
+lib/core/secure.ml: Cpu Fault Fs Page_table Privilege Protected Simurgh_fs_common Simurgh_hw Simurgh_nvmm Types

@@ -1,0 +1,203 @@
+(** Directory hash blocks (paper Section 4.3, "Directory blocks" and
+    Fig. 4).
+
+    A directory is a chain of hash blocks linked through a [next] field.
+    A name hashes to one row per block; the row's slots across the chain
+    hold persistent pointers to file entries.  When a row is full in
+    every block, the creating process appends a new hash block to the
+    chain (Fig. 5a).  Chain blocks grow geometrically (each appended
+    block doubles the row count, up to a cap), which keeps every
+    operation logarithmic in the directory size — the paper's "linear
+    hash map" blocks are unspecified in size; geometric growth preserves
+    their O(1)-ish behaviour at millions of entries and is documented as
+    a deviation in DESIGN.md.
+
+    The *first* block of a directory carries a busy flag per row and one
+    log entry used by renames.  Slot updates are single 8-byte stores, so
+    a torn update is impossible; crash recovery relies on the file-entry
+    valid/dirty bits plus the row/log flags (Fig. 5).
+
+    Block layout:
+    {v
+      +0    next pptr u62
+      +8    rows u32, pad u32
+      +16   busy flags, 1 byte per lock row   (64 bytes; first block only)
+      +80   log entry                          (40 bytes; first block only)
+      +120  slots: rows x 8 x 8 bytes
+    v} *)
+
+open Simurgh_nvmm
+
+let first_rows = 64
+let max_rows = 65536
+let slots_per_row = 8
+let header = 120
+
+let size_for_rows rows = header + (rows * slots_per_row * 8)
+
+let f_next b = b
+let f_rows b = b + 8
+let f_busy b row = b + 16 + row
+let f_log b = b + 80
+let f_slot b row s = b + header + (((row * slots_per_row) + s) * 8)
+
+let next r b = Region.read_u62 r (f_next b)
+
+let set_next r b v =
+  Region.write_u62 r (f_next b) v;
+  Region.persist r (f_next b) 8
+
+let rows r b = Region.read_u32 r (f_rows b)
+
+let slot r b row s = Region.read_u62 r (f_slot b row s)
+
+let set_slot r b row s v =
+  Region.write_u62 r (f_slot b row s) v;
+  Region.persist r (f_slot b row s) 8
+
+(* Busy (lock) rows always index the first block's 64 rows. *)
+let lock_row_of_hash h = h mod first_rows
+let lock_row_of_name n = lock_row_of_hash (Name_hash.hash n)
+
+let busy r b row = Region.read_u8 r (f_busy b row) <> 0
+
+let set_busy r b row v =
+  Region.write_u8 r (f_busy b row) (if v then 1 else 0);
+  Region.persist r (f_busy b row) 1
+
+(** Initialize a freshly allocated block of [rows] rows. *)
+let init r b ~rows:nrows =
+  Region.zero r b (size_for_rows nrows);
+  Region.write_u32 r (f_rows b) nrows;
+  Region.persist r b header
+
+(* --- log entry for renames --------------------------------------------- *)
+
+module Log = struct
+  let f_state b = f_log b
+  let f_kind b = f_log b + 1
+  let f_src b = f_log b + 8
+  let f_dst b = f_log b + 16
+  let f_fentry b = f_log b + 24
+  let f_newentry b = f_log b + 32
+
+  let kind_cross_rename = 1
+
+  let pending r b = Region.read_u8 r (f_state b) <> 0
+
+  let write r b ~src ~dst ~fentry ~new_entry =
+    Region.write_u8 r (f_kind b) kind_cross_rename;
+    Region.write_u62 r (f_src b) src;
+    Region.write_u62 r (f_dst b) dst;
+    Region.write_u62 r (f_fentry b) fentry;
+    Region.write_u62 r (f_newentry b) new_entry;
+    Region.persist r (f_log b) 40;
+    (* the state bit is set only once the payload is durable *)
+    Region.write_u8 r (f_state b) 1;
+    Region.persist r (f_state b) 1
+
+  let read r b =
+    ( Region.read_u62 r (f_src b),
+      Region.read_u62 r (f_dst b),
+      Region.read_u62 r (f_fentry b),
+      Region.read_u62 r (f_newentry b) )
+
+  let clear r b =
+    Region.write_u8 r (f_state b) 0;
+    Region.persist r (f_state b) 1
+end
+
+(* --- chain traversal ----------------------------------------------------- *)
+
+(** Iterate the chain starting at [head]: [f depth block]. *)
+let iter_chain r head f =
+  let rec go depth b =
+    if b <> 0 then begin
+      f depth b;
+      go (depth + 1) (next r b)
+    end
+  in
+  go 0 head
+
+let chain_length r head =
+  let n = ref 0 in
+  iter_chain r head (fun _ _ -> incr n);
+  !n
+
+(** Find the file entry named [name]: checks one row per block along the
+    chain.  Returns (block, row, slot, fentry) and the number of blocks
+    visited (for charging). *)
+let find r ~head ~name =
+  let h = Name_hash.hash name in
+  let rec go hops b =
+    if b = 0 then (None, hops)
+    else begin
+      let row = h mod rows r b in
+      let found = ref None in
+      let s = ref 0 in
+      while !found = None && !s < slots_per_row do
+        let p = slot r b row !s in
+        if p <> 0 && Fentry.name_equals r p name then
+          found := Some (b, row, !s, p);
+        incr s
+      done;
+      match !found with
+      | Some _ as x -> (x, hops + 1)
+      | None -> go (hops + 1) (next r b)
+    end
+  in
+  go 0 head
+
+(** Find the first free slot for [hash] along the chain.  Returns
+    ((block, row, slot) option, hops, last_block). *)
+let find_free_slot r ~head ~hash =
+  let rec go hops b last =
+    if b = 0 then (None, hops, last)
+    else begin
+      let row = hash mod rows r b in
+      let free = ref None in
+      let s = ref 0 in
+      while !free = None && !s < slots_per_row do
+        if slot r b row !s = 0 then free := Some (b, row, !s);
+        incr s
+      done;
+      match !free with
+      | Some _ as x -> (x, hops + 1, b)
+      | None -> go (hops + 1) (next r b) b
+    end
+  in
+  go 0 head head
+
+(** Iterate every non-null slot in the chain: [f block row slot fentry]. *)
+let iter_entries r head f =
+  iter_chain r head (fun _ b ->
+      let nrows = rows r b in
+      for row = 0 to nrows - 1 do
+        for s = 0 to slots_per_row - 1 do
+          let p = slot r b row s in
+          if p <> 0 then f b row s p
+        done
+      done)
+
+(** Number of live entries in the chain. *)
+let count_entries r head =
+  let n = ref 0 in
+  iter_entries r head (fun _ _ _ _ -> incr n);
+  !n
+
+(** True when the block has no used slot (candidate for freeing,
+    Fig. 5b step 6). *)
+let block_empty r b =
+  let used = ref false in
+  let nrows = rows r b in
+  (try
+     for row = 0 to nrows - 1 do
+       for s = 0 to slots_per_row - 1 do
+         if slot r b row s <> 0 then begin
+           used := true;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  not !used

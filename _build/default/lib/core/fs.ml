@@ -1,0 +1,1143 @@
+(** The Simurgh file system (paper Section 4).
+
+    Completely decentralized: every operation is performed by the calling
+    process directly against the NVMM region; coordination happens only
+    through persistent flags and shared-DRAM locks.  Create, unlink and
+    rename follow the Fig. 5 state machines step by step, with a labeled
+    crash-hook at every persist point so the test-suite can inject a
+    power failure between any two steps and validate recovery. *)
+
+open Simurgh_nvmm
+open Simurgh_fs_common
+
+type call_mode =
+  | Protected  (** entry via jmpp/pret (the paper's +46-cycle surcharge) *)
+  | Syscall  (** counterfactual: same FS behind a kernel trap (ablation) *)
+  | Plain  (** no entry charge (trusted mode without the kernel module) *)
+
+type t = {
+  layout : Layout.t;
+  region : Region.t;
+  locks : Locks.t;
+  openfiles : Openfile.t;
+  mutable euid : int;
+  mutable egid : int;
+  call_mode : call_mode;
+  relaxed_writes : bool;
+      (** disable the per-file write lock (Fig. 7k "relaxed") *)
+  coarse_dir_locks : bool;
+      (** ablation: one lock per directory instead of per-line busy
+          flags — the "whole-directory lock" counterfactual *)
+  mutable crash_hook : string -> unit;
+  mutable logical_time : int;
+}
+
+type fd = int
+
+let name = "Simurgh"
+
+let hook t label = t.crash_hook label
+
+let now ?ctx t =
+  match ctx with
+  | Some c -> int_of_float (Simurgh_sim.Machine.now c)
+  | None ->
+      t.logical_time <- t.logical_time + 1;
+      t.logical_time
+
+(* --- construction ------------------------------------------------------ *)
+
+let root_perm = 0o755
+
+let make_root layout =
+  let region = layout.Layout.region in
+  let inode =
+    match Simurgh_alloc.Slab_alloc.alloc layout.Layout.inode_slab with
+    | Some i -> i
+    | None -> Errno.raise_ ENOSPC "mkfs: no space for root inode"
+  in
+  Inode.init region inode
+    ~mode:(Inode.mode_of_kind ~perm:root_perm Dir)
+    ~uid:0 ~gid:0 ~now:0;
+  let bs = Simurgh_alloc.Block_alloc.block_size layout.Layout.balloc in
+  let db_blocks =
+    (Dirblock.size_for_rows Dirblock.first_rows + bs - 1) / bs
+  in
+  let dirblock =
+    match Simurgh_alloc.Block_alloc.alloc layout.Layout.balloc db_blocks with
+    | Some b -> b
+    | None -> Errno.raise_ ENOSPC "mkfs: no space for root directory block"
+  in
+  Dirblock.init region dirblock ~rows:Dirblock.first_rows;
+  let fentry =
+    match Simurgh_alloc.Slab_alloc.alloc layout.Layout.fentry_slab with
+    | Some e -> e
+    | None -> Errno.raise_ ENOSPC "mkfs: no space for root file entry"
+  in
+  Fentry.init region fentry ~name:"/" ~dir:true ~symlink:false ~target:inode
+    ~alloc_spill:(fun _ -> assert false);
+  Fentry.set_dirblock region fentry dirblock;
+  Simurgh_alloc.Slab_alloc.commit layout.Layout.inode_slab inode;
+  Simurgh_alloc.Slab_alloc.commit layout.Layout.fentry_slab fentry;
+  Layout.set_root_fentry layout fentry
+
+let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
+    ?(coarse_dir_locks = false) ?(euid = 1000) ?(egid = 1000) layout =
+  {
+    layout;
+    region = layout.Layout.region;
+    locks = Locks.create ();
+    openfiles = Openfile.create ();
+    euid;
+    egid;
+    call_mode;
+    relaxed_writes;
+    coarse_dir_locks;
+    crash_hook = ignore;
+    logical_time = 0;
+  }
+
+(* Shared-DRAM state per region (paper Section 4: concurrent processes
+   are "coordinated through accesses to NVMM and shared DRAM").  Every
+   mount of the same region must share the volatile allocator caches and
+   the lock registry, otherwise two "processes" would hand out the same
+   metadata objects.  The state lives in the region's user slot, so its
+   lifetime is exactly the region's (no global registry to leak). *)
+exception Shared_state of Layout.t * Locks.t
+
+let lookup_shared region =
+  match Region.user_slot region with
+  | Some (Shared_state (layout, locks)) -> Some (layout, locks)
+  | Some _ | None -> None
+
+let register_shared region layout locks =
+  Region.set_user_slot region (Some (Shared_state (layout, locks)))
+
+(** Format a fresh region and return a mounted file system. *)
+let mkfs ?(cores = 10) ?segments ?call_mode ?relaxed_writes ?coarse_dir_locks
+    ?euid ?egid region =
+  let layout = Layout.format ?segments region ~cores in
+  make_root layout;
+  let fs =
+    of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid layout
+  in
+  register_shared region layout fs.locks;
+  fs
+
+(** Attach to an already-formatted region: a second mount of a region
+    joins the existing shared-DRAM state (allocator caches, locks), so
+    independent "processes" cooperate exactly as the paper describes;
+    only the open-file map and the credentials are per-process.  Crash
+    recovery is in {!Recovery}. *)
+let mount ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid region =
+  match lookup_shared region with
+  | Some (layout, locks) ->
+      let fs =
+        of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid
+          layout
+      in
+      { fs with locks }
+  | None ->
+      let layout = Layout.attach region in
+      let fs =
+        of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid
+          layout
+      in
+      register_shared region layout fs.locks;
+      fs
+
+(** Forget the shared state of a region (after a crash, the volatile
+    state is gone by definition; {!Recovery} calls this). *)
+let invalidate_shared region = Region.set_user_slot region None
+
+let unmount t = Layout.set_clean_shutdown t.layout true
+
+let region t = t.region
+let layout t = t.layout
+let locks_of t = t.locks
+let set_crash_hook t f = t.crash_hook <- f
+let set_creds t ~euid ~egid =
+  t.euid <- euid;
+  t.egid <- egid
+
+(* --- charging ----------------------------------------------------------- *)
+
+let cmodel ctx =
+  match ctx with
+  | None -> Simurgh_sim.Cost_model.default
+  | Some c -> Simurgh_sim.Machine.cm c
+
+(* Per externally visible FS call: libc stub plus the entry mechanism. *)
+let entry_charge ?ctx t =
+  let cm = cmodel ctx in
+  let cycles =
+    match t.call_mode with
+    | Protected -> cm.Simurgh_sim.Cost_model.jmpp_pret_cycles
+    | Syscall ->
+        cm.Simurgh_sim.Cost_model.syscall_cycles
+        +. cm.Simurgh_sim.Cost_model.vfs_dispatch_cycles
+    | Plain -> cm.Simurgh_sim.Cost_model.call_cycles
+  in
+  Charge.cpu ?ctx (cycles +. 60.0 (* libc wrapper, argument handling *))
+
+(* --- allocation helpers ------------------------------------------------- *)
+
+let alloc_inode ?ctx t =
+  match Simurgh_alloc.Slab_alloc.alloc ?ctx t.layout.Layout.inode_slab with
+  | Some i -> i
+  | None -> Errno.raise_ ENOSPC "out of inode objects"
+
+let alloc_fentry ?ctx t =
+  match Simurgh_alloc.Slab_alloc.alloc ?ctx t.layout.Layout.fentry_slab with
+  | Some e -> e
+  | None -> Errno.raise_ ENOSPC "out of file-entry objects"
+
+let block_size t = Simurgh_alloc.Block_alloc.block_size t.layout.Layout.balloc
+
+(* Directory hash blocks come straight from the block allocator so chain
+   blocks can grow geometrically (see Dirblock). *)
+let alloc_dirblock ?ctx t ~rows =
+  let bs = block_size t in
+  let blocks = (Dirblock.size_for_rows rows + bs - 1) / bs in
+  match Simurgh_alloc.Block_alloc.alloc ?ctx t.layout.Layout.balloc blocks with
+  | Some b ->
+      Dirblock.init t.region b ~rows;
+      b
+  | None -> Errno.raise_ ENOSPC "out of blocks for directory"
+
+let free_dirblock ?ctx t b =
+  let bs = block_size t in
+  let rows = Dirblock.rows t.region b in
+  let blocks = (Dirblock.size_for_rows rows + bs - 1) / bs in
+  Simurgh_alloc.Block_alloc.free ?ctx t.layout.Layout.balloc ~addr:b blocks
+
+let alloc_spill ?ctx t bytes =
+  let blocks = (bytes + block_size t - 1) / block_size t in
+  match Simurgh_alloc.Block_alloc.alloc ?ctx t.layout.Layout.balloc blocks with
+  | Some a -> a
+  | None -> Errno.raise_ ENOSPC "out of blocks for long name"
+
+(* --- permission checks --------------------------------------------------- *)
+
+let check_perm ?ctx:_ t inode ~want =
+  (* want: 4 read, 2 write, 1 execute/traverse *)
+  if t.euid <> 0 then begin
+    let m = Inode.mode t.region inode land Inode.perm_mask in
+    let bits =
+      if Inode.uid t.region inode = t.euid then (m lsr 6) land 7
+      else if Inode.gid t.region inode = t.egid then (m lsr 3) land 7
+      else m land 7
+    in
+    if bits land want <> want then
+      Errno.raise_ EACCES
+        (Printf.sprintf "need %o, have %o (euid=%d)" want bits t.euid)
+  end
+
+(* --- path resolution ----------------------------------------------------- *)
+
+(* A resolved parent directory: its file entry (whose [dirblock] heads the
+   hash chain) plus that head pointer. *)
+type dirref = { dfentry : int; dhead : int }
+
+let root_dirref t =
+  let fe = Layout.root_fentry t.layout in
+  { dfentry = fe; dhead = Fentry.dirblock t.region fe }
+
+let dir_lookup ?ctx t (d : dirref) comp =
+  let found, hops = Dirblock.find t.region ~head:d.dhead ~name:comp in
+  Charge.read_lines ?ctx (hops + 1);
+  Charge.cpu ?ctx 40.0 (* name hash + compare *);
+  found
+
+let max_symlink_depth = 8
+
+(* Resolve the parent directory of [path]; returns the dirref and the
+   final component name.  Follows symlinks in intermediate components. *)
+let rec resolve_parent ?ctx ?(depth = 0) t path =
+  if depth > max_symlink_depth then Errno.raise_ ELOOP path;
+  let parents, final = Path.split_parent path in
+  let rec walk (stack : dirref list) (d : dirref) = function
+    | [] -> (d, final)
+    | ".." :: rest -> (
+        match stack with
+        | parent :: up -> walk up parent rest
+        | [] -> walk [] d rest (* root/.. = root *))
+    | comp :: rest -> (
+        check_perm t (Fentry.target t.region d.dfentry) ~want:1;
+        match dir_lookup ?ctx t d comp with
+        | None -> Errno.raise_ ENOENT path
+        | Some (_, _, _, fe) ->
+            if Fentry.is_dir t.region fe then
+              walk (d :: stack)
+                { dfentry = fe; dhead = Fentry.dirblock t.region fe }
+                rest
+            else if Fentry.is_symlink t.region fe then begin
+              let target = read_symlink_target t fe in
+              let joined =
+                target ^ "/" ^ String.concat "/" (rest @ [ final ])
+              in
+              resolve_parent ?ctx ~depth:(depth + 1) t joined
+            end
+            else Errno.raise_ ENOTDIR path)
+  in
+  walk [] (root_dirref t) parents
+
+and read_symlink_target t fe =
+  let inode = Fentry.target t.region fe in
+  let len = Inode.size t.region inode in
+  let buf = Buffer.create len in
+  let remaining = ref len in
+  Inode.iter_extents t.region inode (fun addr blocks ->
+      let n = min !remaining (blocks * block_size t) in
+      if n > 0 then begin
+        Buffer.add_bytes buf (Region.read_bytes t.region addr n);
+        remaining := !remaining - n
+      end);
+  Buffer.contents buf
+
+(* Resolve a full path to its file entry; [follow] resolves a final
+   symlink component. *)
+let rec resolve ?ctx ?(follow = true) ?(depth = 0) t path =
+  if depth > max_symlink_depth then Errno.raise_ ELOOP path;
+  if Path.split path = [] then (* the root itself *)
+    (root_dirref t, Layout.root_fentry t.layout)
+  else begin
+    let d, final = resolve_parent ?ctx t path in
+    check_perm t (Fentry.target t.region d.dfentry) ~want:1;
+    match dir_lookup ?ctx t d final with
+    | None -> Errno.raise_ ENOENT path
+    | Some (_, _, _, fe) ->
+        if follow && Fentry.is_symlink t.region fe then
+          resolve ?ctx ~follow ~depth:(depth + 1) t
+            (read_symlink_target t fe)
+        else (d, fe)
+  end
+
+(* --- row locking --------------------------------------------------------- *)
+
+(* Lock a directory row: virtual-time spin lock plus the persistent busy
+   flag in the first hash block (crash detection). *)
+let lock_row ?ctx t (d : dirref) row =
+  let row = if t.coarse_dir_locks then 0 else row in
+  Charge.with_spin ?ctx (Locks.row_lock t.locks ~dir:d.dhead ~row)
+
+let set_row_busy ?ctx t (d : dirref) row v =
+  Dirblock.set_busy t.region d.dhead row v;
+  Charge.write_lines ?ctx 1
+
+(* --- create -------------------------------------------------------------- *)
+
+(* Insert [fentry] into the row of [name] in directory [d], growing the
+   chain when the row is full (Fig. 5a steps 3-5). *)
+let insert_entry ?ctx t (d : dirref) ~name:n fentry =
+  let hash = Name_hash.hash n in
+  let lock_row = Dirblock.lock_row_of_hash hash in
+  let slot_ref, hops, last =
+    Dirblock.find_free_slot t.region ~head:d.dhead ~hash
+  in
+  Charge.read_lines ?ctx (hops + 1);
+  match slot_ref with
+  | Some (blk, row, s) ->
+      hook t "insert:slot";
+      Dirblock.set_slot t.region blk row s fentry;
+      Charge.write_lines ?ctx 1
+  | None ->
+      (* Fig. 5a: set the busy flag of the whole line, create a new hash
+         block, link it, then persist the new entry's pointer. *)
+      set_row_busy ?ctx t d lock_row true;
+      hook t "insert:busy";
+      Charge.with_spin ?ctx (Locks.dir_append_lock t.locks d.dhead)
+        (fun () ->
+          (* re-check under the append lock: another process may have
+             extended the chain meanwhile *)
+          let slot_ref', hops', last' =
+            Dirblock.find_free_slot t.region ~head:last ~hash
+          in
+          Charge.read_lines ?ctx (hops' + 1);
+          match slot_ref' with
+          | Some (blk, row, s) ->
+              Dirblock.set_slot t.region blk row s fentry;
+              Charge.write_lines ?ctx 1
+          | None ->
+              let new_rows =
+                min Dirblock.max_rows (2 * Dirblock.rows t.region last')
+              in
+              let nb = alloc_dirblock ?ctx t ~rows:new_rows in
+              hook t "insert:newblock";
+              Dirblock.set_next t.region last' nb;
+              Charge.write_lines ?ctx 2;
+              hook t "insert:link";
+              Dirblock.set_slot t.region nb (hash mod new_rows) 0 fentry;
+              Charge.write_lines ?ctx 1);
+      hook t "insert:unbusy";
+      set_row_busy ?ctx t d lock_row false
+
+let create_at ?ctx t (d : dirref) ~name:n ~kind ~perm ~target_inode =
+  if String.length n > Fentry.name_max then Errno.raise_ ENAMETOOLONG n;
+  check_perm t (Fentry.target t.region d.dfentry) ~want:3;
+  let row = Dirblock.lock_row_of_name n in
+  lock_row ?ctx t d row (fun () ->
+      (match dir_lookup ?ctx t d n with
+      | Some _ -> Errno.raise_ EEXIST n
+      | None -> ());
+      (* Fig. 5a step 1: inode created and persisted (still dirty) *)
+      let inode =
+        match target_inode with
+        | Some i ->
+            Inode.set_nlink t.region i (Inode.nlink t.region i + 1);
+            Region.persist t.region i 16;
+            i
+        | None ->
+            let i = alloc_inode ?ctx t in
+            Inode.init t.region i
+              ~mode:(Inode.mode_of_kind ~perm kind)
+              ~uid:t.euid ~gid:t.egid ~now:(now ?ctx t);
+            Charge.write_lines ?ctx 2;
+            i
+      in
+      hook t "create:inode";
+      (* step 2: file entry created and linked to the inode *)
+      let fe = alloc_fentry ?ctx t in
+      Fentry.init t.region fe ~name:n
+        ~dir:(kind = Inode.Dir)
+        ~symlink:(kind = Inode.Symlink)
+        ~target:inode
+        ~alloc_spill:(fun b -> alloc_spill ?ctx t b);
+      Charge.write_lines ?ctx 2;
+      hook t "create:fentry";
+      (* directories get their first hash block before becoming visible *)
+      if kind = Inode.Dir then begin
+        let db = alloc_dirblock ?ctx t ~rows:Dirblock.first_rows in
+        Fentry.set_dirblock t.region fe db;
+        Charge.write_lines ?ctx 2
+      end;
+      (* steps 3-5: persist the pointer into the row *)
+      insert_entry ?ctx t d ~name:n fe;
+      hook t "create:slot";
+      (* step 6: unset the dirty bits *)
+      (match target_inode with
+      | Some _ -> ()
+      | None -> Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.inode_slab inode);
+      Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.fentry_slab fe;
+      hook t "create:commit";
+      fe)
+
+let create_file ?ctx t ?(perm = 0o644) path =
+  entry_charge ?ctx t;
+  let d, n = resolve_parent ?ctx t path in
+  ignore (create_at ?ctx t d ~name:n ~kind:Inode.File ~perm ~target_inode:None)
+
+let mkdir ?ctx t ?(perm = 0o755) path =
+  entry_charge ?ctx t;
+  let d, n = resolve_parent ?ctx t path in
+  ignore (create_at ?ctx t d ~name:n ~kind:Inode.Dir ~perm ~target_inode:None)
+
+let symlink ?ctx t ~target path =
+  entry_charge ?ctx t;
+  let d, n = resolve_parent ?ctx t path in
+  let fe =
+    create_at ?ctx t d ~name:n ~kind:Inode.Symlink ~perm:0o777
+      ~target_inode:None
+  in
+  (* store the destination path as the symlink inode's data *)
+  let inode = Fentry.target t.region fe in
+  let len = String.length target in
+  let blocks = (len + block_size t - 1) / block_size t in
+  (match Simurgh_alloc.Block_alloc.alloc ?ctx ~hint:inode t.layout.Layout.balloc (max blocks 1) with
+  | None -> Errno.raise_ ENOSPC "symlink target"
+  | Some addr ->
+      Region.write_string t.region addr target;
+      Region.persist t.region addr len;
+      Inode.write_extent t.region inode 0 ~addr ~blocks:(max blocks 1);
+      Inode.set_size t.region inode len;
+      Region.persist t.region (Inode.f_size inode) 8);
+  Charge.write_lines ?ctx (2 + (len / 64))
+
+let hardlink ?ctx t ~existing path =
+  entry_charge ?ctx t;
+  let _, fe = resolve ?ctx t existing in
+  if Fentry.is_dir t.region fe then Errno.raise_ EISDIR existing;
+  let inode = Fentry.target t.region fe in
+  let d, n = resolve_parent ?ctx t path in
+  ignore
+    (create_at ?ctx t d ~name:n ~kind:Inode.File ~perm:0 ~target_inode:(Some inode))
+
+(* --- data block management ------------------------------------------------ *)
+
+(* Allocate [blocks] (possibly as several extents) and append them to the
+   inode's extent list. *)
+let append_extents ?ctx t inode blocks =
+  let balloc = t.layout.Layout.balloc in
+  let rec alloc_ranges n acc =
+    if n = 0 then acc
+    else
+      match Simurgh_alloc.Block_alloc.alloc ?ctx ~hint:inode balloc n with
+      | Some addr -> (addr, n) :: acc
+      | None ->
+          if n = 1 then Errno.raise_ ENOSPC "out of data blocks"
+          else
+            (* fall back to two half-size requests *)
+            let h = n / 2 in
+            alloc_ranges (n - h) (alloc_ranges h acc)
+  in
+  let ranges = List.rev (alloc_ranges blocks []) in
+  (* stitch into the inode: fill inline slots, then overflow chain *)
+  let region = t.region in
+  List.iter
+    (fun (addr, count) ->
+      let placed = ref false in
+      (* inline slots *)
+      let k = ref 0 in
+      while (not !placed) && !k < Inode.inline_extents do
+        let a, _ = Inode.read_extent region inode !k in
+        if a = 0 then begin
+          Inode.write_extent region inode !k ~addr ~blocks:count;
+          placed := true
+        end;
+        incr k
+      done;
+      if not !placed then begin
+        (* overflow chain: find a free slot or extend *)
+        let rec place b prev =
+          if b = 0 then begin
+            let nb =
+              match
+                Simurgh_alloc.Block_alloc.alloc ?ctx ~hint:inode balloc
+                  ((Inode.overflow_bytes + block_size t - 1) / block_size t)
+              with
+              | Some a -> a
+              | None -> Errno.raise_ ENOSPC "out of extent blocks"
+            in
+            Region.zero region nb Inode.overflow_bytes;
+            Region.persist region nb Inode.overflow_bytes;
+            (match prev with
+            | None ->
+                Region.write_u62 region (Inode.f_overflow inode) nb;
+                Region.persist region (Inode.f_overflow inode) 8
+            | Some p ->
+                Region.write_u62 region (Inode.ov_next p) nb;
+                Region.persist region (Inode.ov_next p) 8);
+            Inode.write_ov_extent region nb 0 ~addr ~blocks:count
+          end
+          else begin
+            let placed_here = ref false in
+            let k = ref 0 in
+            while (not !placed_here) && !k < Inode.overflow_entries do
+              let a, _ = Inode.read_ov_extent region b !k in
+              if a = 0 then begin
+                Inode.write_ov_extent region b !k ~addr ~blocks:count;
+                placed_here := true
+              end;
+              incr k
+            done;
+            if not !placed_here then
+              place (Region.read_u62 region (Inode.ov_next b)) (Some b)
+          end
+        in
+        place (Region.read_u62 region (Inode.f_overflow inode)) None
+      end;
+      Charge.write_lines ?ctx 1)
+    ranges
+
+(* Number of data blocks currently mapped. *)
+let mapped_blocks t inode =
+  let n = ref 0 in
+  Inode.iter_extents t.region inode (fun _ b -> n := !n + b);
+  !n
+
+(* Ensure the file maps at least [bytes] bytes.  Growing files get a
+   64 KiB slack extent so append streams do not pay an allocation per
+   call (and a file's blocks stay clustered, Section 4.2). *)
+let append_slack_blocks = 256
+
+let ensure_capacity ?ctx t inode bytes =
+  let bs = block_size t in
+  let have = mapped_blocks t inode in
+  let needed = ((bytes + bs - 1) / bs) - have in
+  if needed > 0 then
+    append_extents ?ctx t inode
+      (if have > 0 then max needed append_slack_blocks else needed)
+
+(* Translate a file offset into (region addr, contiguous bytes there). *)
+let map_offset t inode pos =
+  let bs = block_size t in
+  let result = ref None in
+  let skip = ref pos in
+  (try
+     Inode.iter_extents t.region inode (fun addr blocks ->
+         let len = blocks * bs in
+         if !skip < len then begin
+           result := Some (addr + !skip, len - !skip);
+           raise Exit
+         end
+         else skip := !skip - len)
+   with Exit -> ());
+  !result
+
+(* Copy [src] into the file at [pos] across extents.  Returns bytes
+   written (always all of them; capacity was ensured). *)
+let write_data ?ctx t inode ~pos src =
+  let len = Bytes.length src in
+  ensure_capacity ?ctx t inode (pos + len);
+  let rec copy off remaining =
+    if remaining > 0 then begin
+      match map_offset t inode (pos + off) with
+      | None -> Errno.raise_ EINVAL "write_data: unmapped offset"
+      | Some (addr, avail) ->
+          let n = min avail remaining in
+          Region.write_bytes t.region addr (Bytes.sub src off n);
+          Region.clwb t.region addr n;
+          copy (off + n) (remaining - n)
+    end
+  in
+  copy 0 len;
+  (* non-temporal stores + sfence, then metadata update (paper: metadata
+     updates occur after the data has been persisted) *)
+  Region.sfence t.region;
+  (* non-temporal stores stream straight from the user buffer to NVMM —
+     no extra kernel copy (the device-rate charge covers the CPU's store
+     stream) *)
+  Charge.nvmm_write ?ctx len;
+  Charge.fence ?ctx ();
+  let old_size = Inode.size t.region inode in
+  if pos + len > old_size then begin
+    Inode.set_size t.region inode (pos + len);
+    Inode.set_mtime t.region inode (now ?ctx t);
+    Region.persist t.region (Inode.f_size inode) 16;
+    Charge.write_lines ?ctx 1
+  end;
+  len
+
+let read_data ?ctx t inode ~pos ~len =
+  let size = Inode.size t.region inode in
+  let len = max 0 (min len (size - pos)) in
+  let out = Bytes.create len in
+  let rec copy off remaining =
+    if remaining > 0 then begin
+      match map_offset t inode (pos + off) with
+      | None -> Errno.raise_ EINVAL "read_data: unmapped offset"
+      | Some (addr, avail) ->
+          let n = min avail remaining in
+          Bytes.blit (Region.read_bytes t.region addr n) 0 out off n;
+          copy (off + n) (remaining - n)
+    end
+  in
+  copy 0 len;
+  Charge.nvmm_read ?ctx len;
+  Charge.memcpy ?ctx len;
+  out
+
+let free_data ?ctx t inode =
+  let balloc = t.layout.Layout.balloc in
+  let extents = ref [] in
+  Inode.iter_extents t.region inode (fun addr blocks ->
+      extents := (addr, blocks) :: !extents);
+  List.iter
+    (fun (addr, blocks) -> Simurgh_alloc.Block_alloc.free ?ctx balloc ~addr blocks)
+    !extents;
+  (* free the overflow chain blocks themselves *)
+  let bs = block_size t in
+  let rec chain b =
+    if b <> 0 then begin
+      let nxt = Region.read_u62 t.region (Inode.ov_next b) in
+      Simurgh_alloc.Block_alloc.free ?ctx balloc ~addr:b
+        ((Inode.overflow_bytes + bs - 1) / bs);
+      chain nxt
+    end
+  in
+  chain (Region.read_u62 t.region (Inode.f_overflow inode))
+
+(* --- unlink / rmdir (Fig. 5b) --------------------------------------------- *)
+
+let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
+  let row = Dirblock.lock_row_of_name n in
+  check_perm t (Fentry.target t.region d.dfentry) ~want:3;
+  (* block frees are deferred past the row critical section: once the
+     slot is zeroed the ranges are unreachable, and freeing them inside
+     the busy window would nest allocator-segment contention under the
+     directory row lock *)
+  let deferred : (int * int) list ref = ref [] in
+  lock_row ?ctx t d row (fun () ->
+      let found, hops = Dirblock.find t.region ~head:d.dhead ~name:n in
+      Charge.read_lines ?ctx (hops + 1);
+      match found with
+      | None -> Errno.raise_ ENOENT n
+      | Some (blk, entry_row, s, fe) ->
+          let is_dir = Fentry.is_dir t.region fe in
+          (match check_dir with
+          | `Must_be_dir when not is_dir -> Errno.raise_ ENOTDIR n
+          | `Must_not_be_dir when is_dir -> Errno.raise_ EISDIR n
+          | _ -> ());
+          let inode = Fentry.target t.region fe in
+          let dirhead = if is_dir then Fentry.dirblock t.region fe else 0 in
+          if is_dir && Dirblock.count_entries t.region dirhead > 0 then
+            Errno.raise_ ENOTEMPTY n;
+          (* Fig. 5b step 1: busy flag for the whole line *)
+          set_row_busy ?ctx t d row true;
+          hook t "unlink:busy";
+          (* step 2: file entry valid unset, dirty set *)
+          Simurgh_alloc.Slab_alloc.begin_free ?ctx t.layout.Layout.fentry_slab fe;
+          hook t "unlink:fentry-dirty";
+          (* step 3: inode zeroed (via its own flag protocol) *)
+          let nlink = Inode.nlink t.region inode in
+          if nlink > 1 then begin
+            Inode.set_nlink t.region inode (nlink - 1);
+            Region.persist t.region inode 16;
+            Charge.write_lines ?ctx 1
+          end
+          else begin
+            let bs = block_size t in
+            (* collect every range now (the inode is zeroed below), free
+               them after the row lock is released *)
+            Inode.iter_extents t.region inode (fun addr blocks ->
+                deferred := (addr, blocks) :: !deferred);
+            let rec ov b =
+              if b <> 0 then begin
+                let nxt = Region.read_u62 t.region (Inode.ov_next b) in
+                deferred :=
+                  (b, (Inode.overflow_bytes + bs - 1) / bs) :: !deferred;
+                ov nxt
+              end
+            in
+            ov (Region.read_u62 t.region (Inode.f_overflow inode));
+            (match Fentry.spill t.region fe with
+            | Some (addr, len) ->
+                deferred := (addr, (len + bs - 1) / bs) :: !deferred
+            | None -> ());
+            if is_dir then begin
+              (* the (empty) hash-block chain *)
+              let rec chain b =
+                if b <> 0 then begin
+                  let nxt = Dirblock.next t.region b in
+                  let rows = Dirblock.rows t.region b in
+                  deferred :=
+                    (b, (Dirblock.size_for_rows rows + bs - 1) / bs)
+                    :: !deferred;
+                  chain nxt
+                end
+              in
+              chain dirhead
+            end;
+            Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.inode_slab inode;
+            Locks.drop_file_lock t.locks inode
+          end;
+          hook t "unlink:inode";
+          (* step 4: file entry zeroed *)
+          Simurgh_alloc.Slab_alloc.finish_free ?ctx t.layout.Layout.fentry_slab fe;
+          hook t "unlink:fentry-zero";
+          (* step 5: slot pointer zeroed *)
+          Dirblock.set_slot t.region blk entry_row s 0;
+          Charge.write_lines ?ctx 1;
+          hook t "unlink:slot";
+          (* step 6 (optional): free an empty non-head hash block *)
+          if blk <> d.dhead && Dirblock.block_empty t.region blk then begin
+            Charge.with_spin ?ctx (Locks.dir_append_lock t.locks d.dhead)
+              (fun () ->
+                (* find predecessor and unlink *)
+                let rec pred p =
+                  if p = 0 then ()
+                  else
+                    let nxt = Dirblock.next t.region p in
+                    if nxt = blk then begin
+                      Dirblock.set_next t.region p (Dirblock.next t.region blk);
+                      free_dirblock ?ctx t blk
+                    end
+                    else pred nxt
+                in
+                pred d.dhead);
+            Charge.write_lines ?ctx 2
+          end;
+          hook t "unlink:done";
+          set_row_busy ?ctx t d row false);
+  List.iter
+    (fun (addr, blocks) ->
+      Simurgh_alloc.Block_alloc.free ?ctx t.layout.Layout.balloc ~addr blocks)
+    !deferred
+
+let unlink ?ctx t path =
+  entry_charge ?ctx t;
+  let d, n = resolve_parent ?ctx t path in
+  remove_entry ?ctx t d ~name:n ~check_dir:`Must_not_be_dir
+
+let rmdir ?ctx t path =
+  entry_charge ?ctx t;
+  let d, n = resolve_parent ?ctx t path in
+  remove_entry ?ctx t d ~name:n ~check_dir:`Must_be_dir
+
+(* --- rename (Fig. 5c / cross-directory) ----------------------------------- *)
+
+(* Same-directory rename, Fig. 5c.  [d] is the directory, [old_n] the
+   existing name, [new_n] the new one. *)
+let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
+  let old_row = Dirblock.lock_row_of_name old_n in
+  let new_row = Dirblock.lock_row_of_name new_n in
+  let lock2 f =
+    if old_row = new_row then lock_row ?ctx t d old_row f
+    else
+      let r1 = min old_row new_row and r2 = max old_row new_row in
+      lock_row ?ctx t d r1 (fun () -> lock_row ?ctx t d r2 f)
+  in
+  lock2 (fun () ->
+      let found, hops = Dirblock.find t.region ~head:d.dhead ~name:old_n in
+      Charge.read_lines ?ctx (hops + 1);
+      match found with
+      | None -> Errno.raise_ ENOENT old_n
+      | Some (oblk, orow, oslot, ofe) ->
+          (* destination exists? POSIX: replace it *)
+          (match Dirblock.find t.region ~head:d.dhead ~name:new_n with
+          | Some _, _ ->
+              remove_entry ?ctx t d ~name:new_n
+                ~check_dir:
+                  (if Fentry.is_dir t.region ofe then `Must_be_dir
+                   else `Must_not_be_dir)
+          | None, h -> Charge.read_lines ?ctx (h + 1));
+          let inode = Fentry.target t.region ofe in
+          (* step 1-2: shadow file entry pointing at the same inode *)
+          let nfe = alloc_fentry ?ctx t in
+          Fentry.init t.region nfe ~name:new_n
+            ~dir:(Fentry.is_dir t.region ofe)
+            ~symlink:(Fentry.is_symlink t.region ofe)
+            ~target:inode
+            ~alloc_spill:(fun b -> alloc_spill ?ctx t b);
+          if Fentry.is_dir t.region ofe then
+            Fentry.set_dirblock t.region nfe (Fentry.dirblock t.region ofe);
+          Charge.write_lines ?ctx 2;
+          hook t "rename:shadow";
+          (* step 3-4: mark the hash block and the old line busy *)
+          Dirblock.Log.write t.region d.dhead ~src:d.dhead ~dst:d.dhead
+            ~fentry:ofe ~new_entry:nfe;
+          set_row_busy ?ctx t d old_row true;
+          Charge.write_lines ?ctx 2;
+          hook t "rename:log";
+          (* step 5: old slot now points to the shadow (hash mismatch) *)
+          Dirblock.set_slot t.region oblk orow oslot nfe;
+          Charge.write_lines ?ctx 1;
+          hook t "rename:swap";
+          (* step 6: the old file entry is no longer needed *)
+          Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.fentry_slab ofe;
+          hook t "rename:oldfree";
+          (* step 7: pointer in the new line *)
+          insert_entry ?ctx t d ~name:new_n nfe;
+          hook t "rename:newslot";
+          (* step 8: remove the mismatched pointer from the old line *)
+          Dirblock.set_slot t.region oblk orow oslot 0;
+          Charge.write_lines ?ctx 1;
+          hook t "rename:oldslot";
+          Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.fentry_slab nfe;
+          set_row_busy ?ctx t d old_row false;
+          Dirblock.Log.clear t.region d.dhead;
+          Charge.write_lines ?ctx 2;
+          hook t "rename:done")
+
+(* Cross-directory rename: one log entry in the source directory marks
+   the transaction (paper Fig. 5 text). *)
+let rename_cross_dir ?ctx t (ds : dirref) ~old_n (dd : dirref) ~new_n =
+  let src_row = Dirblock.lock_row_of_name old_n in
+  let dst_row = Dirblock.lock_row_of_name new_n in
+  (* deterministic lock order on (dir head, row) *)
+  let locks =
+    List.sort compare [ (ds.dhead, src_row, ds); (dd.dhead, dst_row, dd) ]
+  in
+  let rec with_locks ls f =
+    match ls with
+    | [] -> f ()
+    | (_, row, d) :: rest -> lock_row ?ctx t d row (fun () -> with_locks rest f)
+  in
+  with_locks locks (fun () ->
+      let found, hops = Dirblock.find t.region ~head:ds.dhead ~name:old_n in
+      Charge.read_lines ?ctx (hops + 1);
+      match found with
+      | None -> Errno.raise_ ENOENT old_n
+      | Some (oblk, orow, oslot, ofe) ->
+          (match Dirblock.find t.region ~head:dd.dhead ~name:new_n with
+          | Some _, _ ->
+              remove_entry ?ctx t dd ~name:new_n
+                ~check_dir:
+                  (if Fentry.is_dir t.region ofe then `Must_be_dir
+                   else `Must_not_be_dir)
+          | None, h -> Charge.read_lines ?ctx (h + 1));
+          let inode = Fentry.target t.region ofe in
+          (* shadow entry in the destination *)
+          let nfe = alloc_fentry ?ctx t in
+          Fentry.init t.region nfe ~name:new_n
+            ~dir:(Fentry.is_dir t.region ofe)
+            ~symlink:(Fentry.is_symlink t.region ofe)
+            ~target:inode
+            ~alloc_spill:(fun b -> alloc_spill ?ctx t b);
+          if Fentry.is_dir t.region ofe then
+            Fentry.set_dirblock t.region nfe (Fentry.dirblock t.region ofe);
+          Charge.write_lines ?ctx 2;
+          hook t "xrename:shadow";
+          (* step 1-2: the operation recorded in the source log entry *)
+          Dirblock.Log.write t.region ds.dhead ~src:ds.dhead ~dst:dd.dhead
+            ~fentry:ofe ~new_entry:nfe;
+          Charge.write_lines ?ctx 2;
+          hook t "xrename:log";
+          (* step 3: both rows busy *)
+          set_row_busy ?ctx t ds src_row true;
+          set_row_busy ?ctx t dd dst_row true;
+          hook t "xrename:busy";
+          (* step 4: perform — link destination, clear source *)
+          insert_entry ?ctx t dd ~name:new_n nfe;
+          hook t "xrename:dstslot";
+          Dirblock.set_slot t.region oblk orow oslot 0;
+          Charge.write_lines ?ctx 1;
+          hook t "xrename:srcslot";
+          Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.fentry_slab ofe;
+          Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.fentry_slab nfe;
+          hook t "xrename:oldfree";
+          set_row_busy ?ctx t ds src_row false;
+          set_row_busy ?ctx t dd dst_row false;
+          Dirblock.Log.clear t.region ds.dhead;
+          Charge.write_lines ?ctx 2;
+          hook t "xrename:done")
+
+let rename ?ctx t old_path new_path =
+  entry_charge ?ctx t;
+  let ds, old_n = resolve_parent ?ctx t old_path in
+  let dd, new_n = resolve_parent ?ctx t new_path in
+  if ds.dhead = dd.dhead && String.equal old_n new_n then begin
+    (* POSIX: renaming a file to itself succeeds and changes nothing *)
+    match dir_lookup ?ctx t ds old_n with
+    | Some _ -> ()
+    | None -> Errno.raise_ ENOENT old_path
+  end
+  else if ds.dhead = dd.dhead then rename_same_dir ?ctx t ds ~old_n ~new_n
+  else rename_cross_dir ?ctx t ds ~old_n dd ~new_n
+
+(* --- open / close / read / write ------------------------------------------ *)
+
+let stat_of_inode t inode =
+  {
+    Types.kind =
+      (match Inode.kind t.region inode with
+      | Inode.File -> Types.File
+      | Inode.Dir -> Types.Dir
+      | Inode.Symlink -> Types.Symlink);
+    perm = Inode.perm t.region inode;
+    uid = Inode.uid t.region inode;
+    gid = Inode.gid t.region inode;
+    nlink = Inode.nlink t.region inode;
+    size = Inode.size t.region inode;
+    mtime = Inode.mtime t.region inode;
+    ino = inode;
+  }
+
+let stat ?ctx t path =
+  entry_charge ?ctx t;
+  let _, fe = resolve ?ctx t path in
+  Charge.read_lines ?ctx 2;
+  stat_of_inode t (Fentry.target t.region fe)
+
+let exists ?ctx t path =
+  entry_charge ?ctx t;
+  match resolve ?ctx t path with
+  | _ -> true
+  | exception Errno.Err ((ENOENT | ENOTDIR), _) -> false
+
+let openf ?ctx t (flags : Types.open_flags) path =
+  entry_charge ?ctx t;
+  let fe =
+    match resolve ?ctx t path with
+    | _, fe ->
+        if flags.Types.excl && flags.Types.create then Errno.raise_ EEXIST path;
+        fe
+    | exception Errno.Err (ENOENT, _) when flags.Types.create ->
+        let d, n = resolve_parent ?ctx t path in
+        create_at ?ctx t d ~name:n ~kind:Inode.File ~perm:0o644
+          ~target_inode:None
+    | exception e -> raise e
+  in
+  if Fentry.is_dir t.region fe then Errno.raise_ EISDIR path;
+  let inode = Fentry.target t.region fe in
+  if flags.Types.read then check_perm t inode ~want:4;
+  if flags.Types.write then check_perm t inode ~want:2;
+  if flags.Types.trunc && Inode.size t.region inode > 0 then begin
+    free_data ?ctx t inode;
+    let rec clear_inline k =
+      if k < Inode.inline_extents then begin
+        Inode.write_extent t.region inode k ~addr:0 ~blocks:0;
+        clear_inline (k + 1)
+      end
+    in
+    clear_inline 0;
+    Region.write_u62 t.region (Inode.f_overflow inode) 0;
+    Inode.set_size t.region inode 0;
+    Region.persist t.region inode Inode.payload_size;
+    Charge.write_lines ?ctx 2
+  end;
+  let mode =
+    match (flags.Types.read, flags.Types.write) with
+    | true, true -> Openfile.Rdwr
+    | false, true -> Openfile.Wronly
+    | _ -> Openfile.Rdonly
+  in
+  Openfile.alloc ?ctx t.openfiles ~mode ~path ~inode ~append:flags.Types.append
+
+let close ?ctx t fd =
+  entry_charge ?ctx t;
+  if not (Openfile.close ?ctx t.openfiles fd) then
+    Errno.raise_ EBADF (string_of_int fd)
+
+let fd_entry t fd =
+  match Openfile.get t.openfiles fd with
+  | Some e -> e
+  | None -> Errno.raise_ EBADF (string_of_int fd)
+
+let with_write_lock ?ctx t inode f =
+  if t.relaxed_writes then f ()
+  else
+    match ctx with
+    | None -> f ()
+    | Some c ->
+        let l = Locks.file_lock t.locks inode in
+        Simurgh_sim.Vlock.Rw.write_acquire c l;
+        let r = f () in
+        Simurgh_sim.Vlock.Rw.write_release c l;
+        r
+
+let with_read_lock ?ctx t inode f =
+  if t.relaxed_writes then f ()
+  else
+    match ctx with
+    | None -> f ()
+    | Some c ->
+        let l = Locks.file_lock t.locks inode in
+        Simurgh_sim.Vlock.Rw.read_acquire c l;
+        let r = f () in
+        Simurgh_sim.Vlock.Rw.read_release c l;
+        r
+
+let pwrite ?ctx t fd ~pos src =
+  entry_charge ?ctx t;
+  let e = fd_entry t fd in
+  if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
+  with_write_lock ?ctx t e.Openfile.inode (fun () ->
+      write_data ?ctx t e.Openfile.inode ~pos src)
+
+let append ?ctx t fd src =
+  entry_charge ?ctx t;
+  let e = fd_entry t fd in
+  if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
+  with_write_lock ?ctx t e.Openfile.inode (fun () ->
+      let pos = Inode.size t.region e.Openfile.inode in
+      let n = write_data ?ctx t e.Openfile.inode ~pos src in
+      e.Openfile.pos <- pos + n;
+      n)
+
+let pread ?ctx t fd ~pos ~len =
+  entry_charge ?ctx t;
+  let e = fd_entry t fd in
+  if e.Openfile.mode = Openfile.Wronly then Errno.raise_ EBADF "write-only fd";
+  with_read_lock ?ctx t e.Openfile.inode (fun () ->
+      read_data ?ctx t e.Openfile.inode ~pos ~len)
+
+let fallocate ?ctx t fd ~len =
+  entry_charge ?ctx t;
+  let e = fd_entry t fd in
+  with_write_lock ?ctx t e.Openfile.inode (fun () ->
+      ensure_capacity ?ctx t e.Openfile.inode len;
+      let inode = e.Openfile.inode in
+      if Inode.size t.region inode < len then begin
+        Inode.set_size t.region inode len;
+        Region.persist t.region (Inode.f_size inode) 8;
+        Charge.write_lines ?ctx 1
+      end)
+
+(* Simurgh persists synchronously; fsync only needs the entry charge. *)
+let fsync ?ctx t fd =
+  entry_charge ?ctx t;
+  ignore (fd_entry t fd);
+  Charge.fence ?ctx ()
+
+let truncate ?ctx t path len =
+  entry_charge ?ctx t;
+  let _, fe = resolve ?ctx t path in
+  if Fentry.is_dir t.region fe then Errno.raise_ EISDIR path;
+  let inode = Fentry.target t.region fe in
+  check_perm t inode ~want:2;
+  with_write_lock ?ctx t inode (fun () ->
+      let size = Inode.size t.region inode in
+      if len < size then begin
+        (* shrink: simplest correct strategy — free everything beyond a
+           block boundary by rebuilding the extent list *)
+        if len = 0 then begin
+          free_data ?ctx t inode;
+          for k = 0 to Inode.inline_extents - 1 do
+            Inode.write_extent t.region inode k ~addr:0 ~blocks:0
+          done;
+          Region.write_u62 t.region (Inode.f_overflow inode) 0
+        end;
+        Inode.set_size t.region inode len;
+        Region.persist t.region inode Inode.payload_size;
+        Charge.write_lines ?ctx 2
+      end
+      else if len > size then begin
+        ensure_capacity ?ctx t inode len;
+        Inode.set_size t.region inode len;
+        Region.persist t.region (Inode.f_size inode) 8;
+        Charge.write_lines ?ctx 1
+      end)
+
+let readdir ?ctx t path =
+  entry_charge ?ctx t;
+  let _, fe = resolve ?ctx t path in
+  if not (Fentry.is_dir t.region fe) then Errno.raise_ ENOTDIR path;
+  let head = Fentry.dirblock t.region fe in
+  let names = ref [] in
+  let blocks = ref 0 in
+  Dirblock.iter_chain t.region head (fun _ _ -> incr blocks);
+  Dirblock.iter_entries t.region head (fun _ _ _ p ->
+      names := Fentry.name t.region p :: !names);
+  Charge.read_lines ?ctx (!blocks * 8);
+  List.rev !names
+
+let readlink ?ctx t path =
+  entry_charge ?ctx t;
+  let _, fe = resolve ?ctx ~follow:false t path in
+  if not (Fentry.is_symlink t.region fe) then Errno.raise_ EINVAL path;
+  Charge.read_lines ?ctx 2;
+  read_symlink_target t fe
+
+(** File-system statistics (statfs): capacity and usage of the block
+    space and the metadata object pools. *)
+type fsstat = {
+  block_size : int;
+  total_blocks : int;
+  free_blocks : int;
+  live_inodes : int;
+  live_fentries : int;
+}
+
+let statfs ?ctx t =
+  entry_charge ?ctx t;
+  let balloc = t.layout.Layout.balloc in
+  {
+    block_size = Simurgh_alloc.Block_alloc.block_size balloc;
+    total_blocks = Simurgh_alloc.Block_alloc.total_blocks balloc;
+    free_blocks = Simurgh_alloc.Block_alloc.free_blocks balloc;
+    live_inodes =
+      Simurgh_alloc.Slab_alloc.live_objects t.layout.Layout.inode_slab;
+    live_fentries =
+      Simurgh_alloc.Slab_alloc.live_objects t.layout.Layout.fentry_slab;
+  }
+
+let chmod ?ctx t path perm =
+  entry_charge ?ctx t;
+  let _, fe = resolve ?ctx t path in
+  let inode = Fentry.target t.region fe in
+  if t.euid <> 0 && Inode.uid t.region inode <> t.euid then
+    Errno.raise_ EACCES path;
+  let m = Inode.mode t.region inode in
+  Inode.set_mode t.region inode
+    ((m land lnot Inode.perm_mask) lor (perm land Inode.perm_mask));
+  Region.persist t.region inode 8;
+  Charge.write_lines ?ctx 1
+
+let utimes ?ctx t path mtime =
+  entry_charge ?ctx t;
+  let _, fe = resolve ?ctx t path in
+  let inode = Fentry.target t.region fe in
+  Inode.set_mtime t.region inode mtime;
+  Region.persist t.region (Inode.f_mtime inode) 8;
+  Charge.write_lines ?ctx 1

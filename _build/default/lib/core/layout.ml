@@ -1,0 +1,108 @@
+(** On-region layout: superblock and the placement of the allocators
+    (paper Fig. 3).
+
+    {v
+      0        superblock (4 KiB)
+      4096     block-allocator header
+      ...      slab headers (inode / file-entry / directory-block)
+      data     managed block space up to the end of the region
+    v} *)
+
+open Simurgh_nvmm
+
+let magic = 0x51309 (* "SIMURGH" would not fit a u32 tag; this does *)
+let version = 1
+let superblock_size = 4096
+let block_size = 256
+let segments_per_core = 2
+
+(* superblock fields *)
+let f_magic = 0
+let f_version = 4
+let f_clean = 8 (* clean shutdown marker *)
+let f_region_size = 16
+let f_root_fentry = 24 (* pptr to the root directory's file entry *)
+let f_balloc = 32 (* offset of the block-allocator header *)
+let f_inode_slab = 40
+let f_fentry_slab = 48
+
+type t = {
+  region : Region.t;
+  balloc : Simurgh_alloc.Block_alloc.t;
+  inode_slab : Simurgh_alloc.Slab_alloc.t;
+  fentry_slab : Simurgh_alloc.Slab_alloc.t;
+}
+
+let root_fentry t = Region.read_u62 t.region f_root_fentry
+let set_root_fentry t p =
+  Region.write_u62 t.region f_root_fentry p;
+  Region.persist t.region f_root_fentry 8
+
+let clean_shutdown t = Region.read_u8 t.region f_clean <> 0
+
+let set_clean_shutdown t v =
+  Region.write_u8 t.region f_clean (if v then 1 else 0);
+  Region.persist t.region f_clean 1
+
+let format ?segments region ~cores =
+  let size = Region.size region in
+  if size < 1 lsl 20 then invalid_arg "Layout.format: region too small";
+  Region.write_u32 region f_magic magic;
+  Region.write_u32 region f_version version;
+  Region.write_u62 region f_region_size size;
+  Region.write_u62 region f_root_fentry 0;
+  let segments =
+    match segments with
+    | Some s -> max 1 s
+    | None -> max 2 (segments_per_core * cores)
+  in
+  let balloc_off = superblock_size in
+  let balloc_hdr = Simurgh_alloc.Block_alloc.header_size ~segments in
+  let inode_slab_off = balloc_off + balloc_hdr in
+  let fentry_slab_off = inode_slab_off + Simurgh_alloc.Slab_alloc.header_size in
+  let data_base =
+    (* align managed space to the block size *)
+    let b = fentry_slab_off + Simurgh_alloc.Slab_alloc.header_size in
+    (b + block_size - 1) / block_size * block_size
+  in
+  let blocks = (size - data_base) / block_size in
+  Region.write_u62 region f_balloc balloc_off;
+  Region.write_u62 region f_inode_slab inode_slab_off;
+  Region.write_u62 region f_fentry_slab fentry_slab_off;
+  let balloc =
+    Simurgh_alloc.Block_alloc.format region ~off:balloc_off ~base:data_base
+      ~blocks ~block_size ~segments
+  in
+  let inode_slab =
+    Simurgh_alloc.Slab_alloc.format region ~off:inode_slab_off
+      ~obj_size:Inode.payload_size ~block_alloc:balloc ~objs_per_seg:256
+  in
+  let fentry_slab =
+    Simurgh_alloc.Slab_alloc.format region ~off:fentry_slab_off
+      ~obj_size:Fentry.payload_size ~block_alloc:balloc ~objs_per_seg:256
+  in
+  Region.write_u8 region f_clean 1;
+  Region.persist region 0 superblock_size;
+  { region; balloc; inode_slab; fentry_slab }
+
+let attach region =
+  if Region.read_u32 region f_magic <> magic then
+    invalid_arg "Layout.attach: not a Simurgh region";
+  if Region.read_u32 region f_version <> version then
+    invalid_arg "Layout.attach: version mismatch";
+  let balloc_off = Region.read_u62 region f_balloc in
+  let balloc = Simurgh_alloc.Block_alloc.attach region ~off:balloc_off in
+  let slab off =
+    Simurgh_alloc.Slab_alloc.attach region ~off ~block_alloc:balloc
+  in
+  let t =
+    {
+      region;
+      balloc;
+      inode_slab = slab (Region.read_u62 region f_inode_slab);
+      fentry_slab = slab (Region.read_u62 region f_fentry_slab);
+    }
+  in
+  Simurgh_alloc.Slab_alloc.rebuild_cache t.inode_slab;
+  Simurgh_alloc.Slab_alloc.rebuild_cache t.fentry_slab;
+  t

@@ -1,0 +1,59 @@
+(** Volatile (shared-DRAM) lock registries.
+
+    The persistent busy flags in directory blocks provide crash
+    detection; the virtual-time spin locks here provide the mutual
+    exclusion and the contention accounting.  Per-file read/write locks
+    implement the paper's "read/write lock per file ... exclusive writes
+    while allowing concurrent reads", with a relaxed mode that disables
+    them (Fig. 7k "relaxed"). *)
+
+open Simurgh_sim
+
+type t = {
+  row_locks : (int * int, Vlock.Spin.t) Hashtbl.t;
+      (** (first dir block, row) -> spin lock *)
+  file_locks : (int, Vlock.Rw.t) Hashtbl.t;  (** inode pptr -> rwlock *)
+  dir_append_locks : (int, Vlock.Spin.t) Hashtbl.t;
+      (** first dir block -> chain-extension lock *)
+}
+
+let create () =
+  {
+    row_locks = Hashtbl.create 256;
+    file_locks = Hashtbl.create 256;
+    dir_append_locks = Hashtbl.create 64;
+  }
+
+let clear t =
+  Hashtbl.reset t.row_locks;
+  Hashtbl.reset t.file_locks;
+  Hashtbl.reset t.dir_append_locks
+
+let row_lock t ~dir ~row =
+  match Hashtbl.find_opt t.row_locks (dir, row) with
+  | Some l -> l
+  | None ->
+      let l = Vlock.Spin.create ~site:"dir-row" () in
+      Hashtbl.replace t.row_locks (dir, row) l;
+      l
+
+let file_lock t inode =
+  match Hashtbl.find_opt t.file_locks inode with
+  | Some l -> l
+  | None ->
+      (* striped readers: Simurgh keeps per-core reader indicators in
+         shared DRAM, so concurrent readers of one file do not serialize
+         on a counter line *)
+      let l = Vlock.Rw.create ~striped:true () in
+      Hashtbl.replace t.file_locks inode l;
+      l
+
+let dir_append_lock t dir =
+  match Hashtbl.find_opt t.dir_append_locks dir with
+  | Some l -> l
+  | None ->
+      let l = Vlock.Spin.create ~site:"dir-append" () in
+      Hashtbl.replace t.dir_append_locks dir l;
+      l
+
+let drop_file_lock t inode = Hashtbl.remove t.file_locks inode

@@ -1,0 +1,19 @@
+(** FNV-1a hash for directory entry names.  Deterministic across runs so
+    persistent directory rows survive remounts. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash64 (s : string) =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+(** Non-negative 62-bit hash. *)
+let hash s = Int64.to_int (Int64.shift_right_logical (hash64 s) 2)
+
+let row s ~rows = hash s mod rows

@@ -1,0 +1,372 @@
+(** Crash recovery (paper Sections 4.3 "Crash recovery" and 5.5).
+
+    Full-system recovery is a mark-and-sweep pass:
+
+    1. {b Resolve}: while traversing, every directory first-block with a
+       pending log entry (an interrupted intra- or cross-directory
+       rename) is rolled forward if the shadow entry became reachable,
+       rolled back otherwise.
+    2. {b Mark}: traverse the metadata graph from the root, repairing as
+       it goes — slots that point to non-live file entries are completed
+       deletions (Fig. 5b: "the next process accessing the same line
+       identifies a null pointer and completes the remaining steps"), and
+       entries linked in a row that does not match their name hash are
+       interrupted renames whose remaining steps are executed.
+    3. {b Sweep}: reclaim every allocated-but-unreachable metadata object
+       and rebuild the block allocator's free lists from the blocks
+       referenced by reachable inodes, directory chains and slab
+       segments (unreachable directory blocks and extents are implicitly
+       reclaimed).
+
+    The row-repair logic doubles as the runtime (process-crash) recovery
+    path: {!repair_directory} fixes one directory without a global
+    scan. *)
+
+open Simurgh_nvmm
+module Slab = Simurgh_alloc.Slab_alloc
+module Balloc = Simurgh_alloc.Block_alloc
+
+type report = {
+  files : int;
+  dirs : int;
+  symlinks : int;
+  completed_deletes : int;
+  completed_renames : int;
+  rolled_back_renames : int;
+  reclaimed_inodes : int;
+  reclaimed_fentries : int;
+  cleared_busy_flags : int;
+  used_blocks : int;
+  free_blocks : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "files=%d dirs=%d symlinks=%d completed_deletes=%d completed_renames=%d \
+     rolled_back=%d reclaimed(inodes=%d fentries=%d) busy_cleared=%d \
+     blocks(used=%d free=%d)"
+    r.files r.dirs r.symlinks r.completed_deletes r.completed_renames
+    r.rolled_back_renames r.reclaimed_inodes r.reclaimed_fentries
+    r.cleared_busy_flags r.used_blocks r.free_blocks
+
+(* --- helpers ----------------------------------------------------------- *)
+
+(* Does any slot in the chain starting at [head] point to [target]? *)
+let find_pointer region ~head ~target =
+  let found = ref None in
+  (try
+     Dirblock.iter_entries region head (fun b row s p ->
+         if p = target then begin
+           found := Some (b, row, s);
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+(* Insert [p] into the row matching its name hash; used when completing
+   an interrupted rename.  The caller guarantees [p] is a live or
+   committable file entry. *)
+let relink region ~head p =
+  let name = Fentry.name region p in
+  match Dirblock.find region ~head ~name with
+  | Some _, _ -> () (* already correctly linked *)
+  | None, _ -> (
+      let hash = Name_hash.hash name in
+      let slot_ref, _, _ = Dirblock.find_free_slot region ~head ~hash in
+      match slot_ref with
+      | Some (b, row, s) -> Dirblock.set_slot region b row s p
+      | None -> () (* cannot happen right after removing the stale link *))
+
+(* --- pending rename logs ------------------------------------------------ *)
+
+(* Returns [`Forward] or [`Back]. *)
+let resolve_log layout b =
+  let region = layout.Layout.region in
+  let src, dst, ofe, nfe = Dirblock.Log.read region b in
+  let fentry_slab = layout.Layout.fentry_slab in
+  let shadow_linked =
+    match find_pointer region ~head:dst ~target:nfe with
+    | Some _ -> true
+    | None ->
+        src <> dst
+        && find_pointer region ~head:src ~target:nfe <> None
+  in
+  let nfe_flags = Slab.obj_flags fentry_slab nfe in
+  let outcome =
+    if shadow_linked && nfe_flags <> 0 then begin
+      (* roll forward *)
+      (* drop any stale link of the shadow in a mismatched row *)
+      (match find_pointer region ~head:dst ~target:nfe with
+      | Some (blk, row, s) ->
+          let want =
+            Name_hash.hash (Fentry.name region nfe)
+            mod Dirblock.rows region blk
+          in
+          if row <> want then begin
+            Dirblock.set_slot region blk row s 0;
+            relink region ~head:dst nfe
+          end
+      | None -> ());
+      (* remove the old entry's remaining link in the source *)
+      (match find_pointer region ~head:src ~target:ofe with
+      | Some (blk, row, s) -> Dirblock.set_slot region blk row s 0
+      | None -> ());
+      if Slab.obj_flags fentry_slab ofe <> 0 then begin
+        if not (Slab.is_live fentry_slab ofe) then
+          Slab.mark_dirty fentry_slab ofe;
+        Slab.free fentry_slab ofe
+      end;
+      if Slab.is_unprocessed fentry_slab nfe then Slab.commit fentry_slab nfe;
+      `Forward
+    end
+    else begin
+      (* roll back: the shadow never became visible *)
+      (match find_pointer region ~head:src ~target:nfe with
+      | Some (blk, row, s) -> Dirblock.set_slot region blk row s 0
+      | None -> ());
+      if nfe_flags <> 0 then begin
+        if not (Slab.is_live fentry_slab nfe) then
+          Slab.mark_dirty fentry_slab nfe;
+        Slab.free fentry_slab nfe
+      end;
+      `Back
+    end
+  in
+  Dirblock.Log.clear region b;
+  outcome
+
+(* --- full-system recovery ------------------------------------------------ *)
+
+let run region =
+  (* a crash wipes shared DRAM: discard any cached volatile state *)
+  Fs.invalidate_shared region;
+  let layout = Layout.attach region in
+  let r = region in
+  let inode_slab = layout.Layout.inode_slab in
+  let fentry_slab = layout.Layout.fentry_slab in
+  let balloc = layout.Layout.balloc in
+
+  let completed_renames = ref 0 in
+  let rolled_back = ref 0 in
+  let completed_deletes = ref 0 in
+  let cleared_busy = ref 0 in
+
+  let reach_inode = Hashtbl.create 1024 in
+  let reach_fentry = Hashtbl.create 1024 in
+  let reach_dirhead = Hashtbl.create 256 in
+  let files = ref 0 and dirs = ref 0 and symlinks = ref 0 in
+
+  (* Pass 1: resolve every pending rename log BEFORE any row repair.  A
+     crashed cross-directory rename leaves its shadow entry dirty in the
+     destination; were the destination repaired first, the shadow would
+     be mistaken for an interrupted delete and the file lost.  The log
+     in the source directory disambiguates, so logs must win. *)
+  let log_seen = Hashtbl.create 64 in
+  let rec resolve_logs head =
+    if head <> 0 && not (Hashtbl.mem log_seen head) then begin
+      Hashtbl.replace log_seen head ();
+      if Dirblock.Log.pending r head then begin
+        match resolve_log layout head with
+        | `Forward -> incr completed_renames
+        | `Back -> incr rolled_back
+      end;
+      Dirblock.iter_entries r head (fun _ _ _ p ->
+          if Slab.obj_flags fentry_slab p <> 0 && Fentry.is_dir r p then
+            resolve_logs (Fentry.dirblock r p))
+    end
+  in
+
+  (* Pass 2: mark + repair. *)
+  let rec mark_dir head =
+    if head <> 0 && not (Hashtbl.mem reach_dirhead head) then begin
+      Hashtbl.replace reach_dirhead head ();
+      (* clear busy flags left behind by crashed lock holders *)
+      for row = 0 to Dirblock.first_rows - 1 do
+        if Dirblock.busy r head row then begin
+          Dirblock.set_busy r head row false;
+          incr cleared_busy
+        end
+      done;
+      (* visit and repair entries *)
+      let moves = ref [] in
+      Dirblock.iter_entries r head (fun b row s p ->
+          if not (Slab.is_live fentry_slab p) then begin
+            (* interrupted delete: complete it (zero the pointer) *)
+            Dirblock.set_slot r b row s 0;
+            incr completed_deletes
+          end
+          else begin
+            let name = Fentry.name r p in
+            let want_row = Name_hash.hash name mod Dirblock.rows r b in
+            if want_row <> row then
+              (* interrupted same-directory rename after the swap: finish
+                 steps 7-8 of Fig. 5c *)
+              moves := (b, row, s, p) :: !moves
+            else begin
+              Hashtbl.replace reach_fentry p ();
+              let inode = Fentry.target r p in
+              Hashtbl.replace reach_inode inode ();
+              if Fentry.is_dir r p then begin
+                incr dirs;
+                mark_dir (Fentry.dirblock r p)
+              end
+              else if Fentry.is_symlink r p then incr symlinks
+              else incr files
+            end
+          end);
+      List.iter
+        (fun (b, row, s, p) ->
+          Dirblock.set_slot r b row s 0;
+          relink r ~head p;
+          if Slab.is_unprocessed fentry_slab p then Slab.commit fentry_slab p;
+          Hashtbl.replace reach_fentry p ();
+          Hashtbl.replace reach_inode (Fentry.target r p) ();
+          incr completed_renames;
+          if Fentry.is_dir r p then mark_dir (Fentry.dirblock r p))
+        !moves
+    end
+  in
+  let root = Layout.root_fentry layout in
+  Hashtbl.replace reach_fentry root ();
+  Hashtbl.replace reach_inode (Fentry.target r root) ();
+  resolve_logs (Fentry.dirblock r root);
+  mark_dir (Fentry.dirblock r root);
+
+  (* Sweep metadata objects. *)
+  let reclaimed_inodes = ref 0 in
+  let reclaimed_fentries = ref 0 in
+  let sweep slab reach counter =
+    let to_free = ref [] in
+    Slab.iter_objects slab (fun p flags ->
+        if flags <> 0 && not (Hashtbl.mem reach p) then to_free := p :: !to_free);
+    List.iter
+      (fun p ->
+        if not (Slab.is_live slab p) then Slab.mark_dirty slab p;
+        Slab.free slab p;
+        incr counter)
+      !to_free
+  in
+  sweep fentry_slab reach_fentry reclaimed_fentries;
+  sweep inode_slab reach_inode reclaimed_inodes;
+
+  (* Rebuild the block allocator from reachable references.  A bitmap
+     keeps the sweep linear even for millions of blocks. *)
+  let bs = Balloc.block_size balloc in
+  let nblocks = Balloc.total_blocks balloc in
+  let used = Bytes.make ((nblocks + 7) / 8) '\000' in
+  let used_count = ref 0 in
+  let set_used b =
+    let byte = b lsr 3 and bit = b land 7 in
+    let v = Char.code (Bytes.get used byte) in
+    if v land (1 lsl bit) = 0 then begin
+      Bytes.set used byte (Char.chr (v lor (1 lsl bit)));
+      incr used_count
+    end
+  in
+  let is_used b =
+    Char.code (Bytes.get used (b lsr 3)) land (1 lsl (b land 7)) <> 0
+  in
+  let mark_range addr bytes =
+    let first = (addr - Balloc.base balloc) / bs in
+    let last = (addr + bytes - 1 - Balloc.base balloc) / bs in
+    for b = first to last do
+      set_used b
+    done
+  in
+  let mark_slab slab =
+    Slab.iter_segments slab (fun seg ->
+        mark_range seg (Slab.blocks_per_segment slab * bs))
+  in
+  mark_slab inode_slab;
+  mark_slab fentry_slab;
+  (* directory hash-block chains *)
+  Hashtbl.iter
+    (fun head () ->
+      Dirblock.iter_chain r head (fun _ b ->
+          mark_range b (Dirblock.size_for_rows (Dirblock.rows r b))))
+    reach_dirhead;
+  (* file extents + extent overflow chains *)
+  Hashtbl.iter
+    (fun inode () ->
+      Inode.iter_extents r inode (fun addr blocks -> mark_range addr (blocks * bs));
+      let rec ov b =
+        if b <> 0 then begin
+          mark_range b Inode.overflow_bytes;
+          ov (Region.read_u62 r (Inode.ov_next b))
+        end
+      in
+      ov (Region.read_u62 r (Inode.f_overflow inode)))
+    reach_inode;
+  (* long-name spill blocks *)
+  Hashtbl.iter
+    (fun fe () ->
+      match Fentry.spill r fe with
+      | Some (addr, len) -> mark_range addr len
+      | None -> ())
+    reach_fentry;
+  Balloc.rebuild_free_lists balloc ~in_use:is_used;
+
+  (* Volatile caches reflect the repaired truth. *)
+  Slab.rebuild_cache inode_slab;
+  Slab.rebuild_cache fentry_slab;
+  Layout.set_clean_shutdown layout true;
+
+  ( layout,
+    {
+      files = !files;
+      dirs = !dirs;
+      symlinks = !symlinks;
+      completed_deletes = !completed_deletes;
+      completed_renames = !completed_renames;
+      rolled_back_renames = !rolled_back;
+      reclaimed_inodes = !reclaimed_inodes;
+      reclaimed_fentries = !reclaimed_fentries;
+      cleared_busy_flags = !cleared_busy;
+      used_blocks = !used_count;
+      free_blocks = Balloc.free_blocks balloc;
+    } )
+
+(** Recover and mount in one step. *)
+let mount_after_crash ?call_mode ?relaxed_writes ?euid ?egid region =
+  let layout, report = run region in
+  let fs = Fs.of_layout ?call_mode ?relaxed_writes ?euid ?egid layout in
+  Fs.register_shared region layout (Fs.locks_of fs);
+  (fs, report)
+
+(** Runtime (process-crash) recovery for a single directory: repair its
+    rows and clear its busy flags without a global scan.  Returns the
+    number of repairs performed. *)
+let repair_directory fs dirpath =
+  let region = Fs.region fs in
+  let layout = Fs.layout fs in
+  let _, fe = Fs.resolve fs dirpath in
+  let head = Fentry.dirblock region fe in
+  let repaired = ref 0 in
+  if Dirblock.Log.pending region head then begin
+    ignore (resolve_log layout head);
+    incr repaired
+  end;
+  let moves = ref [] in
+  Dirblock.iter_entries region head (fun b row s p ->
+      if not (Slab.is_live layout.Layout.fentry_slab p) then begin
+        Dirblock.set_slot region b row s 0;
+        incr repaired
+      end
+      else begin
+        let want =
+          Name_hash.hash (Fentry.name region p) mod Dirblock.rows region b
+        in
+        if want <> row then moves := (b, row, s, p) :: !moves
+      end);
+  List.iter
+    (fun (b, row, s, p) ->
+      Dirblock.set_slot region b row s 0;
+      relink region ~head p;
+      if Slab.is_unprocessed layout.Layout.fentry_slab p then
+        Slab.commit layout.Layout.fentry_slab p;
+      incr repaired)
+    !moves;
+  for row = 0 to Dirblock.first_rows - 1 do
+    if Dirblock.busy region head row then Dirblock.set_busy region head row false
+  done;
+  !repaired

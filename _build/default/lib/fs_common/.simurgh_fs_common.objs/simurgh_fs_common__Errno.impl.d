@@ -1,0 +1,1 @@
+lib/fs_common/errno.ml: Fmt Printexc Printf

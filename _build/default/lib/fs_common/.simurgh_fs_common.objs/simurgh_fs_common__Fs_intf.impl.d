@@ -1,0 +1,1 @@
+lib/fs_common/fs_intf.ml: Simurgh_sim Types

@@ -1,0 +1,1 @@
+lib/fs_common/path.ml: Errno List Printf String

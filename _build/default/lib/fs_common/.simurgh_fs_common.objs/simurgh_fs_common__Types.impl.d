@@ -1,0 +1,1 @@
+lib/fs_common/types.ml: Fmt

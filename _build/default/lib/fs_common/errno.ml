@@ -1,0 +1,40 @@
+(** POSIX-style error codes shared by every file-system implementation. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | EACCES
+  | ENOSPC
+  | EBADF
+  | ENOTEMPTY
+  | ENAMETOOLONG
+  | EINVAL
+  | ELOOP
+  | EROFS
+
+exception Err of t * string
+
+let raise_ e msg = raise (Err (e, msg))
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EACCES -> "EACCES"
+  | ENOSPC -> "ENOSPC"
+  | EBADF -> "EBADF"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EINVAL -> "EINVAL"
+  | ELOOP -> "ELOOP"
+  | EROFS -> "EROFS"
+
+let pp ppf e = Fmt.string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Err (e, msg) -> Some (Printf.sprintf "Errno.Err(%s, %S)" (to_string e) msg)
+    | _ -> None)

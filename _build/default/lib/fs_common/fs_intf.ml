@@ -1,0 +1,39 @@
+(** Common file-system interface implemented by Simurgh and every
+    baseline, so the benchmark harness, the LSM key-value store and the
+    workload generators are implementation-agnostic.
+
+    All operations take an optional virtual-time context; without one
+    only the data-structure work is performed (unit tests). *)
+
+type ctx = Simurgh_sim.Machine.ctx
+
+module type S = sig
+  type t
+  type fd
+
+  val name : string
+
+  val create_file : ?ctx:ctx -> t -> ?perm:int -> string -> unit
+  (** Create an empty regular file.  Raises [Errno.Err EEXIST]. *)
+
+  val mkdir : ?ctx:ctx -> t -> ?perm:int -> string -> unit
+  val unlink : ?ctx:ctx -> t -> string -> unit
+  val rmdir : ?ctx:ctx -> t -> string -> unit
+  val rename : ?ctx:ctx -> t -> string -> string -> unit
+  val stat : ?ctx:ctx -> t -> string -> Types.stat
+  val openf : ?ctx:ctx -> t -> Types.open_flags -> string -> fd
+  val close : ?ctx:ctx -> t -> fd -> unit
+  val pread : ?ctx:ctx -> t -> fd -> pos:int -> len:int -> bytes
+  val pwrite : ?ctx:ctx -> t -> fd -> pos:int -> bytes -> int
+  val append : ?ctx:ctx -> t -> fd -> bytes -> int
+  val fallocate : ?ctx:ctx -> t -> fd -> len:int -> unit
+  val fsync : ?ctx:ctx -> t -> fd -> unit
+  val readdir : ?ctx:ctx -> t -> string -> string list
+  val symlink : ?ctx:ctx -> t -> target:string -> string -> unit
+  val readlink : ?ctx:ctx -> t -> string -> string
+  val hardlink : ?ctx:ctx -> t -> existing:string -> string -> unit
+  val truncate : ?ctx:ctx -> t -> string -> int -> unit
+  val exists : ?ctx:ctx -> t -> string -> bool
+  val chmod : ?ctx:ctx -> t -> string -> int -> unit
+  val utimes : ?ctx:ctx -> t -> string -> int -> unit
+end

@@ -1,0 +1,22 @@
+(** Path parsing shared by all implementations.  Paths are
+    absolute-style strings; empty components and ["."] are dropped,
+    [".."] is kept for the resolver to interpret. *)
+
+let split p =
+  String.split_on_char '/' p
+  |> List.filter (fun c -> c <> "" && c <> ".")
+
+(** Split into (parent components, final name).  Raises [EINVAL] when the
+    path has no final component (e.g. "/"). *)
+let split_parent p =
+  match List.rev (split p) with
+  | [] -> Errno.raise_ EINVAL (Printf.sprintf "path %S has no final component" p)
+  | name :: rev_parents -> (List.rev rev_parents, name)
+
+let basename p = snd (split_parent p)
+
+let dirname p =
+  let parents, _ = split_parent p in
+  "/" ^ String.concat "/" parents
+
+let concat dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name

@@ -1,0 +1,34 @@
+(** Shared value types for the file-system interface. *)
+
+type kind = File | Dir | Symlink
+
+type stat = {
+  kind : kind;
+  perm : int;
+  uid : int;
+  gid : int;
+  nlink : int;
+  size : int;
+  mtime : int;
+  ino : int;  (** implementation-specific identity (Simurgh: pptr) *)
+}
+
+type open_flags = {
+  read : bool;
+  write : bool;
+  create : bool;
+  excl : bool;
+  trunc : bool;
+  append : bool;
+}
+
+let rdonly = { read = true; write = false; create = false; excl = false; trunc = false; append = false }
+let wronly = { read = false; write = true; create = false; excl = false; trunc = false; append = false }
+let rdwr = { read = true; write = true; create = false; excl = false; trunc = false; append = false }
+let creat f = { f with create = true; write = true }
+let appendf = { wronly with create = true; append = true }
+
+let pp_kind ppf = function
+  | File -> Fmt.string ppf "file"
+  | Dir -> Fmt.string ppf "dir"
+  | Symlink -> Fmt.string ppf "symlink"

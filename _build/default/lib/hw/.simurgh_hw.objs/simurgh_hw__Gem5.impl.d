@@ -1,0 +1,1 @@
+lib/hw/gem5.ml: List

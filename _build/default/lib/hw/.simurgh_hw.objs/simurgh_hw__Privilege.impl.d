@@ -1,0 +1,1 @@
+lib/hw/privilege.ml: Fmt

@@ -1,0 +1,1 @@
+lib/hw/protected.ml: Cpu Fault Fun Hashtbl List Page_table Privilege

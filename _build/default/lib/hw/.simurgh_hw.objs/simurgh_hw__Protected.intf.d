@@ -1,0 +1,1 @@
+lib/hw/protected.mli: Cpu

@@ -1,0 +1,33 @@
+(** Simulated CPU core state: page table, current privilege level, the
+    jmpp nesting counter and which stack is active. *)
+
+type t = {
+  page_table : Page_table.t;
+  mutable mode : Privilege.level;
+  mutable jmpp_nest : int;
+      (** incremented by jmpp, decremented by pret (Section 3.1) *)
+  mutable on_protected_stack : bool;
+      (** stack pointer relocated into protected pages (Section 3.2) *)
+}
+
+let create () =
+  {
+    page_table = Page_table.create ();
+    mode = Privilege.User;
+    jmpp_nest = 0;
+    on_protected_stack = false;
+  }
+
+let mode t = t.mode
+let cpl t = Privilege.to_cpl t.mode
+
+(** Load/store access checks as the MMU would perform them. *)
+let load t addr = Page_table.check_access t.page_table ~mode:t.mode ~addr ~write:false
+
+let store t addr = Page_table.check_access t.page_table ~mode:t.mode ~addr ~write:true
+
+(** Scheduler interrupt-return hook: the modified kernel restores the CPL
+    according to the interrupted context (Section 3.3, "Kernel
+    Modification").  Preemption must not leak kernel mode. *)
+let interrupt_return t =
+  t.mode <- (if t.jmpp_nest > 0 then Privilege.Kernel else Privilege.User)

@@ -1,0 +1,37 @@
+(** Faults raised by the simulated protection hardware. *)
+
+type kind =
+  | Page_not_present of int  (** page number *)
+  | Kernel_page_access of { page : int; write : bool }
+      (** user-mode access to a kernel/protected page *)
+  | Jmpp_target_not_protected of int
+      (** jmpp to a page without the [ep] bit *)
+  | Jmpp_bad_entry_offset of { page : int; offset : int }
+      (** jmpp to an address that is not a predefined entry point *)
+  | Ep_set_from_user of int  (** attempt to set the ep bit with CPL=3 *)
+  | Write_to_protected_mapping of int
+      (** mmap/mprotect attempt on a protected function's pages *)
+  | Pret_without_jmpp  (** privilege-nesting counter underflow *)
+  | Entry_is_nop of { page : int; offset : int }
+      (** first instruction at the entry offset is a nop: unused entry *)
+
+exception Fault of kind
+
+let raise_ k = raise (Fault k)
+
+let pp_kind ppf = function
+  | Page_not_present p -> Fmt.pf ppf "page %#x not present" p
+  | Kernel_page_access { page; write } ->
+      Fmt.pf ppf "user-mode %s of kernel page %#x"
+        (if write then "write" else "read")
+        page
+  | Jmpp_target_not_protected p ->
+      Fmt.pf ppf "jmpp target page %#x has no ep bit" p
+  | Jmpp_bad_entry_offset { page; offset } ->
+      Fmt.pf ppf "jmpp to page %#x offset %#x: not an entry point" page offset
+  | Ep_set_from_user p -> Fmt.pf ppf "set ep on page %#x from user mode" p
+  | Write_to_protected_mapping p ->
+      Fmt.pf ppf "attempt to remap protected page %#x" p
+  | Pret_without_jmpp -> Fmt.string ppf "pret with empty privilege stack"
+  | Entry_is_nop { page; offset } ->
+      Fmt.pf ppf "entry %#x of page %#x is a nop (unused slot)" offset page

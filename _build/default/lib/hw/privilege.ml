@@ -1,0 +1,12 @@
+(** CPU privilege model.
+
+    x86 has four rings; like the paper (Section 3.1) we only distinguish
+    user mode (CPL=3) and kernel/supervisor mode (CPL<3). *)
+
+type level = User | Kernel
+
+let to_cpl = function User -> 3 | Kernel -> 0
+let of_cpl cpl = if cpl >= 3 then User else Kernel
+let pp ppf = function
+  | User -> Fmt.string ppf "user (CPL=3)"
+  | Kernel -> Fmt.string ppf "kernel (CPL=0)"

@@ -1,0 +1,48 @@
+(** Protected user-space functions (paper Section 3).
+
+    A protected page holds up to four entry points at fixed 1 KiB offsets.
+    [jmpp] verifies the page's [ep] bit and the entry offset, switches the
+    CPU to kernel mode, relocates the stack into protected pages and bumps
+    the nesting counter; [pret] undoes this.  The [privileged] witness can
+    only be obtained inside a protected call, so OCaml code that requires
+    it is statically unreachable from "user mode". *)
+
+type privileged
+(** Witness that the caller runs in kernel mode via jmpp. *)
+
+type t
+(** A loaded protected-function universe bound to one CPU. *)
+
+val entry_offsets : int list
+(** The fixed entry offsets within a protected page: 0x000, 0x400, 0x800,
+    0xc00. *)
+
+val bootstrap : Cpu.t -> euid:int -> egid:int -> t
+(** The [load_protected()] system call performed by the in-kernel security
+    module during application startup (Fig. 2, steps 3-5): runs with
+    kernel assistance and enables subsequent [register] calls. *)
+
+val register : t -> name:string -> (privileged -> 'a -> 'b) -> 'a -> 'b
+(** Install a protected function in the next free entry slot and return a
+    user-callable stub that performs jmpp / body / pret.  Raises
+    [Invalid_argument] after [seal]. *)
+
+val seal : t -> unit
+(** End of bootstrap: no further protected functions can be loaded. *)
+
+val cpu : t -> Cpu.t
+val euid : privileged -> t -> int
+val egid : privileged -> t -> int
+
+val address_of : t -> string -> int
+(** Address assigned to a registered function (for tests and tooling). *)
+
+val pages : t -> int list
+(** Page numbers holding protected code (marked kernel + ep). *)
+
+val jmpp_raw : t -> int -> unit
+(** Jump to an arbitrary address with jmpp semantics, faulting exactly as
+    the hardware would; used by the security test-suite. *)
+
+val check_privileged : privileged -> Cpu.t -> unit
+(** Assert the witness matches the CPU and it is in kernel mode. *)

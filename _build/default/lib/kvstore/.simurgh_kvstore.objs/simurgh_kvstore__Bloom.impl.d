@@ -1,0 +1,1 @@
+lib/kvstore/bloom.ml: Buffer Bytes Char Int64 Record String

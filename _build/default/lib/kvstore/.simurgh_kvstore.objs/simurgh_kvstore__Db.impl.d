@@ -1,0 +1,1 @@
+lib/kvstore/db.ml: Buffer Bytes Hashtbl List Memtable Printf Record Simurgh_fs_common Simurgh_sim Sstable

@@ -1,0 +1,1 @@
+lib/kvstore/record.ml: Buffer Bytes Char String

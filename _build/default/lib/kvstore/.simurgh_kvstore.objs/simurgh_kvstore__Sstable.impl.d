@@ -1,0 +1,1 @@
+lib/kvstore/sstable.ml: Array Bloom Buffer Bytes List Record Simurgh_fs_common String

@@ -1,0 +1,58 @@
+(** Blocked Bloom filter for SSTables: ~10 bits per key, k=6 probes,
+    double hashing over a 64-bit base hash. *)
+
+type t = { bits : Bytes.t; nbits : int }
+
+(* FNV-1a, local so the kvstore stays independent of the FS libraries *)
+let hash64 (s : string) =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let hash_pair key =
+  let h = hash64 key in
+  let h1 = Int64.to_int (Int64.shift_right_logical h 33) in
+  let h2 = Int64.to_int (Int64.logand h 0x7fffffffL) lor 1 in
+  (h1, h2)
+
+let probes = 6
+
+let create n_keys =
+  let nbits = max 64 (n_keys * 10) in
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits }
+
+let set_bit t i =
+  let byte = i / 8 and bit = i mod 8 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl bit)))
+
+let get_bit t i =
+  let byte = i / 8 and bit = i mod 8 in
+  Char.code (Bytes.get t.bits byte) land (1 lsl bit) <> 0
+
+let add t key =
+  let h1, h2 = hash_pair key in
+  for k = 0 to probes - 1 do
+    set_bit t (abs (h1 + (k * h2)) mod t.nbits)
+  done
+
+let mem t key =
+  let h1, h2 = hash_pair key in
+  let rec go k =
+    k >= probes || (get_bit t (abs (h1 + (k * h2)) mod t.nbits) && go (k + 1))
+  in
+  go 0
+
+let to_bytes t =
+  let buf = Buffer.create (Bytes.length t.bits + 4) in
+  Record.put_u32 buf t.nbits;
+  Buffer.add_bytes buf t.bits;
+  Buffer.to_bytes buf
+
+let of_bytes b =
+  let nbits = Record.get_u32 b 0 in
+  { bits = Bytes.sub b 4 ((nbits + 7) / 8); nbits }

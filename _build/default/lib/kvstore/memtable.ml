@@ -1,0 +1,28 @@
+(** In-memory sorted write buffer (LevelDB's memtable).  A balanced map
+    plays the role of the skip list; mutations charge the comparable
+    CPU work. *)
+
+module M = Map.Make (String)
+
+type t = {
+  mutable map : string option M.t;  (** None = tombstone *)
+  mutable bytes : int;
+}
+
+let create () = { map = M.empty; bytes = 0 }
+
+let put t key value =
+  t.map <- M.add key value t.map;
+  t.bytes <- t.bytes + Record.encoded_size key value
+
+let get t key = M.find_opt key t.map
+let bytes t = t.bytes
+let entries t = M.cardinal t.map
+let is_empty t = M.is_empty t.map
+
+(** Sorted bindings, smallest key first. *)
+let bindings t = M.bindings t.map
+
+let clear t =
+  t.map <- M.empty;
+  t.bytes <- 0

@@ -1,0 +1,39 @@
+(** Wire format shared by the WAL and the SSTables: length-prefixed
+    key/value pairs.  A value length of 0xffffffff marks a tombstone. *)
+
+let tombstone_len = 0xffffffff
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+(** Append one record; [None] value encodes a deletion. *)
+let encode buf key value =
+  put_u32 buf (String.length key);
+  (match value with
+  | Some v -> put_u32 buf (String.length v)
+  | None -> put_u32 buf tombstone_len);
+  Buffer.add_string buf key;
+  match value with Some v -> Buffer.add_string buf v | None -> ()
+
+(** Decode the record at [off]; returns (key, value option, next_off). *)
+let decode b off =
+  let klen = get_u32 b off in
+  let vlen = get_u32 b (off + 4) in
+  let key = Bytes.sub_string b (off + 8) klen in
+  if vlen = tombstone_len then (key, None, off + 8 + klen)
+  else
+    let v = Bytes.sub_string b (off + 8 + klen) vlen in
+    (key, Some v, off + 8 + klen + vlen)
+
+let encoded_size key value =
+  8 + String.length key
+  + match value with Some v -> String.length v | None -> 0

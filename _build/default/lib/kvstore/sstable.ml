@@ -1,0 +1,187 @@
+(** Immutable sorted string table stored as one file on the underlying
+    file system.
+
+    On-file layout:
+    {v
+      [records ...]                 length-prefixed, key-sorted
+      [bloom filter]
+      [sparse index]                every 16th key: (key, file offset)
+      footer: records_len u32, bloom_len u32, index_len u32, count u32
+    v}
+
+    Point reads probe the bloom filter, binary-search the sparse index
+    (both cached in DRAM after the table is opened, as LevelDB caches
+    index and filter blocks) and then read one record run with [pread]. *)
+
+module type FS = Simurgh_fs_common.Fs_intf.S
+
+type meta = {
+  path : string;
+  count : int;
+  bloom : Bloom.t;
+  index : (string * int) array;  (** sparse: key -> record offset *)
+  records_len : int;
+  smallest : string;
+  largest : string;
+}
+
+let index_stride = 16
+let footer_size = 16
+
+module Make (F : FS) = struct
+  (** Write [bindings] (sorted, tombstones included) to [path]. *)
+  let write ?ctx fs path bindings =
+    let buf = Buffer.create 4096 in
+    let n = List.length bindings in
+    let bloom = Bloom.create (max 1 n) in
+    let index = ref [] in
+    List.iteri
+      (fun i (k, v) ->
+        if i mod index_stride = 0 then index := (k, Buffer.length buf) :: !index;
+        Bloom.add bloom k;
+        Record.encode buf k v)
+      bindings;
+    let records_len = Buffer.length buf in
+    let bloom_bytes = Bloom.to_bytes bloom in
+    Buffer.add_bytes buf bloom_bytes;
+    let index_buf = Buffer.create 256 in
+    List.iter
+      (fun (k, off) ->
+        Record.put_u32 index_buf (String.length k);
+        Buffer.add_string index_buf k;
+        Record.put_u32 index_buf off)
+      (List.rev !index);
+    Buffer.add_buffer buf index_buf;
+    Record.put_u32 buf records_len;
+    Record.put_u32 buf (Bytes.length bloom_bytes);
+    Record.put_u32 buf (Buffer.length index_buf);
+    Record.put_u32 buf n;
+    let fd = F.openf ?ctx fs (Simurgh_fs_common.Types.creat Simurgh_fs_common.Types.wronly) path in
+    let data = Buffer.to_bytes buf in
+    ignore (F.append ?ctx fs fd data);
+    F.fsync ?ctx fs fd;
+    F.close ?ctx fs fd;
+    let smallest = match bindings with (k, _) :: _ -> k | [] -> "" in
+    let largest =
+      match List.rev bindings with (k, _) :: _ -> k | [] -> ""
+    in
+    {
+      path;
+      count = n;
+      bloom;
+      index = Array.of_list (List.rev !index);
+      records_len;
+      smallest;
+      largest;
+    }
+
+  (** Re-open an existing table: read footer, bloom and index. *)
+  let open_ ?ctx fs path =
+    let st = F.stat ?ctx fs path in
+    let size = st.Simurgh_fs_common.Types.size in
+    let fd = F.openf ?ctx fs Simurgh_fs_common.Types.rdonly path in
+    let footer = F.pread ?ctx fs fd ~pos:(size - footer_size) ~len:footer_size in
+    let records_len = Record.get_u32 footer 0 in
+    let bloom_len = Record.get_u32 footer 4 in
+    let index_len = Record.get_u32 footer 8 in
+    let count = Record.get_u32 footer 12 in
+    let bloom_bytes = F.pread ?ctx fs fd ~pos:records_len ~len:bloom_len in
+    let index_bytes =
+      F.pread ?ctx fs fd ~pos:(records_len + bloom_len) ~len:index_len
+    in
+    F.close ?ctx fs fd;
+    let index = ref [] in
+    let off = ref 0 in
+    while !off < index_len do
+      let klen = Record.get_u32 index_bytes !off in
+      let k = Bytes.sub_string index_bytes (!off + 4) klen in
+      let recoff = Record.get_u32 index_bytes (!off + 4 + klen) in
+      index := (k, recoff) :: !index;
+      off := !off + 8 + klen
+    done;
+    let index = Array.of_list (List.rev !index) in
+    let smallest = if Array.length index > 0 then fst index.(0) else "" in
+    {
+      path;
+      count;
+      bloom = Bloom.of_bytes bloom_bytes;
+      index;
+      records_len;
+      smallest;
+      largest = "";
+    }
+
+  (* Largest index entry with key <= [key]. *)
+  let index_floor meta key =
+    let lo = ref 0 and hi = ref (Array.length meta.index - 1) in
+    if !hi < 0 || fst meta.index.(0) > key then None
+    else begin
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if fst meta.index.(mid) <= key then lo := mid else hi := mid - 1
+      done;
+      Some (snd meta.index.(!lo))
+    end
+
+  (** Point lookup through an already-open table handle (the database
+      keeps a table cache, like LevelDB).  Returns [None] if the key is
+      certainly absent, [Some None] for a tombstone, [Some (Some v)] for
+      a live value. *)
+  let get ?ctx fs ~fd meta key =
+    if not (Bloom.mem meta.bloom key) then None
+    else
+      match index_floor meta key with
+      | None -> None
+      | Some start ->
+          (* one index stride worth of records covers the key if present *)
+          let stop = min meta.records_len (start + 4096) in
+          let chunk = F.pread ?ctx fs fd ~pos:start ~len:(stop - start) in
+          let res = ref None in
+          let off = ref 0 in
+          (try
+             while !off + 8 <= Bytes.length chunk do
+               let k, v, next = Record.decode chunk !off in
+               if k = key then begin
+                 res := Some v;
+                 raise Exit
+               end
+               else if k > key then raise Exit;
+               off := next
+             done
+           with Exit | Invalid_argument _ -> ());
+          !res
+
+  (** Stream every record (for compaction). *)
+  let iter ?ctx fs meta f =
+    let fd = F.openf ?ctx fs Simurgh_fs_common.Types.rdonly meta.path in
+    let data = F.pread ?ctx fs fd ~pos:0 ~len:meta.records_len in
+    F.close ?ctx fs fd;
+    let off = ref 0 in
+    let remaining = ref meta.count in
+    while !remaining > 0 && !off < Bytes.length data do
+      let k, v, next = Record.decode data !off in
+      f k v;
+      off := next;
+      decr remaining
+    done
+
+  (** Stream records starting near [start_key], reading at most
+      [byte_budget] bytes through the open handle (range scans). *)
+  let iter_from ?ctx fs ~fd meta ~start_key ~byte_budget f =
+    let start = match index_floor meta start_key with
+      | Some s -> s
+      | None -> 0
+    in
+    let stop = min meta.records_len (start + byte_budget) in
+    if stop > start then begin
+      let data = F.pread ?ctx fs fd ~pos:start ~len:(stop - start) in
+      let off = ref 0 in
+      (try
+         while !off + 8 <= Bytes.length data do
+           let k, v, next = Record.decode data !off in
+           if k >= start_key then f k v;
+           off := next
+         done
+       with Invalid_argument _ -> ())
+    end
+end

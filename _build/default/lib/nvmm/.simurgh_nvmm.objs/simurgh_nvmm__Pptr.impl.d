@@ -1,0 +1,1 @@
+lib/nvmm/pptr.ml: Format Hashtbl Int Region

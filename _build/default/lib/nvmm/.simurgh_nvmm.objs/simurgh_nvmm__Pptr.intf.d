@@ -1,0 +1,1 @@
+lib/nvmm/pptr.mli: Format Region

@@ -1,0 +1,1 @@
+lib/nvmm/region.ml: Bytes Char Fun Hashtbl List Printf

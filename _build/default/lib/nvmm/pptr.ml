@@ -1,0 +1,17 @@
+type 'a t = int
+
+let null = 0
+let is_null p = p = 0
+
+let of_offset o =
+  if o < 0 then invalid_arg "Pptr.of_offset: negative offset";
+  o
+
+let offset p = p
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let cast p = p
+let pp ppf p = Format.fprintf ppf "@%#x" p
+let load region addr : 'a t = Region.read_u62 region addr
+let store region addr (p : 'a t) = Region.write_u62 region addr p

@@ -1,0 +1,30 @@
+(** Persistent (relative) pointers.
+
+    Absolute virtual addresses cannot be shared between processes because
+    ASLR places the mmap'ed NVMM region at different addresses (paper
+    Section 4.1).  Simurgh replaces every stored pointer by a relative
+    offset from the start of the NVMM device.  The phantom type parameter
+    documents what a pointer refers to; offset 0 is the null pointer
+    (the superblock occupies offset 0, so no valid object lives there). *)
+
+type 'a t
+
+val null : 'a t
+val is_null : 'a t -> bool
+val of_offset : int -> 'a t
+(** Raises [Invalid_argument] on negative offsets. *)
+
+val offset : 'a t -> int
+val equal : 'a t -> 'a t -> bool
+val compare : 'a t -> 'a t -> int
+val hash : 'a t -> int
+val cast : 'a t -> 'b t
+(** Explicit retyping; keep rare. *)
+
+val pp : Format.formatter -> 'a t -> unit
+
+val load : Region.t -> int -> 'a t
+(** Read a pointer stored at byte offset [addr]. *)
+
+val store : Region.t -> int -> 'a t -> unit
+(** Write a pointer at byte offset [addr]. *)

@@ -1,0 +1,259 @@
+(** Simulated byte-addressable non-volatile memory region.
+
+    The region stands in for the mmap'ed Optane DIMMs of the paper.  Two
+    modes:
+
+    - [Fast]: stores hit the persistent image directly.  Used for
+      benchmarks, where persistence ordering is charged in virtual time
+      but not checked.
+    - [Strict]: stores land in a volatile overlay keyed by 64-byte cache
+      line; [clwb] marks lines write-back pending, [sfence] commits
+      pending lines to the persistent image, and [crash] discards the
+      overlay.  Non-temporal stores ([ntstore]) bypass the cache but
+      still require [sfence] to be ADR-safe, matching x86 semantics.
+      Dropping *all* unflushed lines at a crash is the adversarial choice
+      (real caches may evict early), which is what recovery code must
+      survive.
+
+    An optional [guard] models the protected-page check: when installed,
+    every access calls it first, and the Simurgh security layer makes it
+    fault unless the CPU runs in kernel mode via jmpp. *)
+
+let line_size = 64
+
+type mode = Fast | Strict
+
+type line_state = Dirty | Flushing
+
+type t = {
+  image : Bytes.t;  (** the persistent image *)
+  size : int;
+  mode : mode;
+  overlay : (int, Bytes.t * line_state ref) Hashtbl.t;
+      (** line number -> volatile contents + state (Strict mode only) *)
+  mutable guard : (write:bool -> unit) option;
+  mutable user_slot : exn option;
+      (** opaque per-region slot for a higher layer's shared volatile
+          state (the FS stores its shared-DRAM structures here so every
+          mount of the region finds them; an exception constructor makes
+          the slot type-safe without a dependency) *)
+  mutable stores : int;  (** statistics: store operations *)
+  mutable loads : int;
+  mutable flushes : int;  (** clwb/ntstore line flushes *)
+  mutable fences : int;
+}
+
+let create ?(mode = Fast) size =
+  {
+    image = Bytes.make size '\000';
+    size;
+    mode;
+    overlay = Hashtbl.create 1024;
+    guard = None;
+    user_slot = None;
+    stores = 0;
+    loads = 0;
+    flushes = 0;
+    fences = 0;
+  }
+
+let size t = t.size
+let mode t = t.mode
+let user_slot t = t.user_slot
+let set_user_slot t v = t.user_slot <- v
+let set_guard t g = t.guard <- Some g
+let clear_guard t = t.guard <- None
+
+let check t ~write =
+  match t.guard with None -> () | Some g -> g ~write
+
+let line_of off = off / line_size
+
+(* Fetch (creating from the persistent image) the overlay line. *)
+let overlay_line t ln =
+  match Hashtbl.find_opt t.overlay ln with
+  | Some (buf, st) -> (buf, st)
+  | None ->
+      let buf = Bytes.create line_size in
+      let base = ln * line_size in
+      let len = min line_size (t.size - base) in
+      Bytes.blit t.image base buf 0 len;
+      let cell = (buf, ref Dirty) in
+      Hashtbl.replace t.overlay ln cell;
+      cell
+
+(* --- raw byte access -------------------------------------------------- *)
+
+let bounds t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Region: access [%d, %d) outside region of %d bytes"
+         off (off + len) t.size)
+
+let read_byte t off =
+  t.loads <- t.loads + 1;
+  check t ~write:false;
+  bounds t off 1;
+  match t.mode with
+  | Fast -> Char.code (Bytes.unsafe_get t.image off)
+  | Strict -> (
+      let ln = line_of off in
+      match Hashtbl.find_opt t.overlay ln with
+      | Some (buf, _) -> Char.code (Bytes.get buf (off - (ln * line_size)))
+      | None -> Char.code (Bytes.get t.image off))
+
+let write_byte t off v =
+  t.stores <- t.stores + 1;
+  check t ~write:true;
+  bounds t off 1;
+  match t.mode with
+  | Fast -> Bytes.unsafe_set t.image off (Char.chr (v land 0xff))
+  | Strict ->
+      let ln = line_of off in
+      let buf, st = overlay_line t ln in
+      st := Dirty;
+      Bytes.set buf (off - (ln * line_size)) (Char.chr (v land 0xff))
+
+let read_bytes t off len =
+  t.loads <- t.loads + 1;
+  check t ~write:false;
+  bounds t off len;
+  match t.mode with
+  | Fast -> Bytes.sub t.image off len
+  | Strict ->
+      let out = Bytes.create len in
+      for i = 0 to len - 1 do
+        Bytes.set out i (Char.chr (read_byte t (off + i)))
+      done;
+      out
+
+let write_bytes t off src =
+  t.stores <- t.stores + 1;
+  check t ~write:true;
+  let len = Bytes.length src in
+  bounds t off len;
+  match t.mode with
+  | Fast -> Bytes.blit src 0 t.image off len
+  | Strict ->
+      for i = 0 to len - 1 do
+        write_byte t (off + i) (Char.code (Bytes.get src i))
+      done
+
+let write_string t off s = write_bytes t off (Bytes.of_string s)
+
+let zero t off len =
+  check t ~write:true;
+  bounds t off len;
+  match t.mode with
+  | Fast -> Bytes.fill t.image off len '\000'
+  | Strict ->
+      for i = 0 to len - 1 do
+        write_byte t (off + i) 0
+      done
+
+(* --- fixed-width little-endian accessors ------------------------------ *)
+
+let read_u8 = read_byte
+let write_u8 = write_byte
+
+let read_u16 t off = read_byte t off lor (read_byte t (off + 1) lsl 8)
+
+let write_u16 t off v =
+  write_byte t off (v land 0xff);
+  write_byte t (off + 1) ((v lsr 8) land 0xff)
+
+let read_u32 t off = read_u16 t off lor (read_u16 t (off + 2) lsl 16)
+
+let write_u32 t off v =
+  write_u16 t off (v land 0xffff);
+  write_u16 t (off + 2) ((v lsr 16) land 0xffff)
+
+(* 62 usable bits: offsets, sizes and persistent pointers all fit. *)
+let read_u62 t off =
+  read_u32 t off lor (read_u32 t (off + 4) lsl 32)
+
+let write_u62 t off v =
+  write_u32 t off (v land 0xffffffff);
+  write_u32 t (off + 4) ((v lsr 32) land 0x3fffffff)
+
+(* --- persistence primitives ------------------------------------------ *)
+
+(** [clwb t off len]: initiate write-back of the lines covering
+    [off, off+len).  Persistence is only guaranteed after [sfence]. *)
+let clwb t off len =
+  bounds t off (max len 1);
+  t.flushes <- t.flushes + 1;
+  match t.mode with
+  | Fast -> ()
+  | Strict ->
+      let first = line_of off and last = line_of (off + max (len - 1) 0) in
+      for ln = first to last do
+        match Hashtbl.find_opt t.overlay ln with
+        | Some (_, st) -> st := Flushing
+        | None -> ()
+      done
+
+(** Non-temporal store of [src] at [off]: bypasses the cache (write
+    combining); still needs [sfence] before it is guaranteed durable. *)
+let ntstore t off src =
+  write_bytes t off src;
+  clwb t off (Bytes.length src)
+
+(** Commit all pending (Flushing) lines to the persistent image. *)
+let sfence t =
+  t.fences <- t.fences + 1;
+  match t.mode with
+  | Fast -> ()
+  | Strict ->
+      let committed = ref [] in
+      Hashtbl.iter
+        (fun ln (buf, st) ->
+          if !st = Flushing then begin
+            let base = ln * line_size in
+            let len = min line_size (t.size - base) in
+            Bytes.blit buf 0 t.image base len;
+            committed := ln :: !committed
+          end)
+        t.overlay;
+      List.iter (fun ln -> Hashtbl.remove t.overlay ln) !committed
+
+(** Convenience: flush + fence a range (persist barrier). *)
+let persist t off len =
+  clwb t off len;
+  sfence t
+
+(** Power failure: every line not yet committed by [sfence] is lost. *)
+let crash t =
+  match t.mode with
+  | Fast -> ()
+  | Strict -> Hashtbl.reset t.overlay
+
+(** Number of dirty (not yet durable) lines; 0 means fully persisted. *)
+let unpersisted_lines t = Hashtbl.length t.overlay
+
+(* --- file-backed persistence ------------------------------------------ *)
+
+(** Write the persistent image to [path] (the volatile overlay of a
+    strict region is NOT included — exactly what would survive power
+    loss). *)
+let save_to_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc t.image)
+
+(** Load a region image previously written by [save_to_file]. *)
+let load_from_file ?(mode = Fast) path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let t = create ~mode size in
+      really_input ic t.image 0 size;
+      t)
+
+type stats = { loads : int; stores : int; flushes : int; fences : int }
+
+let stats (t : t) : stats =
+  { loads = t.loads; stores = t.stores; flushes = t.flushes; fences = t.fences }

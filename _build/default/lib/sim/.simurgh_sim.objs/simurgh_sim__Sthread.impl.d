@@ -1,0 +1,1 @@
+lib/sim/sthread.ml: Rng

@@ -1,0 +1,1 @@
+lib/sim/vlock.ml: Cost_model Float Hashtbl Machine Resource Sthread

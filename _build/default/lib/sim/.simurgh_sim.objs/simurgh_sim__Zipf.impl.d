@@ -1,0 +1,1 @@
+lib/sim/zipf.ml: Int64 Rng

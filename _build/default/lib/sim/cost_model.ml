@@ -1,0 +1,70 @@
+(** Virtual-time cost model.
+
+    All durations are CPU cycles of the paper's testbed (Xeon Gold 5212 @
+    2.5 GHz).  Paper-given constants (Section 3.3 and 5.1): a standard
+    x86 call/ret is ~24 cycles, jmpp+pret is ~70 cycles (so Simurgh
+    operations are surcharged 46 cycles, exactly as the paper does), a
+    real-hardware syscall (geteuid) is ~400 cycles, gem5's empty syscall
+    ~1200 cycles.  NVMM characteristics follow published Optane DC
+    characterizations (~300 ns read latency; ~2.2-2.6 GB/s write and
+    ~6.6 GB/s read per DIMM; 6 DIMMs interleaved). *)
+
+type t = {
+  freq_hz : float;  (** CPU frequency used to convert cycles to seconds *)
+  call_cycles : float;  (** standard function call + return *)
+  jmpp_pret_cycles : float;  (** protected call + protected return *)
+  syscall_cycles : float;  (** kernel trap entry + exit on real hardware *)
+  vfs_dispatch_cycles : float;
+      (** VFS layer per-syscall work outside the concrete FS: fd lookup,
+          argument checking, generic_file plumbing *)
+  dcache_hit_cycles : float;  (** dentry-cache lookup per path component *)
+  nvmm_read_latency : float;  (** per random cache-line miss *)
+  nvmm_meta_read_latency : float;
+      (** effective latency of metadata line reads: hot metadata (directory
+          rows, inodes of a working set) largely lives in the CPU caches,
+          so the blended cost is far below a cold Optane miss *)
+  nvmm_write_latency : float;  (** per non-temporal-store retire *)
+  nvmm_read_bw : float;  (** aggregate, bytes per cycle *)
+  nvmm_write_bw : float;
+  nvmm_read_bw_thread : float;  (** single-thread achievable, bytes/cycle *)
+  nvmm_write_bw_thread : float;
+  dram_read_latency : float;
+  dram_bw : float;
+  dram_bw_thread : float;
+  memcpy_bytes_per_cycle : float;  (** CPU-side copy cost (wide stores) *)
+  atomic_uncontended : float;  (** lock cmpxchg, line already local *)
+  atomic_contended : float;  (** cache-line transfer between cores *)
+  cacheline : int;
+}
+
+let default =
+  {
+    freq_hz = 2.5e9;
+    call_cycles = 24.0;
+    jmpp_pret_cycles = 70.0;
+    syscall_cycles = 400.0;
+    vfs_dispatch_cycles = 350.0;
+    dcache_hit_cycles = 110.0;
+    nvmm_read_latency = 750.0 (* ~300 ns *);
+    nvmm_meta_read_latency = 200.0 (* blend of LLC hits and media misses *);
+    nvmm_write_latency = 250.0 (* ~100 ns to ADR-safe buffer *);
+    nvmm_read_bw = 14.8 (* ~37 GB/s over 6 DIMMs *);
+    nvmm_write_bw = 5.2 (* ~13 GB/s *);
+    nvmm_read_bw_thread = 2.6 (* ~6.5 GB/s *);
+    nvmm_write_bw_thread = 1.8 (* ~4.5 GB/s sequential ntstore *);
+    dram_read_latency = 250.0;
+    dram_bw = 32.0 (* ~80 GB/s *);
+    dram_bw_thread = 4.8 (* ~12 GB/s *);
+    memcpy_bytes_per_cycle = 16.0;
+    atomic_uncontended = 20.0;
+    atomic_contended = 120.0;
+    cacheline = 64;
+  }
+
+(** Extra cycles Simurgh pays per externally visible operation for the
+    protected-function entry/exit versus a plain call (paper Section 5.1:
+    "we added 46 cycles ... to each Simurgh call"). *)
+let protection_surcharge cm = cm.jmpp_pret_cycles -. cm.call_cycles
+
+let seconds cm cycles = cycles /. cm.freq_hz
+let cycles_of_seconds cm s = s *. cm.freq_hz

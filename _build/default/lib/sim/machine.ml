@@ -1,0 +1,129 @@
+(** The simulated machine: cost model plus the shared bandwidth servers
+    every simulated thread charges against, and the per-thread charging
+    helpers ([ctx]) used throughout the file-system implementations. *)
+
+type t = {
+  cm : Cost_model.t;
+  nvmm_read_srv : Resource.t;
+  nvmm_write_srv : Resource.t;
+  dram_srv : Resource.t;
+}
+
+let create ?(cm = Cost_model.default) () =
+  {
+    cm;
+    nvmm_read_srv = Resource.create "nvmm-read";
+    nvmm_write_srv = Resource.create "nvmm-write";
+    dram_srv = Resource.create "dram";
+  }
+
+let reset t =
+  Resource.reset t.nvmm_read_srv;
+  Resource.reset t.nvmm_write_srv;
+  Resource.reset t.dram_srv
+
+type ctx = { m : t; thr : Sthread.t }
+
+let ctx m thr = { m; thr }
+let cm ctx = ctx.m.cm
+let now ctx = ctx.thr.Sthread.now
+
+(** Pure CPU work. *)
+let cpu ctx cycles = Sthread.advance ctx.thr cycles
+
+(* A bulk transfer is limited by both the single-thread achievable rate
+   and the shared device: the device server is charged at the aggregate
+   rate, the thread additionally pays its core-local rate.  Under low
+   load the core-local rate dominates; once concurrent demand exceeds the
+   device, queueing at the server produces the saturation plateau. *)
+let transfer ctx srv ~bytes ~thread_rate ~agg_rate =
+  if bytes > 0 then begin
+    let t = ctx.thr in
+    let dev_done =
+      Resource.serve srv ~now:t.Sthread.now
+        ~dur:(float_of_int bytes /. agg_rate)
+    in
+    let local_done = t.Sthread.now +. (float_of_int bytes /. thread_rate) in
+    Sthread.wait_until t (if dev_done > local_done then dev_done else local_done)
+  end
+
+(** Sequential/streaming read of [bytes] from NVMM. *)
+let nvmm_read ctx bytes =
+  let cm = cm ctx in
+  transfer ctx ctx.m.nvmm_read_srv ~bytes
+    ~thread_rate:cm.nvmm_read_bw_thread ~agg_rate:cm.nvmm_read_bw
+
+(** Streaming (non-temporal) write of [bytes] to NVMM. *)
+let nvmm_write ctx bytes =
+  let cm = cm ctx in
+  transfer ctx ctx.m.nvmm_write_srv ~bytes
+    ~thread_rate:cm.nvmm_write_bw_thread ~agg_rate:cm.nvmm_write_bw
+
+(* Random cache-line accesses are latency-bound; out-of-order cores keep
+   a handful of misses in flight (memory-level parallelism ~4). *)
+let mlp = 4.0
+
+(** [n] random (dependent chains of) cache-line reads from NVMM. *)
+let nvmm_read_lines ctx n =
+  if n > 0 then begin
+    let cm = cm ctx in
+    let lat = float_of_int n *. cm.nvmm_read_latency /. mlp in
+    let bytes = n * cm.cacheline in
+    let dev_done =
+      Resource.serve ctx.m.nvmm_read_srv ~now:ctx.thr.Sthread.now
+        ~dur:(float_of_int bytes /. cm.nvmm_read_bw)
+    in
+    let local_done = ctx.thr.Sthread.now +. lat in
+    Sthread.wait_until ctx.thr
+      (if dev_done > local_done then dev_done else local_done)
+  end
+
+(** [n] metadata cache-line reads: same device accounting, but latency
+    blended with CPU-cache hits (see {!Cost_model.nvmm_meta_read_latency}). *)
+let nvmm_meta_read_lines ctx n =
+  if n > 0 then begin
+    let cm = cm ctx in
+    let lat = float_of_int n *. cm.nvmm_meta_read_latency /. mlp in
+    let bytes = n * cm.cacheline in
+    let dev_done =
+      Resource.serve ctx.m.nvmm_read_srv ~now:ctx.thr.Sthread.now
+        ~dur:(float_of_int bytes /. cm.nvmm_read_bw)
+    in
+    let local_done = ctx.thr.Sthread.now +. lat in
+    Sthread.wait_until ctx.thr
+      (if dev_done > local_done then dev_done else local_done)
+  end
+
+(** [n] random cache-line (non-temporal) writes to NVMM. *)
+let nvmm_write_lines ctx n =
+  if n > 0 then begin
+    let cm = cm ctx in
+    let lat = float_of_int n *. cm.nvmm_write_latency /. mlp in
+    let bytes = n * cm.cacheline in
+    let dev_done =
+      Resource.serve ctx.m.nvmm_write_srv ~now:ctx.thr.Sthread.now
+        ~dur:(float_of_int bytes /. cm.nvmm_write_bw)
+    in
+    let local_done = ctx.thr.Sthread.now +. lat in
+    Sthread.wait_until ctx.thr
+      (if dev_done > local_done then dev_done else local_done)
+  end
+
+(** Streaming DRAM traffic (page-cache copies and the like). *)
+let dram_copy ctx bytes =
+  let cm = cm ctx in
+  transfer ctx ctx.m.dram_srv ~bytes ~thread_rate:cm.dram_bw_thread
+    ~agg_rate:cm.dram_bw
+
+(** CPU-side cost of moving [bytes] through registers (memcpy halves). *)
+let memcpy_cpu ctx bytes =
+  let cm = cm ctx in
+  cpu ctx (float_of_int bytes /. cm.memcpy_bytes_per_cycle)
+
+(** One atomic read-modify-write. *)
+let atomic ctx ~contended =
+  let cm = cm ctx in
+  cpu ctx (if contended then cm.atomic_contended else cm.atomic_uncontended)
+
+(** `sfence`-style drain: the store buffer drain cost. *)
+let fence ctx = cpu ctx 30.0

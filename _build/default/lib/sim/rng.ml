@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every simulated thread and workload owns its own generator seeded from
+    the experiment seed and the thread id, so runs are bit-reproducible
+    regardless of scheduling. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(** Derive an independent stream, e.g. one per simulated thread. *)
+let split t stream =
+  let golden = 0x9E3779B97F4A7C15L in
+  { state = Int64.add t.state (Int64.mul golden (Int64.of_int (stream + 1))) }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform integer in [0, bound). [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit signed int *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let v = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** Fisher-Yates shuffle of an array, in place. *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,39 @@
+(** Small numeric helpers for benchmark reporting. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) ** 2.0)) 0.0 a in
+    sqrt (acc /. float_of_int (n - 1))
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    let idx = int_of_float (p /. 100.0 *. float_of_int (n - 1)) in
+    sorted.(idx)
+  end
+
+let min_max a =
+  Array.fold_left
+    (fun (lo, hi) x -> (min lo x, max hi x))
+    (infinity, neg_infinity) a
+
+(** Format ops/s with a unit suffix, e.g. [1.23 Mops/s]. *)
+let pp_rate ppf r =
+  if r >= 1e6 then Fmt.pf ppf "%.2f Mops/s" (r /. 1e6)
+  else if r >= 1e3 then Fmt.pf ppf "%.2f Kops/s" (r /. 1e3)
+  else Fmt.pf ppf "%.2f ops/s" r
+
+let pp_bytes_rate ppf r =
+  if r >= 1e9 then Fmt.pf ppf "%.2f GB/s" (r /. 1e9)
+  else if r >= 1e6 then Fmt.pf ppf "%.2f MB/s" (r /. 1e6)
+  else Fmt.pf ppf "%.2f KB/s" (r /. 1e3)

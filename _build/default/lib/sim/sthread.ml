@@ -1,0 +1,17 @@
+(** A simulated thread: an id, a private virtual clock and a private
+    deterministic RNG stream. *)
+
+type t = {
+  tid : int;
+  mutable now : float;  (** virtual time, cycles *)
+  rng : Rng.t;
+  mutable ops : int;  (** operations completed, for throughput reports *)
+}
+
+let create ?(seed = 42L) tid =
+  { tid; now = 0.0; rng = Rng.split (Rng.create seed) tid; ops = 0 }
+
+let advance t cycles = t.now <- t.now +. cycles
+
+(** Move the clock forward to [at] if it is in the future (waiting). *)
+let wait_until t at = if at > t.now then t.now <- at

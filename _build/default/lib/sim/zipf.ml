@@ -1,0 +1,65 @@
+(** Zipfian and scrambled-Zipfian item samplers, following the YCSB
+    reference generators (Gray et al.'s incremental algorithm).
+
+    YCSB request distributions are Zipfian with [theta = 0.99]; the
+    scrambled variant spreads the hot items over the key space. *)
+
+type t = {
+  items : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  half_pow_theta : float;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !sum
+
+let create ?(theta = 0.99) items =
+  if items <= 0 then invalid_arg "Zipf.create: items must be positive";
+  let zetan = zeta items theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int items) ** (1.0 -. theta)))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { items; theta; alpha; zetan; eta; half_pow_theta = 1.0 +. (0.5 ** theta) }
+
+(** Sample a rank in [0, items); rank 0 is the most popular item. *)
+let sample t rng =
+  let u = Rng.float rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < t.half_pow_theta then 1
+  else
+    let v =
+      float_of_int t.items *. ((t.eta *. u) -. t.eta +. 1.0) ** t.alpha
+    in
+    let v = int_of_float v in
+    if v >= t.items then t.items - 1 else if v < 0 then 0 else v
+
+(* 64-bit avalanche hash (Murmur3 finalizer) used for scrambling. *)
+let fnv_scramble x =
+  let open Int64 in
+  let h = of_int x in
+  let h = mul (logxor h (shift_right_logical h 33)) 0xFF51AFD7ED558CCDL in
+  let h = mul (logxor h (shift_right_logical h 33)) 0xC4CEB9FE1A85EC53L in
+  logxor h (shift_right_logical h 33)
+
+(** Scrambled Zipfian: same popularity skew, hot keys spread uniformly. *)
+let sample_scrambled t rng =
+  let rank = sample t rng in
+  let h = fnv_scramble rank in
+  Int64.to_int (Int64.rem (Int64.shift_right_logical h 1)
+                  (Int64.of_int t.items))
+
+(** Latest distribution (YCSB workload D): skewed towards [items - 1]. *)
+let sample_latest t rng =
+  let rank = sample t rng in
+  t.items - 1 - rank

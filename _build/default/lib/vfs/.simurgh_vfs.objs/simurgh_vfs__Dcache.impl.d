@@ -1,0 +1,1 @@
+lib/vfs/dcache.ml: Cost_model Hashtbl Machine Resource Simurgh_sim Sthread Vlock

@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Bytes Cost_model Engine Errno Fs_intf Machine Printf Rng Simurgh_fs_common Simurgh_sim Sthread Types

@@ -1,0 +1,1 @@
+lib/workloads/git_sim.ml: Bytes Cost_model Errno Fs_intf Linux_tree List Machine Printf Simurgh_fs_common Simurgh_sim Sthread Types

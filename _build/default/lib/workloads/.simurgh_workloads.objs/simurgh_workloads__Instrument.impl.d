@@ -1,0 +1,1 @@
+lib/workloads/instrument.ml: Bytes Fs_intf Simurgh_fs_common Simurgh_sim

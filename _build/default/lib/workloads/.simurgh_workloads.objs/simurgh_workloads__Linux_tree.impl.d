@@ -1,0 +1,1 @@
+lib/workloads/linux_tree.ml: Bytes Errno Fs_intf List Printf Queue Rng Simurgh_fs_common Simurgh_sim Types

@@ -1,0 +1,1 @@
+lib/workloads/targets.ml: Fxmark Machine Simurgh_baselines Simurgh_core Simurgh_nvmm Simurgh_sim

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Bytes Char Cost_model Engine Float Fs_intf Instrument Machine Printf Rng Simurgh_fs_common Simurgh_kvstore Simurgh_sim Sthread Zipf

@@ -1,0 +1,196 @@
+(** Filebench personalities (paper Section 5.3, Table 2 and Fig. 8).
+
+    Each personality reproduces the op mix of the stock Filebench
+    workload model; populations and file sizes follow Table 2 and can be
+    scaled down uniformly. *)
+
+open Simurgh_sim
+open Simurgh_fs_common
+
+type personality = Varmail | Webserver | Webproxy | Fileserver
+
+let name = function
+  | Varmail -> "varmail"
+  | Webserver -> "webserver"
+  | Webproxy -> "webproxy"
+  | Fileserver -> "fileserver"
+
+type config = {
+  files : int;
+  file_size : int;
+  threads : int;
+  dir_width : int;  (** files per directory; 0 = one flat directory *)
+  io_size : int;
+}
+
+(* Table 2 (default settings); dir width 1,000,000 means a flat dir. *)
+let config ?(scale = 1.0) = function
+  | Varmail ->
+      {
+        files = max 64 (int_of_float (1000.0 *. scale));
+        file_size = 128 * 1024;
+        threads = 16;
+        dir_width = 0;
+        io_size = 16 * 1024;
+      }
+  | Webserver ->
+      {
+        files = max 64 (int_of_float (1000.0 *. scale));
+        file_size = 128 * 1024;
+        threads = 100;
+        dir_width = 20;
+        io_size = 128 * 1024;
+      }
+  | Webproxy ->
+      {
+        files = max 64 (int_of_float (10000.0 *. scale));
+        file_size = 16 * 1024;
+        threads = 100;
+        dir_width = 0;
+        io_size = 16 * 1024;
+      }
+  | Fileserver ->
+      {
+        files = max 64 (int_of_float (10000.0 *. scale));
+        file_size = 128 * 1024;
+        threads = 50;
+        dir_width = 20;
+        io_size = 128 * 1024;
+      }
+
+type result = { ops_per_s : float; makespan_s : float; total_ops : int }
+
+module Make (F : Fs_intf.S) = struct
+  let dir_of cfg i =
+    if cfg.dir_width = 0 then "/data"
+    else Printf.sprintf "/data/d%d" (i / cfg.dir_width)
+
+  let path_of cfg i = Printf.sprintf "%s/f%06d" (dir_of cfg i) i
+
+  let populate fs cfg =
+    F.mkdir fs "/data";
+    if cfg.dir_width > 0 then
+      for d = 0 to ((cfg.files - 1) / cfg.dir_width) do
+        F.mkdir fs (Printf.sprintf "/data/d%d" d)
+      done;
+    let chunk = Bytes.make 65536 'p' in
+    for i = 0 to cfg.files - 1 do
+      F.create_file fs (path_of cfg i);
+      let fd = F.openf fs Types.wronly (path_of cfg i) in
+      let remaining = ref cfg.file_size in
+      while !remaining > 0 do
+        let n = min !remaining (Bytes.length chunk) in
+        ignore (F.append fs fd (Bytes.sub chunk 0 n));
+        remaining := !remaining - n
+      done;
+      F.close fs fd
+    done
+
+  let read_whole ?ctx fs cfg path =
+    match F.openf ?ctx fs Types.rdonly path with
+    | fd ->
+        let pos = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let b = F.pread ?ctx fs fd ~pos:!pos ~len:cfg.io_size in
+          pos := !pos + Bytes.length b;
+          if Bytes.length b < cfg.io_size then continue := false
+        done;
+        F.close ?ctx fs fd
+    | exception Errno.Err (ENOENT, _) -> ()
+
+  let append_some ?ctx fs cfg path =
+    match F.openf ?ctx fs Types.wronly path with
+    | fd ->
+        ignore (F.append ?ctx fs fd (Bytes.make cfg.io_size 'a'));
+        F.fsync ?ctx fs fd;
+        F.close ?ctx fs fd
+    | exception Errno.Err (ENOENT, _) -> ()
+
+  (* One "flowlet" per loop iteration; returns FS ops performed.  The op
+     mixes follow the stock Filebench personalities. *)
+  let flowlet personality fs cfg ~ctx ~seq rng =
+    match personality with
+    | Varmail ->
+        (* deletefile; createfile+append+fsync; openfile+read+append+fsync;
+           openfile+read *)
+        let victim = Rng.int rng cfg.files in
+        (try F.unlink ~ctx fs (path_of cfg victim)
+         with Errno.Err (ENOENT, _) -> ());
+        (try F.create_file ~ctx fs (path_of cfg victim)
+         with Errno.Err (EEXIST, _) -> ());
+        append_some ~ctx fs cfg (path_of cfg victim);
+        let v2 = Rng.int rng cfg.files in
+        read_whole ~ctx fs cfg (path_of cfg v2);
+        append_some ~ctx fs cfg (path_of cfg v2);
+        let v3 = Rng.int rng cfg.files in
+        read_whole ~ctx fs cfg (path_of cfg v3);
+        8
+    | Webserver ->
+        (* open+read 10 files, append to a shared log *)
+        for _ = 1 to 10 do
+          read_whole ~ctx fs cfg (path_of cfg (Rng.int rng cfg.files))
+        done;
+        (try
+           let fd = F.openf ~ctx fs Types.appendf "/data/weblog" in
+           ignore (F.append ~ctx fs fd (Bytes.make 16384 'l'));
+           F.close ~ctx fs fd
+         with Errno.Err (_, _) -> ());
+        11
+    | Webproxy ->
+        (* delete, create, append, then read 5 files *)
+        let i = seq mod cfg.files in
+        (try F.unlink ~ctx fs (path_of cfg i) with Errno.Err (ENOENT, _) -> ());
+        (try F.create_file ~ctx fs (path_of cfg i)
+         with Errno.Err (EEXIST, _) -> ());
+        append_some ~ctx fs cfg (path_of cfg i);
+        for _ = 1 to 5 do
+          read_whole ~ctx fs cfg (path_of cfg (Rng.int rng cfg.files))
+        done;
+        8
+    | Fileserver ->
+        (* create+write whole; open+append; open+read whole; delete; stat *)
+        let i = Rng.int rng cfg.files in
+        let fresh = Printf.sprintf "%s/new%d" (dir_of cfg i) seq in
+        (try
+           F.create_file ~ctx fs fresh;
+           let fd = F.openf ~ctx fs Types.wronly fresh in
+           let remaining = ref cfg.file_size in
+           while !remaining > 0 do
+             let n = min !remaining 65536 in
+             ignore (F.append ~ctx fs fd (Bytes.make n 'w'));
+             remaining := !remaining - n
+           done;
+           F.close ~ctx fs fd
+         with Errno.Err (_, _) -> ());
+        append_some ~ctx fs cfg (path_of cfg i);
+        read_whole ~ctx fs cfg (path_of cfg (Rng.int rng cfg.files));
+        (try F.unlink ~ctx fs fresh with Errno.Err (ENOENT, _) -> ());
+        (try ignore (F.stat ~ctx fs (path_of cfg (Rng.int rng cfg.files)))
+         with Errno.Err (ENOENT, _) -> ());
+        9
+
+  let run machine fs personality ~cfg ~loops_per_thread =
+    populate fs cfg;
+    Machine.reset machine;
+    let ops = ref 0 in
+    let op ctx seq =
+      let rng = ctx.Machine.thr.Sthread.rng in
+      let tid = ctx.Machine.thr.Sthread.tid in
+      ops :=
+        !ops
+        + flowlet personality fs cfg ~ctx ~seq:((seq * cfg.threads) + tid) rng
+    in
+    let outcome =
+      Engine.run_ops machine ~threads:cfg.threads
+        ~ops_per_thread:loops_per_thread op
+    in
+    let seconds =
+      Cost_model.seconds machine.Machine.cm outcome.Engine.makespan_cycles
+    in
+    {
+      ops_per_s = (if seconds > 0.0 then float_of_int !ops /. seconds else 0.0);
+      makespan_s = seconds;
+      total_ops = !ops;
+    }
+end

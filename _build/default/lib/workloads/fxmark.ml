@@ -1,0 +1,244 @@
+(** FxMark-derived microbenchmarks (paper Section 5.2, Figs. 6 and 7).
+
+    Each benchmark is parameterized by thread count and operations per
+    thread.  The untimed setup phase runs without a virtual-time context;
+    the machine's bandwidth servers are reset before the timed phase. *)
+
+open Simurgh_sim
+open Simurgh_fs_common
+
+type bench =
+  | Create_private  (** Fig. 7a: one directory per thread *)
+  | Create_shared  (** Fig. 7b: all threads in one directory *)
+  | Delete_private  (** Fig. 7c *)
+  | Rename_shared  (** Fig. 7d *)
+  | Resolve_private  (** Fig. 7e: nested private dirs of depth 5 *)
+  | Resolve_shared  (** Fig. 7f: common path prefix *)
+  | Append_private  (** Fig. 7g: 4 KiB appends *)
+  | Fallocate_private  (** Fig. 7h: 4 MiB chunks *)
+  | Read_shared of { cache_hot : bool }  (** Fig. 6 / 7i *)
+  | Read_private of { cache_hot : bool }  (** Fig. 6 / 7j *)
+  | Overwrite_shared  (** Fig. 7k *)
+  | Write_private  (** Fig. 7l *)
+
+let bench_name = function
+  | Create_private -> "createfile-private (7a)"
+  | Create_shared -> "createfile-shared (7b)"
+  | Delete_private -> "deletefile-private (7c)"
+  | Rename_shared -> "renamefile-shared (7d)"
+  | Resolve_private -> "resolvepath-private (7e)"
+  | Resolve_shared -> "resolvepath-shared (7f)"
+  | Append_private -> "appendfile (7g)"
+  | Fallocate_private -> "fallocate (7h)"
+  | Read_shared { cache_hot = true } -> "read-shared cache-hot"
+  | Read_shared _ -> "read-shared (7i)"
+  | Read_private { cache_hot = true } -> "read-private cache-hot (fig6)"
+  | Read_private _ -> "read-private (7j)"
+  | Overwrite_shared -> "overwrite-shared (7k)"
+  | Write_private -> "write-private (7l)"
+
+type result = {
+  throughput : float;  (** ops per modeled second *)
+  bandwidth : float;  (** bytes per modeled second (data benches) *)
+  makespan_s : float;
+  total_ops : int;
+}
+
+let io_size = 4096
+let fallocate_chunk = 4 * 1024 * 1024
+let shared_file_bytes = 8 * 1024 * 1024
+let private_file_bytes = 4 * 1024 * 1024
+
+module Make (F : Fs_intf.S) = struct
+  let tdir i = Printf.sprintf "/t%d" i
+  let tfile i j = Printf.sprintf "/t%d/f%d" i j
+  let sfile i j = Printf.sprintf "/shared/t%d_f%d" i j
+
+  let deep_dir i =
+    Printf.sprintf "/t%d/d1/d2/d3/d4" i
+
+  let setup fs bench ~threads ~ops =
+    match bench with
+    | Create_private | Append_private | Fallocate_private ->
+        for i = 0 to threads - 1 do
+          F.mkdir fs (tdir i)
+        done
+    | Create_shared -> F.mkdir fs "/shared"
+    | Delete_private ->
+        for i = 0 to threads - 1 do
+          F.mkdir fs (tdir i);
+          for j = 0 to ops - 1 do
+            F.create_file fs (tfile i j)
+          done
+        done
+    | Rename_shared ->
+        F.mkdir fs "/shared";
+        for i = 0 to threads - 1 do
+          for j = 0 to ops - 1 do
+            F.create_file fs (sfile i j)
+          done
+        done
+    | Resolve_private ->
+        for i = 0 to threads - 1 do
+          F.mkdir fs (tdir i);
+          F.mkdir fs (Printf.sprintf "/t%d/d1" i);
+          F.mkdir fs (Printf.sprintf "/t%d/d1/d2" i);
+          F.mkdir fs (Printf.sprintf "/t%d/d1/d2/d3" i);
+          F.mkdir fs (deep_dir i);
+          F.create_file fs (deep_dir i ^ "/target")
+        done
+    | Resolve_shared ->
+        (* all threads resolve through the same four-component prefix *)
+        F.mkdir fs "/common";
+        F.mkdir fs "/common/a";
+        F.mkdir fs "/common/a/b";
+        F.mkdir fs "/common/a/b/c";
+        for i = 0 to threads - 1 do
+          F.create_file fs (Printf.sprintf "/common/a/b/c/f%d" i)
+        done
+    | Read_shared _ | Overwrite_shared ->
+        F.mkdir fs "/shared";
+        F.create_file fs "/shared/big";
+        let fd = F.openf fs Types.wronly "/shared/big" in
+        let chunk = Bytes.make 65536 'x' in
+        for _ = 1 to shared_file_bytes / 65536 do
+          ignore (F.append fs fd chunk)
+        done;
+        F.close fs fd
+    | Read_private _ ->
+        for i = 0 to threads - 1 do
+          F.mkdir fs (tdir i);
+          F.create_file fs (tfile i 0);
+          let fd = F.openf fs Types.wronly (tfile i 0) in
+          let chunk = Bytes.make 65536 'x' in
+          for _ = 1 to private_file_bytes / 65536 do
+            ignore (F.append fs fd chunk)
+          done;
+          F.close fs fd
+        done
+    | Write_private ->
+        for i = 0 to threads - 1 do
+          F.mkdir fs (tdir i);
+          F.create_file fs (tfile i 0)
+        done
+
+  (* Per-thread opened fds for the data benchmarks, prepared untimed. *)
+  let prepare_fds fs bench ~threads =
+    match bench with
+    | Append_private | Fallocate_private | Write_private ->
+        Array.init threads (fun i ->
+            Some (F.openf fs Types.rdwr (tfile i 0)))
+    | Read_shared _ | Overwrite_shared ->
+        Array.init threads (fun _ -> Some (F.openf fs Types.rdwr "/shared/big"))
+    | Read_private _ ->
+        Array.init threads (fun i -> Some (F.openf fs Types.rdonly (tfile i 0)))
+    | _ -> Array.make threads None
+
+  let run machine fs bench ~threads ~ops =
+    (match bench with
+    | Append_private | Write_private | Fallocate_private ->
+        (* the file must exist before fds are prepared *)
+        (try setup fs bench ~threads ~ops with Errno.Err (EEXIST, _) -> ());
+        for i = 0 to threads - 1 do
+          if not (F.exists fs (tfile i 0)) then F.create_file fs (tfile i 0)
+        done
+    | _ -> setup fs bench ~threads ~ops);
+    let fds = prepare_fds fs bench ~threads in
+    Machine.reset machine;
+    let data_buf = Bytes.make io_size 'd' in
+    let bytes_moved = ref 0 in
+    let op ctx j =
+      let i = ctx.Machine.thr.Sthread.tid in
+      let rng = ctx.Machine.thr.Sthread.rng in
+      match bench with
+      | Create_private -> F.create_file ~ctx fs (tfile i j)
+      | Create_shared -> F.create_file ~ctx fs (sfile i j)
+      | Delete_private -> F.unlink ~ctx fs (tfile i j)
+      | Rename_shared ->
+          F.rename ~ctx fs (sfile i j) (Printf.sprintf "/shared/t%d_r%d" i j)
+      | Resolve_private ->
+          let fd = F.openf ~ctx fs Types.rdonly (deep_dir i ^ "/target") in
+          F.close ~ctx fs fd
+      | Resolve_shared ->
+          let fd =
+            F.openf ~ctx fs Types.rdonly (Printf.sprintf "/common/a/b/c/f%d" i)
+          in
+          F.close ~ctx fs fd
+      | Append_private ->
+          (match fds.(i) with
+          | Some fd ->
+              ignore (F.append ~ctx fs fd data_buf);
+              bytes_moved := !bytes_moved + io_size
+          | None -> assert false)
+      | Fallocate_private ->
+          (match fds.(i) with
+          | Some fd -> F.fallocate ~ctx fs fd ~len:((j + 1) * fallocate_chunk)
+          | None -> assert false)
+      | Read_shared { cache_hot } ->
+          (match fds.(i) with
+          | Some fd ->
+              let pos =
+                if cache_hot then 0
+                else
+                  Rng.int rng ((shared_file_bytes / io_size) - 1) * io_size
+              in
+              if cache_hot then begin
+                (* the original FxMark rereads the same block: it stays in
+                   the CPU cache, so the call still pays the entry and
+                   locking costs (len = 0 read) but the data moves at
+                   cache speed, not NVMM speed *)
+                ignore (F.pread ~ctx fs fd ~pos ~len:0);
+                Machine.memcpy_cpu ctx io_size
+              end
+              else ignore (F.pread ~ctx fs fd ~pos ~len:io_size);
+              bytes_moved := !bytes_moved + io_size
+          | None -> assert false)
+      | Read_private { cache_hot } ->
+          (match fds.(i) with
+          | Some fd ->
+              if cache_hot then begin
+                (* original FxMark DRBL: reread the same private block *)
+                ignore (F.pread ~ctx fs fd ~pos:0 ~len:0);
+                Machine.memcpy_cpu ctx io_size
+              end
+              else begin
+                let pos =
+                  Rng.int rng ((private_file_bytes / io_size) - 1) * io_size
+                in
+                ignore (F.pread ~ctx fs fd ~pos ~len:io_size)
+              end;
+              bytes_moved := !bytes_moved + io_size
+          | None -> assert false)
+      | Overwrite_shared ->
+          (match fds.(i) with
+          | Some fd ->
+              let pos =
+                Rng.int rng ((shared_file_bytes / io_size) - 1) * io_size
+              in
+              ignore (F.pwrite ~ctx fs fd ~pos data_buf);
+              bytes_moved := !bytes_moved + io_size
+          | None -> assert false)
+      | Write_private ->
+          (match fds.(i) with
+          | Some fd ->
+              ignore (F.pwrite ~ctx fs fd ~pos:(j * io_size) data_buf);
+              bytes_moved := !bytes_moved + io_size
+          | None -> assert false)
+    in
+    let outcome = Engine.run_ops machine ~threads ~ops_per_thread:ops op in
+    Array.iter
+      (function Some fd -> F.close fs fd | None -> ())
+      fds;
+    let seconds =
+      Cost_model.seconds machine.Machine.cm outcome.Engine.makespan_cycles
+    in
+    {
+      throughput =
+        (if seconds > 0.0 then float_of_int outcome.Engine.total_ops /. seconds
+         else 0.0);
+      bandwidth =
+        (if seconds > 0.0 then float_of_int !bytes_moved /. seconds else 0.0);
+      makespan_s = seconds;
+      total_ops = outcome.Engine.total_ops;
+    }
+end

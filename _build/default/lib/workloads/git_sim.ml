@@ -1,0 +1,128 @@
+(** git add / commit / reset benchmark (paper Section 5.4, Fig. 12).
+
+    - [add]: read every working-tree file, hash it (CPU), write the
+      compressed blob into .git/objects/xx/, update the index file.
+    - [commit]: stat every tracked file (index freshness check — the
+      phase the paper says dominates), write tree and commit objects.
+    - [reset --hard]: the working tree was deleted between commit and
+      reset (as in the paper's methodology); reset reads blobs back and
+      recreates the working files.
+
+    Single-threaded, like git itself for these operations. *)
+
+open Simurgh_sim
+open Simurgh_fs_common
+
+type result = {
+  add_s : float;
+  commit_s : float;
+  reset_s : float;
+  files : int;
+}
+
+(* Rough deflate cost per byte on the paper's CPU (~60 MB/s/GHz). *)
+let compress_cycles_per_byte = 12.0
+let hash_cycles_per_byte = 3.0
+let compressed_ratio = 0.38
+
+module Make (F : Fs_intf.S) = struct
+  let blob_path i = Printf.sprintf "/.git/objects/%02x/blob%06d" (i land 0xff) i
+
+  let read_whole ~ctx fs path =
+    let fd = F.openf ~ctx fs Types.rdonly path in
+    let pos = ref 0 and total = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let b = F.pread ~ctx fs fd ~pos:!pos ~len:65536 in
+      pos := !pos + Bytes.length b;
+      total := !total + Bytes.length b;
+      if Bytes.length b < 65536 then continue := false
+    done;
+    F.close ~ctx fs fd;
+    !total
+
+  let write_whole ~ctx fs path bytes =
+    (try F.create_file ~ctx fs path with Errno.Err (EEXIST, _) -> ());
+    let fd = F.openf ~ctx fs Types.wronly path in
+    let remaining = ref bytes in
+    while !remaining > 0 do
+      let n = min !remaining 65536 in
+      ignore (F.append ~ctx fs fd (Bytes.make n 'o'));
+      remaining := !remaining - n
+    done;
+    F.close ~ctx fs fd
+
+  let setup_git fs =
+    (try F.mkdir fs "/.git" with Errno.Err (EEXIST, _) -> ());
+    (try F.mkdir fs "/.git/objects" with Errno.Err (EEXIST, _) -> ());
+    for x = 0 to 255 do
+      try F.mkdir fs (Printf.sprintf "/.git/objects/%02x" x)
+      with Errno.Err (EEXIST, _) -> ()
+    done
+
+  (* Phases share one continuous virtual timeline (lock and device state
+     carries over, as on real hardware); each returns its duration. *)
+  let timed_phase machine thr f =
+    let ctx = Machine.ctx machine thr in
+    let t0 = thr.Sthread.now in
+    f ctx;
+    Cost_model.seconds machine.Machine.cm (thr.Sthread.now -. t0)
+
+  let add machine thr fs files =
+    timed_phase machine thr (fun ctx ->
+        List.iteri
+          (fun i { Linux_tree.path; size = _ } ->
+            let sz = read_whole ~ctx fs path in
+            Machine.cpu ctx
+              (float_of_int sz
+              *. (hash_cycles_per_byte +. compress_cycles_per_byte));
+            write_whole ~ctx fs (blob_path i)
+              (max 64 (int_of_float (float_of_int sz *. compressed_ratio))))
+          files;
+        (* index update: one write of ~64 B per entry *)
+        write_whole ~ctx fs "/.git/index" (64 * List.length files))
+
+  let commit machine thr fs files =
+    timed_phase machine thr (fun ctx ->
+        List.iter
+          (fun { Linux_tree.path; size = _ } ->
+            (* index entry comparison + tree building (git-side work) *)
+            Machine.cpu ctx 900.0;
+            (* index freshness check: lstat per tracked file *)
+            try ignore (F.stat ~ctx fs path) with Errno.Err (ENOENT, _) -> ())
+          files;
+        ignore (read_whole ~ctx fs "/.git/index");
+        (* tree objects (~1 per 16 files) + the commit object *)
+        for i = 0 to List.length files / 16 do
+          write_whole ~ctx fs (Printf.sprintf "/.git/objects/ff/tree%05d" i) 1024
+        done;
+        write_whole ~ctx fs "/.git/objects/ff/commit" 256)
+
+  let delete_working_tree fs files =
+    List.iter
+      (fun { Linux_tree.path; size = _ } ->
+        try F.unlink fs path with Errno.Err (ENOENT, _) -> ())
+      files
+
+  let reset_hard machine thr fs files =
+    timed_phase machine thr (fun ctx ->
+        List.iteri
+          (fun i { Linux_tree.path; size } ->
+            let csz = read_whole ~ctx fs (blob_path i) in
+            Machine.cpu ctx
+              (float_of_int csz *. compress_cycles_per_byte /. 2.0
+              (* inflate *));
+            write_whole ~ctx fs path size)
+          files)
+
+  let run machine fs (dirs, files) =
+    ignore dirs;
+    setup_git fs;
+    let thr = Sthread.create 0 in
+    let add_s = add machine thr fs files in
+    let commit_s = commit machine thr fs files in
+    (* working tree deleted between commit and reset (paper methodology) *)
+    delete_working_tree fs files;
+    let reset_s = reset_hard machine thr fs files in
+    { add_s; commit_s; reset_s; files = List.length files }
+end

@@ -1,0 +1,97 @@
+(** Instrumented wrapper around a file system: accumulates the virtual
+    time spent inside FS calls and the bytes moved by data operations, so
+    experiments can report the paper's application / data-copy / file
+    system execution-time breakdown (Table 1 and Fig. 10). *)
+
+open Simurgh_fs_common
+
+type acc = {
+  mutable fs_cycles : float;  (** virtual time inside FS calls *)
+  mutable copy_bytes : int;  (** payload bytes moved by read/write *)
+  mutable calls : int;
+}
+
+let fresh_acc () = { fs_cycles = 0.0; copy_bytes = 0; calls = 0 }
+
+(** Virtual cycles attributable to moving [bytes] between the device and
+    the application — the part even a perfect FS would pay.  The CPU-side
+    copy plus roughly half the device transfer (the other half overlaps
+    with FS work the breakdown attributes to the file system). *)
+let copy_cycles cm bytes =
+  let b = float_of_int bytes in
+  (b /. cm.Simurgh_sim.Cost_model.memcpy_bytes_per_cycle)
+  +. (b /. cm.Simurgh_sim.Cost_model.nvmm_read_bw_thread /. 2.0)
+
+module Make (F : Fs_intf.S) : sig
+  include Fs_intf.S with type t = F.t * acc and type fd = F.fd
+end = struct
+  type t = F.t * acc
+  type fd = F.fd
+
+  let name = F.name
+
+  let timed ?ctx (acc : acc) f =
+    match ctx with
+    | None -> f ()
+    | Some c ->
+        let t0 = Simurgh_sim.Machine.now c in
+        let r = f () in
+        acc.fs_cycles <- acc.fs_cycles +. (Simurgh_sim.Machine.now c -. t0);
+        acc.calls <- acc.calls + 1;
+        r
+
+  let create_file ?ctx (fs, a) ?perm p =
+    timed ?ctx a (fun () -> F.create_file ?ctx fs ?perm p)
+
+  let mkdir ?ctx (fs, a) ?perm p =
+    timed ?ctx a (fun () -> F.mkdir ?ctx fs ?perm p)
+
+  let unlink ?ctx (fs, a) p = timed ?ctx a (fun () -> F.unlink ?ctx fs p)
+  let rmdir ?ctx (fs, a) p = timed ?ctx a (fun () -> F.rmdir ?ctx fs p)
+
+  let rename ?ctx (fs, a) p q =
+    timed ?ctx a (fun () -> F.rename ?ctx fs p q)
+
+  let stat ?ctx (fs, a) p = timed ?ctx a (fun () -> F.stat ?ctx fs p)
+
+  let openf ?ctx (fs, a) flags p =
+    timed ?ctx a (fun () -> F.openf ?ctx fs flags p)
+
+  let close ?ctx (fs, a) fd = timed ?ctx a (fun () -> F.close ?ctx fs fd)
+
+  let pread ?ctx (fs, a) fd ~pos ~len =
+    let r = timed ?ctx a (fun () -> F.pread ?ctx fs fd ~pos ~len) in
+    a.copy_bytes <- a.copy_bytes + Bytes.length r;
+    r
+
+  let pwrite ?ctx (fs, a) fd ~pos src =
+    let n = timed ?ctx a (fun () -> F.pwrite ?ctx fs fd ~pos src) in
+    a.copy_bytes <- a.copy_bytes + n;
+    n
+
+  let append ?ctx (fs, a) fd src =
+    let n = timed ?ctx a (fun () -> F.append ?ctx fs fd src) in
+    a.copy_bytes <- a.copy_bytes + n;
+    n
+
+  let fallocate ?ctx (fs, a) fd ~len =
+    timed ?ctx a (fun () -> F.fallocate ?ctx fs fd ~len)
+
+  let fsync ?ctx (fs, a) fd = timed ?ctx a (fun () -> F.fsync ?ctx fs fd)
+  let readdir ?ctx (fs, a) p = timed ?ctx a (fun () -> F.readdir ?ctx fs p)
+
+  let symlink ?ctx (fs, a) ~target p =
+    timed ?ctx a (fun () -> F.symlink ?ctx fs ~target p)
+
+  let readlink ?ctx (fs, a) p = timed ?ctx a (fun () -> F.readlink ?ctx fs p)
+
+  let hardlink ?ctx (fs, a) ~existing p =
+    timed ?ctx a (fun () -> F.hardlink ?ctx fs ~existing p)
+
+  let truncate ?ctx (fs, a) p n =
+    timed ?ctx a (fun () -> F.truncate ?ctx fs p n)
+
+  let exists ?ctx (fs, a) p = timed ?ctx a (fun () -> F.exists ?ctx fs p)
+  let chmod ?ctx (fs, a) p m = timed ?ctx a (fun () -> F.chmod ?ctx fs p m)
+  let utimes ?ctx (fs, a) p m = timed ?ctx a (fun () -> F.utimes ?ctx fs p m)
+end

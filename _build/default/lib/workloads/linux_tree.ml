@@ -1,0 +1,79 @@
+(** Deterministic generator of a Linux-source-tree-like file population
+    for the tar, git and recovery experiments (the paper uses the
+    linux-5.6.14 sources: ~67k files, ~4.5k directories, mostly small C
+    files with a long tail).
+
+    The generated tree has a configurable number of files; directory
+    fan-out and file-size distribution (log-normal-ish around 10 KiB,
+    capped) loosely follow a kernel tree's statistics. *)
+
+open Simurgh_sim
+open Simurgh_fs_common
+
+type spec = { files : int; subdirs_per_dir : int; files_per_dir : int }
+
+let default = { files = 4000; subdirs_per_dir = 8; files_per_dir = 16 }
+
+type entry = { path : string; size : int }
+
+(* Sample a file size: ~85% small (0.5-16 KiB), long tail up to 512 KiB. *)
+let sample_size rng =
+  if Rng.int rng 100 < 85 then 512 + Rng.int rng (16 * 1024)
+  else 16 * 1024 + Rng.int rng (496 * 1024)
+
+(** Enumerate the tree (directories first, then files with sizes). *)
+let generate ?(seed = 11L) spec =
+  let rng = Rng.create seed in
+  let dirs = ref [] in
+  let files = ref [] in
+  let remaining = ref spec.files in
+  (* breadth-first directory construction until all files placed *)
+  let queue = Queue.create () in
+  Queue.push "/src" queue;
+  dirs := [ "/src" ];
+  while !remaining > 0 && not (Queue.is_empty queue) do
+    let dir = Queue.pop queue in
+    let nfiles = min !remaining (1 + Rng.int rng (2 * spec.files_per_dir)) in
+    for i = 0 to nfiles - 1 do
+      let ext = match Rng.int rng 10 with
+        | 0 | 1 -> ".h"
+        | 2 -> ".txt"
+        | 3 -> ".S"
+        | _ -> ".c"
+      in
+      files :=
+        { path = Printf.sprintf "%s/f%04d%s" dir i ext;
+          size = sample_size rng }
+        :: !files;
+      decr remaining
+    done;
+    if !remaining > 0 then
+      for i = 0 to Rng.int rng spec.subdirs_per_dir do
+        let d = Printf.sprintf "%s/d%02d" dir i in
+        dirs := d :: !dirs;
+        Queue.push d queue
+      done
+  done;
+  (List.rev !dirs, List.rev !files)
+
+(** Materialize the tree on a file system (untimed population). *)
+module Make (F : Fs_intf.S) = struct
+  let populate fs (dirs, files) =
+    List.iter (fun d -> try F.mkdir fs d with Errno.Err (EEXIST, _) -> ()) dirs;
+    let buf = Bytes.make 65536 'k' in
+    List.iter
+      (fun { path; size } ->
+        F.create_file fs path;
+        let fd = F.openf fs Types.wronly path in
+        let remaining = ref size in
+        while !remaining > 0 do
+          let n = min !remaining (Bytes.length buf) in
+          ignore (F.append fs fd (Bytes.sub buf 0 n));
+          remaining := !remaining - n
+        done;
+        F.close fs fd)
+      files
+
+  let total_bytes (_, files) =
+    List.fold_left (fun acc { size; _ } -> acc + size) 0 files
+end

@@ -1,0 +1,114 @@
+(** tar pack/unpack benchmark (paper Section 5.4, Fig. 11).
+
+    Pack walks the tree (readdir + stat + open/read per file) and appends
+    512-byte-header-plus-data records to one archive file.  Unpack reads
+    the archive sequentially and recreates directories and files,
+    issuing the extra per-file attribute syscalls (chmod, utimes) the
+    paper highlights.  Both phases are single-threaded, like tar. *)
+
+open Simurgh_sim
+open Simurgh_fs_common
+
+type result = {
+  seconds : float;
+  files : int;
+  bytes : int;
+  throughput_mb_s : float;
+}
+
+module Make (F : Fs_intf.S) = struct
+  module Tree = Linux_tree.Make (F)
+
+  let header_size = 512
+
+  let pack ?thr machine fs ~archive (dirs, files) =
+    let thr = match thr with Some t -> t | None -> Sthread.create 0 in
+    let ctx = Machine.ctx machine thr in
+    let t0 = thr.Sthread.now in
+    let total = ref 0 in
+    F.create_file ~ctx fs archive;
+    let out = F.openf ~ctx fs Types.wronly archive in
+    (* directory walk: readdir on every directory *)
+    List.iter (fun d -> ignore (F.readdir ~ctx fs d)) dirs;
+    List.iter
+      (fun { Linux_tree.path; size = _ } ->
+        let st = F.stat ~ctx fs path in
+        let fd = F.openf ~ctx fs Types.rdonly path in
+        (* tar-side work: header formatting and block checksums *)
+        Machine.cpu ctx (1200.0 +. (0.1 *. float_of_int st.Types.size));
+        ignore (F.append ~ctx fs out (Bytes.make header_size 'h'));
+        let pos = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let b = F.pread ~ctx fs fd ~pos:!pos ~len:65536 in
+          if Bytes.length b = 0 then continue := false
+          else begin
+            ignore (F.append ~ctx fs out b);
+            pos := !pos + Bytes.length b
+          end
+        done;
+        F.close ~ctx fs fd;
+        total := !total + st.Types.size + header_size)
+      files;
+    F.close ~ctx fs out;
+    let seconds =
+      Cost_model.seconds machine.Machine.cm (thr.Sthread.now -. t0)
+    in
+    {
+      seconds;
+      files = List.length files;
+      bytes = !total;
+      throughput_mb_s =
+        (if seconds > 0.0 then float_of_int !total /. 1e6 /. seconds else 0.0);
+    }
+
+  let unpack ?thr machine fs ~archive (dirs, files) ~dst =
+    let thr = match thr with Some t -> t | None -> Sthread.create 1 in
+    let ctx = Machine.ctx machine thr in
+    let t0 = thr.Sthread.now in
+    let total = ref 0 in
+    (* the paper notes tar reads the packed file via mmap: charged the
+       same for every file system *)
+    let src = F.openf ~ctx fs Types.rdonly archive in
+    let archive_pos = ref 0 in
+    F.mkdir ~ctx fs dst;
+    List.iter
+      (fun d ->
+        let out_dir = dst ^ d in
+        try F.mkdir ~ctx fs out_dir with Errno.Err (EEXIST, _) -> ())
+      dirs;
+    List.iter
+      (fun { Linux_tree.path; size } ->
+        (* header read + parse/validate *)
+        ignore (F.pread ~ctx fs src ~pos:!archive_pos ~len:header_size);
+        Machine.cpu ctx (800.0 +. (0.05 *. float_of_int size));
+        archive_pos := !archive_pos + header_size;
+        let out_path = dst ^ path in
+        F.create_file ~ctx fs out_path;
+        let fd = F.openf ~ctx fs Types.wronly out_path in
+        let remaining = ref size in
+        while !remaining > 0 do
+          let n = min !remaining 65536 in
+          let b = F.pread ~ctx fs src ~pos:!archive_pos ~len:n in
+          ignore (F.append ~ctx fs fd b);
+          archive_pos := !archive_pos + n;
+          remaining := !remaining - n
+        done;
+        F.close ~ctx fs fd;
+        (* attribute syscalls per extracted file (Section 5.4) *)
+        F.chmod ~ctx fs out_path 0o644;
+        F.utimes ~ctx fs out_path 0;
+        total := !total + size)
+      files;
+    F.close ~ctx fs src;
+    let seconds =
+      Cost_model.seconds machine.Machine.cm (thr.Sthread.now -. t0)
+    in
+    {
+      seconds;
+      files = List.length files;
+      bytes = !total;
+      throughput_mb_s =
+        (if seconds > 0.0 then float_of_int !total /. 1e6 /. seconds else 0.0);
+    }
+end

@@ -1,0 +1,135 @@
+(** YCSB workloads A-F over the LSM key-value store (paper Section 5.4,
+    Figs. 9 and 10, Table 1).
+
+    Key popularity follows the YCSB request distributions (scrambled
+    Zipfian for A/B/C/F, latest for D, Zipfian+scan for E).  The runner
+    wraps the file system in {!Instrument} so it can report the
+    application / data-copy / file-system execution-time breakdown. *)
+
+open Simurgh_sim
+open Simurgh_fs_common
+
+type workload = Load_a | Run_a | Run_b | Run_c | Run_d | Run_e | Run_f
+
+let name = function
+  | Load_a -> "LoadA"
+  | Run_a -> "RunA"
+  | Run_b -> "RunB"
+  | Run_c -> "RunC"
+  | Run_d -> "RunD"
+  | Run_e -> "RunE"
+  | Run_f -> "RunF"
+
+let all = [ Load_a; Run_a; Run_b; Run_c; Run_d; Run_e; Run_f ]
+
+type result = {
+  ops_per_s : float;
+  makespan_s : float;
+  total_ops : int;
+  (* execution-time breakdown, fractions of total *)
+  app_frac : float;
+  copy_frac : float;
+  fs_frac : float;
+}
+
+let value_size = 1024
+let key_of i = Printf.sprintf "user%020d" i
+
+module Make (F : Fs_intf.S) = struct
+  module IF = Instrument.Make (F)
+  module Db = Simurgh_kvstore.Db.Make (IF)
+
+  let make_value rng =
+    let b = Bytes.create value_size in
+    for i = 0 to value_size - 1 do
+      Bytes.set b i (Char.chr (97 + Rng.int rng 26))
+    done;
+    Bytes.to_string b
+
+  (* One YCSB op.  [records] is mutable for insert-heavy workloads. *)
+  let do_op workload db zipf records rng ~ctx =
+    let pick () = Zipf.sample_scrambled zipf rng mod max 1 !records in
+    match workload with
+    | Load_a ->
+        let i = !records in
+        incr records;
+        Db.put ~ctx db (key_of i) (make_value rng)
+    | Run_a ->
+        if Rng.bool rng then ignore (Db.get ~ctx db (key_of (pick ())))
+        else Db.put ~ctx db (key_of (pick ())) (make_value rng)
+    | Run_b ->
+        if Rng.int rng 100 < 95 then ignore (Db.get ~ctx db (key_of (pick ())))
+        else Db.put ~ctx db (key_of (pick ())) (make_value rng)
+    | Run_c -> ignore (Db.get ~ctx db (key_of (pick ())))
+    | Run_d ->
+        if Rng.int rng 100 < 95 then
+          ignore (Db.get ~ctx db (key_of (Zipf.sample_latest zipf rng mod max 1 !records)))
+        else begin
+          let i = !records in
+          incr records;
+          Db.put ~ctx db (key_of i) (make_value rng)
+        end
+    | Run_e ->
+        if Rng.int rng 100 < 95 then
+          ignore (Db.scan ~ctx db ~start:(key_of (pick ())) ~count:16)
+        else begin
+          let i = !records in
+          incr records;
+          Db.put ~ctx db (key_of i) (make_value rng)
+        end
+    | Run_f ->
+        if Rng.bool rng then ignore (Db.get ~ctx db (key_of (pick ())))
+        else
+          Db.read_modify_write ~ctx db
+            (key_of (pick ()))
+            (function Some v -> v | None -> make_value rng)
+
+  (** Run [workload]: loads [records] rows first (untimed unless the
+      workload IS the load phase), then [ops] operations across
+      [threads]. *)
+  let run machine fs workload ~records:nrecords ~ops ~threads =
+    let acc = Instrument.fresh_acc () in
+    let ifs = (fs, acc) in
+    let db = Db.open_ ifs in
+    let records = ref 0 in
+    let load_rng = Rng.create 7L in
+    if workload <> Load_a then begin
+      (* untimed load phase *)
+      for i = 0 to nrecords - 1 do
+        ignore i;
+        Db.put db (key_of !records) (make_value load_rng);
+        incr records
+      done
+    end;
+    Machine.reset machine;
+    acc.Instrument.fs_cycles <- 0.0;
+    acc.Instrument.copy_bytes <- 0;
+    let zipf = Zipf.create (max 16 nrecords) in
+    let op ctx _ =
+      do_op workload db zipf records ctx.Machine.thr.Sthread.rng ~ctx
+    in
+    let total_ops = if workload = Load_a then nrecords else ops in
+    let per_thread = max 1 (total_ops / threads) in
+    let outcome = Engine.run_ops machine ~threads ~ops_per_thread:per_thread op in
+    Db.close db;
+    let cm = machine.Machine.cm in
+    let seconds = Cost_model.seconds cm outcome.Engine.makespan_cycles in
+    let total_cycles =
+      outcome.Engine.makespan_cycles *. float_of_int threads
+    in
+    let copy = Instrument.copy_cycles cm acc.Instrument.copy_bytes in
+    let fs_cycles = Float.max 0.0 (acc.Instrument.fs_cycles -. copy) in
+    let app = Float.max 0.0 (total_cycles -. fs_cycles -. copy) in
+    let tot = Float.max 1.0 (app +. copy +. fs_cycles) in
+    {
+      ops_per_s =
+        (if seconds > 0.0 then
+           float_of_int outcome.Engine.total_ops /. seconds
+         else 0.0);
+      makespan_s = seconds;
+      total_ops = outcome.Engine.total_ops;
+      app_frac = app /. tot;
+      copy_frac = copy /. tot;
+      fs_frac = fs_cycles /. tot;
+    }
+end

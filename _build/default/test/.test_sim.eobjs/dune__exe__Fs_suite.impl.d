@@ -1,0 +1,1 @@
+test/fs_suite.ml: Alcotest Bytes Char Errno Fs_intf List Printf Simurgh_fs_common Types

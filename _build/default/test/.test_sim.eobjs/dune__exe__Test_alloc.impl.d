@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Bytes Hashtbl List Option QCheck QCheck_alcotest Region Simurgh_alloc Simurgh_nvmm String

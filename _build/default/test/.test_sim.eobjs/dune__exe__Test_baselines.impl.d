@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bytes Char Fs_suite Simurgh_baselines Simurgh_fs_common String Types

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bytes Errno List Printf QCheck QCheck_alcotest Simurgh_core Simurgh_fs_common Simurgh_nvmm Types

@@ -1,0 +1,1 @@
+test/test_dirblock.ml: Alcotest Dirblock Fentry Hashtbl List Name_hash Printf QCheck QCheck_alcotest Region Simurgh_core Simurgh_nvmm String

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Bytes Errno Filename Fs_suite Hashtbl List Printf QCheck QCheck_alcotest Simurgh_alloc Simurgh_core Simurgh_fs_common Simurgh_nvmm String Types

@@ -1,0 +1,1 @@
+test/test_fs_model.ml: Alcotest Bytes Errno List Map Path Printf QCheck QCheck_alcotest Simurgh_core Simurgh_fs_common Simurgh_nvmm String Types

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Cpu Fault Gem5 List Page_table Printf Privilege Protected Simurgh_hw

@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Buffer Hashtbl List Printf QCheck QCheck_alcotest Simurgh_core Simurgh_fs_common Simurgh_kvstore Simurgh_nvmm String

@@ -1,0 +1,1 @@
+test/test_multiprocess.ml: Alcotest Array Bytes Engine Errno Hashtbl List Machine Printf Simurgh_core Simurgh_fs_common Simurgh_nvmm Simurgh_sim Sthread Types

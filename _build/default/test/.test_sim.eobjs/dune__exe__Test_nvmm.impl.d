@@ -1,0 +1,1 @@
+test/test_nvmm.ml: Alcotest Bytes Filename Gen Pptr QCheck QCheck_alcotest Region Simurgh_nvmm String Sys

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Bytes Errno List Printf QCheck QCheck_alcotest Simurgh_alloc Simurgh_core Simurgh_fs_common Simurgh_nvmm Types

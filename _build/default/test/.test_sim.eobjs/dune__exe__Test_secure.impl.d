@@ -1,0 +1,1 @@
+test/test_secure.ml: Alcotest Bytes Cpu Errno Fault List Page_table Privilege Protected Simurgh_core Simurgh_fs_common Simurgh_hw Simurgh_nvmm Types

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cost_model Engine Fun Hashtbl Int64 List Machine QCheck QCheck_alcotest Resource Rng Simurgh_sim Stats Sthread Vlock Zipf

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Float Machine Simurgh_sim Simurgh_vfs Sthread Vlock

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes Filebench Fxmark Git_sim Instrument Linux_tree List Simurgh_core Simurgh_fs_common Simurgh_nvmm Simurgh_sim Simurgh_workloads Tar_sim Ycsb

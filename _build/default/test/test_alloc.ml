@@ -1,0 +1,257 @@
+(* Tests for the segmented block allocator and the slab metadata-object
+   allocator. *)
+
+open Simurgh_nvmm
+module B = Simurgh_alloc.Block_alloc
+module S = Simurgh_alloc.Slab_alloc
+
+let mk_balloc ?(segments = 4) ?(blocks = 1024) () =
+  let region = Region.create (1 lsl 21) in
+  let off = 0 in
+  let base = 4096 in
+  (region, B.format region ~off ~base ~blocks ~block_size:256 ~segments)
+
+let check_inv b =
+  match B.check_invariants b with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("invariant: " ^ e)
+
+(* --- block allocator ------------------------------------------------------ *)
+
+let test_balloc_basic () =
+  let _, b = mk_balloc () in
+  Alcotest.(check int) "all free" 1024 (B.free_blocks b);
+  let a1 = Option.get (B.alloc b 10) in
+  let a2 = Option.get (B.alloc b 10) in
+  Alcotest.(check bool) "disjoint" true (abs (a1 - a2) >= 10 * 256);
+  Alcotest.(check int) "free count" 1004 (B.free_blocks b);
+  B.free b ~addr:a1 10;
+  B.free b ~addr:a2 10;
+  Alcotest.(check int) "restored" 1024 (B.free_blocks b);
+  check_inv b
+
+let test_balloc_exhaustion () =
+  let _, b = mk_balloc ~segments:2 ~blocks:64 () in
+  (* each segment holds 32 blocks; a 33-block request cannot be satisfied *)
+  Alcotest.(check bool) "too big" true (B.alloc b 33 = None);
+  Alcotest.(check bool) "fits" true (B.alloc b 32 <> None);
+  Alcotest.(check bool) "second segment" true (B.alloc b 32 <> None);
+  Alcotest.(check bool) "exhausted" true (B.alloc b 1 = None)
+
+let test_balloc_coalescing () =
+  let _, b = mk_balloc ~segments:1 ~blocks:100 () in
+  let a = Option.get (B.alloc b 100) in
+  Alcotest.(check int) "empty" 0 (B.free_blocks b);
+  (* free in shuffled chunks; coalescing must rebuild one range *)
+  let chunks = [ 30; 0; 60; 10; 40; 80; 20; 50; 90; 70 ] in
+  List.iter (fun c -> B.free b ~addr:(a + (c * 256)) 10) chunks;
+  Alcotest.(check int) "all back" 100 (B.free_blocks b);
+  check_inv b;
+  (* a full-size allocation proves the ranges merged *)
+  Alcotest.(check bool) "coalesced" true (B.alloc b 100 <> None)
+
+let test_balloc_hint_spreads () =
+  let _, b = mk_balloc ~segments:4 ~blocks:1024 () in
+  let seg_of addr = (addr - 4096) / 256 / ((1024 + 3) / 4) in
+  let segs =
+    List.init 16 (fun i -> seg_of (Option.get (B.alloc ~hint:(i * 977) b 1)))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "multiple segments used" true (List.length segs > 1)
+
+let test_balloc_attach () =
+  let region, b = mk_balloc () in
+  let a = Option.get (B.alloc b 5) in
+  let b2 = B.attach region ~off:0 in
+  Alcotest.(check int) "state persisted" (B.free_blocks b) (B.free_blocks b2);
+  B.free b2 ~addr:a 5;
+  Alcotest.(check int) "free through reattach" 1024 (B.free_blocks b2)
+
+let test_balloc_stuck_segment_recovery () =
+  let region, b = mk_balloc ~segments:1 ~blocks:64 () in
+  (* simulate a crash while holding the segment lock: flag set, stale *)
+  Region.write_u8 region 32 1;
+  (* without a ctx, segment_is_stuck treats the flag as stale *)
+  Alcotest.(check bool) "alloc recovers the lock" true (B.alloc b 1 <> None)
+
+let test_balloc_rebuild () =
+  let _, b = mk_balloc ~segments:2 ~blocks:100 () in
+  let keep = Option.get (B.alloc b 7) in
+  let _lose = Option.get (B.alloc b 5) in
+  let first_block = (keep - 4096) / 256 in
+  let in_use blk = blk >= first_block && blk < first_block + 7 in
+  B.rebuild_free_lists b ~in_use;
+  Alcotest.(check int) "only kept range in use" 93 (B.free_blocks b);
+  check_inv b
+
+let prop_balloc_random_ops =
+  QCheck.Test.make ~name:"block allocator: random alloc/free keeps invariants"
+    ~count:60
+    QCheck.(list (int_range 1 12))
+    (fun sizes ->
+      let _, b = mk_balloc ~segments:3 ~blocks:256 () in
+      let live = ref [] in
+      let total = B.free_blocks b in
+      List.iteri
+        (fun i n ->
+          (match B.alloc ~hint:i b n with
+          | Some a ->
+              (* no overlap with live ranges *)
+              List.iter
+                (fun (a', n') ->
+                  if a < a' + (n' * 256) && a' < a + (n * 256) then
+                    QCheck.Test.fail_report "overlap")
+                !live;
+              live := (a, n) :: !live
+          | None -> ());
+          (* free every other allocation *)
+          if i mod 2 = 1 then
+            match !live with
+            | (a, n) :: rest ->
+                B.free b ~addr:a n;
+                live := rest
+            | [] -> ())
+        sizes;
+      List.iter (fun (a, n) -> B.free b ~addr:a n) !live;
+      B.free_blocks b = total
+      && match B.check_invariants b with Ok () -> true | Error _ -> false)
+
+(* --- slab allocator ------------------------------------------------------- *)
+
+let mk_slab ?(obj_size = 64) () =
+  let region = Region.create (1 lsl 21) in
+  let balloc =
+    B.format region ~off:0 ~base:8192 ~blocks:4096 ~block_size:256 ~segments:2
+  in
+  (region, S.format region ~off:4096 ~obj_size ~block_alloc:balloc ~objs_per_seg:16)
+
+let test_slab_alloc_commit_free () =
+  let _, s = mk_slab () in
+  let p = Option.get (S.alloc s) in
+  Alcotest.(check bool) "unprocessed after alloc" true (S.is_unprocessed s p);
+  S.commit s p;
+  Alcotest.(check bool) "live after commit" true (S.is_live s p);
+  Alcotest.(check int) "one live" 1 (S.live_objects s);
+  S.free s p;
+  Alcotest.(check int) "flags cleared" 0 (S.obj_flags s p);
+  Alcotest.(check int) "none live" 0 (S.live_objects s)
+
+let test_slab_free_zeroes () =
+  let region, s = mk_slab () in
+  let p = Option.get (S.alloc s) in
+  Region.write_string region p "garbage!";
+  S.commit s p;
+  S.free s p;
+  Alcotest.(check string) "payload zeroed" (String.make 8 '\000')
+    (Bytes.to_string (Region.read_bytes region p 8))
+
+let test_slab_two_phase_free () =
+  let _, s = mk_slab () in
+  let p = Option.get (S.alloc s) in
+  S.commit s p;
+  S.begin_free s p;
+  (* state 01: mid-deallocation *)
+  Alcotest.(check int) "dirty only" 2 (S.obj_flags s p);
+  S.finish_free s p;
+  Alcotest.(check int) "free" 0 (S.obj_flags s p)
+
+let test_slab_no_double_alloc () =
+  let _, s = mk_slab () in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 64 do
+    match S.alloc s with
+    | Some p ->
+        Alcotest.(check bool) "fresh address" false (Hashtbl.mem seen p);
+        Hashtbl.replace seen p ()
+    | None -> ()
+  done
+
+let test_slab_grows_on_demand () =
+  let _, s = mk_slab () in
+  (* objs_per_seg = 16; allocating 40 needs three segments *)
+  let ps = List.init 40 (fun _ -> S.alloc s) in
+  Alcotest.(check bool) "all served" true (List.for_all Option.is_some ps);
+  let segs = ref 0 in
+  S.iter_segments s (fun _ -> incr segs);
+  Alcotest.(check bool) "grew" true (!segs >= 3)
+
+let test_slab_rebuild_reclaims () =
+  let _, s = mk_slab () in
+  let keep = Option.get (S.alloc s) in
+  S.commit s keep;
+  let lost = Option.get (S.alloc s) in
+  (* crash: [lost] stays in state 11 *)
+  ignore lost;
+  S.rebuild_cache ~reclaim:true s;
+  Alcotest.(check int) "unprocessed reclaimed" 0 (S.obj_flags s lost);
+  Alcotest.(check bool) "live object kept" true (S.is_live s keep);
+  Alcotest.(check int) "one live" 1 (S.live_objects s)
+
+let test_slab_reuse_after_free () =
+  let _, s = mk_slab () in
+  let p = Option.get (S.alloc s) in
+  S.commit s p;
+  S.free s p;
+  (* the freed slot eventually comes back *)
+  let reused = ref false in
+  for _ = 1 to 32 do
+    match S.alloc s with
+    | Some q when q = p -> reused := true
+    | Some q -> S.commit s q
+    | None -> ()
+  done;
+  Alcotest.(check bool) "slot recycled" true !reused
+
+let prop_slab_states =
+  QCheck.Test.make ~name:"slab: live count tracks alloc/free" ~count:100
+    QCheck.(list bool)
+    (fun ops ->
+      let _, s = mk_slab () in
+      let live = ref [] in
+      List.iter
+        (fun alloc_op ->
+          if alloc_op then (
+            match S.alloc s with
+            | Some p ->
+                S.commit s p;
+                live := p :: !live
+            | None -> ())
+          else
+            match !live with
+            | p :: rest ->
+                S.free s p;
+                live := rest
+            | [] -> ())
+        ops;
+      S.live_objects s = List.length !live)
+
+let () =
+  Alcotest.run "alloc"
+    [
+      ( "block",
+        [
+          Alcotest.test_case "basic" `Quick test_balloc_basic;
+          Alcotest.test_case "exhaustion" `Quick test_balloc_exhaustion;
+          Alcotest.test_case "coalescing" `Quick test_balloc_coalescing;
+          Alcotest.test_case "hint spreads" `Quick test_balloc_hint_spreads;
+          Alcotest.test_case "attach" `Quick test_balloc_attach;
+          Alcotest.test_case "stuck segment recovery" `Quick
+            test_balloc_stuck_segment_recovery;
+          Alcotest.test_case "rebuild" `Quick test_balloc_rebuild;
+          QCheck_alcotest.to_alcotest prop_balloc_random_ops;
+        ] );
+      ( "slab",
+        [
+          Alcotest.test_case "alloc/commit/free" `Quick
+            test_slab_alloc_commit_free;
+          Alcotest.test_case "free zeroes" `Quick test_slab_free_zeroes;
+          Alcotest.test_case "two-phase free" `Quick test_slab_two_phase_free;
+          Alcotest.test_case "no double alloc" `Quick test_slab_no_double_alloc;
+          Alcotest.test_case "grows" `Quick test_slab_grows_on_demand;
+          Alcotest.test_case "rebuild reclaims" `Quick
+            test_slab_rebuild_reclaims;
+          Alcotest.test_case "reuse after free" `Quick
+            test_slab_reuse_after_free;
+          QCheck_alcotest.to_alcotest prop_slab_states;
+        ] );
+    ]

@@ -1,0 +1,87 @@
+(* The kernel-FS baselines must provide the same POSIX semantics as
+   Simurgh: run the shared suite against each of them, plus a few checks
+   of the mechanisms that differentiate them (dcache stats, staged
+   appends). *)
+
+module Nova_suite =
+  Fs_suite.Make
+    (Simurgh_baselines.Nova)
+    (struct
+      let fresh () = Simurgh_baselines.Nova.create ()
+    end)
+
+module Pmfs_suite =
+  Fs_suite.Make
+    (Simurgh_baselines.Pmfs)
+    (struct
+      let fresh () = Simurgh_baselines.Pmfs.create ()
+    end)
+
+module Ext4_suite =
+  Fs_suite.Make
+    (Simurgh_baselines.Ext4dax)
+    (struct
+      let fresh () = Simurgh_baselines.Ext4dax.create ()
+    end)
+
+module Splitfs_suite =
+  Fs_suite.Make
+    (Simurgh_baselines.Splitfs)
+    (struct
+      let fresh () = Simurgh_baselines.Splitfs.create ()
+    end)
+
+let test_names () =
+  Alcotest.(check string) "nova" "NOVA"
+    (Simurgh_baselines.Kernel_fs.name (Simurgh_baselines.Nova.create ()));
+  Alcotest.(check string) "pmfs" "PMFS"
+    (Simurgh_baselines.Kernel_fs.name (Simurgh_baselines.Pmfs.create ()));
+  Alcotest.(check string) "ext4" "EXT4-DAX"
+    (Simurgh_baselines.Kernel_fs.name (Simurgh_baselines.Ext4dax.create ()));
+  Alcotest.(check string) "splitfs" "SplitFS"
+    (Simurgh_baselines.Kernel_fs.name (Simurgh_baselines.Splitfs.create ()))
+
+let test_dcache_hits () =
+  let fs = Simurgh_baselines.Nova.create () in
+  Simurgh_baselines.Nova.mkdir fs "/d";
+  Simurgh_baselines.Nova.create_file fs "/d/f";
+  for _ = 1 to 10 do
+    ignore (Simurgh_baselines.Nova.stat fs "/d/f")
+  done;
+  let hits, _ = Simurgh_baselines.Kernel_fs.dcache_stats fs in
+  Alcotest.(check bool) "repeated lookups hit the dcache" true (hits >= 18)
+
+let test_splitfs_staged_appends_content () =
+  (* the staging fast path must still produce correct file contents *)
+  let open Simurgh_fs_common in
+  let fs = Simurgh_baselines.Splitfs.create () in
+  Simurgh_baselines.Splitfs.create_file fs "/w";
+  let fd = Simurgh_baselines.Splitfs.openf fs Types.wronly "/w" in
+  for i = 0 to 199 do
+    ignore
+      (Simurgh_baselines.Splitfs.append fs fd
+         (Bytes.make 10 (Char.chr (97 + (i mod 26)))))
+  done;
+  Simurgh_baselines.Splitfs.close fs fd;
+  let fd = Simurgh_baselines.Splitfs.openf fs Types.rdonly "/w" in
+  let b = Simurgh_baselines.Splitfs.pread fs fd ~pos:1990 ~len:10 in
+  (* append #199 wrote 'h' (199 mod 26 = 17 -> 'r')? compute: 97+17='r' *)
+  Alcotest.(check string) "staged content correct" (String.make 10 'r')
+    (Bytes.to_string b);
+  Simurgh_baselines.Splitfs.close fs fd
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ("nova-posix", Nova_suite.suite);
+      ("pmfs-posix", Pmfs_suite.suite);
+      ("ext4dax-posix", Ext4_suite.suite);
+      ("splitfs-posix", Splitfs_suite.suite);
+      ( "mechanisms",
+        [
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "dcache hits" `Quick test_dcache_hits;
+          Alcotest.test_case "staged append content" `Quick
+            test_splitfs_staged_appends_content;
+        ] );
+    ]

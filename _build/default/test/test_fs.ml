@@ -1,0 +1,260 @@
+(* Simurgh file-system tests: the shared POSIX suite plus Simurgh-specific
+   behaviours (permissions, persistence across remount, long names,
+   extent stress, open-file map). *)
+
+open Simurgh_fs_common
+module Fs = Simurgh_core.Fs
+
+let fresh_region () = Simurgh_nvmm.Region.create (128 * 1024 * 1024)
+let fresh () = Fs.mkfs ~euid:0 (fresh_region ())
+
+module Posix =
+  Fs_suite.Make
+    (Fs)
+    (struct
+      let fresh = fresh
+    end)
+
+let expect_err expected f =
+  match f () with
+  | _ -> Alcotest.failf "expected %s" (Errno.to_string expected)
+  | exception Errno.Err (e, _) ->
+      Alcotest.(check string) "errno" (Errno.to_string expected)
+        (Errno.to_string e)
+
+(* --- Simurgh-specific ---------------------------------------------------- *)
+
+let test_remount_persists () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/home";
+  Fs.create_file fs "/home/file";
+  let fd = Fs.openf fs Types.wronly "/home/file" in
+  ignore (Fs.append fs fd (Bytes.of_string "persistent data"));
+  Fs.close fs fd;
+  Fs.unmount fs;
+  (* everything must be readable through a fresh mount of the same bytes *)
+  let fs2 = Fs.mount ~euid:0 region in
+  Alcotest.(check bool) "file survives" true (Fs.exists fs2 "/home/file");
+  let fd = Fs.openf fs2 Types.rdonly "/home/file" in
+  Alcotest.(check string) "data survives" "persistent data"
+    (Bytes.to_string (Fs.pread fs2 fd ~pos:0 ~len:100));
+  Fs.close fs2 fd
+
+let test_permissions () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:1000 ~egid:1000 region in
+  (* root dir is 0755 owned by root: a user cannot create at / *)
+  expect_err Errno.EACCES (fun () -> Fs.create_file fs "/denied");
+  (* but root can *)
+  Fs.set_creds fs ~euid:0 ~egid:0;
+  Fs.mkdir fs ~perm:0o700 "/rootonly";
+  Fs.mkdir fs ~perm:0o777 "/public";
+  Fs.set_creds fs ~euid:1000 ~egid:1000;
+  expect_err Errno.EACCES (fun () -> Fs.create_file fs "/rootonly/f");
+  Fs.create_file fs ~perm:0o600 "/public/mine";
+  (* another user cannot read a 0600 file *)
+  Fs.set_creds fs ~euid:2000 ~egid:2000;
+  expect_err Errno.EACCES (fun () ->
+      ignore (Fs.openf fs Types.rdonly "/public/mine"))
+
+let test_long_name_spill () =
+  let fs = fresh () in
+  let name = "/" ^ String.make 200 'z' in
+  Fs.create_file fs name;
+  Alcotest.(check bool) "long name found" true (Fs.exists fs name);
+  Alcotest.(check bool) "listed" true
+    (List.exists (fun n -> String.length n = 200) (Fs.readdir fs "/"));
+  Fs.unlink fs name;
+  Alcotest.(check bool) "removed" false (Fs.exists fs name)
+
+let test_name_too_long () =
+  let fs = fresh () in
+  expect_err Errno.ENAMETOOLONG (fun () ->
+      Fs.create_file fs ("/" ^ String.make 300 'x'))
+
+let test_extent_chain_stress () =
+  let fs = fresh () in
+  Fs.create_file fs "/huge";
+  let fd = Fs.openf fs Types.rdwr "/huge" in
+  (* interleaved writes force many extents (beyond the 4 inline ones) *)
+  let chunk = Bytes.make 8192 'e' in
+  for i = 0 to 299 do
+    ignore (Fs.pwrite fs fd ~pos:(i * 8192) chunk)
+  done;
+  Alcotest.(check int) "size" (300 * 8192) (Fs.stat fs "/huge").Types.size;
+  (* random-position readback *)
+  let b = Fs.pread fs fd ~pos:(123 * 8192) ~len:16 in
+  Alcotest.(check string) "content" (String.make 16 'e') (Bytes.to_string b);
+  Fs.close fs fd;
+  (* unlink returns every block *)
+  let free_before =
+    Simurgh_alloc.Block_alloc.free_blocks (Fs.layout fs).Simurgh_core.Layout.balloc
+  in
+  Fs.unlink fs "/huge";
+  let free_after =
+    Simurgh_alloc.Block_alloc.free_blocks (Fs.layout fs).Simurgh_core.Layout.balloc
+  in
+  Alcotest.(check bool) "blocks freed" true (free_after > free_before)
+
+let test_write_updates_mtime_and_size_order () =
+  let fs = fresh () in
+  Fs.create_file fs "/f";
+  let fd = Fs.openf fs Types.wronly "/f" in
+  ignore (Fs.append fs fd (Bytes.make 10 'x'));
+  let m1 = (Fs.stat fs "/f").Types.mtime in
+  ignore (Fs.append fs fd (Bytes.make 10 'x'));
+  let m2 = (Fs.stat fs "/f").Types.mtime in
+  Alcotest.(check bool) "mtime advances" true (m2 >= m1);
+  Fs.close fs fd
+
+let test_open_file_map_reuse () =
+  let fs = fresh () in
+  Fs.create_file fs "/f";
+  let fd1 = Fs.openf fs Types.rdonly "/f" in
+  Fs.close fs fd1;
+  let fd2 = Fs.openf fs Types.rdonly "/f" in
+  (* descriptors are recycled *)
+  Alcotest.(check int) "fd recycled" fd1 fd2;
+  Fs.close fs fd2
+
+let test_write_to_readonly_fd () =
+  let fs = fresh () in
+  Fs.create_file fs "/f";
+  let fd = Fs.openf fs Types.rdonly "/f" in
+  expect_err Errno.EBADF (fun () ->
+      ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make 1 'x')));
+  Fs.close fs fd
+
+let test_read_from_writeonly_fd () =
+  let fs = fresh () in
+  Fs.create_file fs "/f";
+  let fd = Fs.openf fs Types.wronly "/f" in
+  expect_err Errno.EBADF (fun () -> ignore (Fs.pread fs fd ~pos:0 ~len:1));
+  Fs.close fs fd
+
+let test_statfs_tracks_usage () =
+  let fs = fresh () in
+  let st0 = Fs.statfs fs in
+  Alcotest.(check int) "accounting sane" st0.Fs.total_blocks
+    st0.Fs.total_blocks;
+  Fs.create_file fs "/f";
+  let fd = Fs.openf fs Types.wronly "/f" in
+  ignore (Fs.append fs fd (Bytes.make 100_000 'x'));
+  Fs.close fs fd;
+  let st1 = Fs.statfs fs in
+  Alcotest.(check bool) "blocks consumed" true
+    (st1.Fs.free_blocks < st0.Fs.free_blocks);
+  Alcotest.(check int) "one more inode" (st0.Fs.live_inodes + 1)
+    st1.Fs.live_inodes;
+  Fs.unlink fs "/f";
+  let st2 = Fs.statfs fs in
+  Alcotest.(check int) "blocks restored" st0.Fs.free_blocks st2.Fs.free_blocks;
+  Alcotest.(check int) "inode freed" st0.Fs.live_inodes st2.Fs.live_inodes
+
+let test_deep_hierarchy () =
+  let fs = fresh () in
+  let path = ref "" in
+  for i = 0 to 19 do
+    path := Printf.sprintf "%s/d%d" !path i;
+    Fs.mkdir fs !path
+  done;
+  Fs.create_file fs (!path ^ "/leaf");
+  Alcotest.(check bool) "deep leaf" true (Fs.exists fs (!path ^ "/leaf"))
+
+let test_dir_hash_block_freed_on_rmdir () =
+  let fs = fresh () in
+  let balloc = (Fs.layout fs).Simurgh_core.Layout.balloc in
+  let before = Simurgh_alloc.Block_alloc.free_blocks balloc in
+  Fs.mkdir fs "/tmp";
+  Fs.rmdir fs "/tmp";
+  let after = Simurgh_alloc.Block_alloc.free_blocks balloc in
+  Alcotest.(check bool) "dir blocks returned" true (after >= before - 1)
+
+let test_rename_directory () =
+  let fs = fresh () in
+  Fs.mkdir fs "/olddir";
+  Fs.create_file fs "/olddir/content";
+  Fs.rename fs "/olddir" "/newdir";
+  Alcotest.(check bool) "renamed dir" true (Fs.exists fs "/newdir/content");
+  Alcotest.(check bool) "old gone" false (Fs.exists fs "/olddir")
+
+let test_symlink_intermediate () =
+  let fs = fresh () in
+  Fs.mkdir fs "/real";
+  Fs.create_file fs "/real/f";
+  Fs.symlink fs ~target:"/real" "/alias";
+  Alcotest.(check bool) "through symlinked dir" true
+    (Fs.exists fs "/alias/f")
+
+let test_unlink_during_shared_names () =
+  (* names hashing to the same lock row must not interfere *)
+  let fs = fresh () in
+  Fs.mkdir fs "/d";
+  let names = List.init 200 (fun i -> Printf.sprintf "/d/n%d" i) in
+  List.iter (Fs.create_file fs) names;
+  (* delete every other, check the rest *)
+  List.iteri (fun i n -> if i mod 2 = 0 then Fs.unlink fs n) names;
+  List.iteri
+    (fun i n ->
+      Alcotest.(check bool) n (i mod 2 = 1) (Fs.exists fs n))
+    names
+
+let prop_random_file_population =
+  QCheck.Test.make ~name:"random create/unlink matches a set model" ~count:30
+    QCheck.(list (pair bool (int_range 0 60)))
+    (fun ops ->
+      let fs = fresh () in
+      Fs.mkdir fs "/p";
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (create, k) ->
+          let path = Printf.sprintf "/p/file%02d" k in
+          if create then (
+            match Fs.create_file fs path with
+            | () -> Hashtbl.replace model path ()
+            | exception Errno.Err (EEXIST, _) -> ())
+          else
+            match Fs.unlink fs path with
+            | () -> Hashtbl.remove model path
+            | exception Errno.Err (ENOENT, _) -> ())
+        ops;
+      let listed = List.sort compare (Fs.readdir fs "/p") in
+      let expected =
+        Hashtbl.fold (fun p () acc -> Filename.basename p :: acc) model []
+        |> List.sort compare
+      in
+      listed = expected)
+
+let () =
+  Alcotest.run "fs"
+    [
+      ("posix", Posix.suite);
+      ( "simurgh",
+        [
+          Alcotest.test_case "remount persists" `Quick test_remount_persists;
+          Alcotest.test_case "permissions" `Quick test_permissions;
+          Alcotest.test_case "long name spill" `Quick test_long_name_spill;
+          Alcotest.test_case "ENAMETOOLONG" `Quick test_name_too_long;
+          Alcotest.test_case "extent chain stress" `Quick
+            test_extent_chain_stress;
+          Alcotest.test_case "mtime order" `Quick
+            test_write_updates_mtime_and_size_order;
+          Alcotest.test_case "fd reuse" `Quick test_open_file_map_reuse;
+          Alcotest.test_case "write on rdonly fd" `Quick
+            test_write_to_readonly_fd;
+          Alcotest.test_case "read on wronly fd" `Quick
+            test_read_from_writeonly_fd;
+          Alcotest.test_case "statfs tracks usage" `Quick
+            test_statfs_tracks_usage;
+          Alcotest.test_case "deep hierarchy" `Quick test_deep_hierarchy;
+          Alcotest.test_case "rmdir frees blocks" `Quick
+            test_dir_hash_block_freed_on_rmdir;
+          Alcotest.test_case "rename directory" `Quick test_rename_directory;
+          Alcotest.test_case "symlink intermediate" `Quick
+            test_symlink_intermediate;
+          Alcotest.test_case "interleaved unlink" `Quick
+            test_unlink_during_shared_names;
+          QCheck_alcotest.to_alcotest prop_random_file_population;
+        ] );
+    ]

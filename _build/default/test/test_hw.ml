@@ -1,0 +1,255 @@
+(* Tests for the protection hardware model: page tables with the ep bit,
+   jmpp/pret semantics and the gem5-lite cycle model. *)
+
+open Simurgh_hw
+
+let fault k = Alcotest.check_raises "fault" (Fault.Fault k)
+
+(* --- privilege ---------------------------------------------------------- *)
+
+let test_privilege_cpl () =
+  Alcotest.(check int) "user" 3 (Privilege.to_cpl Privilege.User);
+  Alcotest.(check int) "kernel" 0 (Privilege.to_cpl Privilege.Kernel);
+  Alcotest.(check bool) "roundtrip" true
+    (Privilege.of_cpl 3 = Privilege.User && Privilege.of_cpl 0 = Privilege.Kernel)
+
+(* --- page table ---------------------------------------------------------- *)
+
+let test_pt_user_cannot_touch_kernel_page () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~page:5 ~kernel:true ~writable:true;
+  fault (Fault.Kernel_page_access { page = 5; write = false }) (fun () ->
+      Page_table.check_access pt ~mode:Privilege.User ~addr:(5 * 4096) ~write:false)
+
+let test_pt_kernel_can_touch_kernel_page () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~page:5 ~kernel:true ~writable:true;
+  Page_table.check_access pt ~mode:Privilege.Kernel ~addr:(5 * 4096) ~write:true
+
+let test_pt_not_present_faults () =
+  let pt = Page_table.create () in
+  fault (Fault.Page_not_present 9) (fun () ->
+      Page_table.check_access pt ~mode:Privilege.Kernel ~addr:(9 * 4096)
+        ~write:false)
+
+let test_pt_ep_only_from_kernel () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~page:7 ~kernel:true ~writable:false;
+  fault (Fault.Ep_set_from_user 7) (fun () ->
+      Page_table.set_ep pt ~mode:Privilege.User ~page:7);
+  Page_table.set_ep pt ~mode:Privilege.Kernel ~page:7
+
+let test_pt_protected_mapping_immutable () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~page:7 ~kernel:true ~writable:false;
+  Page_table.set_ep pt ~mode:Privilege.Kernel ~page:7;
+  (* mmap() may not replace pages carrying protected functions *)
+  fault (Fault.Write_to_protected_mapping 7) (fun () ->
+      Page_table.remap pt ~page:7 ~kernel:false ~writable:true)
+
+let test_pt_write_to_readonly_faults () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~page:3 ~kernel:false ~writable:false;
+  fault (Fault.Kernel_page_access { page = 3; write = true }) (fun () ->
+      Page_table.check_access pt ~mode:Privilege.User ~addr:(3 * 4096)
+        ~write:true)
+
+(* --- protected functions -------------------------------------------------- *)
+
+let test_protected_call_roundtrip () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:1000 ~egid:100 in
+  let observed = ref None in
+  let f =
+    Protected.register univ ~name:"probe" (fun w x ->
+        Protected.check_privileged w cpu;
+        observed := Some (Cpu.mode cpu);
+        x * 2)
+  in
+  Protected.seal univ;
+  Alcotest.(check int) "result" 42 (f 21);
+  Alcotest.(check bool) "ran in kernel mode" true
+    (!observed = Some Privilege.Kernel);
+  Alcotest.(check bool) "back to user mode" true
+    (Cpu.mode cpu = Privilege.User)
+
+let test_protected_nested_calls () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  let inner =
+    Protected.register univ ~name:"inner" (fun _w () -> Cpu.cpl cpu)
+  in
+  let outer =
+    Protected.register univ ~name:"outer" (fun _w () ->
+        let inside = inner () in
+        (* still kernel after the nested pret *)
+        (inside, Cpu.cpl cpu))
+  in
+  Protected.seal univ;
+  let inside, after_inner = outer () in
+  Alcotest.(check int) "nested runs at CPL 0" 0 inside;
+  Alcotest.(check int) "outer still CPL 0 after nested pret" 0 after_inner;
+  Alcotest.(check int) "user again at the end" 3 (Cpu.cpl cpu)
+
+let test_jmpp_bad_offset_faults () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  let _f = Protected.register univ ~name:"f" (fun _ () -> ()) in
+  Protected.seal univ;
+  let addr = Protected.address_of univ "f" in
+  (* offset 0x004 is not one of the fixed entry points *)
+  let page = Page_table.page_of_addr addr in
+  Alcotest.check_raises "bad offset"
+    (Fault.Fault (Fault.Jmpp_bad_entry_offset { page; offset = 0x004 }))
+    (fun () -> Protected.jmpp_raw univ ((page * Page_table.page_size) + 0x004))
+
+let test_jmpp_nop_entry_faults () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  let _f = Protected.register univ ~name:"f" (fun _ () -> ()) in
+  Protected.seal univ;
+  let addr = Protected.address_of univ "f" in
+  let page = Page_table.page_of_addr addr in
+  (* the second slot was never registered: its first instruction is a nop *)
+  Alcotest.check_raises "nop entry"
+    (Fault.Fault (Fault.Entry_is_nop { page; offset = 0x400 }))
+    (fun () -> Protected.jmpp_raw univ ((page * Page_table.page_size) + 0x400))
+
+let test_jmpp_unprotected_page_faults () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  Protected.seal univ;
+  fault (Fault.Jmpp_target_not_protected 1) (fun () ->
+      Protected.jmpp_raw univ (1 * Page_table.page_size))
+
+let test_register_after_seal_rejected () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  Protected.seal univ;
+  Alcotest.check_raises "sealed"
+    (Invalid_argument "Protected.register: universe sealed after bootstrap")
+    (fun () ->
+      let f = Protected.register univ ~name:"late" (fun _ () -> ()) in
+      f ())
+
+let test_mode_restored_on_exception () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  let f =
+    Protected.register univ ~name:"boom" (fun _ () -> failwith "inside")
+  in
+  Protected.seal univ;
+  (try f () with Failure _ -> ());
+  Alcotest.(check int) "CPL restored after exception" 3 (Cpu.cpl cpu)
+
+let test_creds_via_witness () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:1234 ~egid:99 in
+  let f =
+    Protected.register univ ~name:"who" (fun w () ->
+        (Protected.euid w univ, Protected.egid w univ))
+  in
+  Protected.seal univ;
+  Alcotest.(check (pair int int)) "creds" (1234, 99) (f ())
+
+let test_interrupt_return_restores_mode () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  let f =
+    Protected.register univ ~name:"preempted" (fun _ () ->
+        (* scheduler preempts and returns: CPL must stay kernel inside a
+           protected function (Section 3.3, Kernel Modification) *)
+        Cpu.interrupt_return cpu;
+        Cpu.cpl cpu)
+  in
+  Protected.seal univ;
+  Alcotest.(check int) "kernel preserved across interrupt" 0 (f ());
+  Cpu.interrupt_return cpu;
+  Alcotest.(check int) "user outside" 3 (Cpu.cpl cpu)
+
+let test_four_entries_per_page () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  let fs =
+    List.init 5 (fun i ->
+        Protected.register univ ~name:(Printf.sprintf "f%d" i) (fun _ () -> i))
+  in
+  Protected.seal univ;
+  List.iteri (fun i f -> Alcotest.(check int) "dispatch" i (f ())) fs;
+  (* 5 functions need a second protected page *)
+  Alcotest.(check int) "two pages" 2 (List.length (Protected.pages univ))
+
+(* --- gem5-lite ---------------------------------------------------------- *)
+
+let test_gem5_paper_numbers () =
+  Alcotest.(check int) "call/ret ~24" 24 (Gem5.total Gem5.call_ret);
+  Alcotest.(check int) "jmpp/pret ~70" 70 (Gem5.total Gem5.jmpp_pret);
+  let sys = Gem5.total Gem5.syscall_gem5 in
+  Alcotest.(check bool) "syscall ~1200 on gem5" true
+    (sys >= 1100 && sys <= 1300);
+  let hw = Gem5.total Gem5.syscall_hw in
+  Alcotest.(check bool) "geteuid ~400 on HW" true (hw >= 350 && hw <= 450);
+  (* the paper's headline: jmpp ~6x faster than a real syscall *)
+  let ratio = float_of_int hw /. float_of_int (Gem5.total Gem5.jmpp_pret) in
+  Alcotest.(check bool) "~6x" true (ratio > 4.5 && ratio < 7.0)
+
+let test_gem5_measure_scales () =
+  let total_100, warm = Gem5.measure ~iterations:100 Gem5.jmpp_pret in
+  let total_200, _ = Gem5.measure ~iterations:200 Gem5.jmpp_pret in
+  Alcotest.(check int) "warm per-iteration" 70 warm;
+  Alcotest.(check int) "marginal cost is warm cost" (100 * warm)
+    (total_200 - total_100)
+
+let test_gem5_report_sums () =
+  List.iter
+    (fun seq ->
+      let sum = List.fold_left (fun a (_, c) -> a + c) 0 (Gem5.report seq) in
+      Alcotest.(check int) "blocks sum to total" (Gem5.total seq) sum)
+    Gem5.all
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "page-table",
+        [
+          Alcotest.test_case "privilege cpl" `Quick test_privilege_cpl;
+          Alcotest.test_case "user blocked from kernel page" `Quick
+            test_pt_user_cannot_touch_kernel_page;
+          Alcotest.test_case "kernel allowed" `Quick
+            test_pt_kernel_can_touch_kernel_page;
+          Alcotest.test_case "not present faults" `Quick
+            test_pt_not_present_faults;
+          Alcotest.test_case "ep only from kernel" `Quick
+            test_pt_ep_only_from_kernel;
+          Alcotest.test_case "protected mapping immutable" `Quick
+            test_pt_protected_mapping_immutable;
+          Alcotest.test_case "read-only write faults" `Quick
+            test_pt_write_to_readonly_faults;
+        ] );
+      ( "protected",
+        [
+          Alcotest.test_case "call roundtrip" `Quick
+            test_protected_call_roundtrip;
+          Alcotest.test_case "nested calls" `Quick test_protected_nested_calls;
+          Alcotest.test_case "bad offset faults" `Quick
+            test_jmpp_bad_offset_faults;
+          Alcotest.test_case "nop entry faults" `Quick
+            test_jmpp_nop_entry_faults;
+          Alcotest.test_case "unprotected page faults" `Quick
+            test_jmpp_unprotected_page_faults;
+          Alcotest.test_case "sealed" `Quick test_register_after_seal_rejected;
+          Alcotest.test_case "exception restores mode" `Quick
+            test_mode_restored_on_exception;
+          Alcotest.test_case "creds via witness" `Quick test_creds_via_witness;
+          Alcotest.test_case "interrupt return" `Quick
+            test_interrupt_return_restores_mode;
+          Alcotest.test_case "four entries per page" `Quick
+            test_four_entries_per_page;
+        ] );
+      ( "gem5",
+        [
+          Alcotest.test_case "paper numbers" `Quick test_gem5_paper_numbers;
+          Alcotest.test_case "measure scales" `Quick test_gem5_measure_scales;
+          Alcotest.test_case "report sums" `Quick test_gem5_report_sums;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for the LSM key-value store: memtable, bloom filter, SSTable
+   format and the full database against a map model, running on Simurgh. *)
+
+module Mem = Simurgh_kvstore.Memtable
+module Bloom = Simurgh_kvstore.Bloom
+module Record = Simurgh_kvstore.Record
+module Fs = Simurgh_core.Fs
+module Db = Simurgh_kvstore.Db.Make (Fs)
+module Sst = Simurgh_kvstore.Sstable.Make (Fs)
+
+let fresh_fs () = Fs.mkfs ~euid:0 (Simurgh_nvmm.Region.create (128 * 1024 * 1024))
+
+(* --- record ------------------------------------------------------------- *)
+
+let test_record_roundtrip () =
+  let buf = Buffer.create 64 in
+  Record.encode buf "key1" (Some "value1");
+  Record.encode buf "key2" None;
+  let b = Buffer.to_bytes buf in
+  let k1, v1, next = Record.decode b 0 in
+  Alcotest.(check string) "k1" "key1" k1;
+  Alcotest.(check (option string)) "v1" (Some "value1") v1;
+  let k2, v2, _ = Record.decode b next in
+  Alcotest.(check string) "k2" "key2" k2;
+  Alcotest.(check (option string)) "tombstone" None v2
+
+(* --- memtable ------------------------------------------------------------ *)
+
+let test_memtable_basics () =
+  let m = Mem.create () in
+  Alcotest.(check bool) "empty" true (Mem.is_empty m);
+  Mem.put m "b" (Some "2");
+  Mem.put m "a" (Some "1");
+  Mem.put m "c" None;
+  Alcotest.(check int) "entries" 3 (Mem.entries m);
+  Alcotest.(check (option (option string))) "get" (Some (Some "1")) (Mem.get m "a");
+  Alcotest.(check (option (option string))) "tombstone" (Some None) (Mem.get m "c");
+  Alcotest.(check (option (option string))) "miss" None (Mem.get m "zz");
+  (* bindings sorted *)
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    (List.map fst (Mem.bindings m));
+  Mem.clear m;
+  Alcotest.(check bool) "cleared" true (Mem.is_empty m)
+
+(* --- bloom ---------------------------------------------------------------- *)
+
+let test_bloom_no_false_negatives () =
+  let b = Bloom.create 1000 in
+  let keys = List.init 1000 (Printf.sprintf "key%d") in
+  List.iter (Bloom.add b) keys;
+  List.iter
+    (fun k -> Alcotest.(check bool) ("member " ^ k) true (Bloom.mem b k))
+    keys
+
+let test_bloom_fpr_reasonable () =
+  let b = Bloom.create 1000 in
+  for i = 0 to 999 do
+    Bloom.add b (Printf.sprintf "present%d" i)
+  done;
+  let fp = ref 0 in
+  for i = 0 to 9999 do
+    if Bloom.mem b (Printf.sprintf "absent%d" i) then incr fp
+  done;
+  (* 10 bits/key, 6 probes: expect well under 5% false positives *)
+  Alcotest.(check bool) "fpr < 5%" true (!fp < 500)
+
+let test_bloom_serialization () =
+  let b = Bloom.create 100 in
+  List.iter (Bloom.add b) [ "x"; "y"; "z" ];
+  let b' = Bloom.of_bytes (Bloom.to_bytes b) in
+  List.iter
+    (fun k -> Alcotest.(check bool) k true (Bloom.mem b' k))
+    [ "x"; "y"; "z" ]
+
+(* --- sstable ---------------------------------------------------------------- *)
+
+let test_sstable_roundtrip () =
+  let fs = fresh_fs () in
+  let bindings =
+    List.init 200 (fun i ->
+        (Printf.sprintf "key%04d" i, Some (Printf.sprintf "val%d" i)))
+  in
+  let meta = Sst.write fs "/table.ldb" bindings in
+  Alcotest.(check int) "count" 200 meta.Simurgh_kvstore.Sstable.count;
+  let fd = Fs.openf fs Simurgh_fs_common.Types.rdonly "/table.ldb" in
+  (* every key readable *)
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option (option string))) k (Some v) (Sst.get fs ~fd meta k))
+    bindings;
+  (* absent keys *)
+  Alcotest.(check (option (option string))) "absent" None
+    (Sst.get fs ~fd meta "nokey");
+  Fs.close fs fd
+
+let test_sstable_reopen () =
+  let fs = fresh_fs () in
+  let bindings = List.init 50 (fun i -> (Printf.sprintf "k%03d" i, Some "v")) in
+  let _ = Sst.write fs "/t.ldb" bindings in
+  let meta = Sst.open_ fs "/t.ldb" in
+  let fd = Fs.openf fs Simurgh_fs_common.Types.rdonly "/t.ldb" in
+  Alcotest.(check (option (option string))) "k025 via reopened meta"
+    (Some (Some "v"))
+    (Sst.get fs ~fd meta "k025");
+  Fs.close fs fd
+
+let test_sstable_iter () =
+  let fs = fresh_fs () in
+  let bindings = List.init 64 (fun i -> (Printf.sprintf "k%03d" i, Some "v")) in
+  let meta = Sst.write fs "/t.ldb" bindings in
+  let n = ref 0 in
+  Sst.iter fs meta (fun _ _ -> incr n);
+  Alcotest.(check int) "streamed all" 64 !n
+
+(* --- db ---------------------------------------------------------------------- *)
+
+let test_db_put_get_delete () =
+  let fs = fresh_fs () in
+  let db = Db.open_ fs in
+  Db.put db "alpha" "1";
+  Db.put db "beta" "2";
+  Alcotest.(check (option string)) "get" (Some "1") (Db.get db "alpha");
+  Db.put db "alpha" "1'";
+  Alcotest.(check (option string)) "overwrite" (Some "1'") (Db.get db "alpha");
+  Db.delete db "alpha";
+  Alcotest.(check (option string)) "deleted" None (Db.get db "alpha");
+  Alcotest.(check (option string)) "other intact" (Some "2") (Db.get db "beta");
+  Db.close db
+
+let test_db_flush_and_compaction () =
+  let fs = fresh_fs () in
+  let cfg =
+    { Simurgh_kvstore.Db.default_config with
+      Simurgh_kvstore.Db.memtable_bytes = 4096 }
+  in
+  let db = Db.open_ ~cfg fs in
+  for i = 0 to 499 do
+    Db.put db (Printf.sprintf "key%04d" i) (String.make 64 'v')
+  done;
+  let stats = Db.stats db in
+  Alcotest.(check bool) "flushed" true
+    (stats.Simurgh_kvstore.Db.flushes > 0);
+  Alcotest.(check bool) "compacted" true
+    (stats.Simurgh_kvstore.Db.compactions > 0);
+  (* all data readable through the levels *)
+  for i = 0 to 499 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "key%04d" i)
+      (Some (String.make 64 'v'))
+      (Db.get db (Printf.sprintf "key%04d" i))
+  done;
+  Db.close db
+
+let test_db_scan () =
+  let fs = fresh_fs () in
+  let db = Db.open_ fs in
+  for i = 0 to 99 do
+    Db.put db (Printf.sprintf "k%03d" i) (string_of_int i)
+  done;
+  let out = Db.scan db ~start:"k050" ~count:10 in
+  Alcotest.(check int) "scan length" 10 (List.length out);
+  Alcotest.(check string) "first" "k050" (fst (List.hd out));
+  Db.close db
+
+let test_db_read_modify_write () =
+  let fs = fresh_fs () in
+  let db = Db.open_ fs in
+  Db.put db "ctr" "5";
+  Db.read_modify_write db "ctr" (function
+    | Some v -> string_of_int (int_of_string v + 1)
+    | None -> "0");
+  Alcotest.(check (option string)) "rmw" (Some "6") (Db.get db "ctr");
+  Db.close db
+
+let prop_db_matches_map =
+  QCheck.Test.make ~name:"db matches a map model through flush/compaction"
+    ~count:15
+    QCheck.(list_of_size (QCheck.Gen.int_range 50 300)
+              (pair (int_range 0 40) (option (int_range 0 999))))
+    (fun ops ->
+      let fs = fresh_fs () in
+      let cfg =
+        { Simurgh_kvstore.Db.default_config with
+          Simurgh_kvstore.Db.memtable_bytes = 2048 }
+      in
+      let db = Db.open_ ~cfg fs in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          let key = Printf.sprintf "key%02d" k in
+          match v with
+          | Some v ->
+              let value = string_of_int v in
+              Db.put db key value;
+              Hashtbl.replace model key value
+          | None ->
+              Db.delete db key;
+              Hashtbl.remove model key)
+        ops;
+      let ok = ref true in
+      for k = 0 to 40 do
+        let key = Printf.sprintf "key%02d" k in
+        if Db.get db key <> Hashtbl.find_opt model key then ok := false
+      done;
+      Db.close db;
+      !ok)
+
+let () =
+  Alcotest.run "kvstore"
+    [
+      ( "record+memtable",
+        [
+          Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "memtable" `Quick test_memtable_basics;
+        ] );
+      ( "bloom",
+        [
+          Alcotest.test_case "no false negatives" `Quick
+            test_bloom_no_false_negatives;
+          Alcotest.test_case "fpr" `Quick test_bloom_fpr_reasonable;
+          Alcotest.test_case "serialization" `Quick test_bloom_serialization;
+        ] );
+      ( "sstable",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sstable_roundtrip;
+          Alcotest.test_case "reopen" `Quick test_sstable_reopen;
+          Alcotest.test_case "iter" `Quick test_sstable_iter;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "put/get/delete" `Quick test_db_put_get_delete;
+          Alcotest.test_case "flush+compaction" `Quick
+            test_db_flush_and_compaction;
+          Alcotest.test_case "scan" `Quick test_db_scan;
+          Alcotest.test_case "read-modify-write" `Quick
+            test_db_read_modify_write;
+          QCheck_alcotest.to_alcotest prop_db_matches_map;
+        ] );
+    ]

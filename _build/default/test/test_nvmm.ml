@@ -1,0 +1,242 @@
+(* Tests for the simulated NVMM region: accessors, persistence semantics
+   (clwb/sfence/ntstore/crash) and persistent pointers. *)
+
+open Simurgh_nvmm
+
+let mk ?mode () = Region.create ?mode (1 lsl 20)
+
+(* --- accessors ----------------------------------------------------------- *)
+
+let test_scalar_roundtrips () =
+  let r = mk () in
+  Region.write_u8 r 0 0xab;
+  Alcotest.(check int) "u8" 0xab (Region.read_u8 r 0);
+  Region.write_u16 r 10 0xbeef;
+  Alcotest.(check int) "u16" 0xbeef (Region.read_u16 r 10);
+  Region.write_u32 r 20 0xdeadbeef;
+  Alcotest.(check int) "u32" 0xdeadbeef (Region.read_u32 r 20);
+  Region.write_u62 r 30 0x1234_5678_9abc;
+  Alcotest.(check int) "u62" 0x1234_5678_9abc (Region.read_u62 r 30)
+
+let test_bytes_roundtrip () =
+  let r = mk () in
+  Region.write_string r 100 "simurgh";
+  Alcotest.(check string) "bytes" "simurgh"
+    (Bytes.to_string (Region.read_bytes r 100 7))
+
+let test_zero () =
+  let r = mk () in
+  Region.write_string r 0 "xxxxxxxx";
+  Region.zero r 0 8;
+  Alcotest.(check string) "zeroed" (String.make 8 '\000')
+    (Bytes.to_string (Region.read_bytes r 0 8))
+
+let test_bounds_check () =
+  let r = mk () in
+  Alcotest.check_raises "oob"
+    (Invalid_argument
+       "Region: access [1048576, 1048577) outside region of 1048576 bytes")
+    (fun () -> ignore (Region.read_u8 r (1 lsl 20)))
+
+let prop_u62_roundtrip =
+  QCheck.Test.make ~name:"u62 roundtrip" ~count:500
+    QCheck.(pair (int_range 0 1000) (int_bound ((1 lsl 40) - 1)))
+    (fun (off, v) ->
+      let r = mk () in
+      Region.write_u62 r (off * 8) v;
+      Region.read_u62 r (off * 8) = v)
+
+(* --- persistence (strict mode) ------------------------------------------- *)
+
+let test_unflushed_lost_on_crash () =
+  let r = mk ~mode:Region.Strict () in
+  Region.write_string r 0 "volatile";
+  Alcotest.(check string) "visible before crash" "volatile"
+    (Bytes.to_string (Region.read_bytes r 0 8));
+  Region.crash r;
+  Alcotest.(check string) "lost after crash" (String.make 8 '\000')
+    (Bytes.to_string (Region.read_bytes r 0 8))
+
+let test_clwb_alone_not_durable () =
+  let r = mk ~mode:Region.Strict () in
+  Region.write_string r 0 "pending!";
+  Region.clwb r 0 8;
+  Region.crash r;
+  (* clwb without sfence gives no guarantee *)
+  Alcotest.(check string) "lost" (String.make 8 '\000')
+    (Bytes.to_string (Region.read_bytes r 0 8))
+
+let test_clwb_sfence_durable () =
+  let r = mk ~mode:Region.Strict () in
+  Region.write_string r 0 "durable!";
+  Region.clwb r 0 8;
+  Region.sfence r;
+  Region.crash r;
+  Alcotest.(check string) "survived" "durable!"
+    (Bytes.to_string (Region.read_bytes r 0 8))
+
+let test_ntstore_needs_fence () =
+  let r = mk ~mode:Region.Strict () in
+  Region.ntstore r 0 (Bytes.of_string "ntstore!");
+  Region.crash r;
+  Alcotest.(check string) "wc buffer lost" (String.make 8 '\000')
+    (Bytes.to_string (Region.read_bytes r 0 8));
+  Region.ntstore r 0 (Bytes.of_string "ntstore!");
+  Region.sfence r;
+  Region.crash r;
+  Alcotest.(check string) "fenced survives" "ntstore!"
+    (Bytes.to_string (Region.read_bytes r 0 8))
+
+let test_partial_flush () =
+  let r = mk ~mode:Region.Strict () in
+  (* two distinct cache lines; only the first is persisted *)
+  Region.write_string r 0 "first";
+  Region.write_string r 128 "second";
+  Region.persist r 0 5;
+  Region.crash r;
+  Alcotest.(check string) "first survived" "first"
+    (Bytes.to_string (Region.read_bytes r 0 5));
+  Alcotest.(check string) "second lost" (String.make 6 '\000')
+    (Bytes.to_string (Region.read_bytes r 128 6))
+
+let test_unpersisted_lines_counter () =
+  let r = mk ~mode:Region.Strict () in
+  Alcotest.(check int) "clean" 0 (Region.unpersisted_lines r);
+  Region.write_u8 r 0 1;
+  Region.write_u8 r 200 1;
+  Alcotest.(check int) "two dirty lines" 2 (Region.unpersisted_lines r);
+  Region.persist r 0 256;
+  Alcotest.(check int) "flushed" 0 (Region.unpersisted_lines r)
+
+let prop_strict_persist_roundtrip =
+  QCheck.Test.make ~name:"strict: persisted writes survive crash" ~count:100
+    QCheck.(pair (int_range 0 4000) (string_of_size (Gen.int_range 1 64)))
+    (fun (off, s) ->
+      let r = mk ~mode:Region.Strict () in
+      Region.write_string r off s;
+      Region.persist r off (String.length s);
+      Region.crash r;
+      Bytes.to_string (Region.read_bytes r off (String.length s)) = s)
+
+let test_fast_mode_crash_noop () =
+  let r = mk () in
+  Region.write_string r 0 "keep";
+  Region.crash r;
+  Alcotest.(check string) "fast mode keeps data" "keep"
+    (Bytes.to_string (Region.read_bytes r 0 4))
+
+let test_save_load_roundtrip () =
+  let r = mk () in
+  Region.write_string r 1000 "on disk";
+  let path = Filename.temp_file "simurgh" ".img" in
+  Region.save_to_file r path;
+  let r2 = Region.load_from_file path in
+  Sys.remove path;
+  Alcotest.(check int) "size" (Region.size r) (Region.size r2);
+  Alcotest.(check string) "contents" "on disk"
+    (Bytes.to_string (Region.read_bytes r2 1000 7))
+
+let test_save_excludes_unflushed () =
+  let r = mk ~mode:Region.Strict () in
+  Region.write_string r 0 "flushed!";
+  Region.persist r 0 8;
+  Region.write_string r 100 "volatile";
+  let path = Filename.temp_file "simurgh" ".img" in
+  Region.save_to_file r path;
+  let r2 = Region.load_from_file path in
+  Sys.remove path;
+  Alcotest.(check string) "persisted part saved" "flushed!"
+    (Bytes.to_string (Region.read_bytes r2 0 8));
+  Alcotest.(check string) "unflushed part absent" (String.make 8 '\000')
+    (Bytes.to_string (Region.read_bytes r2 100 8))
+
+(* --- guard ----------------------------------------------------------------- *)
+
+exception Guarded
+
+let test_guard_intercepts () =
+  let r = mk () in
+  Region.set_guard r (fun ~write:_ -> raise Guarded);
+  Alcotest.check_raises "read guarded" Guarded (fun () ->
+      ignore (Region.read_u8 r 0));
+  Alcotest.check_raises "write guarded" Guarded (fun () ->
+      Region.write_u8 r 0 1);
+  Region.clear_guard r;
+  ignore (Region.read_u8 r 0)
+
+let test_stats_counters () =
+  let r = mk () in
+  let s0 = Region.stats r in
+  Region.write_u8 r 0 1;
+  ignore (Region.read_u8 r 0);
+  Region.clwb r 0 1;
+  Region.sfence r;
+  let s1 = Region.stats r in
+  Alcotest.(check bool) "counters move" true
+    (s1.Region.stores > s0.Region.stores
+    && s1.Region.loads > s0.Region.loads
+    && s1.Region.flushes > s0.Region.flushes
+    && s1.Region.fences > s0.Region.fences)
+
+(* --- pptr ----------------------------------------------------------------- *)
+
+let test_pptr_basics () =
+  Alcotest.(check bool) "null" true (Pptr.is_null Pptr.null);
+  let p : unit Pptr.t = Pptr.of_offset 4096 in
+  Alcotest.(check int) "offset" 4096 (Pptr.offset p);
+  Alcotest.(check bool) "eq" true (Pptr.equal p (Pptr.of_offset 4096));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Pptr.of_offset: negative offset") (fun () ->
+      ignore (Pptr.of_offset (-1)))
+
+let prop_pptr_store_load =
+  QCheck.Test.make ~name:"pptr store/load roundtrip" ~count:200
+    QCheck.(pair (int_range 0 1000) (int_range 0 ((1 lsl 40) - 1)))
+    (fun (slot, off) ->
+      let r = mk () in
+      let p : unit Pptr.t = Pptr.of_offset off in
+      Pptr.store r (slot * 8) p;
+      Pptr.equal (Pptr.load r (slot * 8)) p)
+
+let () =
+  Alcotest.run "nvmm"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "scalar roundtrips" `Quick test_scalar_roundtrips;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "zero" `Quick test_zero;
+          Alcotest.test_case "bounds" `Quick test_bounds_check;
+          QCheck_alcotest.to_alcotest prop_u62_roundtrip;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "unflushed lost" `Quick
+            test_unflushed_lost_on_crash;
+          Alcotest.test_case "clwb alone insufficient" `Quick
+            test_clwb_alone_not_durable;
+          Alcotest.test_case "clwb+sfence durable" `Quick
+            test_clwb_sfence_durable;
+          Alcotest.test_case "ntstore semantics" `Quick test_ntstore_needs_fence;
+          Alcotest.test_case "partial flush" `Quick test_partial_flush;
+          Alcotest.test_case "unpersisted counter" `Quick
+            test_unpersisted_lines_counter;
+          Alcotest.test_case "fast-mode crash noop" `Quick
+            test_fast_mode_crash_noop;
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_save_load_roundtrip;
+          Alcotest.test_case "save excludes unflushed" `Quick
+            test_save_excludes_unflushed;
+          QCheck_alcotest.to_alcotest prop_strict_persist_roundtrip;
+        ] );
+      ( "guard+stats",
+        [
+          Alcotest.test_case "guard intercepts" `Quick test_guard_intercepts;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+        ] );
+      ( "pptr",
+        [
+          Alcotest.test_case "basics" `Quick test_pptr_basics;
+          QCheck_alcotest.to_alcotest prop_pptr_store_load;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* Recovery tests beyond crash injection: mark-and-sweep garbage
+   collection, block-allocator reconstruction, runtime per-directory
+   repair, and full-tree preservation. *)
+
+open Simurgh_fs_common
+module Fs = Simurgh_core.Fs
+module Recovery = Simurgh_core.Recovery
+module Slab = Simurgh_alloc.Slab_alloc
+module Layout = Simurgh_core.Layout
+
+let fresh_region () = Simurgh_nvmm.Region.create (64 * 1024 * 1024)
+
+let populate fs =
+  Fs.mkdir fs "/a";
+  Fs.mkdir fs "/a/b";
+  for i = 0 to 49 do
+    Fs.create_file fs (Printf.sprintf "/a/f%d" i)
+  done;
+  Fs.create_file fs "/a/b/data";
+  let fd = Fs.openf fs Types.wronly "/a/b/data" in
+  ignore (Fs.append fs fd (Bytes.make 5000 'd'));
+  Fs.close fs fd;
+  Fs.symlink fs ~target:"/a/b/data" "/a/link";
+  Fs.hardlink fs ~existing:"/a/b/data" "/a/hard"
+
+let test_clean_tree_preserved () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  populate fs;
+  let fs', report = Recovery.mount_after_crash ~euid:0 region in
+  Alcotest.(check int) "files" 52 report.Recovery.files;
+  Alcotest.(check int) "dirs" 2 report.Recovery.dirs;
+  Alcotest.(check int) "symlinks" 1 report.Recovery.symlinks;
+  Alcotest.(check int) "nothing reclaimed" 0
+    (report.Recovery.reclaimed_inodes + report.Recovery.reclaimed_fentries);
+  (* data survives *)
+  let fd = Fs.openf fs' Types.rdonly "/a/b/data" in
+  Alcotest.(check int) "data size" 5000
+    (Bytes.length (Fs.pread fs' fd ~pos:0 ~len:10000));
+  Fs.close fs' fd;
+  Alcotest.(check string) "symlink target" "/a/b/data"
+    (Fs.readlink fs' "/a/link")
+
+let test_sweep_reclaims_garbage () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  populate fs;
+  let layout = Fs.layout fs in
+  (* simulate crash mid-create: allocated but never linked objects *)
+  for _ = 1 to 7 do
+    ignore (Slab.alloc layout.Layout.inode_slab)
+  done;
+  for _ = 1 to 5 do
+    ignore (Slab.alloc layout.Layout.fentry_slab)
+  done;
+  let _, report = Recovery.run region in
+  Alcotest.(check int) "inodes reclaimed" 7 report.Recovery.reclaimed_inodes;
+  Alcotest.(check int) "fentries reclaimed" 5
+    report.Recovery.reclaimed_fentries
+
+let test_busy_flags_cleared () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  populate fs;
+  (* a crashed holder left a busy row *)
+  let region' = Fs.region fs in
+  let root = Layout.root_fentry (Fs.layout fs) in
+  let head = Simurgh_core.Fentry.dirblock region' root in
+  Simurgh_core.Dirblock.set_busy region' head 3 true;
+  let _, report = Recovery.run region in
+  Alcotest.(check int) "busy cleared" 1 report.Recovery.cleared_busy_flags
+
+let test_block_counts_consistent () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  populate fs;
+  let balloc = (Fs.layout fs).Layout.balloc in
+  let free_before = Simurgh_alloc.Block_alloc.free_blocks balloc in
+  let _, report = Recovery.run region in
+  Alcotest.(check int) "free count rebuilt identically" free_before
+    report.Recovery.free_blocks;
+  Alcotest.(check int) "used + free = total"
+    (Simurgh_alloc.Block_alloc.total_blocks balloc)
+    (report.Recovery.used_blocks + report.Recovery.free_blocks)
+
+let test_fs_usable_after_recovery () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  populate fs;
+  let fs', _ = Recovery.mount_after_crash ~euid:0 region in
+  (* the recovered fs supports the full op set *)
+  Fs.create_file fs' "/a/after";
+  Fs.rename fs' "/a/after" "/a/b/after2";
+  Fs.unlink fs' "/a/b/after2";
+  Fs.mkdir fs' "/newdir";
+  Fs.rmdir fs' "/newdir"
+
+let test_repair_directory_runtime () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/d";
+  Fs.create_file fs "/d/a";
+  Fs.create_file fs "/d/b";
+  (* simulate an interrupted delete: entry valid bit dropped but slot
+     still points at it *)
+  let layout = Fs.layout fs in
+  let _, fe = Fs.resolve fs "/d/a" in
+  Slab.begin_free layout.Layout.fentry_slab fe;
+  let repaired = Recovery.repair_directory fs "/d" in
+  Alcotest.(check bool) "repaired something" true (repaired >= 1);
+  Alcotest.(check bool) "b intact" true (Fs.exists fs "/d/b");
+  Alcotest.(check bool) "a gone (delete completed)" false (Fs.exists fs "/d/a")
+
+let test_double_recovery_stable () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  populate fs;
+  let _, r1 = Recovery.run region in
+  let _, r2 = Recovery.run region in
+  Alcotest.(check int) "same files" r1.Recovery.files r2.Recovery.files;
+  Alcotest.(check int) "same dirs" r1.Recovery.dirs r2.Recovery.dirs;
+  Alcotest.(check int) "same used blocks" r1.Recovery.used_blocks
+    r2.Recovery.used_blocks
+
+let prop_recovery_preserves_random_trees =
+  QCheck.Test.make ~name:"recovery preserves arbitrary populations" ~count:20
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_range 0 30))
+    (fun ids ->
+      let region = fresh_region () in
+      let fs = Fs.mkfs ~euid:0 region in
+      Fs.mkdir fs "/p";
+      let expected = List.sort_uniq compare ids in
+      List.iter
+        (fun i ->
+          try Fs.create_file fs (Printf.sprintf "/p/f%02d" i)
+          with Errno.Err (EEXIST, _) -> ())
+        ids;
+      let fs', _ = Recovery.mount_after_crash ~euid:0 region in
+      let listed = List.sort compare (Fs.readdir fs' "/p") in
+      listed = List.map (Printf.sprintf "f%02d") expected)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "mark-and-sweep",
+        [
+          Alcotest.test_case "clean tree preserved" `Quick
+            test_clean_tree_preserved;
+          Alcotest.test_case "garbage reclaimed" `Quick
+            test_sweep_reclaims_garbage;
+          Alcotest.test_case "busy flags cleared" `Quick
+            test_busy_flags_cleared;
+          Alcotest.test_case "block counts consistent" `Quick
+            test_block_counts_consistent;
+          Alcotest.test_case "usable after recovery" `Quick
+            test_fs_usable_after_recovery;
+          Alcotest.test_case "runtime repair" `Quick
+            test_repair_directory_runtime;
+          Alcotest.test_case "double recovery stable" `Quick
+            test_double_recovery_stable;
+          QCheck_alcotest.to_alcotest prop_recovery_preserves_random_trees;
+        ] );
+    ]

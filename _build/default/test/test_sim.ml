@@ -1,0 +1,295 @@
+(* Tests for the virtual-time simulation substrate. *)
+
+open Simurgh_sim
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_streams_differ () =
+  let base = Rng.create 42L in
+  let a = Rng.split base 0 and b = Rng.split base 1 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 5)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int rng bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in [0, 1)" ~count:200
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.float rng in
+        if v < 0.0 || v >= 1.0 then ok := false
+      done;
+      !ok)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 7L in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+(* --- zipf --------------------------------------------------------------- *)
+
+let test_zipf_skew () =
+  let z = Zipf.create 10000 in
+  let rng = Rng.create 3L in
+  let top = ref 0 and n = 20000 in
+  for _ = 1 to n do
+    if Zipf.sample z rng < 100 then incr top
+  done;
+  (* with theta=0.99 the top-1% of items receive far more than 1% *)
+  Alcotest.(check bool) "top items hot"
+    true
+    (float_of_int !top /. float_of_int n > 0.3)
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"Zipf samples in [0, items)" ~count:100
+    QCheck.(int_range 1 5000)
+    (fun items ->
+      let z = Zipf.create items in
+      let rng = Rng.create 11L in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Zipf.sample z rng in
+        let s = Zipf.sample_scrambled z rng in
+        let l = Zipf.sample_latest z rng in
+        if v < 0 || v >= items || s < 0 || s >= items || l < 0 || l >= items
+        then ok := false
+      done;
+      !ok)
+
+let test_zipf_rank_order () =
+  let z = Zipf.create 1000 in
+  let rng = Rng.create 5L in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50000 do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true
+    (counts.(0) > counts.(10) && counts.(10) > counts.(500))
+
+(* --- resource (leaky-bucket server) -------------------------------------- *)
+
+let test_resource_idle_no_wait () =
+  let r = Resource.create "x" in
+  (* well-spaced requests see only their own duration *)
+  check_float "t=0" 10.0 (Resource.serve r ~now:0.0 ~dur:10.0);
+  check_float "t=100" 110.0 (Resource.serve r ~now:100.0 ~dur:10.0);
+  check_float "t=200" 210.0 (Resource.serve r ~now:200.0 ~dur:10.0)
+
+let test_resource_saturation () =
+  let r = Resource.create "x" in
+  (* back-to-back requests at the same instant queue up *)
+  check_float "1st" 10.0 (Resource.serve r ~now:0.0 ~dur:10.0);
+  check_float "2nd" 20.0 (Resource.serve r ~now:0.0 ~dur:10.0);
+  check_float "3rd" 30.0 (Resource.serve r ~now:0.0 ~dur:10.0)
+
+let test_resource_out_of_order_bounded () =
+  let r = Resource.create "x" in
+  ignore (Resource.serve r ~now:1000.0 ~dur:5.0);
+  (* an earlier-timestamped request queues behind backlog (5), not behind
+     the other thread's wall-clock position (1000) *)
+  let done_at = Resource.serve r ~now:10.0 ~dur:5.0 in
+  Alcotest.(check bool) "no timestamp jump" true (done_at < 100.0)
+
+let test_resource_drain () =
+  let r = Resource.create "x" in
+  ignore (Resource.serve r ~now:0.0 ~dur:100.0);
+  (* after enough idle time the debt is gone *)
+  check_float "drained" 1010.0 (Resource.serve r ~now:1000.0 ~dur:10.0)
+
+(* --- locks ---------------------------------------------------------------- *)
+
+let mk_ctx () =
+  let m = Machine.create () in
+  let thr = Sthread.create 0 in
+  (m, thr, Machine.ctx m thr)
+
+let test_spin_serializes () =
+  let m = Machine.create () in
+  let t0 = Sthread.create 0 and t1 = Sthread.create 1 in
+  let c0 = Machine.ctx m t0 and c1 = Machine.ctx m t1 in
+  let l = Vlock.Spin.create () in
+  Vlock.Spin.acquire c0 l;
+  Machine.cpu c0 1000.0;
+  Vlock.Spin.release c0 l;
+  (* t1 at time 0 must wait until t0's release *)
+  Vlock.Spin.acquire c1 l;
+  Alcotest.(check bool) "waited" true (t1.Sthread.now >= 1000.0)
+
+let test_rw_readers_overlap () =
+  let m = Machine.create () in
+  let t0 = Sthread.create 0 and t1 = Sthread.create 1 in
+  let c0 = Machine.ctx m t0 and c1 = Machine.ctx m t1 in
+  let l = Vlock.Rw.create ~striped:true () in
+  Vlock.Rw.read_acquire c0 l;
+  Machine.cpu c0 1000.0;
+  Vlock.Rw.read_release c0 l;
+  Vlock.Rw.read_acquire c1 l;
+  (* readers do not wait for each other *)
+  Alcotest.(check bool) "no reader wait" true (t1.Sthread.now < 500.0)
+
+let test_rw_writer_excludes () =
+  let m = Machine.create () in
+  let t0 = Sthread.create 0 and t1 = Sthread.create 1 in
+  let c0 = Machine.ctx m t0 and c1 = Machine.ctx m t1 in
+  let l = Vlock.Rw.create () in
+  Vlock.Rw.read_acquire c0 l;
+  Machine.cpu c0 1000.0;
+  Vlock.Rw.read_release c0 l;
+  Vlock.Rw.write_acquire c1 l;
+  (* the writer queues behind the reader's (parallelism-scaled) hold *)
+  Alcotest.(check bool) "writer waits for reader" true
+    (t1.Sthread.now >= 1000.0 /. 4.0)
+
+(* --- engine ---------------------------------------------------------------- *)
+
+let test_engine_parallel_speedup () =
+  let tput threads =
+    let m = Machine.create () in
+    let o =
+      Engine.run_ops m ~threads ~ops_per_thread:100 (fun ctx _ ->
+          Machine.cpu ctx 1000.0)
+    in
+    Engine.throughput m o
+  in
+  let t1 = tput 1 and t4 = tput 4 in
+  Alcotest.(check bool) "4 threads ~4x" true
+    (t4 /. t1 > 3.9 && t4 /. t1 < 4.1)
+
+let test_engine_lock_serialization () =
+  let m = Machine.create () in
+  let l = Vlock.Spin.create () in
+  let o =
+    Engine.run_ops m ~threads:4 ~ops_per_thread:100 (fun ctx _ ->
+        Vlock.Spin.acquire ctx l;
+        Machine.cpu ctx 1000.0;
+        Vlock.Spin.release ctx l)
+  in
+  (* fully serialized: makespan ~ total work (the backlog model lets the
+     final holders finish without draining their own hold) *)
+  Alcotest.(check bool) "serialized" true
+    (o.Engine.makespan_cycles >= 0.9 *. 400.0 *. 1000.0)
+
+let test_engine_causality () =
+  (* the minimum-time thread always steps first, so completion order of a
+     contended lock is FIFO in virtual time *)
+  let m = Machine.create () in
+  let l = Vlock.Spin.create () in
+  let order = ref [] in
+  let o =
+    Engine.run_ops m ~threads:3 ~ops_per_thread:5 (fun ctx i ->
+        Vlock.Spin.acquire ctx l;
+        order := (ctx.Machine.thr.Sthread.tid, i) :: !order;
+        Machine.cpu ctx 100.0;
+        Vlock.Spin.release ctx l)
+  in
+  ignore o;
+  (* each thread's own ops appear in order *)
+  let seen = Hashtbl.create 3 in
+  List.iter
+    (fun (tid, i) ->
+      match Hashtbl.find_opt seen tid with
+      | Some prev -> Alcotest.(check bool) "per-thread order" true (i < prev)
+      | None -> Hashtbl.replace seen tid i)
+    !order
+
+let test_machine_charges_advance_clock () =
+  let _, thr, ctx = mk_ctx () in
+  Machine.cpu ctx 100.0;
+  Machine.nvmm_read ctx 4096;
+  Machine.nvmm_write ctx 4096;
+  Machine.nvmm_read_lines ctx 4;
+  Machine.nvmm_meta_read_lines ctx 4;
+  Machine.nvmm_write_lines ctx 4;
+  Machine.dram_copy ctx 4096;
+  Machine.memcpy_cpu ctx 4096;
+  Machine.atomic ctx ~contended:true;
+  Machine.fence ctx;
+  Alcotest.(check bool) "clock moved" true (thr.Sthread.now > 5000.0)
+
+let test_cost_model_consistency () =
+  let cm = Cost_model.default in
+  check_float "surcharge" 46.0 (Cost_model.protection_surcharge cm);
+  check_float "roundtrip" 1.0
+    (Cost_model.seconds cm (Cost_model.cycles_of_seconds cm 1.0))
+
+let test_stats () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean a);
+  Alcotest.(check bool) "stddev" true (abs_float (Stats.stddev a -. 1.29) < 0.01);
+  check_float "p0" 1.0 (Stats.percentile a 0.0);
+  check_float "p100" 4.0 (Stats.percentile a 100.0);
+  let lo, hi = Stats.min_max a in
+  check_float "min" 1.0 lo;
+  check_float "max" 4.0 hi
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "streams differ" `Quick test_rng_streams_differ;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "rank order" `Quick test_zipf_rank_order;
+          QCheck_alcotest.to_alcotest prop_zipf_in_range;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "idle no wait" `Quick test_resource_idle_no_wait;
+          Alcotest.test_case "saturation queues" `Quick test_resource_saturation;
+          Alcotest.test_case "out-of-order bounded" `Quick
+            test_resource_out_of_order_bounded;
+          Alcotest.test_case "debt drains" `Quick test_resource_drain;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "spin serializes" `Quick test_spin_serializes;
+          Alcotest.test_case "readers overlap" `Quick test_rw_readers_overlap;
+          Alcotest.test_case "writer excludes" `Quick test_rw_writer_excludes;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "parallel speedup" `Quick
+            test_engine_parallel_speedup;
+          Alcotest.test_case "lock serialization" `Quick
+            test_engine_lock_serialization;
+          Alcotest.test_case "causality" `Quick test_engine_causality;
+          Alcotest.test_case "charges advance clock" `Quick
+            test_machine_charges_advance_clock;
+          Alcotest.test_case "cost model" `Quick test_cost_model_consistency;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+    ]

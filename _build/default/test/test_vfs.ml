@@ -1,0 +1,104 @@
+(* Tests for the simulated kernel boundary: the dentry cache and its
+   lockref contention model (the mechanism behind Fig. 7e/7f). *)
+
+open Simurgh_sim
+module Dcache = Simurgh_vfs.Dcache
+
+let mk_ctx tid m = Machine.ctx m (Sthread.create tid)
+
+let test_lookup_insert_remove () =
+  let d = Dcache.create () in
+  Alcotest.(check (option int)) "miss" None (Dcache.lookup d ~parent:1 "a");
+  Dcache.insert d ~parent:1 "a" 42;
+  Alcotest.(check (option int)) "hit" (Some 42) (Dcache.lookup d ~parent:1 "a");
+  (* same name under a different parent is a different dentry *)
+  Alcotest.(check (option int)) "scoped by parent" None
+    (Dcache.lookup d ~parent:2 "a");
+  Dcache.remove d ~parent:1 "a";
+  Alcotest.(check (option int)) "removed" None (Dcache.lookup d ~parent:1 "a")
+
+let test_hit_miss_stats () =
+  let d = Dcache.create () in
+  ignore (Dcache.lookup d ~parent:1 "x");
+  Dcache.insert d ~parent:1 "x" 7;
+  ignore (Dcache.lookup d ~parent:1 "x");
+  ignore (Dcache.lookup d ~parent:1 "x");
+  let hits, misses = Dcache.stats d in
+  Alcotest.(check (pair int int)) "stats" (2, 1) (hits, misses);
+  Dcache.clear d;
+  Alcotest.(check (pair int int)) "cleared" (0, 0) (Dcache.stats d)
+
+let test_lockref_contention () =
+  (* two threads alternating on one dentry pay far more virtual time than
+     one thread rereading it (the lockref cache line bounces) *)
+  let m = Machine.create () in
+  let d = Dcache.create () in
+  Dcache.insert d ~parent:1 "hot" 1;
+  let solo = Sthread.create 0 in
+  let ctx = Machine.ctx m solo in
+  for _ = 1 to 50 do
+    ignore (Dcache.lookup ~ctx d ~parent:1 "hot")
+  done;
+  let solo_time = solo.Sthread.now in
+  let m = Machine.create () in
+  let d = Dcache.create () in
+  Dcache.insert d ~parent:1 "hot" 1;
+  let a = Sthread.create 0 and b = Sthread.create 1 in
+  let ca = Machine.ctx m a and cb = Machine.ctx m b in
+  for _ = 1 to 25 do
+    ignore (Dcache.lookup ~ctx:ca d ~parent:1 "hot");
+    ignore (Dcache.lookup ~ctx:cb d ~parent:1 "hot")
+  done;
+  let duo_time = Float.max a.Sthread.now b.Sthread.now in
+  Alcotest.(check bool) "contended slower per op" true
+    (duo_time > 2.0 *. solo_time)
+
+let test_private_dentries_uncontended () =
+  (* threads touching disjoint dentries do not slow each other down *)
+  let m = Machine.create () in
+  let d = Dcache.create () in
+  Dcache.insert d ~parent:1 "a" 1;
+  Dcache.insert d ~parent:2 "b" 2;
+  let a = Sthread.create 0 and b = Sthread.create 1 in
+  let ca = Machine.ctx m a and cb = Machine.ctx m b in
+  for _ = 1 to 25 do
+    ignore (Dcache.lookup ~ctx:ca d ~parent:1 "a");
+    ignore (Dcache.lookup ~ctx:cb d ~parent:2 "b")
+  done;
+  (* each pays only hit cost + local atomic: well under 10k cycles *)
+  Alcotest.(check bool) "private stays fast" true
+    (a.Sthread.now < 10_000.0 && b.Sthread.now < 10_000.0)
+
+let test_mutex_contended_futex_cost () =
+  let m = Machine.create () in
+  let l = Vlock.Mutex.create () in
+  let a = Sthread.create 0 and b = Sthread.create 1 in
+  let ca = Machine.ctx m a and cb = mk_ctx 1 m in
+  ignore cb;
+  Vlock.Mutex.acquire ca l;
+  Machine.cpu ca 5000.0;
+  Vlock.Mutex.release ca l;
+  let cb = Machine.ctx m b in
+  Vlock.Mutex.acquire cb l;
+  Vlock.Mutex.release cb l;
+  Alcotest.(check int) "one contended acquisition" 1
+    (Vlock.Mutex.contentions l);
+  (* the waiter paid the futex path and the backlog *)
+  Alcotest.(check bool) "futex cost paid" true (b.Sthread.now > 2000.0)
+
+let () =
+  Alcotest.run "vfs"
+    [
+      ( "dcache",
+        [
+          Alcotest.test_case "lookup/insert/remove" `Quick
+            test_lookup_insert_remove;
+          Alcotest.test_case "hit/miss stats" `Quick test_hit_miss_stats;
+          Alcotest.test_case "lockref contention" `Quick
+            test_lockref_contention;
+          Alcotest.test_case "private dentries fast" `Quick
+            test_private_dentries_uncontended;
+          Alcotest.test_case "mutex futex cost" `Quick
+            test_mutex_contended_futex_cost;
+        ] );
+    ]

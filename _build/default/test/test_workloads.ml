@@ -1,0 +1,172 @@
+(* Workload-generator tests: deterministic tree generation, and smoke
+   runs of every benchmark driver at tiny scale (each must complete and
+   report positive throughput). *)
+
+open Simurgh_workloads
+module Fs = Simurgh_core.Fs
+
+let fresh_fs () = Fs.mkfs ~euid:0 (Simurgh_nvmm.Region.create (256 * 1024 * 1024))
+
+let test_linux_tree_deterministic () =
+  let spec = { Linux_tree.default with Linux_tree.files = 500 } in
+  let d1, f1 = Linux_tree.generate spec in
+  let d2, f2 = Linux_tree.generate spec in
+  Alcotest.(check int) "same dirs" (List.length d1) (List.length d2);
+  Alcotest.(check bool) "same files" true (f1 = f2);
+  Alcotest.(check int) "file count" 500 (List.length f1)
+
+let test_linux_tree_populates () =
+  let module T = Linux_tree.Make (Fs) in
+  let fs = fresh_fs () in
+  let tree = Linux_tree.generate { Linux_tree.default with Linux_tree.files = 200 } in
+  T.populate fs tree;
+  let _, files = tree in
+  List.iter
+    (fun { Linux_tree.path; size } ->
+      let st = Fs.stat fs path in
+      Alcotest.(check int) path size st.Simurgh_fs_common.Types.size)
+    files
+
+let run_fx bench =
+  let module Fx = Fxmark.Make (Fs) in
+  let fs = fresh_fs () in
+  let m = Simurgh_sim.Machine.create () in
+  (* fallocate maps 4 MiB per op: keep it within the region *)
+  let ops = match bench with Fxmark.Fallocate_private -> 8 | _ -> 50 in
+  Fx.run m fs bench ~threads:2 ~ops
+
+let test_fxmark_all_benches () =
+  List.iter
+    (fun bench ->
+      let r = run_fx bench in
+      Alcotest.(check bool)
+        (Fxmark.bench_name bench)
+        true
+        (r.Fxmark.throughput > 0.0))
+    [
+      Fxmark.Create_private;
+      Fxmark.Create_shared;
+      Fxmark.Delete_private;
+      Fxmark.Rename_shared;
+      Fxmark.Resolve_private;
+      Fxmark.Resolve_shared;
+      Fxmark.Append_private;
+      Fxmark.Fallocate_private;
+      Fxmark.Read_shared { cache_hot = false };
+      Fxmark.Read_shared { cache_hot = true };
+      Fxmark.Read_private { cache_hot = false };
+      Fxmark.Overwrite_shared;
+      Fxmark.Write_private;
+    ]
+
+let test_fxmark_deterministic () =
+  let r1 = run_fx Fxmark.Create_shared in
+  let r2 = run_fx Fxmark.Create_shared in
+  Alcotest.(check (float 0.0001)) "reproducible virtual time"
+    r1.Fxmark.throughput r2.Fxmark.throughput
+
+let test_filebench_personalities () =
+  let module FB = Filebench.Make (Fs) in
+  List.iter
+    (fun p ->
+      let fs = fresh_fs () in
+      let m = Simurgh_sim.Machine.create () in
+      let cfg = Filebench.config ~scale:0.05 p in
+      let cfg = { cfg with Filebench.threads = 4 } in
+      let r = FB.run m fs p ~cfg ~loops_per_thread:2 in
+      Alcotest.(check bool) (Filebench.name p) true (r.Filebench.ops_per_s > 0.0))
+    [ Filebench.Varmail; Filebench.Webserver; Filebench.Webproxy;
+      Filebench.Fileserver ]
+
+let test_ycsb_workloads () =
+  let module Y = Ycsb.Make (Fs) in
+  List.iter
+    (fun w ->
+      let fs = fresh_fs () in
+      let m = Simurgh_sim.Machine.create () in
+      let r = Y.run m fs w ~records:200 ~ops:200 ~threads:2 in
+      Alcotest.(check bool) (Ycsb.name w) true (r.Ycsb.ops_per_s > 0.0);
+      (* breakdown fractions sum to ~1 *)
+      let sum = r.Ycsb.app_frac +. r.Ycsb.copy_frac +. r.Ycsb.fs_frac in
+      Alcotest.(check bool) "fractions sum" true (abs_float (sum -. 1.0) < 0.01))
+    Ycsb.all
+
+let test_tar_roundtrip () =
+  let module T = Tar_sim.Make (Fs) in
+  let module Tree = Linux_tree.Make (Fs) in
+  let fs = fresh_fs () in
+  let tree = Linux_tree.generate { Linux_tree.default with Linux_tree.files = 60 } in
+  Tree.populate fs tree;
+  let m = Simurgh_sim.Machine.create () in
+  let thr = Simurgh_sim.Sthread.create 0 in
+  let p = T.pack ~thr m fs ~archive:"/a.tar" tree in
+  Alcotest.(check int) "packed all" 60 p.Tar_sim.files;
+  Alcotest.(check bool) "pack time positive" true (p.Tar_sim.seconds > 0.0);
+  let u = T.unpack ~thr m fs ~archive:"/a.tar" tree ~dst:"/out" in
+  Alcotest.(check bool) "unpack time positive" true (u.Tar_sim.seconds > 0.0);
+  (* unpacked files exist with the right sizes *)
+  let _, files = tree in
+  List.iter
+    (fun { Linux_tree.path; size } ->
+      let st = Fs.stat fs ("/out" ^ path) in
+      Alcotest.(check int) path size st.Simurgh_fs_common.Types.size)
+    files
+
+let test_git_phases () =
+  let module G = Git_sim.Make (Fs) in
+  let module Tree = Linux_tree.Make (Fs) in
+  let fs = fresh_fs () in
+  let tree = Linux_tree.generate { Linux_tree.default with Linux_tree.files = 40 } in
+  Tree.populate fs tree;
+  let m = Simurgh_sim.Machine.create () in
+  let r = G.run m fs tree in
+  Alcotest.(check int) "files" 40 r.Git_sim.files;
+  Alcotest.(check bool) "phases timed" true
+    (r.Git_sim.add_s > 0.0 && r.Git_sim.commit_s > 0.0 && r.Git_sim.reset_s > 0.0);
+  (* reset restored the working tree *)
+  let _, files = tree in
+  List.iter
+    (fun { Linux_tree.path; size } ->
+      Alcotest.(check int) path size
+        (Fs.stat fs path).Simurgh_fs_common.Types.size)
+    files
+
+let test_instrument_counts () =
+  let module I = Instrument.Make (Fs) in
+  let fs = fresh_fs () in
+  let acc = Instrument.fresh_acc () in
+  let ifs = (fs, acc) in
+  let m = Simurgh_sim.Machine.create () in
+  let thr = Simurgh_sim.Sthread.create 0 in
+  let ctx = Simurgh_sim.Machine.ctx m thr in
+  I.create_file ~ctx ifs "/f";
+  let fd = I.openf ~ctx ifs Simurgh_fs_common.Types.rdwr "/f" in
+  ignore (I.append ~ctx ifs fd (Bytes.make 100 'x'));
+  ignore (I.pread ~ctx ifs fd ~pos:0 ~len:100);
+  I.close ~ctx ifs fd;
+  Alcotest.(check int) "calls" 5 acc.Instrument.calls;
+  Alcotest.(check int) "copy bytes" 200 acc.Instrument.copy_bytes;
+  Alcotest.(check bool) "fs time recorded" true (acc.Instrument.fs_cycles > 0.0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "linux-tree",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_linux_tree_deterministic;
+          Alcotest.test_case "populates" `Quick test_linux_tree_populates;
+        ] );
+      ( "drivers",
+        [
+          Alcotest.test_case "fxmark all benches" `Quick
+            test_fxmark_all_benches;
+          Alcotest.test_case "fxmark deterministic" `Quick
+            test_fxmark_deterministic;
+          Alcotest.test_case "filebench" `Quick test_filebench_personalities;
+          Alcotest.test_case "ycsb" `Quick test_ycsb_workloads;
+          Alcotest.test_case "tar" `Quick test_tar_roundtrip;
+          Alcotest.test_case "git" `Quick test_git_phases;
+          Alcotest.test_case "instrument" `Quick test_instrument_counts;
+        ] );
+    ]
