@@ -1,0 +1,20 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Full gate: build + unit/property/differential tests + a quick smoke run
+# of the region data-path microbenchmark (writes BENCH_region.json).
+check: test
+	dune exec bench/main.exe -- --scale 0.05 region
+
+bench: build
+	dune exec bench/main.exe -- region
+
+clean:
+	dune clean

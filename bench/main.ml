@@ -23,6 +23,8 @@ let experiments : (string * string * (scale:float -> unit)) list =
     ("sec55", "Section 5.5: crash-recovery time", Exp_sec55.run);
     ("ablation", "ablations of Simurgh design choices", Exp_ablation.run);
     ("bechamel", "wall-clock hot paths (host CPU)", Exp_bechamel.run);
+    ("region", "NVMM region data-path microbenchmark (wall-clock, JSON)",
+     Exp_region.run);
   ]
 
 let is_fig7_sub id =

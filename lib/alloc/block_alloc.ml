@@ -86,8 +86,7 @@ let format region ~off ~base ~blocks ~block_size ~segments =
     let first = seg_first_block t i and count = seg_block_count t i in
     if count > 0 then begin
       let node = block_addr t first in
-      Region.write_u62 region (node + node_next) 0;
-      Region.write_u62 region (node + node_count) count;
+      Region.write_u62_pair region (node + node_next) 0 count;
       Region.write_u62 region (seg_head t i) node
     end
     else Region.write_u62 region (seg_head t i) 0
@@ -151,13 +150,13 @@ let recover_segment t i =
 
 (* --- free-list manipulation (caller holds the segment lock) ----------- *)
 
-let read_node t addr =
-  (Region.read_u62 t.region (addr + node_next),
-   Region.read_u62 t.region (addr + node_count))
+(* The next/count pair is 16 adjacent bytes at the head of the range:
+   one paired word access per node keeps free-list walks at one region
+   round per hop. *)
+let read_node t addr = Region.read_u62_pair t.region (addr + node_next)
 
 let write_node t addr ~next ~count =
-  Region.write_u62 t.region (addr + node_next) next;
-  Region.write_u62 t.region (addr + node_count) count;
+  Region.write_u62_pair t.region (addr + node_next) next count;
   Region.persist t.region addr 16
 
 (* Sort and merge every range of segment [i]; caller holds the lock. *)

@@ -184,13 +184,24 @@ let is_live t paddr = obj_flags t paddr = flag_valid
 let is_unprocessed t paddr = obj_flags t paddr = flag_valid lor flag_dirty
 let live_objects t = t.live
 
-(** Enumerate every object slot with its flags: (payload_addr, flags). *)
+(** Enumerate every object slot with its flags: (payload_addr, flags).
+
+    The valid/dirty flag walk snapshots each segment's slot area with one
+    bulk line-granular load and scans the flag bytes in DRAM — one region
+    round per segment instead of one per object, which is what recovery
+    pays when it sweeps every slab after a crash.  A callback may mutate
+    the object it is visiting (the snapshot is only consulted for later
+    objects' flags, which no callback touches). *)
 let iter_objects t f =
+  let seg_bytes = seg_header + (t.objs_per_seg * slot_size t) in
+  let snap = Bytes.create seg_bytes in
   let rec seg_loop seg =
     if seg <> 0 then begin
+      Region.read_bytes_into t.region seg snap ~pos:0 ~len:seg_bytes;
       for i = 0 to t.objs_per_seg - 1 do
         let addr = obj_addr t seg i in
-        f (payload addr) (flags t addr)
+        let fl = Char.code (Bytes.get snap (addr - seg)) in
+        f (payload addr) fl
       done;
       seg_loop (Region.read_u62 t.region seg)
     end

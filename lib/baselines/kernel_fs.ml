@@ -434,6 +434,16 @@ let ensure_data_capacity n cap =
     n.data <- bigger
   end
 
+(* Copy [src] into the node's buffer at [pos]: a single blit straight
+   from the caller's buffer (no intermediate [Bytes.sub]), shared by the
+   journaled write path and the SplitFS staged-append path. *)
+let blit_into n ~pos src =
+  let len = Bytes.length src in
+  ensure_data_capacity n (pos + len);
+  Bytes.blit src 0 n.data pos len;
+  if pos + len > n.size then n.size <- pos + len;
+  len
+
 let charge_read ?ctx t len =
   match ctx with
   | None -> ()
@@ -475,7 +485,13 @@ let pread ?ctx t fd ~pos ~len =
   with_read_sem ?ctx n (fun () ->
       let len = max 0 (min len (n.size - pos)) in
       charge_read ?ctx t len;
-      Bytes.sub n.data pos len)
+      if len = 0 then Bytes.empty
+      else begin
+        (* exact-size result filled in place: one copy, no resize *)
+        let out = Bytes.create len in
+        Bytes.blit n.data pos out 0 len;
+        out
+      end)
 
 let do_write ?ctx t n ~pos src =
   let len = Bytes.length src in
@@ -483,9 +499,7 @@ let do_write ?ctx t n ~pos src =
     max 0 (((pos + len + 4095) / 4096) - ((n.size + 4095) / 4096))
   in
   if new_blocks > 0 then alloc_blocks ?ctx t new_blocks;
-  ensure_data_capacity n (pos + len);
-  Bytes.blit src 0 n.data pos len;
-  if pos + len > n.size then n.size <- pos + len;
+  let len = blit_into n ~pos src in
   charge_write ?ctx t len;
   write_lines ?ctx t.profile.Profile.append_meta_writes;
   n.mtime <- now ?ctx t;
@@ -515,10 +529,7 @@ let append ?ctx t fd src =
           cpu ?ctx t.profile.Profile.fsync_cycles;
           alloc_blocks ?ctx t t.profile.Profile.staged_appends
         end;
-        let len = Bytes.length src in
-        ensure_data_capacity n (n.size + len);
-        Bytes.blit src 0 n.data n.size len;
-        n.size <- n.size + len;
+        let len = blit_into n ~pos:n.size src in
         charge_write ?ctx t len;
         write_lines ?ctx t.profile.Profile.append_meta_writes;
         e.pos <- n.size;

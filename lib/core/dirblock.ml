@@ -51,6 +51,16 @@ let rows r b = Region.read_u32 r (f_rows b)
 
 let slot r b row s = Region.read_u62 r (f_slot b row s)
 
+(* A row is [slots_per_row] adjacent u62 slots — exactly one cache line.
+   Row scans batch-load it with a single region round into [dst]
+   (reused across chain hops) and pick slots out of the DRAM copy. *)
+let row_bytes = slots_per_row * 8
+
+let load_row r b row dst =
+  Region.read_bytes_into r (f_slot b row 0) dst ~pos:0 ~len:row_bytes
+
+let slot_of_row dst s = Int64.to_int (Bytes.get_int64_le dst (s * 8))
+
 let set_slot r b row s v =
   Region.write_u62 r (f_slot b row s) v;
   Region.persist r (f_slot b row s) 8
@@ -129,14 +139,16 @@ let chain_length r head =
     visited (for charging). *)
 let find r ~head ~name =
   let h = Name_hash.hash name in
+  let rowbuf = Bytes.create row_bytes in
   let rec go hops b =
     if b = 0 then (None, hops)
     else begin
       let row = h mod rows r b in
+      load_row r b row rowbuf;
       let found = ref None in
       let s = ref 0 in
       while !found = None && !s < slots_per_row do
-        let p = slot r b row !s in
+        let p = slot_of_row rowbuf !s in
         if p <> 0 && Fentry.name_equals r p name then
           found := Some (b, row, !s, p);
         incr s
@@ -151,14 +163,16 @@ let find r ~head ~name =
 (** Find the first free slot for [hash] along the chain.  Returns
     ((block, row, slot) option, hops, last_block). *)
 let find_free_slot r ~head ~hash =
+  let rowbuf = Bytes.create row_bytes in
   let rec go hops b last =
     if b = 0 then (None, hops, last)
     else begin
       let row = hash mod rows r b in
+      load_row r b row rowbuf;
       let free = ref None in
       let s = ref 0 in
       while !free = None && !s < slots_per_row do
-        if slot r b row !s = 0 then free := Some (b, row, !s);
+        if slot_of_row rowbuf !s = 0 then free := Some (b, row, !s);
         incr s
       done;
       match !free with
@@ -170,11 +184,13 @@ let find_free_slot r ~head ~hash =
 
 (** Iterate every non-null slot in the chain: [f block row slot fentry]. *)
 let iter_entries r head f =
+  let rowbuf = Bytes.create row_bytes in
   iter_chain r head (fun _ b ->
       let nrows = rows r b in
       for row = 0 to nrows - 1 do
+        load_row r b row rowbuf;
         for s = 0 to slots_per_row - 1 do
-          let p = slot r b row s in
+          let p = slot_of_row rowbuf s in
           if p <> 0 then f b row s p
         done
       done)
@@ -190,10 +206,12 @@ let count_entries r head =
 let block_empty r b =
   let used = ref false in
   let nrows = rows r b in
+  let rowbuf = Bytes.create row_bytes in
   (try
      for row = 0 to nrows - 1 do
+       load_row r b row rowbuf;
        for s = 0 to slots_per_row - 1 do
-         if slot r b row s <> 0 then begin
+         if slot_of_row rowbuf s <> 0 then begin
            used := true;
            raise Exit
          end

@@ -585,7 +585,8 @@ let write_data ?ctx t inode ~pos src =
       | None -> Errno.raise_ EINVAL "write_data: unmapped offset"
       | Some (addr, avail) ->
           let n = min avail remaining in
-          Region.write_bytes t.region addr (Bytes.sub src off n);
+          (* stream straight from the caller's buffer — no Bytes.sub *)
+          Region.write_bytes_from t.region addr src ~pos:off ~len:n;
           Region.clwb t.region addr n;
           copy (off + n) (remaining - n)
     end
@@ -618,7 +619,8 @@ let read_data ?ctx t inode ~pos ~len =
       | None -> Errno.raise_ EINVAL "read_data: unmapped offset"
       | Some (addr, avail) ->
           let n = min avail remaining in
-          Bytes.blit (Region.read_bytes t.region addr n) 0 out off n;
+          (* fill the result in place — no intermediate copy *)
+          Region.read_bytes_into t.region addr out ~pos:off ~len:n;
           copy (off + n) (remaining - n)
     end
   in

@@ -15,6 +15,16 @@
       (real caches may evict early), which is what recovery code must
       survive.
 
+    The data path is word- and line-granular: scalar accessors are
+    single-shot [Bytes.get_int64_le]-style loads/stores (one guard check,
+    one bounds check, one stats update per access), bulk accessors blit
+    one overlapped cache line at a time, and [sfence] walks an explicit
+    pending-flush worklist instead of the whole overlay, so a fence costs
+    O(lines actually marked by [clwb] since the previous fence).  Every
+    layer above (allocators, directory blocks, the file data path, the
+    baselines, the KV store) funnels through here, so the substrate must
+    run at memcpy speed to avoid hiding the mechanisms being measured.
+
     An optional [guard] models the protected-page check: when installed,
     every access calls it first, and the Simurgh security layer makes it
     fault unless the CPU runs in kernel mode via jmpp. *)
@@ -31,6 +41,10 @@ type t = {
   mode : mode;
   overlay : (int, Bytes.t * line_state ref) Hashtbl.t;
       (** line number -> volatile contents + state (Strict mode only) *)
+  mutable pending : int list;
+      (** worklist of lines moved to [Flushing] since the last [sfence];
+          may hold stale or duplicate entries (filtered at the fence),
+          but every Flushing line is on it *)
   mutable guard : (write:bool -> unit) option;
   mutable user_slot : exn option;
       (** opaque per-region slot for a higher layer's shared volatile
@@ -38,8 +52,10 @@ type t = {
           mount of the region finds them; an exception constructor makes
           the slot type-safe without a dependency) *)
   mutable stores : int;  (** statistics: store operations *)
-  mutable loads : int;
-  mutable flushes : int;  (** clwb/ntstore line flushes *)
+  mutable loads : int;  (** load operations *)
+  mutable store_bytes : int;  (** bytes written across all stores *)
+  mutable load_bytes : int;  (** bytes read across all loads *)
+  mutable flushes : int;  (** clwb/ntstore, in cache lines covered *)
   mutable fences : int;
 }
 
@@ -49,10 +65,13 @@ let create ?(mode = Fast) size =
     size;
     mode;
     overlay = Hashtbl.create 1024;
+    pending = [];
     guard = None;
     user_slot = None;
     stores = 0;
     loads = 0;
+    store_bytes = 0;
+    load_bytes = 0;
     flushes = 0;
     fences = 0;
   }
@@ -82,7 +101,7 @@ let overlay_line t ln =
       Hashtbl.replace t.overlay ln cell;
       cell
 
-(* --- raw byte access -------------------------------------------------- *)
+(* --- bounds / accounting ---------------------------------------------- *)
 
 let bounds t off len =
   if off < 0 || len < 0 || off + len > t.size then
@@ -90,8 +109,57 @@ let bounds t off len =
       (Printf.sprintf "Region: access [%d, %d) outside region of %d bytes"
          off (off + len) t.size)
 
-let read_byte t off =
+let count_load t len =
   t.loads <- t.loads + 1;
+  t.load_bytes <- t.load_bytes + len
+
+let count_store t len =
+  t.stores <- t.stores + 1;
+  t.store_bytes <- t.store_bytes + len
+
+(* --- line-granular bulk helpers (Strict mode) --------------------------
+
+   Each walks the lines overlapping [off, off+len) once, doing one
+   overlay lookup and one [Bytes.blit]/[fill] per line. *)
+
+(* Copy [len] bytes at [off] into [dst] at [pos], merging the overlay. *)
+let strict_read_into t off dst pos len =
+  let last = off + len - 1 in
+  let ln = ref (line_of off) in
+  let cur = ref off in
+  while !cur <= last do
+    let base = !ln * line_size in
+    let stop = min last (base + line_size - 1) in
+    let n = stop - !cur + 1 in
+    (match Hashtbl.find_opt t.overlay !ln with
+    | Some (buf, _) -> Bytes.blit buf (!cur - base) dst (pos + (!cur - off)) n
+    | None -> Bytes.blit t.image !cur dst (pos + (!cur - off)) n);
+    cur := stop + 1;
+    incr ln
+  done
+
+(* Generic per-line store walk: [write_line buf boff doff n] copies [n]
+   source bytes starting at source offset [doff] into the overlay line
+   buffer [buf] at [boff]. *)
+let strict_write_lines t off len write_line =
+  let last = off + len - 1 in
+  let ln = ref (line_of off) in
+  let cur = ref off in
+  while !cur <= last do
+    let base = !ln * line_size in
+    let stop = min last (base + line_size - 1) in
+    let n = stop - !cur + 1 in
+    let buf, st = overlay_line t !ln in
+    st := Dirty;
+    write_line buf (!cur - base) (!cur - off) n;
+    cur := stop + 1;
+    incr ln
+  done
+
+(* --- raw byte access -------------------------------------------------- *)
+
+let read_byte t off =
+  count_load t 1;
   check t ~write:false;
   bounds t off 1;
   match t.mode with
@@ -103,7 +171,7 @@ let read_byte t off =
       | None -> Char.code (Bytes.get t.image off))
 
 let write_byte t off v =
-  t.stores <- t.stores + 1;
+  count_store t 1;
   check t ~write:true;
   bounds t off 1;
   match t.mode with
@@ -114,82 +182,260 @@ let write_byte t off v =
       st := Dirty;
       Bytes.set buf (off - (ln * line_size)) (Char.chr (v land 0xff))
 
-let read_bytes t off len =
-  t.loads <- t.loads + 1;
+(** Read [len] bytes at [off] into [dst] starting at [pos] — the
+    allocation-free variant of {!read_bytes} for hot loops. *)
+let read_bytes_into t off dst ~pos ~len =
+  count_load t len;
   check t ~write:false;
   bounds t off len;
+  if pos < 0 || len < 0 || pos + len > Bytes.length dst then
+    invalid_arg "Region.read_bytes_into: destination range";
   match t.mode with
-  | Fast -> Bytes.sub t.image off len
+  | Fast -> Bytes.blit t.image off dst pos len
+  | Strict -> strict_read_into t off dst pos len
+
+let read_bytes t off len =
+  let out = Bytes.create len in
+  read_bytes_into t off out ~pos:0 ~len;
+  out
+
+(** Write [len] bytes of [src] starting at [pos] to [off] — the
+    allocation-free variant of {!write_bytes} for hot loops (no
+    intermediate [Bytes.sub]). *)
+let write_bytes_from t off src ~pos ~len =
+  count_store t len;
+  check t ~write:true;
+  bounds t off len;
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    invalid_arg "Region.write_bytes_from: source range";
+  match t.mode with
+  | Fast -> Bytes.blit src pos t.image off len
   | Strict ->
-      let out = Bytes.create len in
-      for i = 0 to len - 1 do
-        Bytes.set out i (Char.chr (read_byte t (off + i)))
-      done;
-      out
+      strict_write_lines t off len (fun buf boff doff n ->
+          Bytes.blit src (pos + doff) buf boff n)
 
 let write_bytes t off src =
-  t.stores <- t.stores + 1;
+  write_bytes_from t off src ~pos:0 ~len:(Bytes.length src)
+
+(* Write straight from a string: no [Bytes.of_string] copy. *)
+let write_string t off s =
+  let len = String.length s in
+  count_store t len;
   check t ~write:true;
-  let len = Bytes.length src in
   bounds t off len;
   match t.mode with
-  | Fast -> Bytes.blit src 0 t.image off len
+  | Fast -> Bytes.blit_string s 0 t.image off len
   | Strict ->
-      for i = 0 to len - 1 do
-        write_byte t (off + i) (Char.code (Bytes.get src i))
-      done
-
-let write_string t off s = write_bytes t off (Bytes.of_string s)
+      strict_write_lines t off len (fun buf boff doff n ->
+          Bytes.blit_string s doff buf boff n)
 
 let zero t off len =
+  count_store t len;
   check t ~write:true;
   bounds t off len;
   match t.mode with
   | Fast -> Bytes.fill t.image off len '\000'
   | Strict ->
-      for i = 0 to len - 1 do
-        write_byte t (off + i) 0
-      done
+      strict_write_lines t off len (fun buf boff _ n ->
+          Bytes.fill buf boff n '\000')
 
-(* --- fixed-width little-endian accessors ------------------------------ *)
+(* --- fixed-width little-endian accessors ------------------------------
+
+   Single-shot loads/stores when the word lies within one cache line
+   (always the case for naturally aligned accesses, since the line size
+   is a multiple of 8); an unaligned straddler falls back to the
+   line-granular bulk path via a small stack buffer. *)
 
 let read_u8 = read_byte
 let write_u8 = write_byte
 
-let read_u16 t off = read_byte t off lor (read_byte t (off + 1) lsl 8)
+(* A [len]-byte word at [off] crosses a line boundary? *)
+let straddles off len = off land (line_size - 1) > line_size - len
+
+let strict_read_word t off get =
+  let ln = line_of off in
+  match Hashtbl.find_opt t.overlay ln with
+  | Some (buf, _) -> get buf (off - (ln * line_size))
+  | None -> get t.image off
+
+let strict_write_word t off set v =
+  let ln = line_of off in
+  let buf, st = overlay_line t ln in
+  st := Dirty;
+  set buf (off - (ln * line_size)) v
+
+let read_u16 t off =
+  count_load t 2;
+  check t ~write:false;
+  bounds t off 2;
+  match t.mode with
+  | Fast -> Bytes.get_uint16_le t.image off
+  | Strict ->
+      if straddles off 2 then begin
+        let tmp = Bytes.create 2 in
+        strict_read_into t off tmp 0 2;
+        Bytes.get_uint16_le tmp 0
+      end
+      else strict_read_word t off Bytes.get_uint16_le
 
 let write_u16 t off v =
-  write_byte t off (v land 0xff);
-  write_byte t (off + 1) ((v lsr 8) land 0xff)
+  count_store t 2;
+  check t ~write:true;
+  bounds t off 2;
+  let v = v land 0xffff in
+  match t.mode with
+  | Fast -> Bytes.set_uint16_le t.image off v
+  | Strict ->
+      if straddles off 2 then begin
+        let tmp = Bytes.create 2 in
+        Bytes.set_uint16_le tmp 0 v;
+        strict_write_lines t off 2 (fun buf boff doff n ->
+            Bytes.blit tmp doff buf boff n)
+      end
+      else strict_write_word t off Bytes.set_uint16_le v
 
-let read_u32 t off = read_u16 t off lor (read_u16 t (off + 2) lsl 16)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let read_u32 t off =
+  count_load t 4;
+  check t ~write:false;
+  bounds t off 4;
+  match t.mode with
+  | Fast -> get_u32 t.image off
+  | Strict ->
+      if straddles off 4 then begin
+        let tmp = Bytes.create 4 in
+        strict_read_into t off tmp 0 4;
+        get_u32 tmp 0
+      end
+      else strict_read_word t off get_u32
 
 let write_u32 t off v =
-  write_u16 t off (v land 0xffff);
-  write_u16 t (off + 2) ((v lsr 16) land 0xffff)
+  count_store t 4;
+  check t ~write:true;
+  bounds t off 4;
+  match t.mode with
+  | Fast -> set_u32 t.image off v
+  | Strict ->
+      if straddles off 4 then begin
+        let tmp = Bytes.create 4 in
+        set_u32 tmp 0 v;
+        strict_write_lines t off 4 (fun buf boff doff n ->
+            Bytes.blit tmp doff buf boff n)
+      end
+      else strict_write_word t off set_u32 v
 
-(* 62 usable bits: offsets, sizes and persistent pointers all fit. *)
+(* 62 usable bits: offsets, sizes and persistent pointers all fit.
+   [Int64.to_int] keeps the low 63 bits with OCaml-int wraparound —
+   bit-identical to composing the word from byte loads. *)
+let get_u62 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+(* Stores drop the two bits that do not survive a round-trip, exactly as
+   the byte-at-a-time encoding did (bits 0-61 land in the image, the
+   top two image bytes' bits stay zero). *)
+let set_u62 b off v =
+  Bytes.set_int64_le b off (Int64.of_int (v land 0x3fff_ffff_ffff_ffff))
+
 let read_u62 t off =
-  read_u32 t off lor (read_u32 t (off + 4) lsl 32)
+  count_load t 8;
+  check t ~write:false;
+  bounds t off 8;
+  match t.mode with
+  | Fast -> get_u62 t.image off
+  | Strict ->
+      if straddles off 8 then begin
+        let tmp = Bytes.create 8 in
+        strict_read_into t off tmp 0 8;
+        get_u62 tmp 0
+      end
+      else strict_read_word t off get_u62
 
 let write_u62 t off v =
-  write_u32 t off (v land 0xffffffff);
-  write_u32 t (off + 4) ((v lsr 32) land 0x3fffffff)
+  count_store t 8;
+  check t ~write:true;
+  bounds t off 8;
+  match t.mode with
+  | Fast -> set_u62 t.image off v
+  | Strict ->
+      if straddles off 8 then begin
+        let tmp = Bytes.create 8 in
+        set_u62 tmp 0 v;
+        strict_write_lines t off 8 (fun buf boff doff n ->
+            Bytes.blit tmp doff buf boff n)
+      end
+      else strict_write_word t off set_u62 v
+
+(** Load two adjacent u62 words (e.g. a free-list node's next/count pair)
+    with one guard/bounds/stats round and, in Strict mode, a single
+    overlay lookup when the pair does not straddle a line. *)
+let read_u62_pair t off =
+  count_load t 16;
+  check t ~write:false;
+  bounds t off 16;
+  match t.mode with
+  | Fast -> (get_u62 t.image off, get_u62 t.image (off + 8))
+  | Strict ->
+      if straddles off 16 then begin
+        let tmp = Bytes.create 16 in
+        strict_read_into t off tmp 0 16;
+        (get_u62 tmp 0, get_u62 tmp 8)
+      end
+      else
+        let ln = line_of off in
+        let b, boff =
+          match Hashtbl.find_opt t.overlay ln with
+          | Some (buf, _) -> (buf, off - (ln * line_size))
+          | None -> (t.image, off)
+        in
+        (get_u62 b boff, get_u62 b (boff + 8))
+
+(** Store two adjacent u62 words in one round (see {!read_u62_pair}). *)
+let write_u62_pair t off v0 v1 =
+  count_store t 16;
+  check t ~write:true;
+  bounds t off 16;
+  match t.mode with
+  | Fast ->
+      set_u62 t.image off v0;
+      set_u62 t.image (off + 8) v1
+  | Strict ->
+      if straddles off 16 then begin
+        let tmp = Bytes.create 16 in
+        set_u62 tmp 0 v0;
+        set_u62 tmp 8 v1;
+        strict_write_lines t off 16 (fun buf boff doff n ->
+            Bytes.blit tmp doff buf boff n)
+      end
+      else begin
+        let ln = line_of off in
+        let buf, st = overlay_line t ln in
+        st := Dirty;
+        let boff = off - (ln * line_size) in
+        set_u62 buf boff v0;
+        set_u62 buf (boff + 8) v1
+      end
 
 (* --- persistence primitives ------------------------------------------ *)
 
 (** [clwb t off len]: initiate write-back of the lines covering
-    [off, off+len).  Persistence is only guaranteed after [sfence]. *)
+    [off, off+len).  Persistence is only guaranteed after [sfence].
+    Lines transitioning to [Flushing] join the pending worklist that
+    [sfence] walks. *)
 let clwb t off len =
   bounds t off (max len 1);
-  t.flushes <- t.flushes + 1;
+  let first = line_of off and last = line_of (off + max (len - 1) 0) in
+  t.flushes <- t.flushes + (last - first + 1);
   match t.mode with
   | Fast -> ()
   | Strict ->
-      let first = line_of off and last = line_of (off + max (len - 1) 0) in
       for ln = first to last do
         match Hashtbl.find_opt t.overlay ln with
-        | Some (_, st) -> st := Flushing
+        | Some (_, st) ->
+            if !st <> Flushing then begin
+              st := Flushing;
+              t.pending <- ln :: t.pending
+            end
         | None -> ()
       done
 
@@ -199,23 +445,27 @@ let ntstore t off src =
   write_bytes t off src;
   clwb t off (Bytes.length src)
 
-(** Commit all pending (Flushing) lines to the persistent image. *)
+(** Commit all pending (Flushing) lines to the persistent image.  Walks
+    only the worklist built up by [clwb] — O(lines actually pending),
+    not O(overlay size).  A line re-dirtied after its [clwb] is skipped
+    (it needs another [clwb]), exactly as on real hardware. *)
 let sfence t =
   t.fences <- t.fences + 1;
   match t.mode with
   | Fast -> ()
   | Strict ->
-      let committed = ref [] in
-      Hashtbl.iter
-        (fun ln (buf, st) ->
-          if !st = Flushing then begin
-            let base = ln * line_size in
-            let len = min line_size (t.size - base) in
-            Bytes.blit buf 0 t.image base len;
-            committed := ln :: !committed
-          end)
-        t.overlay;
-      List.iter (fun ln -> Hashtbl.remove t.overlay ln) !committed
+      let work = t.pending in
+      t.pending <- [];
+      List.iter
+        (fun ln ->
+          match Hashtbl.find_opt t.overlay ln with
+          | Some (buf, st) when !st = Flushing ->
+              let base = ln * line_size in
+              let len = min line_size (t.size - base) in
+              Bytes.blit buf 0 t.image base len;
+              Hashtbl.remove t.overlay ln
+          | Some _ | None -> ())
+        work
 
 (** Convenience: flush + fence a range (persist barrier). *)
 let persist t off len =
@@ -226,7 +476,9 @@ let persist t off len =
 let crash t =
   match t.mode with
   | Fast -> ()
-  | Strict -> Hashtbl.reset t.overlay
+  | Strict ->
+      Hashtbl.reset t.overlay;
+      t.pending <- []
 
 (** Number of dirty (not yet durable) lines; 0 means fully persisted. *)
 let unpersisted_lines t = Hashtbl.length t.overlay
@@ -253,7 +505,21 @@ let load_from_file ?(mode = Fast) path =
       really_input ic t.image 0 size;
       t)
 
-type stats = { loads : int; stores : int; flushes : int; fences : int }
+type stats = {
+  loads : int;  (** load operations *)
+  stores : int;  (** store operations (including [zero]) *)
+  load_bytes : int;  (** bytes read across all loads *)
+  store_bytes : int;  (** bytes written across all stores *)
+  flushes : int;  (** cache lines covered by clwb/ntstore *)
+  fences : int;
+}
 
 let stats (t : t) : stats =
-  { loads = t.loads; stores = t.stores; flushes = t.flushes; fences = t.fences }
+  {
+    loads = t.loads;
+    stores = t.stores;
+    load_bytes = t.load_bytes;
+    store_bytes = t.store_bytes;
+    flushes = t.flushes;
+    fences = t.fences;
+  }

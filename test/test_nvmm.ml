@@ -150,6 +150,241 @@ let test_save_excludes_unflushed () =
   Alcotest.(check string) "unflushed part absent" (String.make 8 '\000')
     (Bytes.to_string (Region.read_bytes r2 100 8))
 
+(* --- differential: wide accessors vs byte-at-a-time reference ------------- *)
+
+(* An independent transcription of the original byte-at-a-time region
+   (per-byte overlay access, full-table-scan sfence).  The word/line
+   granular implementation must be bit-identical to it, in both modes,
+   including crash-drop behaviour. *)
+module Ref = struct
+  let line_size = 64
+
+  type t = {
+    image : Bytes.t;
+    size : int;
+    strict : bool;
+    overlay : (int, Bytes.t * bool ref) Hashtbl.t;
+        (** line -> contents * flushing? *)
+  }
+
+  let create ~strict size =
+    { image = Bytes.make size '\000'; size; strict; overlay = Hashtbl.create 64 }
+
+  let overlay_line t ln =
+    match Hashtbl.find_opt t.overlay ln with
+    | Some cell -> cell
+    | None ->
+        let buf = Bytes.create line_size in
+        let base = ln * line_size in
+        Bytes.blit t.image base buf 0 (min line_size (t.size - base));
+        let cell = (buf, ref false) in
+        Hashtbl.replace t.overlay ln cell;
+        cell
+
+  let read_byte t off =
+    if not t.strict then Char.code (Bytes.get t.image off)
+    else
+      let ln = off / line_size in
+      match Hashtbl.find_opt t.overlay ln with
+      | Some (buf, _) -> Char.code (Bytes.get buf (off - (ln * line_size)))
+      | None -> Char.code (Bytes.get t.image off)
+
+  let write_byte t off v =
+    if not t.strict then Bytes.set t.image off (Char.chr (v land 0xff))
+    else begin
+      let ln = off / line_size in
+      let buf, fl = overlay_line t ln in
+      fl := false;
+      Bytes.set buf (off - (ln * line_size)) (Char.chr (v land 0xff))
+    end
+
+  let read_u16 t off = read_byte t off lor (read_byte t (off + 1) lsl 8)
+
+  let write_u16 t off v =
+    write_byte t off (v land 0xff);
+    write_byte t (off + 1) ((v lsr 8) land 0xff)
+
+  let read_u32 t off = read_u16 t off lor (read_u16 t (off + 2) lsl 16)
+
+  let write_u32 t off v =
+    write_u16 t off (v land 0xffff);
+    write_u16 t (off + 2) ((v lsr 16) land 0xffff)
+
+  let read_u62 t off = read_u32 t off lor (read_u32 t (off + 4) lsl 32)
+
+  let write_u62 t off v =
+    write_u32 t off (v land 0xffffffff);
+    write_u32 t (off + 4) ((v lsr 32) land 0x3fffffff)
+
+  let read_bytes t off len =
+    Bytes.init len (fun i -> Char.chr (read_byte t (off + i)))
+
+  let write_bytes t off src =
+    Bytes.iteri (fun i c -> write_byte t (off + i) (Char.code c)) src
+
+  let zero t off len =
+    for i = 0 to len - 1 do
+      write_byte t (off + i) 0
+    done
+
+  let clwb t off len =
+    if t.strict then begin
+      let first = off / line_size and last = (off + max (len - 1) 0) / line_size in
+      for ln = first to last do
+        match Hashtbl.find_opt t.overlay ln with
+        | Some (_, fl) -> fl := true
+        | None -> ()
+      done
+    end
+
+  let ntstore t off src =
+    write_bytes t off src;
+    clwb t off (Bytes.length src)
+
+  let sfence t =
+    if t.strict then begin
+      let committed = ref [] in
+      Hashtbl.iter
+        (fun ln (buf, fl) ->
+          if !fl then begin
+            let base = ln * line_size in
+            Bytes.blit buf 0 t.image base (min line_size (t.size - base));
+            committed := ln :: !committed
+          end)
+        t.overlay;
+      List.iter (Hashtbl.remove t.overlay) !committed
+    end
+
+  let persist t off len =
+    clwb t off len;
+    sfence t
+
+  let crash t = if t.strict then Hashtbl.reset t.overlay
+
+  let unpersisted_lines t = Hashtbl.length t.overlay
+end
+
+let differential_run ~strict ~seed ~ops =
+  let size = 4096 + 40 (* partial tail cache line *) in
+  let rng = Simurgh_sim.Rng.create (Int64.of_int seed) in
+  let mode = if strict then Region.Strict else Region.Fast in
+  let r = Region.create ~mode size in
+  let m = Ref.create ~strict size in
+  let ck name i cond =
+    if not cond then
+      Alcotest.failf "%s diverged (strict=%b seed=%d op %d)" name strict seed i
+  in
+  let compare_all i =
+    ck "visible image" i
+      (Bytes.equal (Region.read_bytes r 0 size) (Ref.read_bytes m 0 size));
+    if strict then begin
+      ck "unpersisted lines" i
+        (Region.unpersisted_lines r = Ref.unpersisted_lines m);
+      let path = Filename.temp_file "simurgh_diff" ".img" in
+      Region.save_to_file r path;
+      let persisted = Region.load_from_file path in
+      Sys.remove path;
+      ck "persistent image" i
+        (Bytes.equal (Region.read_bytes persisted 0 size) m.Ref.image)
+    end
+  in
+  let rand_off len = Simurgh_sim.Rng.int rng (size - len + 1) in
+  let rand_len () = Simurgh_sim.Rng.int rng 300 in
+  let rand_payload len =
+    Bytes.init len (fun _ -> Char.chr (Simurgh_sim.Rng.int rng 256))
+  in
+  for i = 1 to ops do
+    (match Simurgh_sim.Rng.int rng 17 with
+    | 0 ->
+        let off = rand_off 1 and v = Simurgh_sim.Rng.int rng 256 in
+        Region.write_u8 r off v;
+        Ref.write_byte m off v
+    | 1 ->
+        let off = rand_off 2 and v = Simurgh_sim.Rng.int rng 65536 in
+        Region.write_u16 r off v;
+        Ref.write_u16 m off v
+    | 2 ->
+        let off = rand_off 4 and v = Simurgh_sim.Rng.int rng max_int in
+        Region.write_u32 r off v;
+        Ref.write_u32 m off v
+    | 3 ->
+        let off = rand_off 8 and v = Simurgh_sim.Rng.int rng max_int in
+        Region.write_u62 r off v;
+        Ref.write_u62 m off v
+    | 4 ->
+        let off = rand_off 8 in
+        ck "read_u8" i (Region.read_u8 r off = Ref.read_byte m off);
+        ck "read_u16" i (Region.read_u16 r off = Ref.read_u16 m off);
+        ck "read_u32" i (Region.read_u32 r off = Ref.read_u32 m off);
+        ck "read_u62" i (Region.read_u62 r off = Ref.read_u62 m off)
+    | 5 ->
+        let len = rand_len () in
+        let off = rand_off len in
+        ck "read_bytes" i
+          (Bytes.equal (Region.read_bytes r off len) (Ref.read_bytes m off len))
+    | 6 ->
+        let len = rand_len () in
+        let off = rand_off len in
+        let src = rand_payload len in
+        Region.write_bytes r off src;
+        Ref.write_bytes m off src
+    | 7 ->
+        let len = rand_len () in
+        let off = rand_off len in
+        let src = rand_payload len in
+        Region.write_string r off (Bytes.to_string src);
+        Ref.write_bytes m off src
+    | 8 ->
+        let len = rand_len () in
+        let off = rand_off len in
+        Region.zero r off len;
+        Ref.zero m off len
+    | 9 ->
+        let len = rand_len () in
+        let off = rand_off len in
+        let src = rand_payload len in
+        Region.ntstore r off src;
+        Ref.ntstore m off src
+    | 10 | 11 ->
+        let len = rand_len () in
+        let off = rand_off len in
+        Region.clwb r off len;
+        Ref.clwb m off len
+    | 12 | 13 ->
+        Region.sfence r;
+        Ref.sfence m
+    | 14 ->
+        let len = rand_len () in
+        let off = rand_off len in
+        Region.persist r off len;
+        Ref.persist m off len
+    | 15 ->
+        (* paired-word path (block-allocator node access) *)
+        let off = 8 * Simurgh_sim.Rng.int rng ((size - 16) / 8 + 1) in
+        let v0 = Simurgh_sim.Rng.int rng max_int
+        and v1 = Simurgh_sim.Rng.int rng max_int in
+        Region.write_u62_pair r off v0 v1;
+        Ref.write_u62 m off v0;
+        Ref.write_u62 m (off + 8) v1;
+        let a, b = Region.read_u62_pair r off in
+        ck "u62_pair" i (a = Ref.read_u62 m off && b = Ref.read_u62 m (off + 8))
+    | _ ->
+        (* power failure at a random point *)
+        Region.crash r;
+        Ref.crash m);
+    if i mod 100 = 0 then compare_all i
+  done;
+  compare_all ops;
+  Region.crash r;
+  Ref.crash m;
+  compare_all (ops + 1)
+
+let test_differential_fast () =
+  List.iter (fun seed -> differential_run ~strict:false ~seed ~ops:3000) [ 1; 2; 3 ]
+
+let test_differential_strict () =
+  List.iter (fun seed -> differential_run ~strict:true ~seed ~ops:3000) [ 1; 2; 3; 4; 5 ]
+
 (* --- guard ----------------------------------------------------------------- *)
 
 exception Guarded
@@ -228,6 +463,13 @@ let () =
           Alcotest.test_case "save excludes unflushed" `Quick
             test_save_excludes_unflushed;
           QCheck_alcotest.to_alcotest prop_strict_persist_roundtrip;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "wide accessors vs byte reference (fast)" `Quick
+            test_differential_fast;
+          Alcotest.test_case "wide accessors vs byte reference (strict)" `Quick
+            test_differential_strict;
         ] );
       ( "guard+stats",
         [
