@@ -61,7 +61,6 @@ let run_bench ~scale (id, bench, base_ops) =
   in
   List.iter
     (fun (t : Targets.target) ->
-      Util.row_header t.Targets.name;
       let results =
         List.map
           (fun threads ->
@@ -69,19 +68,13 @@ let run_bench ~scale (id, bench, base_ops) =
             t.Targets.run_fx ?region_mb ~threads ~ops bench)
           Util.thread_counts
       in
-      List.iter
-        (fun (r : Fxmark.result) ->
-          Printf.printf " %9.0f" (Util.kops r.Fxmark.throughput))
-        results;
-      print_newline ();
-      if is_data then begin
-        Util.row_header (t.Targets.name ^ " GB/s");
-        List.iter
-          (fun (r : Fxmark.result) ->
-            Printf.printf " %9.2f" (r.Fxmark.bandwidth /. 1e9))
-          results;
-        print_newline ()
-      end)
+      Util.series t.Targets.name " %9.0f"
+        (List.map (fun (r : Fxmark.result) -> Util.kops r.Fxmark.throughput)
+           results);
+      if is_data then
+        Util.series (t.Targets.name ^ " GB/s") " %9.2f"
+          (List.map (fun (r : Fxmark.result) -> r.Fxmark.bandwidth /. 1e9)
+             results))
     (targets_for bench)
 
 let run_one ~scale id =

@@ -10,18 +10,10 @@ module Tar_i = Tar_sim.Make (INova)
 module Git_i = Git_sim.Make (INova)
 module Tree_i = Linux_tree.Make (INova)
 
-(* Breakdown of an instrumented single-threaded phase. *)
-let breakdown cm (acc : I.acc) total_cycles =
-  let copy = I.copy_cycles cm acc.I.copy_bytes in
-  let fs = Float.max 0.0 (acc.I.fs_cycles -. copy) in
-  let app = Float.max 0.0 (total_cycles -. fs -. copy) in
-  let tot = Float.max 1.0 (app +. copy +. fs) in
-  (app /. tot, copy /. tot, fs /. tot)
-
-let reset_acc (acc : I.acc) =
-  acc.I.fs_cycles <- 0.0;
-  acc.I.copy_bytes <- 0;
-  acc.I.calls <- 0
+(* Breakdown of an instrumented single-threaded phase, read from the
+   machine's observability run. *)
+let breakdown cm m total_cycles =
+  I.breakdown cm (Simurgh_sim.Machine.obs m) ~total_cycles
 
 let run ~scale =
   Util.header "tab1: NOVA execution-time breakdown";
@@ -40,11 +32,10 @@ let run ~scale =
   let _, files = tree in
   let ifs = (Simurgh_baselines.Nova.create (), I.fresh_acc ()) in
   Tree_i.populate ifs tree;
+  (* populate ran without a ctx, so the fresh machine's run is empty *)
   let m = Simurgh_sim.Machine.create () in
-  reset_acc (snd ifs);
   let pr = Tar_i.pack m ifs ~archive:"/a.tar" tree in
-  breakdown cm (snd ifs)
-    (pr.Tar_sim.seconds *. cm.Simurgh_sim.Cost_model.freq_hz)
+  breakdown cm m (pr.Tar_sim.seconds *. cm.Simurgh_sim.Cost_model.freq_hz)
   |> Util.pp_breakdown "Tar Pack";
   (* git commit: instrument only the commit phase *)
   let ifs = (Simurgh_baselines.Nova.create (), I.fresh_acc ()) in
@@ -53,9 +44,11 @@ let run ~scale =
   let m = Simurgh_sim.Machine.create () in
   let thr = Simurgh_sim.Sthread.create 0 in
   ignore (Git_i.add m thr ifs files);
-  reset_acc (snd ifs);
+  (* drop the add phase from the measurement without resetting the
+     machine's bandwidth servers (that would change virtual time) *)
+  Simurgh_obs.Run.clear (Simurgh_sim.Machine.obs m);
   let commit_s = Git_i.commit m thr ifs files in
-  breakdown cm (snd ifs) (commit_s *. cm.Simurgh_sim.Cost_model.freq_hz)
+  breakdown cm m (commit_s *. cm.Simurgh_sim.Cost_model.freq_hz)
   |> Util.pp_breakdown "Git Commit";
   Printf.printf
     "paper: LoadA 27/18/55, Tar Pack 8/36/56, Git Commit 33/0.5/66 \

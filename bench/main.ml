@@ -5,7 +5,16 @@
       dune exec bench/main.exe                   -- run everything
       dune exec bench/main.exe -- fig7b fig9     -- selected experiments
       dune exec bench/main.exe -- --scale 2.0 all
-      dune exec bench/main.exe -- --list *)
+      dune exec bench/main.exe -- --json out fig7a fig10
+      dune exec bench/main.exe -- --list
+
+    With [--json DIR], each experiment additionally writes
+    [DIR/BENCH_<id>.json]: the printed tables plus the merged
+    observability snapshot (per-op latency percentiles, per-site lock
+    contention, region/allocator counters).  Schema: "simurgh-bench-v1",
+    documented in DESIGN.md. *)
+
+module Obs = Simurgh_obs
 
 let experiments : (string * string * (scale:float -> unit)) list =
   [
@@ -28,46 +37,70 @@ let experiments : (string * string * (scale:float -> unit)) list =
   ]
 
 let is_fig7_sub id =
-  String.length id = 5 && String.sub id 0 4 = "fig7" && id.[4] >= 'a'
+  String.length id = 5
+  && String.sub id 0 4 = "fig7"
+  && id.[4] >= 'a'
+  && id.[4] <= 'l'
+
+let mkdir_p dir =
+  try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let scale = ref 1.0 in
-  let ids = ref [] in
-  let list_only = ref false in
-  let rec parse = function
-    | [] -> ()
-    | "--scale" :: v :: rest ->
-        scale := float_of_string v;
-        parse rest
-    | "--list" :: rest ->
-        list_only := true;
-        parse rest
-    | id :: rest ->
-        ids := id :: !ids;
-        parse rest
+  let known = List.map (fun (id, _, _) -> id) experiments in
+  let cfg =
+    match Obs.Obs_cli.parse ~known ~is_dynamic:is_fig7_sub args with
+    | Ok cfg -> cfg
+    | Error msg ->
+        prerr_endline ("bench: " ^ msg);
+        exit 2
   in
-  parse args;
-  if !list_only then begin
+  if cfg.Obs.Obs_cli.list_only then begin
     List.iter
       (fun (id, desc, _) -> Printf.printf "%-10s %s\n" id desc)
       experiments;
     exit 0
   end;
-  let ids = match List.rev !ids with [] | [ "all" ] -> [] | l -> l in
+  let scale = cfg.Obs.Obs_cli.scale in
+  let json_dir = cfg.Obs.Obs_cli.json_dir in
+  Option.iter mkdir_p json_dir;
   Printf.printf
     "Simurgh reproduction benchmark harness (scale=%.2f). Throughputs are \
      virtual-time (modeled 2.5 GHz Xeon + Optane; see DESIGN.md).\n"
-    !scale;
-  let run_id id =
-    if is_fig7_sub id then Exp_fig7.run_one ~scale:!scale id
-    else
-      match List.find_opt (fun (i, _, _) -> i = id) experiments with
-      | Some (_, _, f) -> f ~scale:!scale
-      | None ->
-          Printf.printf
-            "unknown experiment %S (use --list; fig7a..fig7l also work)\n" id
+    scale;
+  let run_one id f =
+    match json_dir with
+    | None -> f ~scale
+    | Some dir ->
+        (* collect per-machine obs runs + counter sources created while
+           this experiment runs, then export everything it printed *)
+        Obs.Report.begin_exp id;
+        Obs.Collect.install ();
+        Fun.protect
+          ~finally:(fun () ->
+            if Obs.Collect.active () || Obs.Report.active () then begin
+              Obs.Collect.discard ();
+              Obs.Report.discard ()
+            end)
+          (fun () ->
+            f ~scale;
+            let merged = Obs.Collect.drain () in
+            match Obs.Report.finish ~dir ~scale ~obs:merged with
+            | Some path -> Printf.printf "wrote %s\n" path
+            | None -> ())
   in
-  match ids with
-  | [] -> List.iter (fun (_, _, f) -> f ~scale:!scale) experiments
-  | ids -> List.iter run_id ids
+  let run_id id =
+    if is_fig7_sub id then run_one id (fun ~scale -> Exp_fig7.run_one ~scale id)
+    else
+      let _, _, f = List.find (fun (i, _, _) -> i = id) experiments in
+      run_one id f
+  in
+  match cfg.Obs.Obs_cli.ids with
+  | [] -> List.iter (fun (id, _, f) -> run_one id f) experiments
+  | ids ->
+      List.iter
+        (fun id ->
+          if id = "all" then List.iter (fun (i, _, f) -> run_one i f) experiments
+          else run_id id)
+        ids

@@ -1,8 +1,17 @@
-(** Shared helpers for the experiment harness. *)
+(** Shared helpers for the experiment harness.
+
+    Every printed table is mirrored into {!Simurgh_obs.Report} so that a
+    [--json DIR] run exports the same numbers machine-readably; when no
+    report is active the mirroring is a no-op. *)
+
+module Report = Simurgh_obs.Report
 
 let thread_counts = [ 1; 2; 4; 7; 10 ]
 
+let last_header = ref ""
+
 let header title =
+  last_header := title;
   Printf.printf "\n=== %s ===\n" title
 
 let row_header name = Printf.printf "%-18s" name
@@ -12,9 +21,17 @@ let print_series fmt values =
   print_newline ()
 
 let print_thread_header () =
+  Report.table ~title:!last_header
+    ~columns:(List.map (Printf.sprintf "t%d") thread_counts);
   Printf.printf "%-18s" "threads";
   List.iter (fun t -> Printf.printf " %9d" t) thread_counts;
   print_newline ()
+
+(** Print one labeled row and mirror it into the current report table. *)
+let series name fmt values =
+  row_header name;
+  print_series fmt values;
+  Report.row name values
 
 (** ops per thread scaled by the experiment scale factor. *)
 let scaled ~scale base = max 64 (int_of_float (float_of_int base *. scale))
@@ -23,5 +40,8 @@ let kops v = v /. 1000.0
 let mops v = v /. 1.0e6
 
 let pp_breakdown name (app, copy, fs) =
+  Report.ensure_table ~title:"breakdown (% of execution time)"
+    ~columns:[ "app%"; "copy%"; "fs%" ];
+  Report.row name [ 100.0 *. app; 100.0 *. copy; 100.0 *. fs ];
   Printf.printf "%-12s  app %5.1f%%   data-copy %5.1f%%   file-system %5.1f%%\n"
     name (100.0 *. app) (100.0 *. copy) (100.0 *. fs)

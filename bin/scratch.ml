@@ -3,14 +3,18 @@ module FB = Filebench
 module FbS = FB.Make (Simurgh_core.Fs)
 module FbN = FB.Make (Simurgh_baselines.Nova)
 let probe name run =
-  Hashtbl.reset Simurgh_sim.Vlock.Spin.wait_by_site;
   let m = Simurgh_sim.Machine.create () in
   let r = run m in
   Printf.printf "%s: %.1f Kops rd=%.0f wr=%.0f\n" name (r.FB.ops_per_s /. 1000.)
     (Simurgh_sim.Resource.busy_cycles m.Simurgh_sim.Machine.nvmm_read_srv)
     (Simurgh_sim.Resource.busy_cycles m.Simurgh_sim.Machine.nvmm_write_srv);
-  Hashtbl.iter (fun site w -> if !w > 1e6 then Printf.printf "  wait %-12s %.0f\n" site !w)
-    Simurgh_sim.Vlock.Spin.wait_by_site
+  List.iter
+    (fun (site, s) ->
+      if s.Simurgh_obs.Contention.wait_cycles > 1e6 then
+        Printf.printf "  wait %-12s %.0f\n" site
+          s.Simurgh_obs.Contention.wait_cycles)
+    (Simurgh_obs.Contention.to_list
+       (Simurgh_sim.Machine.obs m).Simurgh_obs.Run.contention)
 let () =
   let cfg = FB.config ~scale:0.5 FB.Webserver in
   probe "Simurgh webserver" (fun m ->

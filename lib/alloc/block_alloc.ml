@@ -35,6 +35,11 @@ type t = {
   base : int;  (** first managed byte *)
   total_blocks : int;
   locks : Simurgh_sim.Vlock.Spin.t array;  (** virtual-time segment locks *)
+  (* volatile operation counters (diagnostics; see Simurgh_obs) *)
+  mutable allocs : int;
+  mutable frees : int;
+  mutable blocks_allocated : int;
+  mutable blocks_freed : int;
 }
 
 let header_size ~segments = header_fixed + (segments * seg_header_size)
@@ -67,6 +72,10 @@ let attach region ~off =
     base;
     total_blocks;
     locks = Array.init segments (fun _ -> Simurgh_sim.Vlock.Spin.create ~site:"balloc-seg" ());
+    allocs = 0;
+    frees = 0;
+    blocks_allocated = 0;
+    blocks_freed = 0;
   }
 
 let format region ~off ~base ~blocks ~block_size ~segments =
@@ -289,7 +298,13 @@ let alloc ?ctx ?(hint = 0) t n =
         match r with Some _ -> r | None -> try_seg (k + 1) ~skip_busy
       end
   in
-  try_seg 0 ~skip_busy:(t.segments > 1)
+  let r = try_seg 0 ~skip_busy:(t.segments > 1) in
+  (match r with
+  | Some _ ->
+      t.allocs <- t.allocs + 1;
+      t.blocks_allocated <- t.blocks_allocated + n
+  | None -> ());
+  r
 
 (** Return [n] blocks starting at byte address [addr] to their segment. *)
 let free ?ctx t ~addr n =
@@ -301,7 +316,9 @@ let free ?ctx t ~addr n =
   if segment_is_stuck ?ctx t i then recover_segment t i;
   lock_segment ?ctx t i;
   free_in_segment ?ctx t i ~addr ~count:n;
-  unlock_segment ?ctx t i
+  unlock_segment ?ctx t i;
+  t.frees <- t.frees + 1;
+  t.blocks_freed <- t.blocks_freed + n
 
 (** Total free blocks (walks every list; diagnostic). *)
 let free_blocks t =
@@ -389,3 +406,21 @@ let rebuild_free_lists t ~in_use =
     Region.write_u62 t.region (seg_head t i) !head;
     Region.persist t.region (seg_off t i) seg_header_size
   done
+
+type stats = {
+  allocs : int;
+  frees : int;
+  blocks_allocated : int;
+  blocks_freed : int;
+  total_blocks : int;
+}
+
+(** Volatile operation counters (exported by the observability layer). *)
+let stats (t : t) : stats =
+  {
+    allocs = t.allocs;
+    frees = t.frees;
+    blocks_allocated = t.blocks_allocated;
+    blocks_freed = t.blocks_freed;
+    total_blocks = t.total_blocks;
+  }

@@ -38,6 +38,8 @@ type t = {
   free_cache : int Queue.t;  (** volatile free-object cache (shared DRAM) *)
   cache_lock : Simurgh_sim.Vlock.Spin.t;
   mutable live : int;  (** volatile live-object counter (diagnostics) *)
+  mutable allocs : int;
+  mutable frees : int;
 }
 
 (* Object layout: byte 0 = flags, bytes 8.. = payload. *)
@@ -66,6 +68,8 @@ let attach region ~off ~block_alloc =
       free_cache = Queue.create ();
       cache_lock = Simurgh_sim.Vlock.Spin.create ~site:"slab-cache" ();
       live = 0;
+      allocs = 0;
+      frees = 0;
     }
   in
   t
@@ -136,6 +140,7 @@ let rec alloc ?ctx t =
         Region.persist t.region addr 1;
         charge ?ctx ~read:1 ~write:1 ();
         t.live <- t.live + 1;
+        t.allocs <- t.allocs + 1;
         Some (payload addr)
       end
 
@@ -171,6 +176,7 @@ let finish_free ?ctx t paddr =
   Region.persist t.region addr 1;
   charge ?ctx ~read:0 ~write:(1 + (t.obj_size / 64)) ();
   t.live <- t.live - 1;
+  t.frees <- t.frees + 1;
   Ctx_util.with_spin ?ctx t.cache_lock (fun () ->
       Queue.push addr t.free_cache)
 
@@ -238,3 +244,8 @@ let iter_segments t f =
     end
   in
   go (Region.read_u62 t.region (seg_list_head t))
+
+type stats = { live : int; allocs : int; frees : int }
+
+(** Volatile counters (exported by the observability layer). *)
+let stats (t : t) : stats = { live = t.live; allocs = t.allocs; frees = t.frees }

@@ -70,8 +70,8 @@ let fresh_node t kind perm =
     data = Bytes.create 0;
     symlink_target = "";
     children = Hashtbl.create 8;
-    rwsem = Vlock.Rw.create ();
-    dir_mutex = Vlock.Mutex.create ();
+    rwsem = Vlock.Rw.create ~site:"vfs-rwsem" ();
+    dir_mutex = Vlock.Mutex.create ~site:"vfs-inode-mutex" ();
     staged = 0;
   }
 
@@ -92,14 +92,14 @@ let create profile =
           data = Bytes.create 0;
           symlink_target = "";
           children = Hashtbl.create 64;
-          rwsem = Vlock.Rw.create ();
-          dir_mutex = Vlock.Mutex.create ();
+          rwsem = Vlock.Rw.create ~site:"vfs-rwsem" ();
+          dir_mutex = Vlock.Mutex.create ~site:"vfs-inode-mutex" ();
           staged = 0;
         };
       dcache = Simurgh_vfs.Dcache.create ();
-      rename_mutex = Vlock.Mutex.create ();
-      alloc_lock = Vlock.Spin.create ();
-      journal_lock = Vlock.Spin.create ();
+      rename_mutex = Vlock.Mutex.create ~site:"vfs-rename-mutex" ();
+      alloc_lock = Vlock.Spin.create ~site:"fs-alloc" ();
+      journal_lock = Vlock.Spin.create ~site:"fs-journal" ();
       fds = Hashtbl.create 64;
       next_fd = 3;
       next_ino = 2;

@@ -83,19 +83,44 @@ let make_root layout =
 
 let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
     ?(coarse_dir_locks = false) ?(euid = 1000) ?(egid = 1000) layout =
-  {
-    layout;
-    region = layout.Layout.region;
-    locks = Locks.create ();
-    openfiles = Openfile.create ();
-    euid;
-    egid;
-    call_mode;
-    relaxed_writes;
-    coarse_dir_locks;
-    crash_hook = ignore;
-    logical_time = 0;
-  }
+  let fs =
+    {
+      layout;
+      region = layout.Layout.region;
+      locks = Locks.create ();
+      openfiles = Openfile.create ();
+      euid;
+      egid;
+      call_mode;
+      relaxed_writes;
+      coarse_dir_locks;
+      crash_hook = ignore;
+      logical_time = 0;
+    }
+  in
+  (* lock-registry sizes and allocator counters join the experiment's
+     observability snapshot (no-op outside the bench driver) *)
+  Simurgh_obs.Collect.note_source (fun () ->
+      let rows, files, appends = Locks.sizes fs.locks in
+      let ba = Simurgh_alloc.Block_alloc.stats layout.Layout.balloc in
+      let inodes = Simurgh_alloc.Slab_alloc.stats layout.Layout.inode_slab in
+      let fes = Simurgh_alloc.Slab_alloc.stats layout.Layout.fentry_slab in
+      [
+        ("locks/row_locks", float_of_int rows);
+        ("locks/file_locks", float_of_int files);
+        ("locks/dir_append_locks", float_of_int appends);
+        ( "alloc/block_allocs",
+          float_of_int ba.Simurgh_alloc.Block_alloc.allocs );
+        ("alloc/block_frees", float_of_int ba.Simurgh_alloc.Block_alloc.frees);
+        ( "alloc/blocks_allocated",
+          float_of_int ba.Simurgh_alloc.Block_alloc.blocks_allocated );
+        ( "alloc/blocks_freed",
+          float_of_int ba.Simurgh_alloc.Block_alloc.blocks_freed );
+        ( "alloc/inodes_live",
+          float_of_int inodes.Simurgh_alloc.Slab_alloc.live );
+        ("alloc/fentries_live", float_of_int fes.Simurgh_alloc.Slab_alloc.live);
+      ]);
+  fs
 
 (* Shared-DRAM state per region (paper Section 4: concurrent processes
    are "coordinated through accesses to NVMM and shared DRAM").  Every
@@ -154,6 +179,7 @@ let unmount t = Layout.set_clean_shutdown t.layout true
 
 let region t = t.region
 let layout t = t.layout
+let locks t = t.locks
 let locks_of t = t.locks
 let set_crash_hook t f = t.crash_hook <- f
 let set_creds t ~euid ~egid =
@@ -721,7 +747,10 @@ let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
               chain dirhead
             end;
             Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.inode_slab inode;
-            Locks.drop_file_lock t.locks inode
+            Locks.drop_file_lock t.locks inode;
+            (* the directory is gone: reclaim its row/append locks so the
+               volatile registries do not grow without bound *)
+            if is_dir then Locks.drop_dir_locks t.locks ~dir:dirhead
           end;
           hook t "unlink:inode";
           (* step 4: file entry zeroed *)

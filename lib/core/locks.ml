@@ -57,3 +57,24 @@ let dir_append_lock t dir =
       l
 
 let drop_file_lock t inode = Hashtbl.remove t.file_locks inode
+
+(** Reclaim every lock belonging to a deleted directory (its row locks
+    and its chain-extension lock).  Without this the registries grow
+    without bound: rmdir used to leave all of them behind, so a
+    create/remove-heavy workload leaked one spin lock per touched hash
+    row forever. *)
+let drop_dir_locks t ~dir =
+  Hashtbl.remove t.dir_append_locks dir;
+  let doomed =
+    Hashtbl.fold
+      (fun ((d, _) as key) _ acc -> if d = dir then key :: acc else acc)
+      t.row_locks []
+  in
+  List.iter (Hashtbl.remove t.row_locks) doomed
+
+(** Registry sizes (row, file, dir-append) — reported through the
+    observability snapshot so leaks are visible. *)
+let sizes t =
+  ( Hashtbl.length t.row_locks,
+    Hashtbl.length t.file_locks,
+    Hashtbl.length t.dir_append_locks )

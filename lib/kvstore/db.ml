@@ -80,7 +80,7 @@ module Make (F : FS) = struct
       l0 = [];
       l1 = [];
       handles = Hashtbl.create 16;
-      write_lock = Simurgh_sim.Vlock.Mutex.create ();
+      write_lock = Simurgh_sim.Vlock.Mutex.create ~site:"db-write" ();
       stats =
         {
           puts = 0;

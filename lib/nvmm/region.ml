@@ -60,21 +60,36 @@ type t = {
 }
 
 let create ?(mode = Fast) size =
-  {
-    image = Bytes.make size '\000';
-    size;
-    mode;
-    overlay = Hashtbl.create 1024;
-    pending = [];
-    guard = None;
-    user_slot = None;
-    stores = 0;
-    loads = 0;
-    store_bytes = 0;
-    load_bytes = 0;
-    flushes = 0;
-    fences = 0;
-  }
+  let t =
+    {
+      image = Bytes.make size '\000';
+      size;
+      mode;
+      overlay = Hashtbl.create 1024;
+      pending = [];
+      guard = None;
+      user_slot = None;
+      stores = 0;
+      loads = 0;
+      store_bytes = 0;
+      load_bytes = 0;
+      flushes = 0;
+      fences = 0;
+    }
+  in
+  (* fold the region's access statistics into the active experiment's
+     observability snapshot (no-op outside the bench driver) *)
+  Simurgh_obs.Collect.note_source (fun () ->
+      [
+        ("region/loads", float_of_int t.loads);
+        ("region/stores", float_of_int t.stores);
+        ("region/load_bytes", float_of_int t.load_bytes);
+        ("region/store_bytes", float_of_int t.store_bytes);
+        ("region/flush_lines", float_of_int t.flushes);
+        ("region/fences", float_of_int t.fences);
+        ("region/bytes", float_of_int t.size);
+      ]);
+  t
 
 let size t = t.size
 let mode t = t.mode

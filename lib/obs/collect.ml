@@ -1,0 +1,50 @@
+(** Ambient per-experiment collector.
+
+    The bench driver installs a collector around each experiment; while
+    one is active, every freshly created machine registers its
+    observability run and every region / file system registers a counter
+    source.  [drain] merges everything into one snapshot for the
+    experiment's JSON export and uninstalls the collector.
+
+    When no collector is installed (unit tests, library use) all
+    registration calls are no-ops, so nothing is retained and runs stay
+    strictly per-machine. *)
+
+type collector = {
+  mutable runs : Run.t list;
+  mutable sources : (unit -> (string * float) list) list;
+}
+
+let current : collector option ref = ref None
+
+let install () = current := Some { runs = []; sources = [] }
+let active () = !current <> None
+
+(** Register a machine's run (idempotent per run). *)
+let note_run r =
+  match !current with
+  | Some c -> if not (List.memq r c.runs) then c.runs <- r :: c.runs
+  | None -> ()
+
+(** Register a thunk producing (counter, value) pairs sampled at drain
+    time (region stats, allocator stats, lock registry sizes...). *)
+let note_source f =
+  match !current with Some c -> c.sources <- f :: c.sources | None -> ()
+
+(** Merge all registered runs and sampled sources into one fresh run,
+    then uninstall the collector. *)
+let drain () =
+  match !current with
+  | None -> Run.create ()
+  | Some c ->
+      current := None;
+      let acc = Run.create () in
+      List.iter (fun r -> Run.merge_into acc r) (List.rev c.runs);
+      List.iter
+        (fun src ->
+          List.iter (fun (k, v) -> Metrics.add acc.Run.counters k v) (src ()))
+        (List.rev c.sources);
+      acc
+
+(** Abandon the current collector without draining. *)
+let discard () = current := None

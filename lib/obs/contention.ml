@@ -1,0 +1,99 @@
+(** Per-site lock contention profile.
+
+    Replaces the old process-global [Vlock.Spin.total_wait] /
+    [wait_by_site] refs: a registry lives inside one {!Run.t} (one
+    engine run / one machine), so consecutive experiments cannot bleed
+    wait cycles into each other.  Sites are the call-site labels the
+    locks are created with ("dir-row", "balloc-seg", "vfs-rwsem", ...). *)
+
+type kind = Spin | Mutex | Rwlock
+
+let kind_name = function
+  | Spin -> "spin"
+  | Mutex -> "mutex"
+  | Rwlock -> "rwlock"
+
+type site = {
+  kind : kind;
+  mutable acquisitions : int;
+  mutable contended : int;  (** acquisitions that had to wait *)
+  mutable wait_cycles : float;  (** virtual cycles spent waiting *)
+  mutable hold_cycles : float;  (** virtual cycles the lock was held *)
+}
+
+type t = (string, site) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+let clear (t : t) = Hashtbl.reset t
+
+let site (t : t) name kind =
+  match Hashtbl.find_opt t name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          kind;
+          acquisitions = 0;
+          contended = 0;
+          wait_cycles = 0.0;
+          hold_cycles = 0.0;
+        }
+      in
+      Hashtbl.replace t name s;
+      s
+
+(** One acquisition: [wait] virtual cycles spent blocked (0 when the
+    lock was free). *)
+let record_acquire t ~site:name ~kind ~wait =
+  let s = site t name kind in
+  s.acquisitions <- s.acquisitions + 1;
+  if wait > 0.0 then begin
+    s.contended <- s.contended + 1;
+    s.wait_cycles <- s.wait_cycles +. wait
+  end
+
+let record_hold t ~site:name ~kind ~hold =
+  if hold > 0.0 then begin
+    let s = site t name kind in
+    s.hold_cycles <- s.hold_cycles +. hold
+  end
+
+let total_wait (t : t) =
+  Hashtbl.fold (fun _ s acc -> acc +. s.wait_cycles) t 0.0
+
+let total_acquisitions (t : t) =
+  Hashtbl.fold (fun _ s acc -> acc + s.acquisitions) t 0
+
+let wait_of (t : t) name =
+  match Hashtbl.find_opt t name with Some s -> s.wait_cycles | None -> 0.0
+
+(** Sorted (site, stats) pairs — deterministic export order. *)
+let to_list (t : t) =
+  Hashtbl.fold (fun k s acc -> (k, s) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into (dst : t) (src : t) =
+  Hashtbl.iter
+    (fun name s ->
+      let d = site dst name s.kind in
+      d.acquisitions <- d.acquisitions + s.acquisitions;
+      d.contended <- d.contended + s.contended;
+      d.wait_cycles <- d.wait_cycles +. s.wait_cycles;
+      d.hold_cycles <- d.hold_cycles +. s.hold_cycles)
+    src
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun (name, s) ->
+         Json.Obj
+           [
+             ("site", Json.Str name);
+             ("kind", Json.Str (kind_name s.kind));
+             ("acquisitions", Json.Int s.acquisitions);
+             ("contended", Json.Int s.contended);
+             ("uncontended", Json.Int (s.acquisitions - s.contended));
+             ("wait_cycles", Json.Float s.wait_cycles);
+             ("hold_cycles", Json.Float s.hold_cycles);
+           ])
+       (to_list t))

@@ -1,0 +1,29 @@
+(** Named counters.  A counter is created on first touch; reads of an
+    untouched counter return 0. *)
+
+type t = (string, float ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+let clear (t : t) = Hashtbl.reset t
+
+let add (t : t) name v =
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r +. v
+  | None -> Hashtbl.replace t name (ref v)
+
+let incr t name = add t name 1.0
+
+let get (t : t) name =
+  match Hashtbl.find_opt t name with Some r -> !r | None -> 0.0
+
+(** Sorted (name, value) pairs — deterministic export order. *)
+let to_list (t : t) =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** [merge_into dst src] adds every counter of [src] into [dst]. *)
+let merge_into (dst : t) (src : t) =
+  Hashtbl.iter (fun k r -> add dst k !r) src
+
+let to_json t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (to_list t))

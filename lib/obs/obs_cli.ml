@@ -1,0 +1,52 @@
+(** Argument parsing for the benchmark harness.
+
+    Pure and testable: the former in-line parser in [bench/main.ml]
+    silently treated unknown flags as experiment ids, raised a bare
+    [Failure] when [--scale] was the last argument, and exited 0 after
+    running nothing for a misspelled id.  Every malformed input now
+    yields [Error msg]. *)
+
+type config = {
+  scale : float;
+  ids : string list;  (** requested experiment ids, in order; [] = all *)
+  json_dir : string option;  (** [--json DIR]: write BENCH_<id>.json *)
+  list_only : bool;
+}
+
+let default = { scale = 1.0; ids = []; json_dir = None; list_only = false }
+
+(** [parse ~known ~is_dynamic args]: [known] is the experiment-id table;
+    [is_dynamic] accepts additional computed ids (fig7a..fig7l). *)
+let parse ~known ~is_dynamic args =
+  let rec go cfg ids = function
+    | [] -> Ok { cfg with ids = List.rev ids }
+    | "--scale" :: rest -> (
+        match rest with
+        | [] -> Error "--scale requires a value (e.g. --scale 2.0)"
+        | v :: rest -> (
+            match float_of_string_opt v with
+            | Some s when s > 0.0 && Float.is_finite s ->
+                go { cfg with scale = s } ids rest
+            | Some _ -> Error (Printf.sprintf "--scale must be positive: %s" v)
+            | None ->
+                Error (Printf.sprintf "--scale expects a number, got %S" v)))
+    | "--json" :: rest -> (
+        match rest with
+        | [] -> Error "--json requires a directory (e.g. --json out)"
+        | dir :: rest -> go { cfg with json_dir = Some dir } ids rest)
+    | "--list" :: rest -> go { cfg with list_only = true } ids rest
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+        Error
+          (Printf.sprintf
+             "unknown flag %s (known: --scale F, --json DIR, --list)" flag)
+    | id :: rest ->
+        if id = "all" || List.mem id known || is_dynamic id then
+          go cfg (id :: ids) rest
+        else
+          Error
+            (Printf.sprintf
+               "unknown experiment %S (run with --list to see the ids; \
+                fig7a..fig7l also work)"
+               id)
+  in
+  go default [] args

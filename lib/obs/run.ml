@@ -1,0 +1,73 @@
+(** One engine run's observability state: counters, per-(fs, op) latency
+    histograms, the lock contention registry and phase spans.
+
+    A [Run.t] is owned by exactly one {!Simurgh_sim.Machine.t} — that is
+    what makes the sinks "scoped": a fresh machine (one experiment
+    configuration) starts from zero, and [Machine.reset] clears the run
+    together with the bandwidth servers, so untimed setup phases never
+    leak into the measured window. *)
+
+type t = {
+  counters : Metrics.t;
+  hists : (string, Histogram.t) Hashtbl.t;  (** "<fs>/<op>" -> latency *)
+  contention : Contention.t;
+  spans : Span.t;
+}
+
+let create () =
+  {
+    counters = Metrics.create ();
+    hists = Hashtbl.create 32;
+    contention = Contention.create ();
+    spans = Span.create ();
+  }
+
+let clear t =
+  Metrics.clear t.counters;
+  Hashtbl.reset t.hists;
+  Contention.clear t.contention;
+  Span.clear t.spans
+
+(** The latency histogram for [key] (creating it on first use). *)
+let hist t key =
+  match Hashtbl.find_opt t.hists key with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.replace t.hists key h;
+      h
+
+let hists_to_list t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into dst src =
+  Metrics.merge_into dst.counters src.counters;
+  Hashtbl.iter
+    (fun k h ->
+      match Hashtbl.find_opt dst.hists k with
+      | Some d -> Hashtbl.replace dst.hists k (Histogram.merge d h)
+      | None -> Hashtbl.replace dst.hists k (Histogram.copy h))
+    src.hists;
+  Contention.merge_into dst.contention src.contention;
+  Span.merge_into dst.spans src.spans
+
+(** [merge a b] is a fresh run combining both (associative up to float
+    rounding; exact on integer-valued counters). *)
+let merge a b =
+  let t = create () in
+  merge_into t a;
+  merge_into t b;
+  t
+
+let to_json t =
+  Json.Obj
+    [
+      ("counters", Metrics.to_json t.counters);
+      ("spans", Span.to_json t.spans);
+      ("lock_sites", Contention.to_json t.contention);
+      ( "op_latency_cycles",
+        Json.Obj
+          (List.map (fun (k, h) -> (k, Histogram.to_json h)) (hists_to_list t))
+      );
+    ]

@@ -1,0 +1,52 @@
+(** Execution-time phase attribution (spans).
+
+    Generalizes the old two-bucket instrumentation (FS cycles +
+    copy bytes) into the phases the paper's breakdowns use:
+
+    - [fs_cycles]: virtual time inside file-system entry points
+      (accumulated by {!Simurgh_workloads.Instrument});
+    - [lock_wait_cycles]: virtual time blocked on virtual-time locks
+      (a subset of [fs_cycles] when the lock is taken inside the FS);
+    - [flush_cycles]: persist-barrier drain time ([sfence]);
+    - [copy_bytes]: payload bytes moved by read/write/append, converted
+      to "data copy" cycles by the cost model at reporting time.
+
+    "Application" time is derived: total minus copy minus FS.  Fields
+    are plain mutable floats so the hot recording paths stay a single
+    add. *)
+
+type t = {
+  mutable fs_cycles : float;
+  mutable lock_wait_cycles : float;
+  mutable flush_cycles : float;
+  mutable copy_bytes : int;
+}
+
+let create () =
+  { fs_cycles = 0.0; lock_wait_cycles = 0.0; flush_cycles = 0.0; copy_bytes = 0 }
+
+let clear t =
+  t.fs_cycles <- 0.0;
+  t.lock_wait_cycles <- 0.0;
+  t.flush_cycles <- 0.0;
+  t.copy_bytes <- 0
+
+let add_fs t c = t.fs_cycles <- t.fs_cycles +. c
+let add_lock_wait t c = t.lock_wait_cycles <- t.lock_wait_cycles +. c
+let add_flush t c = t.flush_cycles <- t.flush_cycles +. c
+let add_copy_bytes t b = t.copy_bytes <- t.copy_bytes + b
+
+let merge_into dst src =
+  dst.fs_cycles <- dst.fs_cycles +. src.fs_cycles;
+  dst.lock_wait_cycles <- dst.lock_wait_cycles +. src.lock_wait_cycles;
+  dst.flush_cycles <- dst.flush_cycles +. src.flush_cycles;
+  dst.copy_bytes <- dst.copy_bytes + src.copy_bytes
+
+let to_json t =
+  Json.Obj
+    [
+      ("fs_cycles", Json.Float t.fs_cycles);
+      ("lock_wait_cycles", Json.Float t.lock_wait_cycles);
+      ("flush_cycles", Json.Float t.flush_cycles);
+      ("copy_bytes", Json.Int t.copy_bytes);
+    ]

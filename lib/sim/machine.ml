@@ -7,26 +7,43 @@ type t = {
   nvmm_read_srv : Resource.t;
   nvmm_write_srv : Resource.t;
   dram_srv : Resource.t;
+  obs : Simurgh_obs.Run.t;
+      (** per-engine-run observability sinks (lock contention, per-op
+          latency histograms, phase spans); scoped to this machine, so a
+          fresh machine starts every experiment from zero *)
 }
 
-let create ?(cm = Cost_model.default) () =
+let create ?(cm = Cost_model.default) ?obs () =
+  let obs =
+    match obs with Some o -> o | None -> Simurgh_obs.Run.create ()
+  in
+  (* if the bench driver has an experiment collector installed, this
+     run's sinks join the experiment's JSON snapshot *)
+  Simurgh_obs.Collect.note_run obs;
   {
     cm;
     nvmm_read_srv = Resource.create "nvmm-read";
     nvmm_write_srv = Resource.create "nvmm-write";
     dram_srv = Resource.create "dram";
+    obs;
   }
 
+(** Reset the measurement window: bandwidth-server backlogs and the
+    observability run, so untimed setup phases leave no trace. *)
 let reset t =
   Resource.reset t.nvmm_read_srv;
   Resource.reset t.nvmm_write_srv;
-  Resource.reset t.dram_srv
+  Resource.reset t.dram_srv;
+  Simurgh_obs.Run.clear t.obs
+
+let obs t = t.obs
 
 type ctx = { m : t; thr : Sthread.t }
 
 let ctx m thr = { m; thr }
 let cm ctx = ctx.m.cm
 let now ctx = ctx.thr.Sthread.now
+let ctx_obs ctx = ctx.m.obs
 
 (** Pure CPU work. *)
 let cpu ctx cycles = Sthread.advance ctx.thr cycles
@@ -126,4 +143,8 @@ let atomic ctx ~contended =
   cpu ctx (if contended then cm.atomic_contended else cm.atomic_uncontended)
 
 (** `sfence`-style drain: the store buffer drain cost. *)
-let fence ctx = cpu ctx 30.0
+let fence_cycles = 30.0
+
+let fence ctx =
+  Simurgh_obs.Span.add_flush ctx.m.obs.Simurgh_obs.Run.spans fence_cycles;
+  cpu ctx fence_cycles

@@ -3,7 +3,24 @@
     Acquisition moves the acquiring thread's clock to the lock's release
     time (if in the future) and charges the atomic-operation cost —
     contended when the previous holder was another thread (the cache line
-    has to move between cores). *)
+    has to move between cores).
+
+    Contention diagnostics (wait cycles, acquisition counts, contended
+    vs. uncontended, hold time) are recorded per call-site into the
+    acquiring machine's {!Simurgh_obs.Run.t} — there is no process-global
+    state, so consecutive experiments report independent totals. *)
+
+open Simurgh_obs
+
+(* Record one acquisition into the machine-scoped contention registry. *)
+let record_acquire (ctx : Machine.ctx) ~site ~kind ~wait =
+  let run = Machine.ctx_obs ctx in
+  Contention.record_acquire run.Run.contention ~site ~kind ~wait;
+  Span.add_lock_wait run.Run.spans wait
+
+let record_hold (ctx : Machine.ctx) ~site ~kind ~hold =
+  let run = Machine.ctx_obs ctx in
+  Contention.record_hold run.Run.contention ~site ~kind ~hold
 
 (** Busy-wait spin lock (Simurgh's atomic flags, per-line busy bits).
 
@@ -20,33 +37,26 @@ module Spin = struct
     mutable last_holder : int;
     mutable entered_at : float;
     site : string;
+    kind : Contention.kind;
+        (** how the site is reported (a Mutex's inner spin reports as
+            [Mutex]) *)
   }
 
-  (* diagnostics: virtual cycles spent waiting, total and per call-site *)
-  let total_wait = ref 0.0
-  let wait_by_site : (string, float ref) Hashtbl.t = Hashtbl.create 8
-
-  let record_wait site w =
-    if w > 0.0 then begin
-      total_wait := !total_wait +. w;
-      match Hashtbl.find_opt wait_by_site site with
-      | Some r -> r := !r +. w
-      | None -> Hashtbl.replace wait_by_site site (ref w)
-    end
-
-  let create ?(site = "anon") () =
+  let create ?(site = "anon") ?(kind = Contention.Spin) () =
     {
       server = Resource.create site;
       last_holder = -1;
       entered_at = 0.0;
       site;
+      kind;
     }
 
   let acquire (ctx : Machine.ctx) t =
     let thr = ctx.Machine.thr in
     Machine.atomic ctx ~contended:(t.last_holder <> thr.Sthread.tid);
     let done_at = Resource.serve t.server ~now:thr.Sthread.now ~dur:0.0 in
-    record_wait t.site (done_at -. thr.Sthread.now);
+    record_acquire ctx ~site:t.site ~kind:t.kind
+      ~wait:(done_at -. thr.Sthread.now);
     Sthread.wait_until thr done_at;
     t.entered_at <- thr.Sthread.now;
     t.last_holder <- thr.Sthread.tid
@@ -54,8 +64,10 @@ module Spin = struct
   let release (ctx : Machine.ctx) t =
     let thr = ctx.Machine.thr in
     let hold = thr.Sthread.now -. t.entered_at in
-    if hold > 0.0 then
-      Resource.push_work t.server ~now:t.entered_at ~dur:hold
+    if hold > 0.0 then begin
+      Resource.push_work t.server ~now:t.entered_at ~dur:hold;
+      record_hold ctx ~site:t.site ~kind:t.kind ~hold
+    end
 
   let with_lock ctx t f =
     acquire ctx t;
@@ -74,7 +86,7 @@ module Mutex = struct
   type t = { spin : Spin.t; mutable contentions : int }
 
   let create ?(site = "mutex") () =
-    { spin = Spin.create ~site (); contentions = 0 }
+    { spin = Spin.create ~site ~kind:Contention.Mutex (); contentions = 0 }
 
   let acquire (ctx : Machine.ctx) t =
     let thr = ctx.Machine.thr in
@@ -111,6 +123,7 @@ module Rw = struct
     rd : Resource.t;  (** reader hold backlog (scaled by parallelism) *)
     mutable entered_at : float;
     mutable last_toucher : int;
+    site : string;
     striped : bool;
         (** distributed (per-core) reader counters: readers do not bounce
             a shared line.  Simurgh's per-file locks use this; the Linux
@@ -118,13 +131,14 @@ module Rw = struct
             stop scaling on kernel file systems (Fig. 7i). *)
   }
 
-  let create ?(striped = false) () =
+  let create ?(site = "rwlock") ?(striped = false) () =
     {
       counter = Resource.create "rwlock-counter";
       excl = Resource.create "rwlock-excl";
       rd = Resource.create "rwlock-rd";
       entered_at = 0.0;
       last_toucher = -1;
+      site;
       striped;
     }
 
@@ -155,6 +169,8 @@ module Rw = struct
     else touch_counter ctx t;
     (* wait behind outstanding writer holds *)
     let done_at = Resource.serve t.excl ~now:thr.Sthread.now ~dur:0.0 in
+    record_acquire ctx ~site:t.site ~kind:Contention.Rwlock
+      ~wait:(Float.max 0.0 (done_at -. thr.Sthread.now));
     Sthread.wait_until thr done_at;
     t.entered_at <- thr.Sthread.now
 
@@ -163,22 +179,30 @@ module Rw = struct
     if t.striped then Machine.atomic ctx ~contended:false
     else touch_counter ctx t;
     let hold = thr.Sthread.now -. t.entered_at in
-    if hold > 0.0 then
+    if hold > 0.0 then begin
       Resource.push_work t.rd ~now:t.entered_at
-        ~dur:(hold /. read_parallelism)
+        ~dur:(hold /. read_parallelism);
+      record_hold ctx ~site:t.site ~kind:Contention.Rwlock ~hold
+    end
 
   let write_acquire ctx t =
     let thr = ctx.Machine.thr in
     touch_counter ctx t;
     let d1 = Resource.serve t.excl ~now:thr.Sthread.now ~dur:0.0 in
     let d2 = Resource.serve t.rd ~now:thr.Sthread.now ~dur:0.0 in
-    Sthread.wait_until thr (Float.max d1 d2);
+    let done_at = Float.max d1 d2 in
+    record_acquire ctx ~site:t.site ~kind:Contention.Rwlock
+      ~wait:(Float.max 0.0 (done_at -. thr.Sthread.now));
+    Sthread.wait_until thr done_at;
     t.entered_at <- thr.Sthread.now
 
   let write_release ctx t =
     let thr = ctx.Machine.thr in
     let hold = thr.Sthread.now -. t.entered_at in
-    if hold > 0.0 then Resource.push_work t.excl ~now:t.entered_at ~dur:hold
+    if hold > 0.0 then begin
+      Resource.push_work t.excl ~now:t.entered_at ~dur:hold;
+      record_hold ctx ~site:t.site ~kind:Contention.Rwlock ~hold
+    end
 
   let with_read ctx t f =
     read_acquire ctx t;

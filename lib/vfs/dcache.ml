@@ -26,7 +26,7 @@ type 'node t = {
 let create () =
   {
     table = Hashtbl.create 4096;
-    lock = Vlock.Spin.create ();
+    lock = Vlock.Spin.create ~site:"dcache" ();
     hits = 0;
     misses = 0;
   }

@@ -50,6 +50,10 @@ let shared_file_bytes = 8 * 1024 * 1024
 let private_file_bytes = 4 * 1024 * 1024
 
 module Make (F : Fs_intf.S) = struct
+  (* All calls go through the instrumented wrapper so the timed phase
+     populates per-op latency histograms in the machine's obs run. *)
+  module IF = Instrument.Make (F)
+
   let tdir i = Printf.sprintf "/t%d" i
   let tfile i j = Printf.sprintf "/t%d/f%d" i j
   let sfile i j = Printf.sprintf "/shared/t%d_f%d" i j
@@ -61,65 +65,65 @@ module Make (F : Fs_intf.S) = struct
     match bench with
     | Create_private | Append_private | Fallocate_private ->
         for i = 0 to threads - 1 do
-          F.mkdir fs (tdir i)
+          IF.mkdir fs (tdir i)
         done
-    | Create_shared -> F.mkdir fs "/shared"
+    | Create_shared -> IF.mkdir fs "/shared"
     | Delete_private ->
         for i = 0 to threads - 1 do
-          F.mkdir fs (tdir i);
+          IF.mkdir fs (tdir i);
           for j = 0 to ops - 1 do
-            F.create_file fs (tfile i j)
+            IF.create_file fs (tfile i j)
           done
         done
     | Rename_shared ->
-        F.mkdir fs "/shared";
+        IF.mkdir fs "/shared";
         for i = 0 to threads - 1 do
           for j = 0 to ops - 1 do
-            F.create_file fs (sfile i j)
+            IF.create_file fs (sfile i j)
           done
         done
     | Resolve_private ->
         for i = 0 to threads - 1 do
-          F.mkdir fs (tdir i);
-          F.mkdir fs (Printf.sprintf "/t%d/d1" i);
-          F.mkdir fs (Printf.sprintf "/t%d/d1/d2" i);
-          F.mkdir fs (Printf.sprintf "/t%d/d1/d2/d3" i);
-          F.mkdir fs (deep_dir i);
-          F.create_file fs (deep_dir i ^ "/target")
+          IF.mkdir fs (tdir i);
+          IF.mkdir fs (Printf.sprintf "/t%d/d1" i);
+          IF.mkdir fs (Printf.sprintf "/t%d/d1/d2" i);
+          IF.mkdir fs (Printf.sprintf "/t%d/d1/d2/d3" i);
+          IF.mkdir fs (deep_dir i);
+          IF.create_file fs (deep_dir i ^ "/target")
         done
     | Resolve_shared ->
         (* all threads resolve through the same four-component prefix *)
-        F.mkdir fs "/common";
-        F.mkdir fs "/common/a";
-        F.mkdir fs "/common/a/b";
-        F.mkdir fs "/common/a/b/c";
+        IF.mkdir fs "/common";
+        IF.mkdir fs "/common/a";
+        IF.mkdir fs "/common/a/b";
+        IF.mkdir fs "/common/a/b/c";
         for i = 0 to threads - 1 do
-          F.create_file fs (Printf.sprintf "/common/a/b/c/f%d" i)
+          IF.create_file fs (Printf.sprintf "/common/a/b/c/f%d" i)
         done
     | Read_shared _ | Overwrite_shared ->
-        F.mkdir fs "/shared";
-        F.create_file fs "/shared/big";
-        let fd = F.openf fs Types.wronly "/shared/big" in
+        IF.mkdir fs "/shared";
+        IF.create_file fs "/shared/big";
+        let fd = IF.openf fs Types.wronly "/shared/big" in
         let chunk = Bytes.make 65536 'x' in
         for _ = 1 to shared_file_bytes / 65536 do
-          ignore (F.append fs fd chunk)
+          ignore (IF.append fs fd chunk)
         done;
-        F.close fs fd
+        IF.close fs fd
     | Read_private _ ->
         for i = 0 to threads - 1 do
-          F.mkdir fs (tdir i);
-          F.create_file fs (tfile i 0);
-          let fd = F.openf fs Types.wronly (tfile i 0) in
+          IF.mkdir fs (tdir i);
+          IF.create_file fs (tfile i 0);
+          let fd = IF.openf fs Types.wronly (tfile i 0) in
           let chunk = Bytes.make 65536 'x' in
           for _ = 1 to private_file_bytes / 65536 do
-            ignore (F.append fs fd chunk)
+            ignore (IF.append fs fd chunk)
           done;
-          F.close fs fd
+          IF.close fs fd
         done
     | Write_private ->
         for i = 0 to threads - 1 do
-          F.mkdir fs (tdir i);
-          F.create_file fs (tfile i 0)
+          IF.mkdir fs (tdir i);
+          IF.create_file fs (tfile i 0)
         done
 
   (* Per-thread opened fds for the data benchmarks, prepared untimed. *)
@@ -127,20 +131,21 @@ module Make (F : Fs_intf.S) = struct
     match bench with
     | Append_private | Fallocate_private | Write_private ->
         Array.init threads (fun i ->
-            Some (F.openf fs Types.rdwr (tfile i 0)))
+            Some (IF.openf fs Types.rdwr (tfile i 0)))
     | Read_shared _ | Overwrite_shared ->
-        Array.init threads (fun _ -> Some (F.openf fs Types.rdwr "/shared/big"))
+        Array.init threads (fun _ -> Some (IF.openf fs Types.rdwr "/shared/big"))
     | Read_private _ ->
-        Array.init threads (fun i -> Some (F.openf fs Types.rdonly (tfile i 0)))
+        Array.init threads (fun i -> Some (IF.openf fs Types.rdonly (tfile i 0)))
     | _ -> Array.make threads None
 
-  let run machine fs bench ~threads ~ops =
+  let run machine fs0 bench ~threads ~ops =
+    let fs = (fs0, Instrument.fresh_acc ()) in
     (match bench with
     | Append_private | Write_private | Fallocate_private ->
         (* the file must exist before fds are prepared *)
         (try setup fs bench ~threads ~ops with Errno.Err (EEXIST, _) -> ());
         for i = 0 to threads - 1 do
-          if not (F.exists fs (tfile i 0)) then F.create_file fs (tfile i 0)
+          if not (IF.exists fs (tfile i 0)) then IF.create_file fs (tfile i 0)
         done
     | _ -> setup fs bench ~threads ~ops);
     let fds = prepare_fds fs bench ~threads in
@@ -151,28 +156,28 @@ module Make (F : Fs_intf.S) = struct
       let i = ctx.Machine.thr.Sthread.tid in
       let rng = ctx.Machine.thr.Sthread.rng in
       match bench with
-      | Create_private -> F.create_file ~ctx fs (tfile i j)
-      | Create_shared -> F.create_file ~ctx fs (sfile i j)
-      | Delete_private -> F.unlink ~ctx fs (tfile i j)
+      | Create_private -> IF.create_file ~ctx fs (tfile i j)
+      | Create_shared -> IF.create_file ~ctx fs (sfile i j)
+      | Delete_private -> IF.unlink ~ctx fs (tfile i j)
       | Rename_shared ->
-          F.rename ~ctx fs (sfile i j) (Printf.sprintf "/shared/t%d_r%d" i j)
+          IF.rename ~ctx fs (sfile i j) (Printf.sprintf "/shared/t%d_r%d" i j)
       | Resolve_private ->
-          let fd = F.openf ~ctx fs Types.rdonly (deep_dir i ^ "/target") in
-          F.close ~ctx fs fd
+          let fd = IF.openf ~ctx fs Types.rdonly (deep_dir i ^ "/target") in
+          IF.close ~ctx fs fd
       | Resolve_shared ->
           let fd =
-            F.openf ~ctx fs Types.rdonly (Printf.sprintf "/common/a/b/c/f%d" i)
+            IF.openf ~ctx fs Types.rdonly (Printf.sprintf "/common/a/b/c/f%d" i)
           in
-          F.close ~ctx fs fd
+          IF.close ~ctx fs fd
       | Append_private ->
           (match fds.(i) with
           | Some fd ->
-              ignore (F.append ~ctx fs fd data_buf);
+              ignore (IF.append ~ctx fs fd data_buf);
               bytes_moved := !bytes_moved + io_size
           | None -> assert false)
       | Fallocate_private ->
           (match fds.(i) with
-          | Some fd -> F.fallocate ~ctx fs fd ~len:((j + 1) * fallocate_chunk)
+          | Some fd -> IF.fallocate ~ctx fs fd ~len:((j + 1) * fallocate_chunk)
           | None -> assert false)
       | Read_shared { cache_hot } ->
           (match fds.(i) with
@@ -187,10 +192,10 @@ module Make (F : Fs_intf.S) = struct
                    the CPU cache, so the call still pays the entry and
                    locking costs (len = 0 read) but the data moves at
                    cache speed, not NVMM speed *)
-                ignore (F.pread ~ctx fs fd ~pos ~len:0);
+                ignore (IF.pread ~ctx fs fd ~pos ~len:0);
                 Machine.memcpy_cpu ctx io_size
               end
-              else ignore (F.pread ~ctx fs fd ~pos ~len:io_size);
+              else ignore (IF.pread ~ctx fs fd ~pos ~len:io_size);
               bytes_moved := !bytes_moved + io_size
           | None -> assert false)
       | Read_private { cache_hot } ->
@@ -198,14 +203,14 @@ module Make (F : Fs_intf.S) = struct
           | Some fd ->
               if cache_hot then begin
                 (* original FxMark DRBL: reread the same private block *)
-                ignore (F.pread ~ctx fs fd ~pos:0 ~len:0);
+                ignore (IF.pread ~ctx fs fd ~pos:0 ~len:0);
                 Machine.memcpy_cpu ctx io_size
               end
               else begin
                 let pos =
                   Rng.int rng ((private_file_bytes / io_size) - 1) * io_size
                 in
-                ignore (F.pread ~ctx fs fd ~pos ~len:io_size)
+                ignore (IF.pread ~ctx fs fd ~pos ~len:io_size)
               end;
               bytes_moved := !bytes_moved + io_size
           | None -> assert false)
@@ -215,19 +220,19 @@ module Make (F : Fs_intf.S) = struct
               let pos =
                 Rng.int rng ((shared_file_bytes / io_size) - 1) * io_size
               in
-              ignore (F.pwrite ~ctx fs fd ~pos data_buf);
+              ignore (IF.pwrite ~ctx fs fd ~pos data_buf);
               bytes_moved := !bytes_moved + io_size
           | None -> assert false)
       | Write_private ->
           (match fds.(i) with
           | Some fd ->
-              ignore (F.pwrite ~ctx fs fd ~pos:(j * io_size) data_buf);
+              ignore (IF.pwrite ~ctx fs fd ~pos:(j * io_size) data_buf);
               bytes_moved := !bytes_moved + io_size
           | None -> assert false)
     in
     let outcome = Engine.run_ops machine ~threads ~ops_per_thread:ops op in
     Array.iter
-      (function Some fd -> F.close fs fd | None -> ())
+      (function Some fd -> IF.close fs fd | None -> ())
       fds;
     let seconds =
       Cost_model.seconds machine.Machine.cm outcome.Engine.makespan_cycles

@@ -226,6 +226,30 @@ let prop_random_file_population =
       in
       listed = expected)
 
+(* Regression: the volatile lock registries used to grow forever —
+   rmdir left the directory's row and append locks behind (and pre-fix
+   this test fails with hundreds of leaked row locks). *)
+let test_lock_registries_reclaimed () =
+  let fs = fresh () in
+  let rows0, files0, appends0 = Simurgh_core.Locks.sizes (Fs.locks fs) in
+  for round = 1 to 3 do
+    let dir = Printf.sprintf "/churn%d" round in
+    Fs.mkdir fs dir;
+    for i = 0 to 199 do
+      Fs.create_file fs (Printf.sprintf "%s/f%d" dir i)
+    done;
+    for i = 0 to 199 do
+      Fs.unlink fs (Printf.sprintf "%s/f%d" dir i)
+    done;
+    Fs.rmdir fs dir
+  done;
+  let rows, files, appends = Simurgh_core.Locks.sizes (Fs.locks fs) in
+  Alcotest.(check int) "file locks reclaimed" files0 files;
+  (* the root directory's own rows (one per /churnN name) legitimately
+     stay; everything belonging to the removed directories must go *)
+  Alcotest.(check bool) "row locks reclaimed" true (rows <= rows0 + 3);
+  Alcotest.(check bool) "append locks reclaimed" true (appends <= appends0 + 1)
+
 let () =
   Alcotest.run "fs"
     [
@@ -255,6 +279,8 @@ let () =
             test_symlink_intermediate;
           Alcotest.test_case "interleaved unlink" `Quick
             test_unlink_during_shared_names;
+          Alcotest.test_case "lock registries reclaimed" `Quick
+            test_lock_registries_reclaimed;
           QCheck_alcotest.to_alcotest prop_random_file_population;
         ] );
     ]

@@ -249,6 +249,77 @@ let test_stats () =
   check_float "min" 1.0 lo;
   check_float "max" 4.0 hi
 
+(* The old percentile truncated the fractional rank: p50 of [1;2;3;4]
+   came back as 2.0 and p90 as 3.0.  The interpolating version must
+   return the standard linear-interpolation values. *)
+let test_stats_percentile_interpolates () =
+  let a = [| 4.0; 2.0; 1.0; 3.0 |] in
+  (* unsorted on purpose *)
+  check_float "p50" 2.5 (Stats.percentile a 50.0);
+  check_float "p25" 1.75 (Stats.percentile a 25.0);
+  check_float "p90" 3.7 (Stats.percentile a 90.0);
+  check_float "p75" 3.25 (Stats.percentile a 75.0);
+  check_float "single" 7.0 (Stats.percentile [| 7.0 |] 50.0);
+  (* Float.compare, not polymorphic compare: nan-free ordering of
+     negative values must still sort correctly *)
+  check_float "negatives p50" (-2.5)
+    (Stats.percentile [| -1.0; -4.0; -2.0; -3.0 |] 50.0)
+
+let prop_stats_percentile_bounds_monotone =
+  QCheck.Test.make ~name:"Stats.percentile bounded and monotone" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun l ->
+      let a = Array.of_list l in
+      let lo, hi = Stats.min_max a in
+      let prev = ref neg_infinity in
+      let ok = ref true in
+      List.iter
+        (fun p ->
+          let v = Stats.percentile a p in
+          if v < lo -. 1e-9 || v > hi +. 1e-9 then ok := false;
+          if v < !prev -. 1e-9 then ok := false;
+          prev := v)
+        [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ];
+      !ok)
+
+(* Regression: lock-wait accounting used to live in module-level globals
+   inside Vlock, so a second engine run reported the first run's waits on
+   top of its own.  Per-machine obs runs must make two identical runs
+   report identical (and nonzero) totals. *)
+let test_contention_scoped_per_run () =
+  let run_once () =
+    let m = Machine.create () in
+    let l = Vlock.Spin.create ~site:"test-site" () in
+    let o =
+      Engine.run_ops m ~threads:4 ~ops_per_thread:50 (fun ctx _ ->
+          Vlock.Spin.acquire ctx l;
+          Machine.cpu ctx 500.0;
+          Vlock.Spin.release ctx l)
+    in
+    ignore o;
+    let run = Machine.obs m in
+    Simurgh_obs.Contention.total_wait run.Simurgh_obs.Run.contention
+  in
+  let w1 = run_once () in
+  let w2 = run_once () in
+  Alcotest.(check bool) "contended run waits" true (w1 > 0.0);
+  check_float "second run identical, not cumulative" w1 w2
+
+let test_contention_reset_on_machine_reset () =
+  let m = Machine.create () in
+  let l = Vlock.Spin.create ~site:"reset-site" () in
+  ignore
+    (Engine.run_ops m ~threads:4 ~ops_per_thread:20 (fun ctx _ ->
+         Vlock.Spin.acquire ctx l;
+         Machine.cpu ctx 200.0;
+         Vlock.Spin.release ctx l));
+  let run = Machine.obs m in
+  Alcotest.(check bool) "waits recorded" true
+    (Simurgh_obs.Contention.total_wait run.Simurgh_obs.Run.contention > 0.0);
+  Machine.reset m;
+  check_float "reset clears contention" 0.0
+    (Simurgh_obs.Contention.total_wait run.Simurgh_obs.Run.contention)
+
 let () =
   Alcotest.run "sim"
     [
@@ -291,5 +362,18 @@ let () =
             test_machine_charges_advance_clock;
           Alcotest.test_case "cost model" `Quick test_cost_model_consistency;
           Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentile interpolates" `Quick
+            test_stats_percentile_interpolates;
+          QCheck_alcotest.to_alcotest prop_stats_percentile_bounds_monotone;
+        ] );
+      ( "obs-scoping",
+        [
+          Alcotest.test_case "contention per run" `Quick
+            test_contention_scoped_per_run;
+          Alcotest.test_case "contention reset" `Quick
+            test_contention_reset_on_machine_reset;
         ] );
     ]
