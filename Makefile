@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench fsck clean
 
 all: build
 
@@ -9,9 +9,15 @@ test: build
 	dune runtest
 
 # Full gate: build + unit/property/differential tests + a quick smoke run
-# of the region data-path microbenchmark (writes BENCH_region.json).
+# of the region data-path microbenchmark (writes BENCH_region.json) and of
+# the bounded crash-image explorer / media-fault / checker experiment.
 check: test
-	dune exec bench/main.exe -- --scale 0.05 region
+	dune exec bench/main.exe -- --scale 0.05 region crash
+
+# Offline fsck-style self-check: the checker must pass a correctly
+# recovered crash image and flag a deliberately mis-recovered one.
+fsck: build
+	dune exec bench/main.exe -- --check
 
 bench: build
 	dune exec bench/main.exe -- region

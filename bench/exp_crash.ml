@@ -1,0 +1,174 @@
+(** Run id [crash]: the fault plane — adversarial crash images, media
+    faults and the fsck-style checker.
+
+    Three parts, mirroring the robustness toolchain:
+
+    + {b explore}: crash-image exploration of the four Fig. 5 state
+      machines (create / unlink / same-dir rename / cross-dir rename).
+      At every NVMM store and every labeled persist point the eviction
+      adversary enumerates subsets of the unpersisted cache lines
+      (exhaustive up to 10 pending lines, seeded samples beyond); every
+      image is recovered ({!Simurgh_core.Recovery.run}) and must pass
+      the offline checker ({!Simurgh_core.Check.run}).
+    + {b media}: a poisoned data line surfaces as an [EIO] error return
+      with the process still alive; poisoned metadata is quarantined by
+      recovery with the rest of the namespace intact.
+    + {b fsck}: the checker validates the final image; its violation
+      count (must be 0) is exported.
+
+    With [--json] the run exports the fault-plane counters to
+    [BENCH_crash.json]: [faults/crash_points], [faults/images_explored],
+    [faults/explorer_failures], [faults/quarantined],
+    [faults/checker_violations], plus the region- and fs-level
+    [faults/poisoned_lines], [faults/media_errors], [faults/crash_images]
+    and [faults/eio_returns] sources. *)
+
+open Simurgh_fs_common
+module Fs = Simurgh_core.Fs
+module Recovery = Simurgh_core.Recovery
+module Check = Simurgh_core.Check
+module Explore = Simurgh_core.Explore
+module Fentry = Simurgh_core.Fentry
+module Inode = Simurgh_core.Inode
+module Region = Simurgh_nvmm.Region
+module Slab = Simurgh_alloc.Slab_alloc
+module Obs = Simurgh_obs
+
+exception Crash_now
+
+let ops =
+  [
+    ( "create",
+      (fun fs -> Fs.mkdir fs "/d"),
+      fun fs -> Fs.create_file fs "/d/f" );
+    ( "unlink",
+      (fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.create_file fs "/d/f"),
+      fun fs -> Fs.unlink fs "/d/f" );
+    ( "rename",
+      (fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.create_file fs "/d/old"),
+      fun fs -> Fs.rename fs "/d/old" "/d/new" );
+    ( "cross-rename",
+      (fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.mkdir fs "/e";
+        Fs.create_file fs "/d/m"),
+      fun fs -> Fs.rename fs "/d/m" "/e/m2" );
+  ]
+
+(* Media plane: EIO containment on a poisoned data line, then metadata
+   quarantine.  Returns (eio_returns_seen, quarantined, violations). *)
+let media_plane () =
+  let region = Region.create (32 * 1024 * 1024) in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/d";
+  Fs.create_file fs "/d/data";
+  let fd = Fs.openf fs Types.rdwr "/d/data" in
+  ignore (Fs.append fs fd (Bytes.make 4096 'x'));
+  let addr = ref 0 in
+  let _, fe = Fs.resolve fs "/d/data" in
+  (try
+     Inode.iter_extents region (Fentry.target region fe) (fun a _ ->
+         addr := a;
+         raise Exit)
+   with Exit -> ());
+  Region.poison region !addr 1;
+  let eio = ref 0 in
+  (try ignore (Fs.pread fs fd ~pos:0 ~len:4096)
+   with Errno.Err (EIO, _) -> incr eio);
+  (try ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make 64 'y'))
+   with Errno.Err (EIO, _) -> incr eio);
+  Fs.close fs fd;
+  (* the process is still alive: more namespace work succeeds *)
+  Fs.create_file fs "/d/alive";
+  Fs.unlink fs "/d/alive";
+  (* now poison a metadata line (a file entry's slab slot) and recover *)
+  Fs.create_file fs "/d/victim";
+  let _, vfe = Fs.resolve fs "/d/victim" in
+  Region.poison region (vfe - Slab.obj_header) 1;
+  let _fs', report = Recovery.mount_after_crash ~euid:0 region in
+  (!eio, report.Recovery.quarantined, Check.run region)
+
+let run ~scale =
+  Util.header
+    "crash: adversarial crash images, media faults, fsck-style checker";
+  let samples = max 8 (Util.scaled ~scale 32) in
+  let points = ref 0
+  and images = ref 0
+  and failures = ref 0
+  and quarantined = ref 0
+  and eio = ref 0
+  and violations = ref 0 in
+  List.iter
+    (fun (name, setup, op) ->
+      let st = Explore.run ~samples ~setup ~op () in
+      points := !points + st.Explore.crash_points;
+      images := !images + st.Explore.images;
+      failures := !failures + List.length st.Explore.failures;
+      Printf.printf
+        "  explore %-13s crash points %3d, images %4d, max pending lines \
+         %2d, violating images %d\n"
+        name st.Explore.crash_points st.Explore.images st.Explore.max_pending
+        (List.length st.Explore.failures);
+      List.iter
+        (fun (label, viols) ->
+          Printf.printf "    FAIL %s: %s\n" label
+            (String.concat "; " (List.map Check.violation_to_string viols)))
+        st.Explore.failures)
+    ops;
+  let media_eio, media_quarantined, media_viols = media_plane () in
+  eio := media_eio;
+  quarantined := media_quarantined;
+  violations := !failures + List.length media_viols;
+  Printf.printf
+    "  media plane: %d EIO returns (process alive), %d entries \
+     quarantined, post-recovery checker violations %d\n"
+    media_eio media_quarantined
+    (List.length media_viols);
+  Obs.Collect.note_source (fun () ->
+      [
+        ("faults/crash_points", float_of_int !points);
+        ("faults/images_explored", float_of_int !images);
+        ("faults/explorer_failures", float_of_int !failures);
+        ("faults/quarantined", float_of_int !quarantined);
+        ("faults/checker_violations", float_of_int !violations);
+      ]);
+  Printf.printf
+    "  total: %d crash points, %d images explored, %d checker \
+     violations%s\n"
+    !points !images !violations
+    (if !violations = 0 then " -- all images recover clean" else " (BUG)")
+
+(** Standalone fsck self-check, used by [--check] / [make fsck]: the
+    checker must pass a correctly recovered crash image AND flag a
+    deliberately mis-recovered one (negative control, so a trivially
+    empty checker cannot pass).  Returns a process exit code. *)
+let fsck () =
+  let region = Region.create ~mode:Region.Strict (32 * 1024 * 1024) in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/d";
+  Fs.mkdir fs "/e";
+  for i = 0 to 15 do
+    Fs.create_file fs (Printf.sprintf "/d/f%d" i)
+  done;
+  Fs.create_file fs "/d/m";
+  Fs.set_crash_hook fs (fun l ->
+      if l = "xrename:dstslot" then raise Crash_now);
+  (try Fs.rename fs "/d/m" "/e/m" with Crash_now -> Region.crash region);
+  Region.clear_guard region;
+  let _ = Recovery.run ~skip_log_resolution:true region in
+  let negative = Check.run region in
+  let _ = Recovery.run region in
+  let clean = Check.run region in
+  Printf.printf "fsck: negative control (broken recovery): %s\n"
+    (if negative <> [] then
+       Printf.sprintf "caught (%d violations)" (List.length negative)
+     else "MISSED");
+  Printf.printf "fsck: full recovery: %d violation(s)\n" (List.length clean);
+  List.iter
+    (fun v -> print_endline ("  " ^ Check.violation_to_string v))
+    clean;
+  if negative <> [] && clean = [] then 0 else 1

@@ -30,6 +30,8 @@ let experiments : (string * string * (scale:float -> unit)) list =
     ("fig11", "Fig. 11: tar pack/unpack", Exp_fig11.run);
     ("fig12", "Fig. 12: git add/commit/reset", Exp_fig12.run);
     ("sec55", "Section 5.5: crash-recovery time", Exp_sec55.run);
+    ("crash", "crash-image exploration, media faults, fsck checker",
+     Exp_crash.run);
     ("ablation", "ablations of Simurgh design choices", Exp_ablation.run);
     ("bechamel", "wall-clock hot paths (host CPU)", Exp_bechamel.run);
     ("region", "NVMM region data-path microbenchmark (wall-clock, JSON)",
@@ -62,6 +64,7 @@ let () =
       experiments;
     exit 0
   end;
+  if cfg.Obs.Obs_cli.check_only then exit (Exp_crash.fsck ());
   let scale = cfg.Obs.Obs_cli.scale in
   let json_dir = cfg.Obs.Obs_cli.json_dir in
   Option.iter mkdir_p json_dir;

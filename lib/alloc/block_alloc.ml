@@ -335,6 +335,20 @@ let free_blocks t =
   done;
   !total
 
+(** Visit every free range as [(byte address, block count)] across all
+    segments.  Offline use (fsck): assumes no concurrent mutators. *)
+let iter_free_ranges t f =
+  for i = 0 to t.segments - 1 do
+    let rec walk node =
+      if node <> 0 then begin
+        let next, count = read_node t node in
+        f node count;
+        walk next
+      end
+    in
+    walk (Region.read_u62 t.region (seg_head t i))
+  done
+
 (** Structural check: every free range lies within its segment and no
     two ranges overlap (lists are unordered between coalesces). *)
 let check_invariants t =

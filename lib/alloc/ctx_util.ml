@@ -7,6 +7,7 @@ let with_spin ?ctx lock f =
   | None -> f ()
   | Some ctx ->
       Simurgh_sim.Vlock.Spin.acquire ctx lock;
-      let r = f () in
-      Simurgh_sim.Vlock.Spin.release ctx lock;
-      r
+      (* exception-safe: errors (e.g. media faults) must release locks *)
+      Fun.protect
+        ~finally:(fun () -> Simurgh_sim.Vlock.Spin.release ctx lock)
+        f

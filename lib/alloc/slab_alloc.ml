@@ -203,12 +203,29 @@ let iter_objects t f =
   let snap = Bytes.create seg_bytes in
   let rec seg_loop seg =
     if seg <> 0 then begin
-      Region.read_bytes_into t.region seg snap ~pos:0 ~len:seg_bytes;
-      for i = 0 to t.objs_per_seg - 1 do
-        let addr = obj_addr t seg i in
-        let fl = Char.code (Bytes.get snap (addr - seg)) in
-        f (payload addr) fl
-      done;
+      (match
+         try
+           Region.read_bytes_into t.region seg snap ~pos:0 ~len:seg_bytes;
+           `Snapshot
+         with Region.Media_error _ -> `Faulted
+       with
+      | `Snapshot ->
+          for i = 0 to t.objs_per_seg - 1 do
+            let addr = obj_addr t seg i in
+            let fl = Char.code (Bytes.get snap (addr - seg)) in
+            f (payload addr) fl
+          done
+      | `Faulted ->
+          (* a poisoned line somewhere in the segment: degrade from the
+             bulk snapshot to per-object header loads so the healthy
+             objects are still visited; unreadable ones are skipped
+             (they stay allocated — quarantined, never recycled) *)
+          for i = 0 to t.objs_per_seg - 1 do
+            let addr = obj_addr t seg i in
+            match Region.read_u8 t.region addr with
+            | fl -> f (payload addr) fl
+            | exception Region.Media_error _ -> ()
+          done);
       seg_loop (Region.read_u62 t.region seg)
     end
   in
@@ -222,7 +239,10 @@ let rebuild_cache ?(reclaim = false) t =
   t.live <- 0;
   iter_objects t (fun paddr f ->
       let addr = paddr - obj_header in
-      if f = 0 then Queue.push addr t.free_cache
+      if Region.range_poisoned t.region addr (slot_size t) then
+        (* slot overlaps an uncorrectable line: never recycle it *)
+        (if f = flag_valid then t.live <- t.live + 1)
+      else if f = 0 then Queue.push addr t.free_cache
       else if f = flag_valid then t.live <- t.live + 1
       else if reclaim then begin
         Region.zero t.region paddr t.obj_size;

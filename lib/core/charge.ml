@@ -35,6 +35,6 @@ let with_spin ?ctx lock f =
   | None -> f ()
   | Some c ->
       Vlock.Spin.acquire c lock;
-      let r = f () in
-      Vlock.Spin.release c lock;
-      r
+      (* exception-safe: a media fault mid-critical-section must not
+         leave the lock held (the process keeps running after EIO) *)
+      Fun.protect ~finally:(fun () -> Vlock.Spin.release c lock) f

@@ -1,0 +1,178 @@
+(** Adversarial crash-image exploration.
+
+    The Strict-mode region already models the persistence rules of real
+    NVMM (store -> volatile line, clwb+sfence -> durable).  The classic
+    [Region.crash] tests exactly one adversary — "every unpersisted line
+    is lost" — but hardware is worse: the cache may evict any dirty line
+    {e early}, so at a crash point every unpersisted line is
+    {e independently} lost or already durable ([Region.crash_image]).
+
+    [run] turns that into a systematic search.  For one FS operation it
+
+    + replays the operation once per {e crash point} — before every
+      NVMM store ([Region.set_store_hook]) and at every labeled Fig. 5
+      hook ([Fs.set_crash_hook]) — restoring a checkpoint of the
+      post-setup state each time;
+    + at each crash point enumerates eviction subsets of the unpersisted
+      lines: exhaustively when at most [max_exhaustive] lines are
+      pending ([2^n] images), otherwise drop-all, keep-all and
+      [samples]-2 seeded random subsets;
+    + for every crash image runs full recovery ({!Recovery.run}) and
+      then the offline checker ({!Check.run}), which must report zero
+      violations; an optional [verify] callback can additionally inspect
+      the recovered file system.
+
+    The returned {!stats} aggregates points, images and any violating
+    images (which make the calling test fail with a precise
+    reproduction label). *)
+
+open Simurgh_nvmm
+
+exception Crash_now
+
+type stats = {
+  crash_points : int;  (** store-granular + labeled hook points *)
+  images : int;  (** crash images explored (recoveries performed) *)
+  max_pending : int;  (** largest unpersisted-line set at any point *)
+  failures : (string * Check.violation list) list;
+      (** crash images whose post-recovery check failed, labeled
+          ["<point> keep={lines}"] *)
+}
+
+type point = Store of int  (** crash before the [n]-th store (1-based) *)
+           | Hook of string * int  (** crash at n-th firing of a label *)
+
+let point_label = function
+  | Store n -> Printf.sprintf "store:%d" n
+  | Hook (l, n) -> Printf.sprintf "hook:%s#%d" l n
+
+(* Mount a fresh FS handle on [region] as a new "process" would: the
+   shared volatile state is discarded (a crash wiped DRAM) and rebuilt
+   from NVMM. *)
+let fresh_mount region =
+  Fs.invalidate_shared region;
+  Fs.mount ~euid:0 region
+
+let default_size = 4 lsl 20
+
+let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
+    ?(size = default_size) ?verify ~setup ~op () =
+  let region = Region.create ~mode:Region.Strict size in
+  let fs0 = Fs.mkfs ~cores:2 ~euid:0 region in
+  setup fs0;
+  (* the operation's own writes must be the only unpersisted lines at
+     the crash point; drain everything setup left behind (e.g. zeroed
+     directory-block tails that were never clwb'd) *)
+  Region.persist_all region;
+  let cp0 = Region.checkpoint region in
+
+  (* Pass 1: dry-run the op to discover its crash points. *)
+  let stores = ref 0 in
+  let hooks = ref [] (* (label, occurrence) in firing order, reversed *) in
+  let hook_count = Hashtbl.create 16 in
+  let fs = fresh_mount region in
+  Region.set_store_hook region (fun () -> incr stores);
+  Fs.set_crash_hook fs (fun label ->
+      let n = (try Hashtbl.find hook_count label with Not_found -> 0) + 1 in
+      Hashtbl.replace hook_count label n;
+      hooks := (label, n) :: !hooks);
+  op fs;
+  Region.clear_store_hook region;
+  let points =
+    List.init !stores (fun i -> Store (i + 1))
+    @ List.rev_map (fun (l, n) -> Hook (l, n)) !hooks
+  in
+
+  let rng = Simurgh_sim.Rng.create seed in
+  let images = ref 0 in
+  let max_pending = ref 0 in
+  let failures = ref [] in
+
+  List.iter
+    (fun point ->
+      (* restore the post-setup state and run the op up to [point] *)
+      Region.restore region cp0;
+      let fs = fresh_mount region in
+      (match point with
+      | Store n ->
+          let k = ref 0 in
+          Region.set_store_hook region (fun () ->
+              incr k;
+              if !k = n then raise Crash_now)
+      | Hook (label, n) ->
+          let k = ref 0 in
+          Fs.set_crash_hook fs (fun l ->
+              if l = label then begin
+                incr k;
+                if !k = n then raise Crash_now
+              end));
+      (match op fs with
+      | () -> () (* point past the op's end (hook miss): still explored *)
+      | exception Crash_now -> ());
+      Region.clear_store_hook region;
+
+      let pending = Array.of_list (Region.pending_lines region) in
+      let n = Array.length pending in
+      if n > !max_pending then max_pending := n;
+      let cp_crash = Region.checkpoint region in
+      let explore_mask keep_of =
+        incr images;
+        Region.restore region cp_crash;
+        Region.crash_image region ~keep:keep_of;
+        Fs.invalidate_shared region;
+        (match Recovery.run region with
+        | _layout, _report -> (
+            match Check.run region with
+            | [] ->
+                (match verify with
+                | None -> ()
+                | Some v -> v (fresh_mount region))
+            | viols ->
+                let kept =
+                  Array.to_list pending
+                  |> List.filter keep_of
+                  |> List.map string_of_int
+                  |> String.concat ","
+                in
+                failures :=
+                  (Printf.sprintf "%s keep={%s}" (point_label point) kept,
+                   viols)
+                  :: !failures)
+        | exception e ->
+            failures :=
+              ( Printf.sprintf "%s: recovery raised %s" (point_label point)
+                  (Printexc.to_string e),
+                [] )
+              :: !failures)
+      in
+      let keep_of_mask mask =
+        let keep = Hashtbl.create 8 in
+        Array.iteri
+          (fun i ln -> if mask land (1 lsl i) <> 0 then Hashtbl.replace keep ln ())
+          pending;
+        fun ln -> Hashtbl.mem keep ln
+      in
+      if n <= max_exhaustive then
+        for mask = 0 to (1 lsl n) - 1 do
+          explore_mask (keep_of_mask mask)
+        done
+      else begin
+        (* sampled: the two extreme images plus seeded random subsets *)
+        explore_mask (fun _ -> false);
+        explore_mask (fun _ -> true);
+        for _ = 3 to samples do
+          let keep = Hashtbl.create 16 in
+          Array.iter
+            (fun ln ->
+              if Simurgh_sim.Rng.int rng 2 = 1 then Hashtbl.replace keep ln ())
+            pending;
+          explore_mask (fun ln -> Hashtbl.mem keep ln)
+        done
+      end)
+    points;
+  {
+    crash_points = List.length points;
+    images = !images;
+    max_pending = !max_pending;
+    failures = List.rev !failures;
+  }

@@ -30,6 +30,8 @@ type t = {
           flags — the "whole-directory lock" counterfactual *)
   mutable crash_hook : string -> unit;
   mutable logical_time : int;
+  mutable eio_returns : int;
+      (** operations that returned [EIO] after hitting a poisoned line *)
 }
 
 type fd = int
@@ -96,6 +98,7 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
       coarse_dir_locks;
       crash_hook = ignore;
       logical_time = 0;
+      eio_returns = 0;
     }
   in
   (* lock-registry sizes and allocator counters join the experiment's
@@ -119,6 +122,7 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
         ( "alloc/inodes_live",
           float_of_int inodes.Simurgh_alloc.Slab_alloc.live );
         ("alloc/fentries_live", float_of_int fes.Simurgh_alloc.Slab_alloc.live);
+        ("faults/eio_returns", float_of_int fs.eio_returns);
       ]);
   fs
 
@@ -147,6 +151,9 @@ let mkfs ?(cores = 10) ?segments ?call_mode ?relaxed_writes ?coarse_dir_locks
     of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid layout
   in
   register_shared region layout fs.locks;
+  (* the FS is live from here: only a clean [unmount] sets the flag
+     back, so a crash leaves it clear and forces full recovery *)
+  Layout.set_clean_shutdown layout false;
   fs
 
 (** Attach to an already-formatted region: a second mount of a region
@@ -169,6 +176,7 @@ let mount ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid region =
           layout
       in
       register_shared region layout fs.locks;
+      Layout.set_clean_shutdown layout false;
       fs
 
 (** Forget the shared state of a region (after a crash, the volatile
@@ -205,6 +213,16 @@ let entry_charge ?ctx t =
     | Plain -> cm.Simurgh_sim.Cost_model.call_cycles
   in
   Charge.cpu ?ctx (cycles +. 60.0 (* libc wrapper, argument handling *))
+
+(* Uncorrectable media errors surface to the application as EIO, like a
+   machine-check on a real DIMM surfaced through SIGBUS handling.  All
+   lock helpers are exception-safe, so the operation fails cleanly: the
+   error is returned, locks are released, the process keeps running. *)
+let media_guard t f =
+  try f () with
+  | Region.Media_error off ->
+      t.eio_returns <- t.eio_returns + 1;
+      Errno.raise_ EIO (Printf.sprintf "uncorrectable media error at %#x" off)
 
 (* --- allocation helpers ------------------------------------------------- *)
 
@@ -450,16 +468,19 @@ let create_at ?ctx t (d : dirref) ~name:n ~kind ~perm ~target_inode =
 
 let create_file ?ctx t ?(perm = 0o644) path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let d, n = resolve_parent ?ctx t path in
   ignore (create_at ?ctx t d ~name:n ~kind:Inode.File ~perm ~target_inode:None)
 
 let mkdir ?ctx t ?(perm = 0o755) path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let d, n = resolve_parent ?ctx t path in
   ignore (create_at ?ctx t d ~name:n ~kind:Inode.Dir ~perm ~target_inode:None)
 
 let symlink ?ctx t ~target path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let d, n = resolve_parent ?ctx t path in
   let fe =
     create_at ?ctx t d ~name:n ~kind:Inode.Symlink ~perm:0o777
@@ -481,6 +502,7 @@ let symlink ?ctx t ~target path =
 
 let hardlink ?ctx t ~existing path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let _, fe = resolve ?ctx t existing in
   if Fentry.is_dir t.region fe then Errno.raise_ EISDIR existing;
   let inode = Fentry.target t.region fe in
@@ -787,11 +809,13 @@ let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
 
 let unlink ?ctx t path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let d, n = resolve_parent ?ctx t path in
   remove_entry ?ctx t d ~name:n ~check_dir:`Must_not_be_dir
 
 let rmdir ?ctx t path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let d, n = resolve_parent ?ctx t path in
   remove_entry ?ctx t d ~name:n ~check_dir:`Must_be_dir
 
@@ -925,6 +949,7 @@ let rename_cross_dir ?ctx t (ds : dirref) ~old_n (dd : dirref) ~new_n =
 
 let rename ?ctx t old_path new_path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let ds, old_n = resolve_parent ?ctx t old_path in
   let dd, new_n = resolve_parent ?ctx t new_path in
   if ds.dhead = dd.dhead && String.equal old_n new_n then begin
@@ -956,18 +981,21 @@ let stat_of_inode t inode =
 
 let stat ?ctx t path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let _, fe = resolve ?ctx t path in
   Charge.read_lines ?ctx 2;
   stat_of_inode t (Fentry.target t.region fe)
 
 let exists ?ctx t path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   match resolve ?ctx t path with
   | _ -> true
   | exception Errno.Err ((ENOENT | ENOTDIR), _) -> false
 
 let openf ?ctx t (flags : Types.open_flags) path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let fe =
     match resolve ?ctx t path with
     | _, fe ->
@@ -1007,6 +1035,7 @@ let openf ?ctx t (flags : Types.open_flags) path =
 
 let close ?ctx t fd =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   if not (Openfile.close ?ctx t.openfiles fd) then
     Errno.raise_ EBADF (string_of_int fd)
 
@@ -1023,9 +1052,11 @@ let with_write_lock ?ctx t inode f =
     | Some c ->
         let l = Locks.file_lock t.locks inode in
         Simurgh_sim.Vlock.Rw.write_acquire c l;
-        let r = f () in
-        Simurgh_sim.Vlock.Rw.write_release c l;
-        r
+        (* exception-safe: an EIO mid-write must not leave the file
+           locked — the process keeps running after a media error *)
+        Fun.protect
+          ~finally:(fun () -> Simurgh_sim.Vlock.Rw.write_release c l)
+          f
 
 let with_read_lock ?ctx t inode f =
   if t.relaxed_writes then f ()
@@ -1035,12 +1066,13 @@ let with_read_lock ?ctx t inode f =
     | Some c ->
         let l = Locks.file_lock t.locks inode in
         Simurgh_sim.Vlock.Rw.read_acquire c l;
-        let r = f () in
-        Simurgh_sim.Vlock.Rw.read_release c l;
-        r
+        Fun.protect
+          ~finally:(fun () -> Simurgh_sim.Vlock.Rw.read_release c l)
+          f
 
 let pwrite ?ctx t fd ~pos src =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
   with_write_lock ?ctx t e.Openfile.inode (fun () ->
@@ -1048,6 +1080,7 @@ let pwrite ?ctx t fd ~pos src =
 
 let append ?ctx t fd src =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
   with_write_lock ?ctx t e.Openfile.inode (fun () ->
@@ -1058,6 +1091,7 @@ let append ?ctx t fd src =
 
 let pread ?ctx t fd ~pos ~len =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Wronly then Errno.raise_ EBADF "write-only fd";
   with_read_lock ?ctx t e.Openfile.inode (fun () ->
@@ -1065,6 +1099,7 @@ let pread ?ctx t fd ~pos ~len =
 
 let fallocate ?ctx t fd ~len =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let e = fd_entry t fd in
   with_write_lock ?ctx t e.Openfile.inode (fun () ->
       ensure_capacity ?ctx t e.Openfile.inode len;
@@ -1078,11 +1113,13 @@ let fallocate ?ctx t fd ~len =
 (* Simurgh persists synchronously; fsync only needs the entry charge. *)
 let fsync ?ctx t fd =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   ignore (fd_entry t fd);
   Charge.fence ?ctx ()
 
 let truncate ?ctx t path len =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let _, fe = resolve ?ctx t path in
   if Fentry.is_dir t.region fe then Errno.raise_ EISDIR path;
   let inode = Fentry.target t.region fe in
@@ -1112,6 +1149,7 @@ let truncate ?ctx t path len =
 
 let readdir ?ctx t path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let _, fe = resolve ?ctx t path in
   if not (Fentry.is_dir t.region fe) then Errno.raise_ ENOTDIR path;
   let head = Fentry.dirblock t.region fe in
@@ -1125,6 +1163,7 @@ let readdir ?ctx t path =
 
 let readlink ?ctx t path =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let _, fe = resolve ?ctx ~follow:false t path in
   if not (Fentry.is_symlink t.region fe) then Errno.raise_ EINVAL path;
   Charge.read_lines ?ctx 2;
@@ -1142,6 +1181,7 @@ type fsstat = {
 
 let statfs ?ctx t =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let balloc = t.layout.Layout.balloc in
   {
     block_size = Simurgh_alloc.Block_alloc.block_size balloc;
@@ -1155,6 +1195,7 @@ let statfs ?ctx t =
 
 let chmod ?ctx t path perm =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let _, fe = resolve ?ctx t path in
   let inode = Fentry.target t.region fe in
   if t.euid <> 0 && Inode.uid t.region inode <> t.euid then
@@ -1167,6 +1208,7 @@ let chmod ?ctx t path perm =
 
 let utimes ?ctx t path mtime =
   entry_charge ?ctx t;
+  media_guard t @@ fun () ->
   let _, fe = resolve ?ctx t path in
   let inode = Fentry.target t.region fe in
   Inode.set_mtime t.region inode mtime;

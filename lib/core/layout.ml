@@ -40,6 +40,10 @@ let set_root_fentry t p =
 
 let clean_shutdown t = Region.read_u8 t.region f_clean <> 0
 
+(* Region-level variant: lets a mounter consult the flag before paying
+   for [attach] (the clean-shutdown fast path in [Recovery.mount_auto]). *)
+let clean_shutdown_of_region region = Region.read_u8 region f_clean <> 0
+
 let set_clean_shutdown t v =
   Region.write_u8 t.region f_clean (if v then 1 else 0);
   Region.persist t.region f_clean 1

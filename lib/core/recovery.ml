@@ -38,16 +38,19 @@ type report = {
   cleared_busy_flags : int;
   used_blocks : int;
   free_blocks : int;
+  quarantined : int;
+      (** namespace entries / subtrees detached because their metadata
+          sits on poisoned (uncorrectable) lines *)
 }
 
 let pp_report ppf r =
   Fmt.pf ppf
     "files=%d dirs=%d symlinks=%d completed_deletes=%d completed_renames=%d \
      rolled_back=%d reclaimed(inodes=%d fentries=%d) busy_cleared=%d \
-     blocks(used=%d free=%d)"
+     blocks(used=%d free=%d) quarantined=%d"
     r.files r.dirs r.symlinks r.completed_deletes r.completed_renames
     r.rolled_back_renames r.reclaimed_inodes r.reclaimed_fentries
-    r.cleared_busy_flags r.used_blocks r.free_blocks
+    r.cleared_busy_flags r.used_blocks r.free_blocks r.quarantined
 
 (* --- helpers ----------------------------------------------------------- *)
 
@@ -65,17 +68,35 @@ let find_pointer region ~head ~target =
 
 (* Insert [p] into the row matching its name hash; used when completing
    an interrupted rename.  The caller guarantees [p] is a live or
-   committable file entry. *)
-let relink region ~head p =
+   committable file entry.  The target row can be full even though a
+   stale link was just removed — the stale link sat in a *different*
+   row (that is why it was stale) — so a full row must grow the chain
+   exactly like [Fs.insert_entry] (Fig. 5a steps 3-5), not drop the
+   entry. *)
+let relink layout ~head p =
+  let region = layout.Layout.region in
   let name = Fentry.name region p in
   match Dirblock.find region ~head ~name with
   | Some _, _ -> () (* already correctly linked *)
   | None, _ -> (
       let hash = Name_hash.hash name in
-      let slot_ref, _, _ = Dirblock.find_free_slot region ~head ~hash in
+      let slot_ref, _, last = Dirblock.find_free_slot region ~head ~hash in
       match slot_ref with
       | Some (b, row, s) -> Dirblock.set_slot region b row s p
-      | None -> () (* cannot happen right after removing the stale link *))
+      | None ->
+          let new_rows =
+            min Dirblock.max_rows (2 * Dirblock.rows region last)
+          in
+          let balloc = layout.Layout.balloc in
+          let bs = Balloc.block_size balloc in
+          let blocks = (Dirblock.size_for_rows new_rows + bs - 1) / bs in
+          (match Balloc.alloc balloc blocks with
+          | None ->
+              failwith "Recovery.relink: out of blocks extending directory"
+          | Some nb ->
+              Dirblock.init region nb ~rows:new_rows;
+              Dirblock.set_next region last nb;
+              Dirblock.set_slot region nb (hash mod new_rows) 0 p))
 
 (* --- pending rename logs ------------------------------------------------ *)
 
@@ -104,7 +125,7 @@ let resolve_log layout b =
           in
           if row <> want then begin
             Dirblock.set_slot region blk row s 0;
-            relink region ~head:dst nfe
+            relink layout ~head:dst nfe
           end
       | None -> ());
       (* remove the old entry's remaining link in the source *)
@@ -137,7 +158,7 @@ let resolve_log layout b =
 
 (* --- full-system recovery ------------------------------------------------ *)
 
-let run region =
+let run ?(skip_log_resolution = false) region =
   (* a crash wipes shared DRAM: discard any cached volatile state *)
   Fs.invalidate_shared region;
   let layout = Layout.attach region in
@@ -150,6 +171,17 @@ let run region =
   let rolled_back = ref 0 in
   let completed_deletes = ref 0 in
   let cleared_busy = ref 0 in
+  let quarantined = ref 0 in
+  (* A subtree behind a poisoned metadata line cannot be traversed;
+     detach it by zeroing the referencing slot (which lives in the
+     parent's — healthy — block; if that line is poisoned too, the
+     fault propagates and the grandparent quarantines instead) so the
+     rest of the namespace stays usable, and report it instead of
+     aborting recovery. *)
+  let quarantine_slot b row s =
+    Dirblock.set_slot r b row s 0;
+    incr quarantined
+  in
 
   let reach_inode = Hashtbl.create 1024 in
   let reach_fentry = Hashtbl.create 1024 in
@@ -165,80 +197,155 @@ let run region =
   let rec resolve_logs head =
     if head <> 0 && not (Hashtbl.mem log_seen head) then begin
       Hashtbl.replace log_seen head ();
-      if Dirblock.Log.pending r head then begin
-        match resolve_log layout head with
-        | `Forward -> incr completed_renames
-        | `Back -> incr rolled_back
-      end;
-      Dirblock.iter_entries r head (fun _ _ _ p ->
-          if Slab.obj_flags fentry_slab p <> 0 && Fentry.is_dir r p then
-            resolve_logs (Fentry.dirblock r p))
+      try
+        if Dirblock.Log.pending r head then begin
+          match resolve_log layout head with
+          | `Forward -> incr completed_renames
+          | `Back -> incr rolled_back
+        end;
+        Dirblock.iter_entries r head (fun _ _ _ p ->
+            try
+              if Slab.obj_flags fentry_slab p <> 0 && Fentry.is_dir r p then
+                resolve_logs (Fentry.dirblock r p)
+            with Region.Media_error _ -> ())
+      with Region.Media_error _ ->
+        (* poisoned directory block: the mark pass quarantines it *)
+        ()
     end
   in
 
-  (* Pass 2: mark + repair. *)
+  (* Pass 2: mark + repair.  Reachability marks made while descending
+     are journaled in [trail] so that, when a media fault forces a
+     subtree to be quarantined, everything marked {e under} that subtree
+     is un-marked again (and hence swept); objects already reachable
+     through an earlier path are not on the sub-trail and stay marked —
+     hardlinked inodes survive a poisoned sibling subtree. *)
+  let trail = ref [] in
+  let mark_f p =
+    if not (Hashtbl.mem reach_fentry p) then begin
+      Hashtbl.replace reach_fentry p ();
+      trail := `F p :: !trail
+    end
+  in
+  let mark_i i =
+    if not (Hashtbl.mem reach_inode i) then begin
+      Hashtbl.replace reach_inode i ();
+      trail := `I i :: !trail
+    end
+  in
+  let mark_d h =
+    if not (Hashtbl.mem reach_dirhead h) then begin
+      Hashtbl.replace reach_dirhead h ();
+      trail := `D h :: !trail
+    end
+  in
+  let rollback_to saved =
+    let rec go l =
+      if l != saved then
+        match l with
+        | [] -> ()
+        | `F p :: rest ->
+            Hashtbl.remove reach_fentry p;
+            go rest
+        | `I i :: rest ->
+            Hashtbl.remove reach_inode i;
+            go rest
+        | `D h :: rest ->
+            Hashtbl.remove reach_dirhead h;
+            go rest
+    in
+    go !trail;
+    trail := saved
+  in
   let rec mark_dir head =
     if head <> 0 && not (Hashtbl.mem reach_dirhead head) then begin
-      Hashtbl.replace reach_dirhead head ();
+      mark_d head;
       (* clear busy flags left behind by crashed lock holders *)
       for row = 0 to Dirblock.first_rows - 1 do
-        if Dirblock.busy r head row then begin
+        if (try Dirblock.busy r head row with Region.Media_error _ -> false)
+        then begin
           Dirblock.set_busy r head row false;
           incr cleared_busy
         end
       done;
-      (* visit and repair entries *)
+      (* visit and repair entries; a per-entry media fault (poisoned
+         fentry payload or poisoned child directory block) quarantines
+         just that slot, not the whole directory *)
       let moves = ref [] in
       Dirblock.iter_entries r head (fun b row s p ->
-          if not (Slab.is_live fentry_slab p) then begin
-            (* interrupted delete: complete it (zero the pointer) *)
-            Dirblock.set_slot r b row s 0;
-            incr completed_deletes
-          end
-          else begin
-            let name = Fentry.name r p in
-            let want_row = Name_hash.hash name mod Dirblock.rows r b in
-            if want_row <> row then
-              (* interrupted same-directory rename after the swap: finish
-                 steps 7-8 of Fig. 5c *)
-              moves := (b, row, s, p) :: !moves
-            else begin
-              Hashtbl.replace reach_fentry p ();
-              let inode = Fentry.target r p in
-              Hashtbl.replace reach_inode inode ();
-              if Fentry.is_dir r p then begin
-                incr dirs;
-                mark_dir (Fentry.dirblock r p)
-              end
-              else if Fentry.is_symlink r p then incr symlinks
-              else incr files
+          let saved = !trail in
+          try
+            if not (Slab.is_live fentry_slab p) then begin
+              (* interrupted delete: complete it (zero the pointer) *)
+              Dirblock.set_slot r b row s 0;
+              incr completed_deletes
             end
-          end);
+            else begin
+              let name = Fentry.name r p in
+              let want_row = Name_hash.hash name mod Dirblock.rows r b in
+              if want_row <> row then
+                (* interrupted same-directory rename after the swap:
+                   finish steps 7-8 of Fig. 5c *)
+                moves := (b, row, s, p) :: !moves
+              else begin
+                mark_f p;
+                mark_i (Fentry.target r p);
+                if Fentry.is_dir r p then begin
+                  incr dirs;
+                  mark_dir (Fentry.dirblock r p)
+                end
+                else if Fentry.is_symlink r p then incr symlinks
+                else incr files
+              end
+            end
+          with Region.Media_error _ ->
+            (* un-mark the failed subtree so the sweep reclaims the
+               detached objects (their storage is recycled; only the
+               poisoned lines themselves stay unusable until scrubbed) *)
+            rollback_to saved;
+            quarantine_slot b row s);
       List.iter
         (fun (b, row, s, p) ->
-          Dirblock.set_slot r b row s 0;
-          relink r ~head p;
-          if Slab.is_unprocessed fentry_slab p then Slab.commit fentry_slab p;
-          Hashtbl.replace reach_fentry p ();
-          Hashtbl.replace reach_inode (Fentry.target r p) ();
-          incr completed_renames;
-          if Fentry.is_dir r p then mark_dir (Fentry.dirblock r p))
+          let saved = !trail in
+          try
+            Dirblock.set_slot r b row s 0;
+            relink layout ~head p;
+            if Slab.is_unprocessed fentry_slab p then Slab.commit fentry_slab p;
+            mark_f p;
+            mark_i (Fentry.target r p);
+            incr completed_renames;
+            if Fentry.is_dir r p then mark_dir (Fentry.dirblock r p)
+          with Region.Media_error _ ->
+            rollback_to saved;
+            quarantine_slot b row s)
         !moves
     end
   in
   let root = Layout.root_fentry layout in
   Hashtbl.replace reach_fentry root ();
   Hashtbl.replace reach_inode (Fentry.target r root) ();
-  resolve_logs (Fentry.dirblock r root);
-  mark_dir (Fentry.dirblock r root);
+  (* [skip_log_resolution] deliberately breaks recovery (pass 1 is what
+     disambiguates crashed renames); used by the negative tests proving
+     the offline checker actually catches recovery bugs *)
+  if not skip_log_resolution then resolve_logs (Fentry.dirblock r root);
+  (try mark_dir (Fentry.dirblock r root)
+   with Region.Media_error _ -> incr quarantined);
 
   (* Sweep metadata objects. *)
   let reclaimed_inodes = ref 0 in
   let reclaimed_fentries = ref 0 in
   let sweep slab reach counter =
+    let slot_bytes = Slab.obj_header + Slab.obj_size slab in
     let to_free = ref [] in
     Slab.iter_objects slab (fun p flags ->
-        if flags <> 0 && not (Hashtbl.mem reach p) then to_free := p :: !to_free);
+        if flags <> 0 && not (Hashtbl.mem reach p) then
+          if Region.range_poisoned r (p - Slab.obj_header) slot_bytes then
+            (* the slot overlaps a poisoned line (possibly a neighbor's
+               — slots are not line-aligned): it can be neither zeroed
+               nor recycled, so it stays allocated, quarantined in
+               place, until the media is scrubbed *)
+            incr quarantined
+          else to_free := p :: !to_free);
     List.iter
       (fun p ->
         if not (Slab.is_live slab p) then Slab.mark_dirty slab p;
@@ -282,29 +389,43 @@ let run region =
   (* directory hash-block chains *)
   Hashtbl.iter
     (fun head () ->
-      Dirblock.iter_chain r head (fun _ b ->
-          mark_range b (Dirblock.size_for_rows (Dirblock.rows r b))))
+      try
+        Dirblock.iter_chain r head (fun _ b ->
+            mark_range b (Dirblock.size_for_rows (Dirblock.rows r b)))
+      with Region.Media_error _ -> ())
     reach_dirhead;
   (* file extents + extent overflow chains *)
   Hashtbl.iter
     (fun inode () ->
-      Inode.iter_extents r inode (fun addr blocks -> mark_range addr (blocks * bs));
-      let rec ov b =
-        if b <> 0 then begin
-          mark_range b Inode.overflow_bytes;
-          ov (Region.read_u62 r (Inode.ov_next b))
-        end
-      in
-      ov (Region.read_u62 r (Inode.f_overflow inode)))
+      try
+        Inode.iter_extents r inode (fun addr blocks ->
+            mark_range addr (blocks * bs));
+        let rec ov b =
+          if b <> 0 then begin
+            mark_range b Inode.overflow_bytes;
+            ov (Region.read_u62 r (Inode.ov_next b))
+          end
+        in
+        ov (Region.read_u62 r (Inode.f_overflow inode))
+      with Region.Media_error _ -> incr quarantined)
     reach_inode;
   (* long-name spill blocks *)
   Hashtbl.iter
     (fun fe () ->
-      match Fentry.spill r fe with
-      | Some (addr, len) -> mark_range addr len
-      | None -> ())
+      try
+        match Fentry.spill r fe with
+        | Some (addr, len) -> mark_range addr len
+        | None -> ()
+      with Region.Media_error _ -> incr quarantined)
     reach_fentry;
-  Balloc.rebuild_free_lists balloc ~in_use:is_used;
+  (* blocks under poisoned lines must never be handed out again: keep
+     them out of the rebuilt free lists (quarantined until scrubbed) *)
+  let in_use =
+    if Region.poisoned_lines r = 0 then is_used
+    else fun b ->
+      is_used b || Region.range_poisoned r (Balloc.base balloc + (b * bs)) bs
+  in
+  Balloc.rebuild_free_lists balloc ~in_use;
 
   (* Volatile caches reflect the repaired truth. *)
   Slab.rebuild_cache inode_slab;
@@ -324,6 +445,7 @@ let run region =
       cleared_busy_flags = !cleared_busy;
       used_blocks = !used_count;
       free_blocks = Balloc.free_blocks balloc;
+      quarantined = !quarantined;
     } )
 
 (** Recover and mount in one step. *)
@@ -331,7 +453,25 @@ let mount_after_crash ?call_mode ?relaxed_writes ?euid ?egid region =
   let layout, report = run region in
   let fs = Fs.of_layout ?call_mode ?relaxed_writes ?euid ?egid layout in
   Fs.register_shared region layout (Fs.locks_of fs);
+  Layout.set_clean_shutdown layout false;
   (fs, report)
+
+(** Mount with the clean-shutdown fast path (paper §4.3: "if the file
+    system was unmounted cleanly, no recovery is necessary").  A set
+    clean flag means the last writer ran {!Fs.unmount}: attach directly
+    and skip the mark-and-sweep entirely ([None]).  A clear flag means a
+    crash (mounting clears it, only a clean unmount sets it back), so a
+    full {!run} is performed ([Some report]). *)
+let mount_auto ?call_mode ?relaxed_writes ?euid ?egid region =
+  if Layout.clean_shutdown_of_region region then begin
+    let fs = Fs.mount ?call_mode ?relaxed_writes ?euid ?egid region in
+    (fs, None)
+  end
+  else
+    let fs, report =
+      mount_after_crash ?call_mode ?relaxed_writes ?euid ?egid region
+    in
+    (fs, Some report)
 
 (** Runtime (process-crash) recovery for a single directory: repair its
     rows and clear its busy flags without a global scan.  Returns the
@@ -361,7 +501,7 @@ let repair_directory fs dirpath =
   List.iter
     (fun (b, row, s, p) ->
       Dirblock.set_slot region b row s 0;
-      relink region ~head p;
+      relink layout ~head p;
       if Slab.is_unprocessed layout.Layout.fentry_slab p then
         Slab.commit layout.Layout.fentry_slab p;
       incr repaired)

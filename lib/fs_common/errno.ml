@@ -13,6 +13,7 @@ type t =
   | EINVAL
   | ELOOP
   | EROFS
+  | EIO  (** uncorrectable media error under the accessed range *)
 
 exception Err of t * string
 
@@ -31,6 +32,7 @@ let to_string = function
   | EINVAL -> "EINVAL"
   | ELOOP -> "ELOOP"
   | EROFS -> "EROFS"
+  | EIO -> "EIO"
 
 let pp ppf e = Fmt.string ppf (to_string e)
 

@@ -35,6 +35,20 @@ type mode = Fast | Strict
 
 type line_state = Dirty | Flushing
 
+(** Uncorrectable media error: an access touched a poisoned cache line.
+    The payload is the byte offset of the poisoned line's start.  Models
+    the machine-check / bad-block behaviour of real NVMM DIMMs
+    conservatively: both loads and stores fault (as a PM-aware driver
+    reports EIO on known-bad blocks), and only an explicit [scrub]
+    clears the poison. *)
+exception Media_error of int
+
+let () =
+  Printexc.register_printer (function
+    | Media_error off ->
+        Some (Printf.sprintf "Region.Media_error(line at %#x)" off)
+    | _ -> None)
+
 type t = {
   image : Bytes.t;  (** the persistent image *)
   size : int;
@@ -45,6 +59,11 @@ type t = {
       (** worklist of lines moved to [Flushing] since the last [sfence];
           may hold stale or duplicate entries (filtered at the fence),
           but every Flushing line is on it *)
+  poisoned : (int, unit) Hashtbl.t;
+      (** line number -> (); lines with uncorrectable media errors *)
+  mutable on_store : (unit -> unit) option;
+      (** fault-injection hook: called before every store operation, so a
+          crash-image explorer can cut power between any two stores *)
   mutable guard : (write:bool -> unit) option;
   mutable user_slot : exn option;
       (** opaque per-region slot for a higher layer's shared volatile
@@ -57,6 +76,8 @@ type t = {
   mutable load_bytes : int;  (** bytes read across all loads *)
   mutable flushes : int;  (** clwb/ntstore, in cache lines covered *)
   mutable fences : int;
+  mutable media_errors : int;  (** loads that hit a poisoned line *)
+  mutable crash_images : int;  (** crash / crash_image applications *)
 }
 
 let create ?(mode = Fast) size =
@@ -67,6 +88,8 @@ let create ?(mode = Fast) size =
       mode;
       overlay = Hashtbl.create 1024;
       pending = [];
+      poisoned = Hashtbl.create 8;
+      on_store = None;
       guard = None;
       user_slot = None;
       stores = 0;
@@ -75,6 +98,8 @@ let create ?(mode = Fast) size =
       load_bytes = 0;
       flushes = 0;
       fences = 0;
+      media_errors = 0;
+      crash_images = 0;
     }
   in
   (* fold the region's access statistics into the active experiment's
@@ -88,6 +113,9 @@ let create ?(mode = Fast) size =
         ("region/flush_lines", float_of_int t.flushes);
         ("region/fences", float_of_int t.fences);
         ("region/bytes", float_of_int t.size);
+        ("faults/poisoned_lines", float_of_int (Hashtbl.length t.poisoned));
+        ("faults/media_errors", float_of_int t.media_errors);
+        ("faults/crash_images", float_of_int t.crash_images);
       ]);
   t
 
@@ -129,8 +157,22 @@ let count_load t len =
   t.load_bytes <- t.load_bytes + len
 
 let count_store t len =
+  (match t.on_store with None -> () | Some f -> f ());
   t.stores <- t.stores + 1;
   t.store_bytes <- t.store_bytes + len
+
+(* Raise [Media_error] when [off, off+len) touches a poisoned line.  The
+   empty-table fast path keeps the check to one length read per load. *)
+let check_poison t off len =
+  if Hashtbl.length t.poisoned > 0 then begin
+    let first = line_of off and last = line_of (off + max (len - 1) 0) in
+    for ln = first to last do
+      if Hashtbl.mem t.poisoned ln then begin
+        t.media_errors <- t.media_errors + 1;
+        raise (Media_error (ln * line_size))
+      end
+    done
+  end
 
 (* --- line-granular bulk helpers (Strict mode) --------------------------
 
@@ -177,6 +219,7 @@ let read_byte t off =
   count_load t 1;
   check t ~write:false;
   bounds t off 1;
+  check_poison t off 1;
   match t.mode with
   | Fast -> Char.code (Bytes.unsafe_get t.image off)
   | Strict -> (
@@ -189,6 +232,7 @@ let write_byte t off v =
   count_store t 1;
   check t ~write:true;
   bounds t off 1;
+  check_poison t off 1;
   match t.mode with
   | Fast -> Bytes.unsafe_set t.image off (Char.chr (v land 0xff))
   | Strict ->
@@ -203,6 +247,7 @@ let read_bytes_into t off dst ~pos ~len =
   count_load t len;
   check t ~write:false;
   bounds t off len;
+  check_poison t off len;
   if pos < 0 || len < 0 || pos + len > Bytes.length dst then
     invalid_arg "Region.read_bytes_into: destination range";
   match t.mode with
@@ -221,6 +266,7 @@ let write_bytes_from t off src ~pos ~len =
   count_store t len;
   check t ~write:true;
   bounds t off len;
+  check_poison t off len;
   if pos < 0 || len < 0 || pos + len > Bytes.length src then
     invalid_arg "Region.write_bytes_from: source range";
   match t.mode with
@@ -238,6 +284,7 @@ let write_string t off s =
   count_store t len;
   check t ~write:true;
   bounds t off len;
+  check_poison t off len;
   match t.mode with
   | Fast -> Bytes.blit_string s 0 t.image off len
   | Strict ->
@@ -248,6 +295,7 @@ let zero t off len =
   count_store t len;
   check t ~write:true;
   bounds t off len;
+  check_poison t off len;
   match t.mode with
   | Fast -> Bytes.fill t.image off len '\000'
   | Strict ->
@@ -283,6 +331,7 @@ let read_u16 t off =
   count_load t 2;
   check t ~write:false;
   bounds t off 2;
+  check_poison t off 2;
   match t.mode with
   | Fast -> Bytes.get_uint16_le t.image off
   | Strict ->
@@ -297,6 +346,7 @@ let write_u16 t off v =
   count_store t 2;
   check t ~write:true;
   bounds t off 2;
+  check_poison t off 2;
   let v = v land 0xffff in
   match t.mode with
   | Fast -> Bytes.set_uint16_le t.image off v
@@ -316,6 +366,7 @@ let read_u32 t off =
   count_load t 4;
   check t ~write:false;
   bounds t off 4;
+  check_poison t off 4;
   match t.mode with
   | Fast -> get_u32 t.image off
   | Strict ->
@@ -330,6 +381,7 @@ let write_u32 t off v =
   count_store t 4;
   check t ~write:true;
   bounds t off 4;
+  check_poison t off 4;
   match t.mode with
   | Fast -> set_u32 t.image off v
   | Strict ->
@@ -356,6 +408,7 @@ let read_u62 t off =
   count_load t 8;
   check t ~write:false;
   bounds t off 8;
+  check_poison t off 8;
   match t.mode with
   | Fast -> get_u62 t.image off
   | Strict ->
@@ -370,6 +423,7 @@ let write_u62 t off v =
   count_store t 8;
   check t ~write:true;
   bounds t off 8;
+  check_poison t off 8;
   match t.mode with
   | Fast -> set_u62 t.image off v
   | Strict ->
@@ -388,6 +442,7 @@ let read_u62_pair t off =
   count_load t 16;
   check t ~write:false;
   bounds t off 16;
+  check_poison t off 16;
   match t.mode with
   | Fast -> (get_u62 t.image off, get_u62 t.image (off + 8))
   | Strict ->
@@ -410,6 +465,7 @@ let write_u62_pair t off v0 v1 =
   count_store t 16;
   check t ~write:true;
   bounds t off 16;
+  check_poison t off 16;
   match t.mode with
   | Fast ->
       set_u62 t.image off v0;
@@ -487,16 +543,136 @@ let persist t off len =
   clwb t off len;
   sfence t
 
-(** Power failure: every line not yet committed by [sfence] is lost. *)
-let crash t =
+(* Commit one overlay line to the persistent image (early eviction). *)
+let commit_line t ln buf =
+  let base = ln * line_size in
+  Bytes.blit buf 0 t.image base (min line_size (t.size - base))
+
+(** Power failure with an eviction adversary.  On real NVMM the cache
+    may evict any dirty line to media *before* the fence, so at a crash
+    point every unpersisted line is independently either lost or already
+    durable.  [keep ln] (ln = cache-line index, [off / line_size])
+    decides the fate of each Dirty/Flushing line: [true] = the line was
+    evicted early and survives, [false] = it is lost.  The classic
+    drop-all [crash] is [~keep:(fun _ -> false)].  Raises
+    [Invalid_argument] in [Fast] mode, where there is no volatile state
+    to lose and any "crash test" would vacuously pass. *)
+let crash_image t ~keep =
   match t.mode with
-  | Fast -> ()
+  | Fast -> invalid_arg "Region.crash_image: region is in Fast mode"
   | Strict ->
+      Hashtbl.iter
+        (fun ln (buf, _st) -> if keep ln then commit_line t ln buf)
+        t.overlay;
       Hashtbl.reset t.overlay;
-      t.pending <- []
+      t.pending <- [];
+      t.crash_images <- t.crash_images + 1
+
+(** Power failure: every line not yet committed by [sfence] is lost.
+    Raises [Invalid_argument] in [Fast] mode (see [crash_image]). *)
+let crash t = crash_image t ~keep:(fun _ -> false)
 
 (** Number of dirty (not yet durable) lines; 0 means fully persisted. *)
 let unpersisted_lines t = Hashtbl.length t.overlay
+
+(** Cache-line indices of every unpersisted (Dirty or Flushing) line,
+    sorted ascending — the domain a crash-image explorer enumerates. *)
+let pending_lines t =
+  Hashtbl.fold (fun ln _ acc -> ln :: acc) t.overlay []
+  |> List.sort compare
+
+(** Force every unpersisted line durable (as if each had been clwb'd and
+    fenced).  Used by crash explorers to establish a known-persisted
+    baseline before the operation under test.  No-op in [Fast] mode. *)
+let persist_all t =
+  match t.mode with
+  | Fast -> ()
+  | Strict ->
+      Hashtbl.iter (fun ln (buf, _st) -> commit_line t ln buf) t.overlay;
+      Hashtbl.reset t.overlay;
+      t.pending <- []
+
+(* --- media-error plane ------------------------------------------------ *)
+
+(** Mark the lines covering [off, off+len) as uncorrectable: subsequent
+    loads and stores raise [Media_error] (real DIMMs clear poison on a
+    full-line write only via management commands; we keep the
+    conservative model: only [scrub] heals). *)
+let poison t off len =
+  bounds t off (max len 1);
+  let first = line_of off and last = line_of (off + max (len - 1) 0) in
+  for ln = first to last do
+    Hashtbl.replace t.poisoned ln ()
+  done
+
+(** Clear poison from the lines covering [off, off+len). *)
+let scrub t off len =
+  bounds t off (max len 1);
+  let first = line_of off and last = line_of (off + max (len - 1) 0) in
+  for ln = first to last do
+    Hashtbl.remove t.poisoned ln
+  done
+
+(** Does any line covering [off, off+len) carry poison? *)
+let range_poisoned t off len =
+  Hashtbl.length t.poisoned > 0
+  && begin
+       bounds t off (max len 1);
+       let first = line_of off and last = line_of (off + max (len - 1) 0) in
+       let rec go ln =
+         ln <= last && (Hashtbl.mem t.poisoned ln || go (ln + 1))
+       in
+       go first
+     end
+
+(** Number of currently poisoned lines. *)
+let poisoned_lines t = Hashtbl.length t.poisoned
+
+(* --- fault-injection hooks & checkpoints ------------------------------ *)
+
+(** Install [f] to run before every store; a crash explorer uses this to
+    cut power between any two stores of an operation. *)
+let set_store_hook t f = t.on_store <- Some f
+
+let clear_store_hook t = t.on_store <- None
+
+(** Deep snapshot of the full region state (image, overlay, pending
+    worklist, poison set, user slot) so an explorer can replay many
+    crash images from one crash point without re-running the workload. *)
+type checkpoint = {
+  cp_size : int;
+  cp_image : Bytes.t;
+  cp_overlay : (int * Bytes.t * line_state) list;
+  cp_pending : int list;
+  cp_poisoned : int list;
+  cp_user_slot : exn option;
+}
+
+let checkpoint t =
+  {
+    cp_size = t.size;
+    cp_image = Bytes.copy t.image;
+    cp_overlay =
+      Hashtbl.fold
+        (fun ln (buf, st) acc -> (ln, Bytes.copy buf, !st) :: acc)
+        t.overlay [];
+    cp_pending = t.pending;
+    cp_poisoned = Hashtbl.fold (fun ln () acc -> ln :: acc) t.poisoned [];
+    cp_user_slot = t.user_slot;
+  }
+
+let restore t cp =
+  if cp.cp_size <> t.size then
+    invalid_arg "Region.restore: checkpoint from a different-sized region";
+  Bytes.blit cp.cp_image 0 t.image 0 t.size;
+  Hashtbl.reset t.overlay;
+  List.iter
+    (fun (ln, buf, st) -> Hashtbl.replace t.overlay ln (Bytes.copy buf, ref st))
+    cp.cp_overlay;
+  t.pending <- cp.cp_pending;
+  Hashtbl.reset t.poisoned;
+  List.iter (fun ln -> Hashtbl.replace t.poisoned ln ()) cp.cp_poisoned;
+  t.user_slot <- cp.cp_user_slot
 
 (* --- file-backed persistence ------------------------------------------ *)
 
@@ -527,6 +703,8 @@ type stats = {
   store_bytes : int;  (** bytes written across all stores *)
   flushes : int;  (** cache lines covered by clwb/ntstore *)
   fences : int;
+  media_errors : int;  (** loads that hit a poisoned line *)
+  crash_images : int;  (** crash / crash_image applications *)
 }
 
 let stats (t : t) : stats =
@@ -537,4 +715,6 @@ let stats (t : t) : stats =
     store_bytes = t.store_bytes;
     flushes = t.flushes;
     fences = t.fences;
+    media_errors = t.media_errors;
+    crash_images = t.crash_images;
   }

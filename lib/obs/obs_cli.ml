@@ -11,9 +11,18 @@ type config = {
   ids : string list;  (** requested experiment ids, in order; [] = all *)
   json_dir : string option;  (** [--json DIR]: write BENCH_<id>.json *)
   list_only : bool;
+  check_only : bool;
+      (** [--check]: run the fsck self-check instead of experiments *)
 }
 
-let default = { scale = 1.0; ids = []; json_dir = None; list_only = false }
+let default =
+  {
+    scale = 1.0;
+    ids = [];
+    json_dir = None;
+    list_only = false;
+    check_only = false;
+  }
 
 (** [parse ~known ~is_dynamic args]: [known] is the experiment-id table;
     [is_dynamic] accepts additional computed ids (fig7a..fig7l). *)
@@ -35,10 +44,12 @@ let parse ~known ~is_dynamic args =
         | [] -> Error "--json requires a directory (e.g. --json out)"
         | dir :: rest -> go { cfg with json_dir = Some dir } ids rest)
     | "--list" :: rest -> go { cfg with list_only = true } ids rest
+    | "--check" :: rest -> go { cfg with check_only = true } ids rest
     | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
         Error
           (Printf.sprintf
-             "unknown flag %s (known: --scale F, --json DIR, --list)" flag)
+             "unknown flag %s (known: --scale F, --json DIR, --list, --check)"
+             flag)
     | id :: rest ->
         if id = "all" || List.mem id known || is_dynamic id then
           go cfg (id :: ids) rest

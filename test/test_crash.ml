@@ -206,6 +206,60 @@ let test_cross_rename_crashes () =
     Fs.close fs' fd
   done
 
+(* --- rename into a full row ------------------------------------------------- *)
+
+(* Regression: crash a same-directory rename after the swap (old slot ->
+   shadow entry, wrong row) but before the shadow is inserted into its
+   own row, with that row already full.  Recovery's roll-forward must
+   grow the hash-block chain exactly like the runtime insert path would
+   have — the old code hit an "impossible" no-free-slot case and
+   silently dropped the entry. *)
+let test_rename_into_full_row () =
+  let region, fs = mk_strict () in
+  Fs.mkdir fs "/d";
+  let rows = Simurgh_core.Dirblock.first_rows in
+  let row_of n = Simurgh_core.Name_hash.hash n mod rows in
+  let want = row_of "b" in
+  (* the source name must hash to a different row, so freeing its slot
+     cannot make room in b's row *)
+  let src =
+    let rec go i =
+      let n = Printf.sprintf "src%d" i in
+      if row_of n <> want then n else go (i + 1)
+    in
+    go 0
+  in
+  Fs.create_file fs ("/d/" ^ src);
+  (* fill b's row completely with colliding names *)
+  let fillers =
+    let rec go acc i =
+      if List.length acc = Simurgh_core.Dirblock.slots_per_row then
+        List.rev acc
+      else
+        let n = Printf.sprintf "fill%d" i in
+        if row_of n = want then go (n :: acc) (i + 1) else go acc (i + 1)
+    in
+    go [] 0
+  in
+  List.iter (fun n -> Fs.create_file fs ("/d/" ^ n)) fillers;
+  Fs.set_crash_hook fs (fun l -> if l = "rename:oldfree" then raise Crash_now);
+  (try Fs.rename fs ("/d/" ^ src) "/d/b"
+   with Crash_now -> Simurgh_nvmm.Region.crash region);
+  Simurgh_nvmm.Region.clear_guard region;
+  let fs', report = Recovery.mount_after_crash ~euid:0 region in
+  Alcotest.(check bool) "rename rolled forward" true
+    (report.Recovery.completed_renames >= 1);
+  Alcotest.(check bool) "renamed entry survives in the extended chain" true
+    (Fs.exists fs' "/d/b");
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("filler " ^ n) true (Fs.exists fs' ("/d/" ^ n)))
+    fillers;
+  Alcotest.(check bool) "old name gone" false (Fs.exists fs' ("/d/" ^ src));
+  Alcotest.(check (list string)) "checker clean" []
+    (List.map Simurgh_core.Check.violation_to_string
+       (Simurgh_core.Check.run region))
+
 (* --- recovery idempotence --------------------------------------------------- *)
 
 let test_recovery_idempotent () =
@@ -309,6 +363,8 @@ let () =
           Alcotest.test_case "rename at every step" `Quick test_rename_crashes;
           Alcotest.test_case "cross rename at every step" `Quick
             test_cross_rename_crashes;
+          Alcotest.test_case "rename into a full row" `Quick
+            test_rename_into_full_row;
           Alcotest.test_case "recovery idempotent" `Quick
             test_recovery_idempotent;
           Alcotest.test_case "write crash size consistent" `Quick

@@ -1,0 +1,194 @@
+(* Adversarial crash-image exploration.
+
+   The hook-based tests in test_crash.ml check the single "all
+   unflushed lines lost" adversary.  Here the explorer enumerates, at
+   every NVMM store and every labeled persist point, every subset of the
+   unpersisted cache lines (the hardware may have evicted any of them
+   early), recovers from each resulting image and runs the offline
+   checker — which must find nothing, for every image, for each of the
+   four Fig. 5 state machines.  A final negative test deliberately
+   breaks recovery (skipping rename-log resolution) and proves the
+   checker catches the damage, i.e. the oracle is not vacuous. *)
+
+open Simurgh_fs_common
+module Fs = Simurgh_core.Fs
+module Recovery = Simurgh_core.Recovery
+module Check = Simurgh_core.Check
+module Explore = Simurgh_core.Explore
+module Region = Simurgh_nvmm.Region
+
+exception Crash_now
+
+let assert_no_failures name (st : Explore.stats) =
+  (match st.Explore.failures with
+  | [] -> ()
+  | (label, viols) :: _ ->
+      Alcotest.failf "%s: %d violating crash image(s); first at %s: %s" name
+        (List.length st.Explore.failures)
+        label
+        (String.concat "; " (List.map Check.violation_to_string viols)));
+  Alcotest.(check bool) (name ^ ": has crash points") true
+    (st.Explore.crash_points > 0);
+  Alcotest.(check bool) (name ^ ": explored images") true
+    (st.Explore.images >= st.Explore.crash_points)
+
+let test_explore_create () =
+  let st =
+    Explore.run
+      ~setup:(fun fs -> Fs.mkdir fs "/d")
+      ~op:(fun fs -> Fs.create_file fs "/d/f")
+      ~verify:(fun fs ->
+        (* atomicity: the file either exists as a valid file or not at
+           all; a later retry must succeed either way *)
+        match Fs.stat fs "/d/f" with
+        | st -> Alcotest.(check bool) "kind" true (st.Types.kind = Types.File)
+        | exception Errno.Err (ENOENT, _) -> Fs.create_file fs "/d/f")
+      ()
+  in
+  assert_no_failures "create" st
+
+let test_explore_unlink () =
+  let st =
+    Explore.run
+      ~setup:(fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.create_file fs "/d/f")
+      ~op:(fun fs -> Fs.unlink fs "/d/f")
+      ~verify:(fun fs ->
+        if Fs.exists fs "/d/f" then Fs.unlink fs "/d/f";
+        Fs.create_file fs "/d/f")
+      ()
+  in
+  assert_no_failures "unlink" st
+
+let test_explore_rename () =
+  let st =
+    Explore.run
+      ~setup:(fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.create_file fs "/d/old")
+      ~op:(fun fs -> Fs.rename fs "/d/old" "/d/new")
+      ~verify:(fun fs ->
+        let o = Fs.exists fs "/d/old" and n = Fs.exists fs "/d/new" in
+        if o = n then
+          Alcotest.failf "rename not atomic: old=%b new=%b" o n)
+      ()
+  in
+  assert_no_failures "rename" st
+
+let test_explore_cross_rename () =
+  let st =
+    Explore.run
+      ~setup:(fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.mkdir fs "/e";
+        Fs.create_file fs "/d/m")
+      ~op:(fun fs -> Fs.rename fs "/d/m" "/e/m2")
+      ~verify:(fun fs ->
+        let s = Fs.exists fs "/d/m" and d = Fs.exists fs "/e/m2" in
+        if s = d then
+          Alcotest.failf "cross rename not atomic: src=%b dst=%b" s d)
+      ()
+  in
+  assert_no_failures "cross rename" st
+
+(* A create that must grow the directory's hash-block chain: the new
+   block's initialization dirties ~66 lines at once, pushing the crash
+   points past [max_exhaustive] and into the seeded-sampling branch of
+   the explorer (the adversary picks random eviction subsets). *)
+let test_explore_create_chain_growth () =
+  let rows = Simurgh_core.Dirblock.first_rows in
+  let row_of n = Simurgh_core.Name_hash.hash n mod rows in
+  let want = row_of "t" in
+  let fillers =
+    let rec go acc i =
+      if List.length acc = Simurgh_core.Dirblock.slots_per_row then
+        List.rev acc
+      else
+        let n = Printf.sprintf "fill%d" i in
+        if row_of n = want then go (n :: acc) (i + 1) else go acc (i + 1)
+    in
+    go [] 0
+  in
+  let st =
+    Explore.run ~samples:24
+      ~setup:(fun fs ->
+        Fs.mkdir fs "/d";
+        List.iter (fun n -> Fs.create_file fs ("/d/" ^ n)) fillers)
+      ~op:(fun fs -> Fs.create_file fs "/d/t")
+      ~verify:(fun fs ->
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) ("filler " ^ n) true
+              (Fs.exists fs ("/d/" ^ n)))
+          fillers)
+      ()
+  in
+  assert_no_failures "create with chain growth" st;
+  Alcotest.(check bool) "hit the sampled branch" true (st.Explore.max_pending > 10)
+
+(* Negative control: recovery with rename-log resolution disabled leaves
+   a pending log behind a crashed cross-directory rename, and the
+   checker must say so.  Without this test a trivially-empty checker
+   would pass every exploration above. *)
+let test_checker_catches_broken_recovery () =
+  let region = Region.create ~mode:Region.Strict (32 * 1024 * 1024) in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/d";
+  Fs.mkdir fs "/e";
+  Fs.create_file fs "/d/m";
+  Fs.set_crash_hook fs (fun l ->
+      if l = "xrename:dstslot" then raise Crash_now);
+  (try Fs.rename fs "/d/m" "/e/m2" with Crash_now -> Region.crash region);
+  Region.clear_guard region;
+  let _ = Recovery.run ~skip_log_resolution:true region in
+  let viols = Check.run region in
+  Alcotest.(check bool) "checker flags the unresolved rename log" true
+    (List.exists
+       (function Check.Log_pending _ -> true | _ -> false)
+       viols);
+  (* and correct recovery heals the same image *)
+  let _ = Recovery.run region in
+  Alcotest.(check (list string)) "full recovery passes the checker" []
+    (List.map Check.violation_to_string (Check.run region))
+
+(* The checker itself accepts a healthy populated file system. *)
+let test_checker_clean_on_healthy_fs () =
+  let region = Region.create (32 * 1024 * 1024) in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/a";
+  Fs.mkdir fs "/a/b";
+  for i = 0 to 19 do
+    Fs.create_file fs (Printf.sprintf "/a/f%d" i)
+  done;
+  let fd = Fs.openf fs Types.wronly "/a/f0" in
+  ignore (Fs.append fs fd (Bytes.make 9000 'x'));
+  Fs.close fs fd;
+  Fs.symlink fs ~target:"/a/f0" "/a/b/l";
+  Alcotest.(check (list string)) "no violations" []
+    (List.map Check.violation_to_string (Check.run region))
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "crash-image exploration",
+        [
+          Alcotest.test_case "create: all images recover clean" `Quick
+            test_explore_create;
+          Alcotest.test_case "unlink: all images recover clean" `Quick
+            test_explore_unlink;
+          Alcotest.test_case "rename: all images recover clean" `Quick
+            test_explore_rename;
+          Alcotest.test_case "cross rename: all images recover clean" `Quick
+            test_explore_cross_rename;
+          Alcotest.test_case "create with chain growth (sampled)" `Quick
+            test_explore_create_chain_growth;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "clean on healthy fs" `Quick
+            test_checker_clean_on_healthy_fs;
+          Alcotest.test_case "catches broken recovery" `Quick
+            test_checker_catches_broken_recovery;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+(* Media-fault (uncorrectable NVMM error) handling.
+
+   Poisoned lines model ECC-uncorrectable media errors: any load or
+   store under one raises [Region.Media_error].  The file system must
+   convert that into an [EIO] errno at the syscall boundary — with locks
+   released and the process still running — and full recovery must
+   quarantine (detach) namespace subtrees whose *metadata* sits on
+   poisoned lines while leaving the rest of the tree usable. *)
+
+open Simurgh_fs_common
+module Fs = Simurgh_core.Fs
+module Recovery = Simurgh_core.Recovery
+module Check = Simurgh_core.Check
+module Fentry = Simurgh_core.Fentry
+module Inode = Simurgh_core.Inode
+module Dirblock = Simurgh_core.Dirblock
+module Slab = Simurgh_alloc.Slab_alloc
+module Region = Simurgh_nvmm.Region
+
+let fresh () =
+  let region = Region.create (32 * 1024 * 1024) in
+  (region, Fs.mkfs ~euid:0 region)
+
+(* Address of the first data extent of [path]. *)
+let first_extent fs path =
+  let region = Fs.region fs in
+  let _, fe = Fs.resolve fs path in
+  let inode = Fentry.target region fe in
+  let addr = ref 0 in
+  (try
+     Inode.iter_extents region inode (fun a _ ->
+         addr := a;
+         raise Exit)
+   with Exit -> ());
+  !addr
+
+let expect_eio what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected EIO" what
+  | exception Errno.Err (EIO, _) -> ()
+
+(* A poisoned data line turns pread/pwrite into EIO error returns; the
+   process, the fd and every other file keep working, and scrubbing the
+   line (media replacement) makes the range usable again. *)
+let test_eio_on_poisoned_data () =
+  Simurgh_obs.Collect.install ();
+  let region, fs = fresh () in
+  Fs.create_file fs "/f";
+  let fd = Fs.openf fs Types.wronly "/f" in
+  ignore (Fs.append fs fd (Bytes.make 1024 'x'));
+  Fs.close fs fd;
+  let addr = first_extent fs "/f" in
+  Alcotest.(check bool) "file has an extent" true (addr <> 0);
+  Region.poison region addr 1;
+  let fd = Fs.openf fs Types.rdwr "/f" in
+  expect_eio "pread" (fun () -> Fs.pread fs fd ~pos:0 ~len:1024);
+  expect_eio "pwrite" (fun () -> Fs.pwrite fs fd ~pos:0 (Bytes.make 64 'y'));
+  (* the error is contained: same fd past the bad line, other files,
+     metadata ops and new work all still succeed *)
+  Alcotest.(check int) "stat still works" 1024 (Fs.stat fs "/f").Types.size;
+  Fs.create_file fs "/g";
+  Fs.rename fs "/g" "/h";
+  Fs.unlink fs "/h";
+  (* scrub = media repair: the range is readable/writable again *)
+  Region.scrub region addr 1;
+  ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make 64 'y'));
+  Alcotest.(check int) "readable after scrub" 1024
+    (Bytes.length (Fs.pread fs fd ~pos:0 ~len:1024));
+  Fs.close fs fd;
+  let st = Region.stats region in
+  Alcotest.(check bool) "media_errors counted" true
+    (st.Region.media_errors >= 2);
+  (* the obs counters export the fault-plane activity *)
+  let run = Simurgh_obs.Collect.drain () in
+  Alcotest.(check bool) "faults/eio_returns exported" true
+    (Simurgh_obs.Metrics.get run.Simurgh_obs.Run.counters "faults/eio_returns"
+    >= 2.0);
+  Alcotest.(check bool) "faults/media_errors exported" true
+    (Simurgh_obs.Metrics.get run.Simurgh_obs.Run.counters
+       "faults/media_errors"
+    >= 2.0)
+
+(* Poisoned *metadata* (a file entry's slab object): recovery must
+   quarantine the affected entries, keep the rest of the directory and
+   an unrelated subtree intact, and leave a checker-clean file system.
+   Poison is line-granular and slab slots are not line-aligned, so the
+   one poisoned line may legitimately take the adjacent entry with it —
+   but never more than the slots overlapping that line. *)
+let test_quarantine_poisoned_fentry () =
+  let region, fs = fresh () in
+  Fs.mkdir fs "/d";
+  Fs.mkdir fs "/d/sub";
+  Fs.create_file fs "/d/sub/inner";
+  Fs.create_file fs "/d/x";
+  Fs.create_file fs "/d/y";
+  let _, fe = Fs.resolve fs "/d/y" in
+  (* one poisoned line over the entry's object header *)
+  Region.poison region (fe - Slab.obj_header) 1;
+  let fs', report = Recovery.mount_after_crash ~euid:0 region in
+  Alcotest.(check bool) "quarantine reported" true
+    (report.Recovery.quarantined >= 1);
+  Alcotest.(check bool) "subtree intact" true (Fs.exists fs' "/d/sub/inner");
+  Alcotest.(check bool) "victim detached" false (Fs.exists fs' "/d/y");
+  (* the namespace slot is free again: the name can be reused, and the
+     recycled entry must not land on the quarantined slab slot *)
+  Fs.create_file fs' "/d/y";
+  Alcotest.(check bool) "name reusable" true (Fs.exists fs' "/d/y");
+  Alcotest.(check (list string)) "checker clean after quarantine" []
+    (List.map Check.violation_to_string (Check.run region))
+
+(* Poisoned directory *hash block* of a subdirectory: the whole subtree
+   behind it is detached in one quarantine and its storage reclaimed;
+   the parent directory stays fully usable. *)
+let test_quarantine_poisoned_subdir_block () =
+  let region, fs = fresh () in
+  Fs.mkdir fs "/d";
+  Fs.create_file fs "/d/x";
+  Fs.mkdir fs "/d/sub";
+  Fs.create_file fs "/d/sub/inner";
+  let _, sfe = Fs.resolve fs "/d/sub" in
+  let head = Fentry.dirblock (Fs.region fs) sfe in
+  (* poison the first row line (not the block header) of the child's
+     hash block: traversal into the subtree faults *)
+  Region.poison region (head + Dirblock.header) 1;
+  let fs', report = Recovery.mount_after_crash ~euid:0 region in
+  Alcotest.(check bool) "quarantine reported" true
+    (report.Recovery.quarantined >= 1);
+  Alcotest.(check bool) "sibling intact" true (Fs.exists fs' "/d/x");
+  Alcotest.(check bool) "subtree detached" false (Fs.exists fs' "/d/sub");
+  (* the directory keeps working, including recreating the lost name *)
+  Fs.mkdir fs' "/d/sub";
+  Fs.create_file fs' "/d/sub/fresh";
+  Alcotest.(check (list string)) "checker clean after quarantine" []
+    (List.map Check.violation_to_string (Check.run region))
+
+let () =
+  Alcotest.run "media"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "EIO on poisoned data, scrub heals" `Quick
+            test_eio_on_poisoned_data;
+          Alcotest.test_case "quarantine poisoned fentry" `Quick
+            test_quarantine_poisoned_fentry;
+          Alcotest.test_case "quarantine poisoned subdir block" `Quick
+            test_quarantine_poisoned_subdir_block;
+        ] );
+    ]

@@ -108,6 +108,78 @@ let test_unpersisted_lines_counter () =
   Region.persist r 0 256;
   Alcotest.(check int) "flushed" 0 (Region.unpersisted_lines r)
 
+let test_crash_image_subsets () =
+  let r = mk ~mode:Region.Strict () in
+  (* three dirty lines; the adversary evicts only the middle one early *)
+  Region.write_string r 0 "line0";
+  Region.write_string r 128 "line1";
+  Region.write_string r 256 "line2";
+  Region.crash_image r ~keep:(fun ln -> ln = 2);
+  Alcotest.(check string) "dropped line lost" (String.make 5 '\000')
+    (Bytes.to_string (Region.read_bytes r 0 5));
+  Alcotest.(check string) "evicted line survived" "line1"
+    (Bytes.to_string (Region.read_bytes r 128 5));
+  Alcotest.(check string) "other dropped line lost" (String.make 5 '\000')
+    (Bytes.to_string (Region.read_bytes r 256 5));
+  Alcotest.(check int) "overlay drained" 0 (Region.unpersisted_lines r)
+
+let test_pending_lines_and_persist_all () =
+  let r = mk ~mode:Region.Strict () in
+  Region.write_u8 r 0 1;
+  Region.write_u8 r 130 1;
+  Region.write_u8 r 300 1;
+  Alcotest.(check (list int)) "pending sorted" [ 0; 2; 4 ]
+    (Region.pending_lines r);
+  Region.persist_all r;
+  Alcotest.(check (list int)) "drained" [] (Region.pending_lines r);
+  Region.crash r;
+  Alcotest.(check int) "persist_all made data durable" 1 (Region.read_u8 r 300)
+
+let test_poison_scrub () =
+  let r = mk () in
+  Region.write_string r 0 "healthy";
+  Region.poison r 64 1;
+  Alcotest.(check bool) "range_poisoned sees it" true
+    (Region.range_poisoned r 0 256);
+  Alcotest.(check bool) "disjoint range clean" false
+    (Region.range_poisoned r 256 64);
+  Alcotest.(check int) "one poisoned line" 1 (Region.poisoned_lines r);
+  (* loads fault on the poisoned line only *)
+  Alcotest.check_raises "load faults" (Region.Media_error 64) (fun () ->
+      ignore (Region.read_u8 r 70));
+  Alcotest.check_raises "wide load crossing the line faults"
+    (Region.Media_error 64) (fun () -> ignore (Region.read_bytes r 0 128));
+  Alcotest.(check string) "load off the poisoned line fine" "healthy"
+    (Bytes.to_string (Region.read_bytes r 0 7));
+  (* stores fault too: the line is unusable until scrubbed *)
+  Alcotest.check_raises "store faults" (Region.Media_error 64) (fun () ->
+      Region.write_u62 r 64 42);
+  Region.scrub r 64 1;
+  Region.write_u62 r 64 42;
+  Alcotest.(check int) "scrubbed line usable again" 42 (Region.read_u62 r 64);
+  Alcotest.(check bool) "media errors counted" true
+    ((Region.stats r).Region.media_errors >= 3)
+
+let test_checkpoint_restore () =
+  let r = mk ~mode:Region.Strict () in
+  Region.write_string r 0 "durable!";
+  Region.persist r 0 8;
+  Region.write_string r 128 "volatile";
+  let cp = Region.checkpoint r in
+  (* diverge: persist the volatile line, overwrite the durable one *)
+  Region.persist r 128 8;
+  Region.write_string r 0 "clobber!";
+  Region.persist r 0 8;
+  Region.restore r cp;
+  Alcotest.(check string) "image restored" "durable!"
+    (Bytes.to_string (Region.read_bytes r 0 8));
+  Alcotest.(check string) "overlay restored" "volatile"
+    (Bytes.to_string (Region.read_bytes r 128 8));
+  Region.crash r;
+  Alcotest.(check string) "restored overlay still volatile"
+    (String.make 8 '\000')
+    (Bytes.to_string (Region.read_bytes r 128 8))
+
 let prop_strict_persist_roundtrip =
   QCheck.Test.make ~name:"strict: persisted writes survive crash" ~count:100
     QCheck.(pair (int_range 0 4000) (string_of_size (Gen.int_range 1 64)))
@@ -118,12 +190,17 @@ let prop_strict_persist_roundtrip =
       Region.crash r;
       Bytes.to_string (Region.read_bytes r off (String.length s)) = s)
 
-let test_fast_mode_crash_noop () =
+let test_fast_mode_crash_rejected () =
   let r = mk () in
   Region.write_string r 0 "keep";
-  Region.crash r;
-  Alcotest.(check string) "fast mode keeps data" "keep"
-    (Bytes.to_string (Region.read_bytes r 0 4))
+  (* Fast mode has no volatile state: a "crash test" would vacuously
+     pass, so crash/crash_image refuse to run instead of no-oping. *)
+  Alcotest.check_raises "crash raises in fast mode"
+    (Invalid_argument "Region.crash_image: region is in Fast mode")
+    (fun () -> Region.crash r);
+  Alcotest.check_raises "crash_image raises in fast mode"
+    (Invalid_argument "Region.crash_image: region is in Fast mode")
+    (fun () -> Region.crash_image r ~keep:(fun _ -> true))
 
 let test_save_load_roundtrip () =
   let r = mk () in
@@ -369,14 +446,19 @@ let differential_run ~strict ~seed ~ops =
         let a, b = Region.read_u62_pair r off in
         ck "u62_pair" i (a = Ref.read_u62 m off && b = Ref.read_u62 m (off + 8))
     | _ ->
-        (* power failure at a random point *)
-        Region.crash r;
-        Ref.crash m);
+        (* power failure at a random point (Strict only: crash raises in
+           Fast mode, where there is nothing volatile to lose) *)
+        if strict then begin
+          Region.crash r;
+          Ref.crash m
+        end);
     if i mod 100 = 0 then compare_all i
   done;
   compare_all ops;
-  Region.crash r;
-  Ref.crash m;
+  if strict then begin
+    Region.crash r;
+    Ref.crash m
+  end;
   compare_all (ops + 1)
 
 let test_differential_fast () =
@@ -456,8 +538,16 @@ let () =
           Alcotest.test_case "partial flush" `Quick test_partial_flush;
           Alcotest.test_case "unpersisted counter" `Quick
             test_unpersisted_lines_counter;
-          Alcotest.test_case "fast-mode crash noop" `Quick
-            test_fast_mode_crash_noop;
+          Alcotest.test_case "crash-image eviction subsets" `Quick
+            test_crash_image_subsets;
+          Alcotest.test_case "pending lines + persist_all" `Quick
+            test_pending_lines_and_persist_all;
+          Alcotest.test_case "poison/scrub media plane" `Quick
+            test_poison_scrub;
+          Alcotest.test_case "checkpoint/restore" `Quick
+            test_checkpoint_restore;
+          Alcotest.test_case "fast-mode crash rejected" `Quick
+            test_fast_mode_crash_rejected;
           Alcotest.test_case "save/load roundtrip" `Quick
             test_save_load_roundtrip;
           Alcotest.test_case "save excludes unflushed" `Quick

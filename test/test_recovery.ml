@@ -111,6 +111,61 @@ let test_repair_directory_runtime () =
   Alcotest.(check bool) "b intact" true (Fs.exists fs "/d/b");
   Alcotest.(check bool) "a gone (delete completed)" false (Fs.exists fs "/d/a")
 
+exception Crash_now
+
+(* A *process* crash (not a power failure) mid-rename: the region is
+   intact, only the crashed process's progress is half-done.  A second
+   process repairs just the affected directory with
+   [Recovery.repair_directory] — no global scan — and the result passes
+   the full offline checker. *)
+let test_repair_directory_process_crash () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/d1";
+  Fs.mkdir fs "/d2";
+  Fs.create_file fs "/d1/a";
+  Fs.create_file fs "/d2/c";
+  Fs.set_crash_hook fs (fun l -> if l = "rename:swap" then raise Crash_now);
+  (try Fs.rename fs "/d1/a" "/d1/b" with Crash_now -> ());
+  (* a new process attaches and repairs only /d1 *)
+  Fs.invalidate_shared region;
+  let fs' = Fs.mount ~euid:0 region in
+  let repaired = Recovery.repair_directory fs' "/d1" in
+  Alcotest.(check bool) "repaired something" true (repaired >= 1);
+  Alcotest.(check bool) "rename resolved to exactly one name" true
+    (Fs.exists fs' "/d1/a" <> Fs.exists fs' "/d1/b");
+  Alcotest.(check bool) "other directory untouched" true
+    (Fs.exists fs' "/d2/c");
+  Alcotest.(check (list string)) "checker clean after local repair" []
+    (List.map Simurgh_core.Check.violation_to_string
+       (Simurgh_core.Check.run region))
+
+(* Clean-shutdown fast path: a set clean flag lets [mount_auto] skip the
+   mark-and-sweep entirely; a missing unmount (crash) triggers it. *)
+let test_clean_shutdown_fast_path () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/a";
+  Fs.create_file fs "/a/f";
+  Fs.unmount fs;
+  Fs.invalidate_shared region;
+  let fs2, rep = Recovery.mount_auto ~euid:0 region in
+  Alcotest.(check bool) "clean shutdown skips recovery" true (rep = None);
+  Alcotest.(check bool) "tree intact" true (Fs.exists fs2 "/a/f");
+  (* mounted but never unmounted = crash: next mount_auto must recover *)
+  Fs.create_file fs2 "/a/g";
+  Fs.invalidate_shared region;
+  let fs3, rep2 = Recovery.mount_auto ~euid:0 region in
+  (match rep2 with
+  | None -> Alcotest.fail "crash must trigger full recovery"
+  | Some _ -> ());
+  Alcotest.(check bool) "post-crash tree intact" true (Fs.exists fs3 "/a/g");
+  (* recovery + clean unmount re-arm the fast path *)
+  Fs.unmount fs3;
+  Fs.invalidate_shared region;
+  let _, rep3 = Recovery.mount_auto ~euid:0 region in
+  Alcotest.(check bool) "fast path re-armed" true (rep3 = None)
+
 let test_double_recovery_stable () =
   let region = fresh_region () in
   let fs = Fs.mkfs ~euid:0 region in
@@ -156,6 +211,10 @@ let () =
             test_fs_usable_after_recovery;
           Alcotest.test_case "runtime repair" `Quick
             test_repair_directory_runtime;
+          Alcotest.test_case "process-crash directory repair" `Quick
+            test_repair_directory_process_crash;
+          Alcotest.test_case "clean shutdown fast path" `Quick
+            test_clean_shutdown_fast_path;
           Alcotest.test_case "double recovery stable" `Quick
             test_double_recovery_stable;
           QCheck_alcotest.to_alcotest prop_recovery_preserves_random_trees;
