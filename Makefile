@@ -1,4 +1,4 @@
-.PHONY: all build test check bench fsck clean
+.PHONY: all build test check bench fsck races clean
 
 all: build
 
@@ -10,14 +10,22 @@ test: build
 
 # Full gate: build + unit/property/differential tests + a quick smoke run
 # of the region data-path microbenchmark (writes BENCH_region.json) and of
-# the bounded crash-image explorer / media-fault / checker experiment.
-check: test
+# the bounded crash-image explorer / media-fault / checker experiment,
+# plus the schedule-exploration / race-detection self-check.
+check: test races
 	dune exec bench/main.exe -- --scale 0.05 region crash
 
 # Offline fsck-style self-check: the checker must pass a correctly
 # recovered crash image and flag a deliberately mis-recovered one.
 fsck: build
 	dune exec bench/main.exe -- --check
+
+# Schedule-exploration + race-detection self-check: every default FS
+# state machine must be schedule-invariant, fsck-clean and race-free
+# under explored interleavings, and the detector's negative control
+# (unlocked racing stores) must fire.
+races: build
+	dune exec bench/main.exe -- --scale 0.2 --races
 
 bench: build
 	dune exec bench/main.exe -- region

@@ -32,6 +32,8 @@ let experiments : (string * string * (scale:float -> unit)) list =
     ("sec55", "Section 5.5: crash-recovery time", Exp_sec55.run);
     ("crash", "crash-image exploration, media faults, fsck checker",
      Exp_crash.run);
+    ("sched", "schedule exploration + happens-before race detection",
+     Exp_sched.run);
     ("ablation", "ablations of Simurgh design choices", Exp_ablation.run);
     ("bechamel", "wall-clock hot paths (host CPU)", Exp_bechamel.run);
     ("region", "NVMM region data-path microbenchmark (wall-clock, JSON)",
@@ -65,6 +67,8 @@ let () =
     exit 0
   end;
   if cfg.Obs.Obs_cli.check_only then exit (Exp_crash.fsck ());
+  if cfg.Obs.Obs_cli.races_only then
+    exit (Exp_sched.selfcheck ~scale:cfg.Obs.Obs_cli.scale ());
   let scale = cfg.Obs.Obs_cli.scale in
   let json_dir = cfg.Obs.Obs_cli.json_dir in
   Option.iter mkdir_p json_dir;

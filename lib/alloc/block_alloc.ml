@@ -48,6 +48,18 @@ let seg_flag t i = seg_off t i
 let seg_last_accessed t i = seg_off t i + 8
 let seg_head t i = seg_off t i + 16
 
+(** Iterate the per-segment lock words — the persistent mirror of each
+    segment lock (busy flag + last-accessed stamp, 16 bytes).  They are
+    written under the segment's {!Simurgh_sim.Vlock} but deliberately
+    read lock-free by the peer crash-detection scan
+    ({!segment_is_stuck}), exactly as the paper's stuck-lock reclamation
+    prescribes; a race detector must treat them as synchronization
+    internals, not data. *)
+let iter_lock_words t f =
+  for i = 0 to t.segments - 1 do
+    f ~off:(seg_off t i) ~len:16
+  done
+
 let blocks_per_segment t = (t.total_blocks + t.segments - 1) / t.segments
 
 let seg_first_block t i = i * blocks_per_segment t

@@ -463,20 +463,12 @@ let charge_write ?ctx t len =
 let with_read_sem ?ctx n f =
   match ctx with
   | None -> f ()
-  | Some c ->
-      Vlock.Rw.read_acquire c n.rwsem;
-      let r = f () in
-      Vlock.Rw.read_release c n.rwsem;
-      r
+  | Some c -> Vlock.Rw.with_read c n.rwsem f
 
 let with_write_sem ?ctx n f =
   match ctx with
   | None -> f ()
-  | Some c ->
-      Vlock.Rw.write_acquire c n.rwsem;
-      let r = f () in
-      Vlock.Rw.write_release c n.rwsem;
-      r
+  | Some c -> Vlock.Rw.with_write c n.rwsem f
 
 let pread ?ctx t fd ~pos ~len =
   data_entry ?ctx t;

@@ -1051,12 +1051,9 @@ let with_write_lock ?ctx t inode f =
     | None -> f ()
     | Some c ->
         let l = Locks.file_lock t.locks inode in
-        Simurgh_sim.Vlock.Rw.write_acquire c l;
         (* exception-safe: an EIO mid-write must not leave the file
            locked — the process keeps running after a media error *)
-        Fun.protect
-          ~finally:(fun () -> Simurgh_sim.Vlock.Rw.write_release c l)
-          f
+        Simurgh_sim.Vlock.Rw.with_write c l f
 
 let with_read_lock ?ctx t inode f =
   if t.relaxed_writes then f ()
@@ -1065,10 +1062,7 @@ let with_read_lock ?ctx t inode f =
     | None -> f ()
     | Some c ->
         let l = Locks.file_lock t.locks inode in
-        Simurgh_sim.Vlock.Rw.read_acquire c l;
-        Fun.protect
-          ~finally:(fun () -> Simurgh_sim.Vlock.Rw.read_release c l)
-          f
+        Simurgh_sim.Vlock.Rw.with_read c l f
 
 let pwrite ?ctx t fd ~pos src =
   entry_charge ?ctx t;

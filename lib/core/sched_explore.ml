@@ -1,0 +1,384 @@
+(** Systematic schedule exploration with race detection — the
+    concurrency twin of the crash-image explorer ({!Explore}).
+
+    One {e scenario} is an FS state machine (create / unlink / rename /
+    read-write): a setup phase, then one body per simulated thread.  The
+    explorer runs the bodies as preemptible fibers
+    ({!Simurgh_sim.Engine.explore}): at every lock acquire/release,
+    atomic, NVMM store and persist barrier a {!Simurgh_sim.Schedule}
+    policy picks freely among runnable threads.  Schedules are drawn the
+    same way {!Explore} draws crash images: systematic depth-first
+    enumeration for the small two-thread scenarios, seeded random
+    sampling beyond, each run restarting from a checkpoint of the
+    post-setup region.
+
+    Two oracles judge every schedule:
+
+    + {b result invariance}: a recursive namespace snapshot (sorted
+      entries, kinds, sizes) must be identical across all schedules of a
+      scenario — the decentralized locking must serialize to the same
+      final state no matter the interleaving;
+    + {b fsck-cleanliness}: the offline checker ({!Check.run}) must
+      report zero violations after every schedule.
+
+    In parallel, a happens-before race detector
+    ({!Simurgh_sim.Race}) watches every region access through the
+    region's trace hooks; its sync edges come from the
+    {!Simurgh_sim.Vlock} acquires/releases and sfence barriers the
+    workload actually performs.  The default scenarios give each thread
+    a private directory — Simurgh's decentralized target workload
+    (fxmark private mode); shared state is then exactly the allocators
+    and lock registries, all lock-protected, so the detector must stay
+    silent.  A shared-directory scenario additionally exercises the
+    lock-free lookup path, whose by-design benign races (8-byte atomic
+    slot reads against in-progress inserts on real hardware) are
+    reported separately and informationally.  {!negative_control}
+    proves the detector is live: two fibers storing to the same word
+    with no lock must be flagged. *)
+
+open Simurgh_fs_common
+module Region = Simurgh_nvmm.Region
+module Engine = Simurgh_sim.Engine
+module Schedule = Simurgh_sim.Schedule
+module Race = Simurgh_sim.Race
+module Machine = Simurgh_sim.Machine
+module Sthread = Simurgh_sim.Sthread
+
+type scenario = {
+  name : string;
+  threads : int;
+  setup : Fs.t -> unit;
+  body : tid:int -> site:(string -> unit) -> Fs.t -> Machine.ctx -> unit;
+      (** one simulated thread's work; [site] labels the current
+          operation for race reports *)
+}
+
+type stats = {
+  scenario : string;
+  schedules : int;  (** interleavings executed *)
+  distinct : int;  (** distinct pick sequences among them (trace hash) *)
+  exhaustive : bool;  (** DFS enumerated the whole tree within budget *)
+  yields : int;  (** preemption points offered, summed over schedules *)
+  switches : int;  (** scheduling decisions, summed over schedules *)
+  failures : (string * string) list;
+      (** (schedule label, detail): snapshot divergence, checker
+          violations, or an exception/deadlock during the run *)
+  races : Race.report list;  (** deduplicated race reports *)
+  lines_tracked : int;  (** max cache lines tracked in one schedule *)
+  accesses : int;  (** region accesses tracked, summed over schedules *)
+}
+
+(* --- oracle: recursive namespace snapshot ------------------------------ *)
+
+let rec snapshot_dir fs path acc =
+  let names = List.sort compare (Fs.readdir fs path) in
+  List.fold_left
+    (fun acc n ->
+      let p = if path = "/" then "/" ^ n else path ^ "/" ^ n in
+      let st = Fs.stat fs p in
+      let line =
+        Printf.sprintf "%s %s %d" p
+          (match st.Types.kind with
+          | Types.File -> "f"
+          | Types.Dir -> "d"
+          | Types.Symlink -> "l")
+          st.Types.size
+      in
+      if st.Types.kind = Types.Dir then snapshot_dir fs p (line :: acc)
+      else line :: acc)
+    acc names
+
+let snapshot fs = String.concat "\n" (List.rev (snapshot_dir fs "/" []))
+
+let fresh_mount region =
+  Fs.invalidate_shared region;
+  Fs.mount ~euid:0 region
+
+let default_size = 4 lsl 20
+
+(* --- the explorer ------------------------------------------------------ *)
+
+let run ?(seed = 11L) ?(budget = 128) ?(size = default_size) sc =
+  let threads = sc.threads in
+  let region = Region.create size in
+  let fs0 = Fs.mkfs ~cores:threads ~euid:0 region in
+  sc.setup fs0;
+  Region.persist_all region;
+  let cp0 = Region.checkpoint region in
+
+  let yields = ref 0 and switches = ref 0 in
+  let hashes = Hashtbl.create (2 * budget) in
+  let failures = ref [] in
+  let races = ref [] in
+  let race_seen = Hashtbl.create 16 in
+  let lines_tracked = ref 0 and accesses = ref 0 in
+  let reference = ref None in
+  let schedules = ref 0 in
+
+  let run_one label policy =
+    incr schedules;
+    Region.restore region cp0;
+    let fs = fresh_mount region in
+    let machine = Machine.create () in
+    let race = Race.create ~threads in
+    (* the block allocator's persistent segment lock words are read
+       lock-free by the crash-detection scan — synchronization
+       internals, not data *)
+    Simurgh_alloc.Block_alloc.iter_lock_words
+      (Fs.layout fs).Layout.balloc
+      (fun ~off ~len -> Race.exclude race ~off ~len);
+    Region.set_access_hook region (fun ~off ~len ~write ->
+        (* yield before the bytes change, so another thread can slip in
+           between intent and store — then record atomically with it *)
+        if write then Schedule.point Schedule.Store;
+        Race.on_access ~off ~len ~write);
+    Region.set_fence_hook region (fun () ->
+        Schedule.point Schedule.Persist;
+        Race.on_fence ());
+    let bodies =
+      Array.init threads (fun tid () ->
+          let thr = Sthread.create ~seed tid in
+          let ctx = Machine.ctx machine thr in
+          sc.body ~tid ~site:(fun s -> Race.set_site race ~tid s) fs ctx)
+    in
+    (match
+       Race.with_active race (fun () -> Engine.explore ~schedule:policy bodies)
+     with
+    | (o : Engine.explore_outcome) ->
+        yields := !yields + o.Engine.yields;
+        switches := !switches + o.Engine.switches;
+        Hashtbl.replace hashes o.Engine.trace_hash ()
+    | exception e ->
+        failures := (label, "run: " ^ Printexc.to_string e) :: !failures;
+        Hashtbl.replace hashes (Hashtbl.hash label) ());
+    Region.clear_access_hook region;
+    Region.clear_fence_hook region;
+    lines_tracked := max !lines_tracked (Race.lines_tracked race);
+    accesses := !accesses + Race.accesses race;
+    List.iter
+      (fun (r : Race.report) ->
+        let k = (r.Race.line, r.Race.site_a, r.Race.site_b) in
+        if not (Hashtbl.mem race_seen k) then begin
+          Hashtbl.replace race_seen k ();
+          races := r :: !races
+        end)
+      (Race.reports race);
+    (* oracles: same final namespace, clean fsck — on every schedule *)
+    (match snapshot fs with
+    | snap -> (
+        match !reference with
+        | None -> reference := Some snap
+        | Some r ->
+            if r <> snap then
+              failures :=
+                (label, Printf.sprintf "result diverged:\n%s\n-- want --\n%s"
+                          snap r)
+                :: !failures)
+    | exception e ->
+        failures := (label, "snapshot: " ^ Printexc.to_string e) :: !failures);
+    match Check.run region with
+    | [] -> ()
+    | viols ->
+        failures :=
+          ( label,
+            "fsck: "
+            ^ String.concat "; " (List.map Check.violation_to_string viols) )
+          :: !failures
+  in
+
+  (* systematic DFS for half the budget (small scenarios often exhaust
+     it), seeded random sampling for the rest *)
+  let dfs = Schedule.Dfs.create () in
+  let dfs_budget = if threads <= 2 then (budget + 1) / 2 else 0 in
+  let cont = ref (dfs_budget > 0) in
+  let i = ref 0 in
+  while !cont && !i < dfs_budget do
+    Schedule.Dfs.start dfs;
+    run_one (Printf.sprintf "%s/dfs%d" sc.name !i) (Schedule.driven dfs);
+    cont := Schedule.Dfs.advance dfs;
+    incr i
+  done;
+  let exhaustive = dfs_budget > 0 && Schedule.Dfs.exhausted dfs in
+  let remaining = budget - !schedules in
+  for j = 0 to remaining - 1 do
+    run_one
+      (Printf.sprintf "%s/rnd%d" sc.name j)
+      (Schedule.random (Int64.add seed (Int64.of_int ((j * 7919) + 13))))
+  done;
+  {
+    scenario = sc.name;
+    schedules = !schedules;
+    distinct = Hashtbl.length hashes;
+    exhaustive;
+    yields = !yields;
+    switches = !switches;
+    failures = List.rev !failures;
+    races = List.rev !races;
+    lines_tracked = !lines_tracked;
+    accesses = !accesses;
+  }
+
+(* --- the default FS state machines ------------------------------------- *)
+
+(* Each thread works in its own directory (fxmark-private, the paper's
+   decentralized target): cross-thread shared state is exactly the
+   metadata allocators, lock registries and the root directory — all of
+   it lock-protected or read-only, so zero race reports are required. *)
+
+let tdir tid = Printf.sprintf "/t%d" tid
+
+let mk_private_dirs threads fs =
+  for tid = 0 to threads - 1 do
+    Fs.mkdir fs (tdir tid)
+  done
+
+let create_scenario ~threads =
+  {
+    name = "create";
+    threads;
+    setup = (fun fs -> mk_private_dirs threads fs);
+    body =
+      (fun ~tid ~site fs ctx ->
+        site "create";
+        Fs.create_file ~ctx fs (tdir tid ^ "/a");
+        Fs.create_file ~ctx fs (tdir tid ^ "/b"));
+  }
+
+let unlink_scenario ~threads =
+  {
+    name = "unlink";
+    threads;
+    setup =
+      (fun fs ->
+        mk_private_dirs threads fs;
+        for tid = 0 to threads - 1 do
+          Fs.create_file fs (tdir tid ^ "/a");
+          Fs.create_file fs (tdir tid ^ "/b")
+        done);
+    body =
+      (fun ~tid ~site fs ctx ->
+        site "unlink";
+        Fs.unlink ~ctx fs (tdir tid ^ "/a");
+        Fs.unlink ~ctx fs (tdir tid ^ "/b"));
+  }
+
+let rename_scenario ~threads =
+  {
+    name = "rename";
+    threads;
+    setup =
+      (fun fs ->
+        for tid = 0 to threads - 1 do
+          Fs.mkdir fs (tdir tid);
+          Fs.mkdir fs (Printf.sprintf "/u%d" tid);
+          Fs.create_file fs (tdir tid ^ "/a")
+        done);
+    body =
+      (fun ~tid ~site fs ctx ->
+        site "rename";
+        Fs.rename ~ctx fs (tdir tid ^ "/a") (tdir tid ^ "/b");
+        site "xrename";
+        Fs.rename ~ctx fs (tdir tid ^ "/b")
+          (Printf.sprintf "/u%d/c" tid));
+  }
+
+let rw_scenario ~threads =
+  {
+    name = "read-write";
+    threads;
+    setup =
+      (fun fs ->
+        mk_private_dirs threads fs;
+        for tid = 0 to threads - 1 do
+          Fs.create_file fs (tdir tid ^ "/f")
+        done);
+    body =
+      (fun ~tid ~site fs ctx ->
+        site "open";
+        let fd = Fs.openf ~ctx fs Types.rdwr (tdir tid ^ "/f") in
+        site "append";
+        ignore (Fs.append ~ctx fs fd (Bytes.make 200 (Char.chr (97 + tid))));
+        site "pread";
+        let got = Fs.pread ~ctx fs fd ~pos:0 ~len:200 in
+        if Bytes.length got <> 200 || Bytes.get got 0 <> Char.chr (97 + tid)
+        then failwith "read-write scenario: wrong data read back";
+        site "close";
+        Fs.close ~ctx fs fd);
+  }
+
+let default_scenarios ~threads =
+  [
+    create_scenario ~threads;
+    unlink_scenario ~threads;
+    rename_scenario ~threads;
+    rw_scenario ~threads;
+  ]
+
+(* Shared-directory variant: disjoint names in ONE directory, so the
+   per-row spin locks, the append lock and the lock-free lookup path all
+   see real cross-thread traffic.  The result oracle still holds (name
+   sets are disjoint); race reports are expected occasionally — the
+   lock-free resolve reads a dirblock row another thread may be
+   inserting into, Simurgh's by-design benign race (atomic 8-byte slot
+   publish on real hardware) — and are reported, not asserted zero. *)
+let shared_scenario ~threads =
+  {
+    name = "shared-dir";
+    threads;
+    setup = (fun fs -> Fs.mkdir fs "/s");
+    body =
+      (fun ~tid ~site fs ctx ->
+        let f i = Printf.sprintf "/s/f%d_%d" tid i in
+        site "create";
+        Fs.create_file ~ctx fs (f 0);
+        Fs.create_file ~ctx fs (f 1);
+        site "append";
+        let fd = Fs.openf ~ctx fs Types.rdwr (f 0) in
+        ignore (Fs.append ~ctx fs fd (Bytes.make 64 'x'));
+        Fs.close ~ctx fs fd;
+        site "unlink";
+        Fs.unlink ~ctx fs (f 1));
+  }
+
+(* --- negative control --------------------------------------------------- *)
+
+(** Two fibers store to the same NVMM word with no lock: the detector
+    must flag it under any schedule.  Returns the deduplicated reports
+    (empty = the detector is broken). *)
+let negative_control ?(seed = 3L) ?(schedules = 8) () =
+  let region = Region.create 4096 in
+  let all = ref [] in
+  let seen = Hashtbl.create 4 in
+  for s = 0 to schedules - 1 do
+    let race = Race.create ~threads:2 in
+    Region.set_access_hook region (fun ~off ~len ~write ->
+        if write then Schedule.point Schedule.Store;
+        Race.on_access ~off ~len ~write);
+    let bodies =
+      Array.init 2 (fun tid () ->
+          Race.set_site race ~tid (Printf.sprintf "racer%d" tid);
+          (* unsynchronized read-modify-write of the same word *)
+          let v = Region.read_u62 region 512 in
+          Region.write_u62 region 512 (v + tid + 1))
+    in
+    (try
+       ignore
+         (Race.with_active race (fun () ->
+              Engine.explore
+                ~schedule:
+                  (Schedule.random (Int64.add seed (Int64.of_int (s * 31))))
+                bodies))
+     with e ->
+       Region.clear_access_hook region;
+       raise e);
+    Region.clear_access_hook region;
+    List.iter
+      (fun (r : Race.report) ->
+        let k = (r.Race.line, r.Race.site_a, r.Race.site_b) in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          all := r :: !all
+        end)
+      (Race.reports race)
+  done;
+  List.rev !all

@@ -64,6 +64,12 @@ type t = {
   mutable on_store : (unit -> unit) option;
       (** fault-injection hook: called before every store operation, so a
           crash-image explorer can cut power between any two stores *)
+  mutable on_access : (off:int -> len:int -> write:bool -> unit) option;
+      (** tracing hook: called before every load/store with the byte
+          range touched — the schedule explorer's race detector attaches
+          here (the region stays ignorant of the sim layer) *)
+  mutable on_fence : (unit -> unit) option;
+      (** tracing hook: called on every [sfence] (and hence [persist]) *)
   mutable guard : (write:bool -> unit) option;
   mutable user_slot : exn option;
       (** opaque per-region slot for a higher layer's shared volatile
@@ -90,6 +96,8 @@ let create ?(mode = Fast) size =
       pending = [];
       poisoned = Hashtbl.create 8;
       on_store = None;
+      on_access = None;
+      on_fence = None;
       guard = None;
       user_slot = None;
       stores = 0;
@@ -152,12 +160,14 @@ let bounds t off len =
       (Printf.sprintf "Region: access [%d, %d) outside region of %d bytes"
          off (off + len) t.size)
 
-let count_load t len =
+let count_load t off len =
+  (match t.on_access with None -> () | Some f -> f ~off ~len ~write:false);
   t.loads <- t.loads + 1;
   t.load_bytes <- t.load_bytes + len
 
-let count_store t len =
+let count_store t off len =
   (match t.on_store with None -> () | Some f -> f ());
+  (match t.on_access with None -> () | Some f -> f ~off ~len ~write:true);
   t.stores <- t.stores + 1;
   t.store_bytes <- t.store_bytes + len
 
@@ -216,7 +226,7 @@ let strict_write_lines t off len write_line =
 (* --- raw byte access -------------------------------------------------- *)
 
 let read_byte t off =
-  count_load t 1;
+  count_load t off 1;
   check t ~write:false;
   bounds t off 1;
   check_poison t off 1;
@@ -229,7 +239,7 @@ let read_byte t off =
       | None -> Char.code (Bytes.get t.image off))
 
 let write_byte t off v =
-  count_store t 1;
+  count_store t off 1;
   check t ~write:true;
   bounds t off 1;
   check_poison t off 1;
@@ -244,7 +254,7 @@ let write_byte t off v =
 (** Read [len] bytes at [off] into [dst] starting at [pos] — the
     allocation-free variant of {!read_bytes} for hot loops. *)
 let read_bytes_into t off dst ~pos ~len =
-  count_load t len;
+  count_load t off len;
   check t ~write:false;
   bounds t off len;
   check_poison t off len;
@@ -263,7 +273,7 @@ let read_bytes t off len =
     allocation-free variant of {!write_bytes} for hot loops (no
     intermediate [Bytes.sub]). *)
 let write_bytes_from t off src ~pos ~len =
-  count_store t len;
+  count_store t off len;
   check t ~write:true;
   bounds t off len;
   check_poison t off len;
@@ -281,7 +291,7 @@ let write_bytes t off src =
 (* Write straight from a string: no [Bytes.of_string] copy. *)
 let write_string t off s =
   let len = String.length s in
-  count_store t len;
+  count_store t off len;
   check t ~write:true;
   bounds t off len;
   check_poison t off len;
@@ -292,7 +302,7 @@ let write_string t off s =
           Bytes.blit_string s doff buf boff n)
 
 let zero t off len =
-  count_store t len;
+  count_store t off len;
   check t ~write:true;
   bounds t off len;
   check_poison t off len;
@@ -328,7 +338,7 @@ let strict_write_word t off set v =
   set buf (off - (ln * line_size)) v
 
 let read_u16 t off =
-  count_load t 2;
+  count_load t off 2;
   check t ~write:false;
   bounds t off 2;
   check_poison t off 2;
@@ -343,7 +353,7 @@ let read_u16 t off =
       else strict_read_word t off Bytes.get_uint16_le
 
 let write_u16 t off v =
-  count_store t 2;
+  count_store t off 2;
   check t ~write:true;
   bounds t off 2;
   check_poison t off 2;
@@ -363,7 +373,7 @@ let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
 let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
 
 let read_u32 t off =
-  count_load t 4;
+  count_load t off 4;
   check t ~write:false;
   bounds t off 4;
   check_poison t off 4;
@@ -378,7 +388,7 @@ let read_u32 t off =
       else strict_read_word t off get_u32
 
 let write_u32 t off v =
-  count_store t 4;
+  count_store t off 4;
   check t ~write:true;
   bounds t off 4;
   check_poison t off 4;
@@ -405,7 +415,7 @@ let set_u62 b off v =
   Bytes.set_int64_le b off (Int64.of_int (v land 0x3fff_ffff_ffff_ffff))
 
 let read_u62 t off =
-  count_load t 8;
+  count_load t off 8;
   check t ~write:false;
   bounds t off 8;
   check_poison t off 8;
@@ -420,7 +430,7 @@ let read_u62 t off =
       else strict_read_word t off get_u62
 
 let write_u62 t off v =
-  count_store t 8;
+  count_store t off 8;
   check t ~write:true;
   bounds t off 8;
   check_poison t off 8;
@@ -439,7 +449,7 @@ let write_u62 t off v =
     with one guard/bounds/stats round and, in Strict mode, a single
     overlay lookup when the pair does not straddle a line. *)
 let read_u62_pair t off =
-  count_load t 16;
+  count_load t off 16;
   check t ~write:false;
   bounds t off 16;
   check_poison t off 16;
@@ -462,7 +472,7 @@ let read_u62_pair t off =
 
 (** Store two adjacent u62 words in one round (see {!read_u62_pair}). *)
 let write_u62_pair t off v0 v1 =
-  count_store t 16;
+  count_store t off 16;
   check t ~write:true;
   bounds t off 16;
   check_poison t off 16;
@@ -521,6 +531,7 @@ let ntstore t off src =
     not O(overlay size).  A line re-dirtied after its [clwb] is skipped
     (it needs another [clwb]), exactly as on real hardware. *)
 let sfence t =
+  (match t.on_fence with None -> () | Some f -> f ());
   t.fences <- t.fences + 1;
   match t.mode with
   | Fast -> ()
@@ -635,6 +646,18 @@ let poisoned_lines t = Hashtbl.length t.poisoned
 let set_store_hook t f = t.on_store <- Some f
 
 let clear_store_hook t = t.on_store <- None
+
+(** Install [f] to run before every load/store with the byte range and
+    direction — the schedule explorer's race detector and preemption
+    points attach here without the region depending on the sim layer. *)
+let set_access_hook t f = t.on_access <- Some f
+
+let clear_access_hook t = t.on_access <- None
+
+(** Install [f] to run on every [sfence] (and hence every [persist]). *)
+let set_fence_hook t f = t.on_fence <- Some f
+
+let clear_fence_hook t = t.on_fence <- None
 
 (** Deep snapshot of the full region state (image, overlay, pending
     worklist, poison set, user slot) so an explorer can replay many

@@ -13,6 +13,10 @@ type config = {
   list_only : bool;
   check_only : bool;
       (** [--check]: run the fsck self-check instead of experiments *)
+  races_only : bool;
+      (** [--races]: run the schedule-explorer / race-detector
+          self-check (with its negative controls) instead of
+          experiments *)
 }
 
 let default =
@@ -22,6 +26,7 @@ let default =
     json_dir = None;
     list_only = false;
     check_only = false;
+    races_only = false;
   }
 
 (** [parse ~known ~is_dynamic args]: [known] is the experiment-id table;
@@ -45,10 +50,12 @@ let parse ~known ~is_dynamic args =
         | dir :: rest -> go { cfg with json_dir = Some dir } ids rest)
     | "--list" :: rest -> go { cfg with list_only = true } ids rest
     | "--check" :: rest -> go { cfg with check_only = true } ids rest
+    | "--races" :: rest -> go { cfg with races_only = true } ids rest
     | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
         Error
           (Printf.sprintf
-             "unknown flag %s (known: --scale F, --json DIR, --list, --check)"
+             "unknown flag %s (known: --scale F, --json DIR, --list, \
+              --check, --races)"
              flag)
     | id :: rest ->
         if id = "all" || List.mem id known || is_dynamic id then

@@ -137,8 +137,10 @@ let memcpy_cpu ctx bytes =
   let cm = cm ctx in
   cpu ctx (float_of_int bytes /. cm.memcpy_bytes_per_cycle)
 
-(** One atomic read-modify-write. *)
+(** One atomic read-modify-write.  A legal preemption point under the
+    schedule explorer (no-op otherwise). *)
 let atomic ctx ~contended =
+  Schedule.point Schedule.Atomic;
   let cm = cm ctx in
   cpu ctx (if contended then cm.atomic_contended else cm.atomic_uncontended)
 

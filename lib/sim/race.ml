@@ -1,0 +1,245 @@
+(** Happens-before data-race detection over simulated NVMM accesses.
+
+    Each simulated thread carries a vector clock.  Synchronization edges
+    come from the places Simurgh's decentralized protocols actually
+    synchronize:
+
+    - {b lock acquire/release} ({!Vlock} spin, mutex, rwlock): release
+      publishes the holder's clock into the lock, acquire joins it —
+      the classic mutex rule.  Reader/writer locks are treated
+      conservatively as mutexes (reader release also publishes), which
+      can only hide races, never invent them;
+    - {b sfence/persist}: an sfence both publishes to and joins a single
+      global fence object.  This deliberately over-synchronizes — two
+      threads that each fence are ordered — matching the engine's
+      operation-granular interleaving, where persist barriers are also
+      global ordering points.  Again: conservative, fewer reports.
+
+    Conflicts are tracked per NVMM cache line (the PR 1 line-granular
+    plumbing delivers [off]/[len] of every load and store), but two
+    accesses only conflict when their {e byte ranges} overlap.  Simurgh
+    deliberately packs unrelated objects into shared lines (slab slots,
+    dirblock rows), so pure line-granular conflict detection would drown
+    in benign false sharing that is perfectly legal on real hardware.
+
+    A racy pair is reported as [(line, site_a, site_b)] where the sites
+    are the labels of the two operations involved ({!set_site}).
+    Reports are deduplicated on that triple.  The detector is ambient
+    ({!with_active}) and ignores accesses made while no simulated
+    thread is scheduled (setup and oracle phases of the explorer). *)
+
+type report = {
+  line : int;  (** NVMM cache line of the conflicting bytes *)
+  off : int;  (** first conflicting byte offset *)
+  site_a : string;  (** earlier access: operation label *)
+  site_b : string;  (** later access: operation label *)
+  write_a : bool;
+  write_b : bool;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "race on line %#x (byte %#x): %s %s vs %s %s" r.line r.off
+    (if r.write_a then "write" else "read")
+    r.site_a
+    (if r.write_b then "write" else "read")
+    r.site_b
+
+let report_to_string r = Fmt.str "%a" pp_report r
+
+(* One recorded access epoch: thread, its clock component at the time,
+   the operation label, and the byte range touched. *)
+type epoch = {
+  e_tid : int;
+  e_clk : int;
+  e_site : string;
+  e_off : int;
+  e_len : int;
+}
+
+type line_state = {
+  mutable writes : epoch list;  (** most recent write per thread *)
+  mutable reads : epoch list;  (** most recent read per thread *)
+}
+
+type t = {
+  n : int;
+  clocks : int array array;  (** [clocks.(tid)] is thread tid's VC *)
+  locks : (int, int array) Hashtbl.t;  (** lock id -> lock VC *)
+  fence_vc : int array;  (** the global persist-barrier object *)
+  lines : (int, line_state) Hashtbl.t;
+  sites : string array;  (** current operation label per thread *)
+  mutable excluded : (int * int) list;
+      (** (off, len) ranges holding synchronization internals (e.g. the
+          persistent lock words of the block allocator's segment locks),
+          read lock-free by design — not data *)
+  mutable reports : report list;
+  seen : (int * string * string, unit) Hashtbl.t;
+  mutable accesses : int;
+}
+
+let create ~threads:n =
+  {
+    n;
+    clocks = Array.init n (fun tid -> Array.init n (fun j -> if j = tid then 1 else 0));
+    locks = Hashtbl.create 64;
+    fence_vc = Array.make n 0;
+    lines = Hashtbl.create 256;
+    sites = Array.make n "?";
+    excluded = [];
+    reports = [];
+    seen = Hashtbl.create 16;
+    accesses = 0;
+  }
+
+let set_site t ~tid site = if tid >= 0 && tid < t.n then t.sites.(tid) <- site
+
+(** Declare [off, off+len) to be synchronization internals (a lock word
+    and its metadata): accesses fully inside such a range are not
+    tracked as data accesses.  The exclusion is deliberately narrow —
+    an access merely overlapping the range is still tracked. *)
+let exclude t ~off ~len = t.excluded <- (off, len) :: t.excluded
+
+let is_excluded t ~off ~len =
+  List.exists (fun (eo, el) -> off >= eo && off + len <= eo + el) t.excluded
+let reports t = List.rev t.reports
+let lines_tracked t = Hashtbl.length t.lines
+let accesses t = t.accesses
+
+(* --- vector clock primitives ------------------------------------------ *)
+
+let join dst src =
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let tick t tid = t.clocks.(tid).(tid) <- t.clocks.(tid).(tid) + 1
+
+(* --- ambient activation ------------------------------------------------ *)
+
+let active : t option ref = ref None
+
+let with_active t f =
+  let prev = !active in
+  active := Some t;
+  Fun.protect ~finally:(fun () -> active := prev) f
+
+(* The running simulated thread, or -1 outside a scheduled section
+   (setup / oracle code, whose accesses must not be tracked). *)
+let cur t =
+  let tid = Schedule.current_tid () in
+  if tid >= 0 && tid < t.n then tid else -1
+
+(* --- synchronization edges -------------------------------------------- *)
+
+let on_acquire lock_id =
+  match !active with
+  | None -> ()
+  | Some t -> (
+      match cur t with
+      | -1 -> ()
+      | tid -> (
+          match Hashtbl.find_opt t.locks lock_id with
+          | Some vc -> join t.clocks.(tid) vc
+          | None -> ()))
+
+let on_release lock_id =
+  match !active with
+  | None -> ()
+  | Some t -> (
+      match cur t with
+      | -1 -> ()
+      | tid ->
+          let vc =
+            match Hashtbl.find_opt t.locks lock_id with
+            | Some vc -> vc
+            | None ->
+                let vc = Array.make t.n 0 in
+                Hashtbl.replace t.locks lock_id vc;
+                vc
+          in
+          join vc t.clocks.(tid);
+          tick t tid)
+
+let on_fence () =
+  match !active with
+  | None -> ()
+  | Some t -> (
+      match cur t with
+      | -1 -> ()
+      | tid ->
+          join t.fence_vc t.clocks.(tid);
+          join t.clocks.(tid) t.fence_vc;
+          tick t tid)
+
+(* --- conflict tracking ------------------------------------------------- *)
+
+let overlap a b = a.e_off < b.e_off + b.e_len && b.e_off < a.e_off + a.e_len
+
+(* replace the calling thread's epoch in a per-line list, dropping any
+   of its older epochs that the new range covers *)
+let record tid e lst =
+  e :: List.filter (fun p -> p.e_tid <> tid || not (overlap p e)) lst
+
+let line_size = 64
+
+let on_access ~off ~len ~write =
+  match !active with
+  | None -> ()
+  | Some t -> (
+      match cur t with
+      | -1 -> ()
+      | _ when is_excluded t ~off ~len -> ()
+      | tid ->
+          t.accesses <- t.accesses + 1;
+          let clk = t.clocks.(tid).(tid) in
+          let site = t.sites.(tid) in
+          let first = off / line_size and last = (off + len - 1) / line_size in
+          for line = first to last do
+            let lo = max off (line * line_size)
+            and hi = min (off + len) ((line + 1) * line_size) in
+            let e =
+              { e_tid = tid; e_clk = clk; e_site = site; e_off = lo; e_len = hi - lo }
+            in
+            let st =
+              match Hashtbl.find_opt t.lines line with
+              | Some st -> st
+              | None ->
+                  let st = { writes = []; reads = [] } in
+                  Hashtbl.replace t.lines line st;
+                  st
+            in
+            let races_with prior =
+              prior.e_tid <> tid
+              && overlap prior e
+              && prior.e_clk > t.clocks.(tid).(prior.e_tid)
+            in
+            let emit ~wa prior =
+              if races_with prior then begin
+                let key = (line, prior.e_site, e.e_site) in
+                if not (Hashtbl.mem t.seen key) then begin
+                  Hashtbl.replace t.seen key ();
+                  t.reports <-
+                    {
+                      line;
+                      off = max prior.e_off e.e_off;
+                      site_a = prior.e_site;
+                      site_b = e.e_site;
+                      write_a = wa;
+                      write_b = write;
+                    }
+                    :: t.reports
+                end
+              end
+            in
+            (* write-write and read-write conflicts against prior writes *)
+            List.iter (emit ~wa:true) st.writes;
+            (* write-read conflicts: a write racing prior reads *)
+            if write then List.iter (emit ~wa:false) st.reads;
+            if write then begin
+              st.writes <- record tid e st.writes;
+              (* the write supersedes reads it covers from the same thread *)
+              st.reads <-
+                List.filter (fun p -> p.e_tid <> tid || not (overlap p e)) st.reads
+            end
+            else st.reads <- record tid e st.reads
+          done)

@@ -8,9 +8,33 @@
     Contention diagnostics (wait cycles, acquisition counts, contended
     vs. uncontended, hold time) are recorded per call-site into the
     acquiring machine's {!Simurgh_obs.Run.t} — there is no process-global
-    state, so consecutive experiments report independent totals. *)
+    state, so consecutive experiments report independent totals.
+
+    Two concerns beyond virtual time live here as well:
+
+    - {b execution-level mutual exclusion}: under the preemptive
+      schedule explorer ({!Engine.explore}) operations interleave at
+      every yield point, so the locks must actually exclude — each lock
+      tracks its owning simulated thread and blocks acquirers through
+      {!Schedule.wait_while}.  Acquisition is re-entrant (rename's
+      destination removal re-locks an already-held row lock).  Outside
+      an exploring run operations are atomic with respect to each other
+      and the owner field merely toggles within one operation.
+    - {b happens-before edges}: every acquire/release notifies the
+      ambient {!Race} detector with the lock's unique id.
+
+    Each [with_*] helper releases on the way out {e even when the body
+    raises} ([Fun.protect]) — a [Media_error]→EIO path throwing inside
+    a critical section must not leak the lock. *)
 
 open Simurgh_obs
+
+(* Unique lock identities for the race detector's lock vector clocks. *)
+let next_lock_id = ref 0
+
+let fresh_lock_id () =
+  incr next_lock_id;
+  !next_lock_id
 
 (* Record one acquisition into the machine-scoped contention registry. *)
 let record_acquire (ctx : Machine.ctx) ~site ~kind ~wait =
@@ -33,9 +57,12 @@ let record_hold (ctx : Machine.ctx) ~site ~kind ~hold =
     sections impose and nothing more. *)
 module Spin = struct
   type t = {
+    id : int;
     server : Resource.t;  (** backlog of hold durations *)
     mutable last_holder : int;
     mutable entered_at : float;
+    mutable owner : int;  (** executing owner under the explorer, -1 free *)
+    mutable depth : int;  (** re-entrant acquisition depth *)
     site : string;
     kind : Contention.kind;
         (** how the site is reported (a Mutex's inner spin reports as
@@ -44,22 +71,38 @@ module Spin = struct
 
   let create ?(site = "anon") ?(kind = Contention.Spin) () =
     {
+      id = fresh_lock_id ();
       server = Resource.create site;
       last_holder = -1;
       entered_at = 0.0;
+      owner = -1;
+      depth = 0;
       site;
       kind;
     }
 
+  (** Is the lock held (execution-level) right now?  Distinct from
+      {!busy}, which asks about the virtual-time backlog. *)
+  let locked t = t.owner >= 0
+
   let acquire (ctx : Machine.ctx) t =
     let thr = ctx.Machine.thr in
-    Machine.atomic ctx ~contended:(t.last_holder <> thr.Sthread.tid);
+    let tid = thr.Sthread.tid in
+    Schedule.point Schedule.Acquire;
+    if t.owner = tid then t.depth <- t.depth + 1
+    else begin
+      Schedule.wait_while (fun () -> t.owner >= 0);
+      t.owner <- tid;
+      t.depth <- 1
+    end;
+    Machine.atomic ctx ~contended:(t.last_holder <> tid);
     let done_at = Resource.serve t.server ~now:thr.Sthread.now ~dur:0.0 in
     record_acquire ctx ~site:t.site ~kind:t.kind
       ~wait:(done_at -. thr.Sthread.now);
     Sthread.wait_until thr done_at;
     t.entered_at <- thr.Sthread.now;
-    t.last_holder <- thr.Sthread.tid
+    t.last_holder <- tid;
+    Race.on_acquire t.id
 
   let release (ctx : Machine.ctx) t =
     let thr = ctx.Machine.thr in
@@ -67,13 +110,18 @@ module Spin = struct
     if hold > 0.0 then begin
       Resource.push_work t.server ~now:t.entered_at ~dur:hold;
       record_hold ctx ~site:t.site ~kind:t.kind ~hold
-    end
+    end;
+    Race.on_release t.id;
+    if t.depth > 1 then t.depth <- t.depth - 1
+    else begin
+      t.depth <- 0;
+      t.owner <- -1
+    end;
+    Schedule.point Schedule.Release
 
   let with_lock ctx t f =
     acquire ctx t;
-    let r = f () in
-    release ctx t;
-    r
+    Fun.protect ~finally:(fun () -> release ctx t) f
 
   (** Is the lock (probably) held at [now]?  Used by the allocator to
       skip busy segments and by crash detection. *)
@@ -105,9 +153,7 @@ module Mutex = struct
 
   let with_lock ctx t f =
     acquire ctx t;
-    let r = f () in
-    release ctx t;
-    r
+    Fun.protect ~finally:(fun () -> release ctx t) f
 
   let contentions t = t.contentions
 end
@@ -115,14 +161,26 @@ end
 (** Reader-writer lock.  Readers overlap; each acquisition still bounces
     the shared counter cache line, which is precisely why Linux's
     per-file rw_semaphore limits shared-file read scalability (Fig. 7i)
-    while writers serialize fully (Fig. 7k). *)
+    while writers serialize fully (Fig. 7k).
+
+    Acquisitions return a token (the acquisition's virtual entry time)
+    that must be passed back to the matching release.  The lock used to
+    keep one shared [entered_at] field, so overlapping readers
+    overwrote each other's acquire time and release computed wrong —
+    even negative, silently dropped — hold times. *)
 module Rw = struct
+  (** Per-acquisition token: virtual time at which the caller entered. *)
+  type token = float
+
   type t = {
+    id : int;
     counter : Resource.t;  (** the shared count cache line *)
     excl : Resource.t;  (** writer hold backlog *)
     rd : Resource.t;  (** reader hold backlog (scaled by parallelism) *)
-    mutable entered_at : float;
     mutable last_toucher : int;
+    mutable writer : int;  (** executing writer under the explorer *)
+    mutable wdepth : int;
+    mutable readers : int;  (** executing reader count under the explorer *)
     site : string;
     striped : bool;
         (** distributed (per-core) reader counters: readers do not bounce
@@ -133,11 +191,14 @@ module Rw = struct
 
   let create ?(site = "rwlock") ?(striped = false) () =
     {
+      id = fresh_lock_id ();
       counter = Resource.create "rwlock-counter";
       excl = Resource.create "rwlock-excl";
       rd = Resource.create "rwlock-rd";
-      entered_at = 0.0;
       last_toucher = -1;
+      writer = -1;
+      wdepth = 0;
+      readers = 0;
       site;
       striped;
     }
@@ -163,8 +224,13 @@ module Rw = struct
     Sthread.wait_until thr done_at;
     t.last_toucher <- thr.Sthread.tid
 
-  let read_acquire ctx t =
+  let read_acquire ctx t : token =
     let thr = ctx.Machine.thr in
+    Schedule.point Schedule.Acquire;
+    (* a thread already holding the write side may also read *)
+    Schedule.wait_while (fun () ->
+        t.writer >= 0 && t.writer <> thr.Sthread.tid);
+    t.readers <- t.readers + 1;
     if t.striped then Machine.atomic ctx ~contended:false
     else touch_counter ctx t;
     (* wait behind outstanding writer holds *)
@@ -172,21 +238,32 @@ module Rw = struct
     record_acquire ctx ~site:t.site ~kind:Contention.Rwlock
       ~wait:(Float.max 0.0 (done_at -. thr.Sthread.now));
     Sthread.wait_until thr done_at;
-    t.entered_at <- thr.Sthread.now
+    Race.on_acquire t.id;
+    thr.Sthread.now
 
-  let read_release ctx t =
+  let read_release ctx t (entered_at : token) =
     let thr = ctx.Machine.thr in
     if t.striped then Machine.atomic ctx ~contended:false
     else touch_counter ctx t;
-    let hold = thr.Sthread.now -. t.entered_at in
+    let hold = thr.Sthread.now -. entered_at in
     if hold > 0.0 then begin
-      Resource.push_work t.rd ~now:t.entered_at
-        ~dur:(hold /. read_parallelism);
+      Resource.push_work t.rd ~now:entered_at ~dur:(hold /. read_parallelism);
       record_hold ctx ~site:t.site ~kind:Contention.Rwlock ~hold
-    end
+    end;
+    Race.on_release t.id;
+    t.readers <- t.readers - 1;
+    Schedule.point Schedule.Release
 
-  let write_acquire ctx t =
+  let write_acquire ctx t : token =
     let thr = ctx.Machine.thr in
+    let tid = thr.Sthread.tid in
+    Schedule.point Schedule.Acquire;
+    if t.writer = tid then t.wdepth <- t.wdepth + 1
+    else begin
+      Schedule.wait_while (fun () -> t.writer >= 0 || t.readers > 0);
+      t.writer <- tid;
+      t.wdepth <- 1
+    end;
     touch_counter ctx t;
     let d1 = Resource.serve t.excl ~now:thr.Sthread.now ~dur:0.0 in
     let d2 = Resource.serve t.rd ~now:thr.Sthread.now ~dur:0.0 in
@@ -194,25 +271,29 @@ module Rw = struct
     record_acquire ctx ~site:t.site ~kind:Contention.Rwlock
       ~wait:(Float.max 0.0 (done_at -. thr.Sthread.now));
     Sthread.wait_until thr done_at;
-    t.entered_at <- thr.Sthread.now
+    Race.on_acquire t.id;
+    thr.Sthread.now
 
-  let write_release ctx t =
+  let write_release ctx t (entered_at : token) =
     let thr = ctx.Machine.thr in
-    let hold = thr.Sthread.now -. t.entered_at in
+    let hold = thr.Sthread.now -. entered_at in
     if hold > 0.0 then begin
-      Resource.push_work t.excl ~now:t.entered_at ~dur:hold;
+      Resource.push_work t.excl ~now:entered_at ~dur:hold;
       record_hold ctx ~site:t.site ~kind:Contention.Rwlock ~hold
-    end
+    end;
+    Race.on_release t.id;
+    if t.wdepth > 1 then t.wdepth <- t.wdepth - 1
+    else begin
+      t.wdepth <- 0;
+      t.writer <- -1
+    end;
+    Schedule.point Schedule.Release
 
   let with_read ctx t f =
-    read_acquire ctx t;
-    let r = f () in
-    read_release ctx t;
-    r
+    let tok = read_acquire ctx t in
+    Fun.protect ~finally:(fun () -> read_release ctx t tok) f
 
   let with_write ctx t f =
-    write_acquire ctx t;
-    let r = f () in
-    write_release ctx t;
-    r
+    let tok = write_acquire ctx t in
+    Fun.protect ~finally:(fun () -> write_release ctx t tok) f
 end

@@ -123,6 +123,53 @@ let test_resource_drain () =
   (* after enough idle time the debt is gone *)
   check_float "drained" 1010.0 (Resource.serve r ~now:1000.0 ~dur:10.0)
 
+let resource_trace =
+  (* (gap to next arrival, request duration) pairs *)
+  QCheck.(
+    list_of_size
+      Gen.(int_range 1 30)
+      (pair (float_bound_exclusive 1000.0) (float_bound_exclusive 500.0)))
+
+let prop_resource_pending_nonneg_drains =
+  QCheck.Test.make
+    ~name:"Resource.pending non-negative and monotone-draining" ~count:300
+    resource_trace (fun ops ->
+      let r = Resource.create "p" in
+      let now = ref 0.0 in
+      let ok = ref true in
+      List.iter
+        (fun (gap, dur) ->
+          now := !now +. gap;
+          ignore (Resource.serve r ~now:!now ~dur);
+          let p0 = Resource.pending r ~now:!now in
+          if p0 < 0.0 then ok := false;
+          (* between arrivals the backlog only drains, never grows *)
+          let p1 = Resource.pending r ~now:(!now +. 1.0) in
+          let p2 = Resource.pending r ~now:(!now +. 50.0) in
+          if p1 > p0 +. 1e-9 || p2 > p1 +. 1e-9 || p2 < 0.0 then ok := false)
+        ops;
+      !ok)
+
+let prop_resource_serve_push_agree =
+  QCheck.Test.make ~name:"serve and push_work agree on queued debt"
+    ~count:300 resource_trace (fun ops ->
+      let a = Resource.create "a" and b = Resource.create "b" in
+      let now = ref 0.0 in
+      let ok = ref true in
+      List.iter
+        (fun (gap, dur) ->
+          now := !now +. gap;
+          let done_at = Resource.serve a ~now:!now ~dur in
+          Resource.push_work b ~now:!now ~dur;
+          let pa = Resource.pending a ~now:!now
+          and pb = Resource.pending b ~now:!now in
+          (* the waiting and non-waiting paths must leave the same debt,
+             and serve's completion time is exactly now + that debt *)
+          if abs_float (pa -. pb) > 1e-6 then ok := false;
+          if abs_float (done_at -. (!now +. pa)) > 1e-6 then ok := false)
+        ops;
+      !ok)
+
 (* --- locks ---------------------------------------------------------------- *)
 
 let mk_ctx () =
@@ -147,10 +194,10 @@ let test_rw_readers_overlap () =
   let t0 = Sthread.create 0 and t1 = Sthread.create 1 in
   let c0 = Machine.ctx m t0 and c1 = Machine.ctx m t1 in
   let l = Vlock.Rw.create ~striped:true () in
-  Vlock.Rw.read_acquire c0 l;
+  let tok0 = Vlock.Rw.read_acquire c0 l in
   Machine.cpu c0 1000.0;
-  Vlock.Rw.read_release c0 l;
-  Vlock.Rw.read_acquire c1 l;
+  Vlock.Rw.read_release c0 l tok0;
+  let _tok1 = Vlock.Rw.read_acquire c1 l in
   (* readers do not wait for each other *)
   Alcotest.(check bool) "no reader wait" true (t1.Sthread.now < 500.0)
 
@@ -159,13 +206,77 @@ let test_rw_writer_excludes () =
   let t0 = Sthread.create 0 and t1 = Sthread.create 1 in
   let c0 = Machine.ctx m t0 and c1 = Machine.ctx m t1 in
   let l = Vlock.Rw.create () in
-  Vlock.Rw.read_acquire c0 l;
+  let tok0 = Vlock.Rw.read_acquire c0 l in
   Machine.cpu c0 1000.0;
-  Vlock.Rw.read_release c0 l;
-  Vlock.Rw.write_acquire c1 l;
+  Vlock.Rw.read_release c0 l tok0;
+  let _ = Vlock.Rw.write_acquire c1 l in
   (* the writer queues behind the reader's (parallelism-scaled) hold *)
   Alcotest.(check bool) "writer waits for reader" true
     (t1.Sthread.now >= 1000.0 /. 4.0)
+
+exception Poison
+
+(* Regression: with_lock used to leak the lock when the body raised (a
+   poisoned line surfacing as Media_error inside a critical section).
+   The exception must propagate, the lock must come back released, and
+   the aborted acquisition must still balance its contention counters. *)
+let test_spin_with_lock_releases_on_raise () =
+  let m = Machine.create () in
+  let t0 = Sthread.create 0 and t1 = Sthread.create 1 in
+  let c0 = Machine.ctx m t0 and c1 = Machine.ctx m t1 in
+  let l = Vlock.Spin.create ~site:"poisoned" () in
+  (try
+     Vlock.Spin.with_lock c0 l (fun () ->
+         Machine.cpu c0 500.0;
+         raise Poison)
+   with Poison -> ());
+  Alcotest.(check bool) "released after raise" false (Vlock.Spin.locked l);
+  let run = Machine.obs m in
+  let stats =
+    List.assoc "poisoned"
+      (Simurgh_obs.Contention.to_list run.Simurgh_obs.Run.contention)
+  in
+  Alcotest.(check int) "acquisition recorded" 1
+    stats.Simurgh_obs.Contention.acquisitions;
+  Alcotest.(check bool) "hold recorded" true
+    (stats.Simurgh_obs.Contention.hold_cycles > 0.0);
+  (* another thread can still take the lock *)
+  Vlock.Spin.with_lock c1 l (fun () -> Machine.cpu c1 10.0);
+  Alcotest.(check bool) "reacquired and released" false (Vlock.Spin.locked l)
+
+let test_rw_with_write_releases_on_raise () =
+  let m = Machine.create () in
+  let t0 = Sthread.create 0 and t1 = Sthread.create 1 in
+  let c0 = Machine.ctx m t0 and c1 = Machine.ctx m t1 in
+  let l = Vlock.Rw.create () in
+  (try Vlock.Rw.with_write c0 l (fun () -> raise Poison) with Poison -> ());
+  (* the writer slot is free again: a reader enters without blocking
+     (a leaked writer would trip wait_while's no-scheduler failure) *)
+  Vlock.Rw.with_read c1 l (fun () -> Machine.cpu c1 10.0)
+
+(* Regression: Rw kept a single shared [entered_at] field, so with two
+   overlapping readers the second acquire overwrote the first reader's
+   entry time and its release computed a truncated (or negative,
+   silently dropped) hold.  Tokens are per-acquisition now. *)
+let test_rw_overlapping_readers_holds () =
+  let m = Machine.create () in
+  let t0 = Sthread.create 0 and t1 = Sthread.create 1 in
+  let c0 = Machine.ctx m t0 and c1 = Machine.ctx m t1 in
+  let l = Vlock.Rw.create ~striped:true () in
+  let tok0 = Vlock.Rw.read_acquire c0 l in
+  (* the second reader enters much later in virtual time while the
+     first still holds — this is where the shared field was clobbered *)
+  Machine.cpu c1 3000.0;
+  let tok1 = Vlock.Rw.read_acquire c1 l in
+  Machine.cpu c0 4000.0;
+  Vlock.Rw.read_release c0 l tok0;
+  Vlock.Rw.read_release c1 l tok1;
+  Alcotest.(check bool) "tokens are per-acquisition" true (tok0 < tok1);
+  (* reader 0's full ~4000-cycle hold must reach the reader backlog
+     (scaled by read_parallelism = 4); the shared-field bug accounted
+     only now - tok1 ~ 1000 of it *)
+  Alcotest.(check bool) "full hold accounted" true
+    (Resource.busy_cycles l.Vlock.Rw.rd >= 4000.0 /. 4.0)
 
 (* --- engine ---------------------------------------------------------------- *)
 
@@ -218,6 +329,28 @@ let test_engine_causality () =
       | Some prev -> Alcotest.(check bool) "per-thread order" true (i < prev)
       | None -> Hashtbl.replace seen tid i)
     !order
+
+(* Ties used to be hard-wired to the lowest index, so equal-cost
+   (zero-charge) operations ran to completion thread by thread.  The
+   fair policy must round-robin the tied threads instead; legacy keeps
+   the historical order bit-for-bit. *)
+let test_engine_tie_break_policies () =
+  let order_under schedule =
+    let m = Machine.create () in
+    let order = ref [] in
+    ignore
+      (Engine.run_ops m ?schedule ~threads:3 ~ops_per_thread:3 (fun ctx _ ->
+           (* no charge: every thread stays tied at time 0 *)
+           order := ctx.Machine.thr.Sthread.tid :: !order));
+    List.rev !order
+  in
+  Alcotest.(check (list int))
+    "legacy runs tied threads to completion by index"
+    [ 0; 0; 0; 1; 1; 1; 2; 2; 2 ] (order_under None);
+  Alcotest.(check (list int))
+    "fair rotates tied threads"
+    [ 0; 1; 2; 0; 1; 2; 0; 1; 2 ]
+    (order_under (Some (Schedule.fair ())))
 
 let test_machine_charges_advance_clock () =
   let _, thr, ctx = mk_ctx () in
@@ -344,17 +477,27 @@ let () =
           Alcotest.test_case "out-of-order bounded" `Quick
             test_resource_out_of_order_bounded;
           Alcotest.test_case "debt drains" `Quick test_resource_drain;
+          QCheck_alcotest.to_alcotest prop_resource_pending_nonneg_drains;
+          QCheck_alcotest.to_alcotest prop_resource_serve_push_agree;
         ] );
       ( "locks",
         [
           Alcotest.test_case "spin serializes" `Quick test_spin_serializes;
           Alcotest.test_case "readers overlap" `Quick test_rw_readers_overlap;
           Alcotest.test_case "writer excludes" `Quick test_rw_writer_excludes;
+          Alcotest.test_case "spin releases on raise" `Quick
+            test_spin_with_lock_releases_on_raise;
+          Alcotest.test_case "rw releases on raise" `Quick
+            test_rw_with_write_releases_on_raise;
+          Alcotest.test_case "overlapping reader holds" `Quick
+            test_rw_overlapping_readers_holds;
         ] );
       ( "engine",
         [
           Alcotest.test_case "parallel speedup" `Quick
             test_engine_parallel_speedup;
+          Alcotest.test_case "tie-break policies" `Quick
+            test_engine_tie_break_policies;
           Alcotest.test_case "lock serialization" `Quick
             test_engine_lock_serialization;
           Alcotest.test_case "causality" `Quick test_engine_causality;
