@@ -9,11 +9,12 @@ test: build
 	dune runtest
 
 # Full gate: build + unit/property/differential tests + a quick smoke run
-# of the region data-path microbenchmark (writes BENCH_region.json) and of
-# the bounded crash-image explorer / media-fault / checker experiment,
-# plus the schedule-exploration / race-detection self-check.
+# of the region data-path microbenchmark (writes BENCH_region.json), the
+# bounded crash-image explorer / media-fault / checker experiment, and the
+# metadata-scalability sweep (writes BENCH_scale.json), plus the
+# schedule-exploration / race-detection self-check.
 check: test races
-	dune exec bench/main.exe -- --scale 0.05 region crash
+	dune exec bench/main.exe -- --scale 0.05 region crash scale
 
 # Offline fsck-style self-check: the checker must pass a correctly
 # recovered crash image and flag a deliberately mis-recovered one.

@@ -4,7 +4,10 @@
     Three parts, mirroring the robustness toolchain:
 
     + {b explore}: crash-image exploration of the four Fig. 5 state
-      machines (create / unlink / same-dir rename / cross-dir rename).
+      machines (create / unlink / same-dir rename / cross-dir rename),
+      each mutating machine also in the scaled configuration (striped
+      locks + resolve cache + allocator caches — volatile-only, so
+      every image must recover identically).
       At every NVMM store and every labeled persist point the eviction
       adversary enumerates subsets of the unpersisted cache lines
       (exhaustive up to 10 pending lines, seeded samples beyond); every
@@ -39,19 +42,44 @@ exception Crash_now
 let ops =
   [
     ( "create",
+      false,
       (fun fs -> Fs.mkdir fs "/d"),
       fun fs -> Fs.create_file fs "/d/f" );
     ( "unlink",
+      false,
       (fun fs ->
         Fs.mkdir fs "/d";
         Fs.create_file fs "/d/f"),
       fun fs -> Fs.unlink fs "/d/f" );
     ( "rename",
+      false,
       (fun fs ->
         Fs.mkdir fs "/d";
         Fs.create_file fs "/d/old"),
       fun fs -> Fs.rename fs "/d/old" "/d/new" );
     ( "cross-rename",
+      false,
+      (fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.mkdir fs "/e";
+        Fs.create_file fs "/d/m"),
+      fun fs -> Fs.rename fs "/d/m" "/e/m2" );
+    (* the same Fig. 5 state machines with the scalability features on:
+       the striped insert (reserve/busy/grow), the reserve-then-log
+       rename window and the per-thread allocator caches must leave
+       every crash image recoverable too *)
+    ( "striped-create",
+      true,
+      (fun fs -> Fs.mkdir fs "/d"),
+      fun fs -> Fs.create_file fs "/d/f" );
+    ( "striped-rename",
+      true,
+      (fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.create_file fs "/d/old"),
+      fun fs -> Fs.rename fs "/d/old" "/d/new" );
+    ( "striped-xrename",
+      true,
       (fun fs ->
         Fs.mkdir fs "/d";
         Fs.mkdir fs "/e";
@@ -103,8 +131,8 @@ let run ~scale =
   and eio = ref 0
   and violations = ref 0 in
   List.iter
-    (fun (name, setup, op) ->
-      let st = Explore.run ~samples ~setup ~op () in
+    (fun (name, scaled, setup, op) ->
+      let st = Explore.run ~samples ~scaled ~setup ~op () in
       points := !points + st.Explore.crash_points;
       images := !images + st.Explore.images;
       failures := !failures + List.length st.Explore.failures;

@@ -1,0 +1,139 @@
+(** Run id [scale]: metadata-scalability sweep of the shared-directory
+    path.
+
+    The paper's evaluation stops at 10 threads, where the seed
+    reproduction's single per-directory append lock barely shows.  This
+    experiment sweeps the four metadata FxMark microbenchmarks that
+    stress one directory (7b createfile-shared, 7d renamefile-shared,
+    7f resolvepath-shared, plus 7a createfile-private as the
+    uncontended control) across thread counts well past that, comparing
+    seed Simurgh against the scaled configuration (striped directory
+    locks + per-thread allocator caches + DRAM resolve cache — see
+    DESIGN.md "Metadata scalability").  Both configurations share the
+    same on-media layout; only volatile coordination differs.
+
+    Results are printed as the usual per-thread tables, mirrored into
+    {!Simurgh_obs.Report} for the [--json] flow, summarized as
+    [scale/*] observability counters, and always written to
+    [BENCH_scale.json] in the working directory so the perf trajectory
+    is kept across PRs. *)
+
+open Simurgh_workloads
+module Report = Simurgh_obs.Report
+module Collect = Simurgh_obs.Collect
+
+let thread_counts = [ 1; 2; 4; 8; 16; 24; 32; 40 ]
+
+(* (short id, bench, base ops/thread) — creates kept moderate so the
+   40-thread shared directory stays within sane chain lengths *)
+let benches =
+  [
+    ("7b", Fxmark.Create_shared, 1000);
+    ("7d", Fxmark.Rename_shared, 1000);
+    ("7f", Fxmark.Resolve_shared, 2000);
+    ("7a", Fxmark.Create_private, 1000);
+  ]
+
+type series = {
+  bench_id : string;
+  bench_name : string;
+  ops : int;
+  seed_kops : float list;
+  scaled_kops : float list;
+  speedup : float list;
+}
+
+let print_thread_header title =
+  Report.table ~title
+    ~columns:(List.map (Printf.sprintf "t%d") thread_counts);
+  Printf.printf "%-18s" "threads";
+  List.iter (fun t -> Printf.printf " %9d" t) thread_counts;
+  print_newline ()
+
+(* Right-size the region per run: the sweep churns dozens of file
+   systems, and under [--json] the obs collector keeps each one alive
+   until the experiment drains — at the default 512 MB per region that
+   retains gigabytes for no benefit.  ~2 KB per created file plus fixed
+   slack covers every bench here with ample headroom. *)
+let region_mb_for ~threads ~ops = max 96 (64 + (threads * ops * 2 / 1024))
+
+let sweep (t : Targets.target) bench ~ops =
+  List.map
+    (fun threads ->
+      let region_mb = region_mb_for ~threads ~ops in
+      let r = t.Targets.run_fx ~region_mb ~threads ~ops bench in
+      Util.kops r.Fxmark.throughput)
+    thread_counts
+
+let run ~scale =
+  let counters = ref [] in
+  (* sampled at drain time in the --json flow; harmless otherwise *)
+  Collect.note_source (fun () -> !counters);
+  let tally k v = counters := (k, v) :: !counters in
+  tally "scale/thread_max" (float_of_int (List.fold_left max 1 thread_counts));
+  let all = ref [] in
+  List.iter
+    (fun (id, bench, base_ops) ->
+      let ops = Util.scaled ~scale base_ops in
+      let title =
+        Printf.sprintf "scale %s: %s seed vs scaled (Kops/s; %d ops/thread)"
+          id (Fxmark.bench_name bench) ops
+      in
+      Util.header title;
+      print_thread_header title;
+      let seed_kops = sweep (Targets.simurgh ()) bench ~ops in
+      Util.series "Simurgh" " %9.0f" seed_kops;
+      let scaled_kops = sweep (Targets.simurgh_scaled ()) bench ~ops in
+      Util.series "Simurgh-scaled" " %9.0f" scaled_kops;
+      let speedup =
+        List.map2 (fun sc se -> if se > 0.0 then sc /. se else 0.0)
+          scaled_kops seed_kops
+      in
+      Util.series "speedup" " %9.2f" speedup;
+      let tmax = List.fold_left max 1 thread_counts in
+      let last l = List.nth l (List.length l - 1) in
+      tally (Printf.sprintf "scale/%s/seed_t%d_kops" id tmax) (last seed_kops);
+      tally
+        (Printf.sprintf "scale/%s/scaled_t%d_kops" id tmax)
+        (last scaled_kops);
+      tally (Printf.sprintf "scale/%s/speedup_t%d" id tmax) (last speedup);
+      all :=
+        {
+          bench_id = id;
+          bench_name = Fxmark.bench_name bench;
+          ops;
+          seed_kops;
+          scaled_kops;
+          speedup;
+        }
+        :: !all)
+    benches;
+  let all = List.rev !all in
+  (* --- BENCH_scale.json ------------------------------------------------ *)
+  let oc = open_out "BENCH_scale.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  let floats l = String.concat ", " (List.map (Printf.sprintf "%.2f") l) in
+  out "{\n  \"schema\": \"simurgh-scale-v1\",\n";
+  out "  \"run\": \"scale\",\n  \"scale\": %g,\n" scale;
+  out "  \"thread_counts\": [%s],\n"
+    (String.concat ", " (List.map string_of_int thread_counts));
+  out
+    "  \"scaled_config\": {\"striped_locks\": true, \"rcache\": true, \
+     \"alloc_caches\": true},\n";
+  out
+    "  \"note\": \"kops: virtual-time Kops/s; seed: stock configuration; \
+     scaled: striped directory locks + per-thread allocator caches + DRAM \
+     resolve cache (same on-media layout)\",\n";
+  out "  \"benches\": [\n";
+  List.iteri
+    (fun i s ->
+      out "    {\"id\": %S, \"name\": %S, \"ops_per_thread\": %d,\n" s.bench_id
+        s.bench_name s.ops;
+      out "     \"seed_kops\": [%s],\n" (floats s.seed_kops);
+      out "     \"scaled_kops\": [%s],\n" (floats s.scaled_kops);
+      out "     \"speedup\": [%s]}%s\n" (floats s.speedup)
+        (if i = List.length all - 1 then "" else ","))
+    all;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_scale.json\n"

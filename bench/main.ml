@@ -38,6 +38,8 @@ let experiments : (string * string * (scale:float -> unit)) list =
     ("bechamel", "wall-clock hot paths (host CPU)", Exp_bechamel.run);
     ("region", "NVMM region data-path microbenchmark (wall-clock, JSON)",
      Exp_region.run);
+    ("scale", "metadata scalability: seed vs striped/cached Simurgh (JSON)",
+     Exp_scale.run);
   ]
 
 let is_fig7_sub id =

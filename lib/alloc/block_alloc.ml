@@ -35,6 +35,12 @@ type t = {
   base : int;  (** first managed byte *)
   total_blocks : int;
   locks : Simurgh_sim.Vlock.Spin.t array;  (** virtual-time segment locks *)
+  mutable tseg : int array;
+      (** per-thread segment affinity (indexed by simulated tid, -1 =
+          unset): where the thread's last allocation succeeded.  Purely
+          volatile — the persistent free lists are untouched, so fsck
+          and recovery see exactly the same state either way *)
+  mutable tseg_enabled : bool;
   (* volatile operation counters (diagnostics; see Simurgh_obs) *)
   mutable allocs : int;
   mutable frees : int;
@@ -84,6 +90,8 @@ let attach region ~off =
     base;
     total_blocks;
     locks = Array.init segments (fun _ -> Simurgh_sim.Vlock.Spin.create ~site:"balloc-seg" ());
+    tseg = [||];
+    tseg_enabled = false;
     allocs = 0;
     frees = 0;
     blocks_allocated = 0;
@@ -286,12 +294,40 @@ let segment_busy ?ctx t i =
       Simurgh_sim.Vlock.Spin.busy t.locks.(i)
         ~now:(Simurgh_sim.Machine.now ctx)
 
+(** Enable/disable per-thread segment affinity.  Off (the default) the
+    starting segment is a hash of the allocation hint, so concurrent
+    unrelated allocations herd onto the same segments; on, each thread
+    starts at the segment its previous allocation succeeded in — its
+    segment lock stays core-local (uncontended atomics) and the busy-skip
+    sweeps disappear.  Threads spread across segments by tid initially,
+    following the paper's core-count-proportional segmentation. *)
+let set_thread_segments t on = t.tseg_enabled <- on
+
+let ctx_tid (ctx : Simurgh_sim.Machine.ctx option) =
+  match ctx with
+  | Some c -> c.Simurgh_sim.Machine.thr.Simurgh_sim.Sthread.tid
+  | None -> -1
+
+let thread_segment t tid =
+  let n = Array.length t.tseg in
+  if tid >= n then
+    t.tseg <-
+      Array.init (max 8 (tid + 1)) (fun i -> if i < n then t.tseg.(i) else -1);
+  if t.tseg.(tid) < 0 then t.tseg.(tid) <- tid mod t.segments;
+  t.tseg.(tid)
+
 let alloc ?ctx ?(hint = 0) t n =
   if n <= 0 then invalid_arg "Block_alloc.alloc: n must be positive";
-  (* multiplicative hash of the hint (inode pointer): slab-allocated
-     inodes are spaced by the object size, so a plain modulo would alias
-     to a few segments *)
-  let start = abs (hint * 0x9e3779b1) mod t.segments in
+  let tid = ctx_tid ctx in
+  let affine = t.tseg_enabled && tid >= 0 in
+  let start =
+    if affine then thread_segment t tid
+    else
+      (* multiplicative hash of the hint (inode pointer): slab-allocated
+         inodes are spaced by the object size, so a plain modulo would
+         alias to a few segments *)
+      abs (hint * 0x9e3779b1) mod t.segments
+  in
   (* paper: "If a process selects a busy segment, it simply moves to the
      next segment."  [skip_busy] relaxes on the second sweep so requests
      still succeed when every segment is busy. *)
@@ -307,7 +343,11 @@ let alloc ?ctx ?(hint = 0) t n =
         lock_segment ?ctx t i;
         let r = alloc_in_segment ?ctx t i n in
         unlock_segment ?ctx t i;
-        match r with Some _ -> r | None -> try_seg (k + 1) ~skip_busy
+        match r with
+        | Some _ ->
+            if affine then t.tseg.(tid) <- i;
+            r
+        | None -> try_seg (k + 1) ~skip_busy
       end
   in
   let r = try_seg 0 ~skip_busy:(t.segments > 1) in

@@ -37,6 +37,12 @@ type t = {
   block_alloc : Block_alloc.t;
   free_cache : int Queue.t;  (** volatile free-object cache (shared DRAM) *)
   cache_lock : Simurgh_sim.Vlock.Spin.t;
+  mutable tcaches : int Queue.t array;
+      (** per-thread free-object caches (indexed by simulated tid);
+          refilled/spilled in batches through [free_cache] under
+          [cache_lock], so every cross-thread object transfer still
+          synchronizes on the shared lock *)
+  mutable tcache_enabled : bool;
   mutable live : int;  (** volatile live-object counter (diagnostics) *)
   mutable allocs : int;
   mutable frees : int;
@@ -67,6 +73,8 @@ let attach region ~off ~block_alloc =
       block_alloc;
       free_cache = Queue.create ();
       cache_lock = Simurgh_sim.Vlock.Spin.create ~site:"slab-cache" ();
+      tcaches = [||];
+      tcache_enabled = false;
       live = 0;
       allocs = 0;
       frees = 0;
@@ -118,31 +126,80 @@ let charge ?ctx ~read ~write () =
       Simurgh_sim.Machine.nvmm_read_lines ctx read;
       Simurgh_sim.Machine.nvmm_write_lines ctx write
 
+(* --- per-thread caches (paper Section 4.2: segmented allocation keeps
+   concurrent allocators off each other's structures) ------------------- *)
+
+(** Enable/disable the per-thread free-object caches.  Off (the default)
+    every allocation synchronizes on [cache_lock]; on, threads pop from a
+    private DRAM queue and touch the shared cache only to refill or spill
+    a batch.  The caches are purely volatile: a cached object's
+    persistent flags still read free, so recovery's [rebuild_cache]
+    mark-and-sweep regenerates exactly the same free set after a crash. *)
+let set_thread_caches t on = t.tcache_enabled <- on
+
+let tcache_batch = 32
+
+let tcache t tid =
+  let n = Array.length t.tcaches in
+  if tid >= n then
+    t.tcaches <-
+      Array.init (max 8 (tid + 1)) (fun i ->
+          if i < n then t.tcaches.(i) else Queue.create ());
+  t.tcaches.(tid)
+
+let ctx_tid (ctx : Simurgh_sim.Machine.ctx option) =
+  match ctx with
+  | Some c -> c.Simurgh_sim.Machine.thr.Simurgh_sim.Sthread.tid
+  | None -> -1
+
+(* Claim [addr]: persist valid+dirty, skipping stale cache entries
+   (e.g. after recovery rebuilt state).  [retry] resumes the caller's
+   search when the entry was stale. *)
+let claim ?ctx t addr ~retry =
+  let f = flags t addr in
+  if f land (flag_valid lor flag_dirty) <> 0 then retry ()
+  else begin
+    Region.write_u8 t.region addr (flag_valid lor flag_dirty);
+    Region.persist t.region addr 1;
+    charge ?ctx ~read:1 ~write:1 ();
+    t.live <- t.live + 1;
+    t.allocs <- t.allocs + 1;
+    Some (payload addr)
+  end
+
 (** Allocate one object: returns the *payload* address with valid+dirty
     set and persisted.  The caller initializes the payload and then calls
     [commit] to clear the dirty bit.  Returns [None] when NVMM is
     exhausted. *)
 let rec alloc ?ctx t =
+  let tid = ctx_tid ctx in
+  if t.tcache_enabled && tid >= 0 then alloc_cached ?ctx t tid
+  else alloc_shared ?ctx t
+
+and alloc_shared ?ctx t =
   let candidate =
     Ctx_util.with_spin ?ctx t.cache_lock (fun () ->
         if Queue.is_empty t.free_cache then None
         else Some (Queue.pop t.free_cache))
   in
   match candidate with
-  | None -> if grow ?ctx t then alloc ?ctx t else None
-  | Some addr ->
-      let f = flags t addr in
-      if f land (flag_valid lor flag_dirty) <> 0 then
-        (* stale cache entry (e.g. after recovery rebuilt state) *)
-        alloc ?ctx t
-      else begin
-        Region.write_u8 t.region addr (flag_valid lor flag_dirty);
-        Region.persist t.region addr 1;
-        charge ?ctx ~read:1 ~write:1 ();
-        t.live <- t.live + 1;
-        t.allocs <- t.allocs + 1;
-        Some (payload addr)
-      end
+  | None -> if grow ?ctx t then alloc_shared ?ctx t else None
+  | Some addr -> claim ?ctx t addr ~retry:(fun () -> alloc_shared ?ctx t)
+
+and alloc_cached ?ctx t tid =
+  let q = tcache t tid in
+  if Queue.is_empty q then
+    Ctx_util.with_spin ?ctx t.cache_lock (fun () ->
+        (* one (possibly contended) acquisition amortized over a batch *)
+        let n = min tcache_batch (Queue.length t.free_cache) in
+        for _ = 1 to n do
+          Queue.push (Queue.pop t.free_cache) q
+        done);
+  if Queue.is_empty q then
+    if grow ?ctx t then alloc_cached ?ctx t tid else None
+  else
+    (* thread-private pop: no shared-line atomic *)
+    claim ?ctx t (Queue.pop q) ~retry:(fun () -> alloc_cached ?ctx t tid)
 
 (** Clear the dirty bit: the object is initialized and linked. *)
 let commit ?ctx t paddr =
@@ -177,8 +234,21 @@ let finish_free ?ctx t paddr =
   charge ?ctx ~read:0 ~write:(1 + (t.obj_size / 64)) ();
   t.live <- t.live - 1;
   t.frees <- t.frees + 1;
-  Ctx_util.with_spin ?ctx t.cache_lock (fun () ->
-      Queue.push addr t.free_cache)
+  let tid = ctx_tid ctx in
+  if t.tcache_enabled && tid >= 0 then begin
+    let q = tcache t tid in
+    Queue.push addr q;
+    (* spill half when a thread frees much more than it allocates, so
+       objects keep circulating instead of stranding in one cache *)
+    if Queue.length q > 2 * tcache_batch then
+      Ctx_util.with_spin ?ctx t.cache_lock (fun () ->
+          for _ = 1 to tcache_batch do
+            Queue.push (Queue.pop q) t.free_cache
+          done)
+  end
+  else
+    Ctx_util.with_spin ?ctx t.cache_lock (fun () ->
+        Queue.push addr t.free_cache)
 
 (** Deallocate in one go: [begin_free] then [finish_free]. *)
 let free ?ctx t paddr =
@@ -236,6 +306,7 @@ let iter_objects t f =
     objects to free.  Used at attach/recovery time. *)
 let rebuild_cache ?(reclaim = false) t =
   Queue.clear t.free_cache;
+  Array.iter Queue.clear t.tcaches;
   t.live <- 0;
   iter_objects t (fun paddr f ->
       let addr = paddr - obj_header in

@@ -106,6 +106,15 @@ let create profile =
       logical_time = 0;
     }
   in
+  (* fold dcache effectiveness into the active experiment's snapshot
+     (no-op outside the bench driver), mirroring what the Simurgh side
+     reports as rcache/* *)
+  Simurgh_obs.Collect.note_source (fun () ->
+      let hits, misses = Simurgh_vfs.Dcache.stats t.dcache in
+      [
+        ("dcache/hits", float_of_int hits);
+        ("dcache/misses", float_of_int misses);
+      ]);
   t
 
 let name t = t.profile.Profile.name

@@ -30,6 +30,11 @@ let fence ?ctx () = match ctx with None -> () | Some c -> Machine.fence c
 let atomic ?ctx ~contended () =
   match ctx with None -> () | Some c -> Machine.atomic c ~contended
 
+(** Run [f] with NVMM line writes charged as posted ntstores (see
+    {!Machine.with_posted_writes}); identity without a context. *)
+let posted ?ctx f =
+  match ctx with None -> f () | Some c -> Machine.with_posted_writes c f
+
 let with_spin ?ctx lock f =
   match ctx with
   | None -> f ()

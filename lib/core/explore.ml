@@ -48,17 +48,23 @@ let point_label = function
 
 (* Mount a fresh FS handle on [region] as a new "process" would: the
    shared volatile state is discarded (a crash wiped DRAM) and rebuilt
-   from NVMM. *)
-let fresh_mount region =
+   from NVMM.  [scaled] re-enables the volatile scalability features
+   (striped locks, resolve cache, allocator caches) on the new mount,
+   so recovery and post-crash traffic run through the striped paths. *)
+let fresh_mount ~scaled region =
   Fs.invalidate_shared region;
-  Fs.mount ~euid:0 region
+  Fs.mount ~euid:0 ~striped_locks:scaled ~rcache:scaled ~alloc_caches:scaled
+    region
 
 let default_size = 4 lsl 20
 
 let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
-    ?(size = default_size) ?verify ~setup ~op () =
+    ?(size = default_size) ?(scaled = false) ?verify ~setup ~op () =
   let region = Region.create ~mode:Region.Strict size in
-  let fs0 = Fs.mkfs ~cores:2 ~euid:0 region in
+  let fs0 =
+    Fs.mkfs ~cores:2 ~euid:0 ~striped_locks:scaled ~rcache:scaled
+      ~alloc_caches:scaled region
+  in
   setup fs0;
   (* the operation's own writes must be the only unpersisted lines at
      the crash point; drain everything setup left behind (e.g. zeroed
@@ -70,7 +76,7 @@ let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
   let stores = ref 0 in
   let hooks = ref [] (* (label, occurrence) in firing order, reversed *) in
   let hook_count = Hashtbl.create 16 in
-  let fs = fresh_mount region in
+  let fs = fresh_mount ~scaled region in
   Region.set_store_hook region (fun () -> incr stores);
   Fs.set_crash_hook fs (fun label ->
       let n = (try Hashtbl.find hook_count label with Not_found -> 0) + 1 in
@@ -92,7 +98,7 @@ let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
     (fun point ->
       (* restore the post-setup state and run the op up to [point] *)
       Region.restore region cp0;
-      let fs = fresh_mount region in
+      let fs = fresh_mount ~scaled region in
       (match point with
       | Store n ->
           let k = ref 0 in
@@ -126,7 +132,7 @@ let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
             | [] ->
                 (match verify with
                 | None -> ()
-                | Some v -> v (fresh_mount region))
+                | Some v -> v (fresh_mount ~scaled region))
             | viols ->
                 let kept =
                   Array.to_list pending

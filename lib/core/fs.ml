@@ -28,6 +28,9 @@ type t = {
   coarse_dir_locks : bool;
       (** ablation: one lock per directory instead of per-line busy
           flags — the "whole-directory lock" counterfactual *)
+  rcache : Rcache.t option;
+      (** Simurgh-side DRAM resolve cache (shared across mounts);
+          [None] = seed behavior, every component scanned in NVMM *)
   mutable crash_hook : string -> unit;
   mutable logical_time : int;
   mutable eio_returns : int;
@@ -84,18 +87,29 @@ let make_root layout =
   Layout.set_root_fentry layout fentry
 
 let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
-    ?(coarse_dir_locks = false) ?(euid = 1000) ?(egid = 1000) layout =
+    ?(coarse_dir_locks = false) ?(striped_locks = false) ?(rcache = false)
+    ?shared ?(euid = 1000) ?(egid = 1000) layout =
+  (* [shared] joins an existing mount's shared-DRAM state; otherwise the
+     requested feature flags shape a fresh registry/cache *)
+  let locks, rc =
+    match shared with
+    | Some (locks, rc) -> (locks, rc)
+    | None ->
+        ( Locks.create ~striped:striped_locks (),
+          if rcache then Some (Rcache.create ()) else None )
+  in
   let fs =
     {
       layout;
       region = layout.Layout.region;
-      locks = Locks.create ();
+      locks;
       openfiles = Openfile.create ();
       euid;
       egid;
       call_mode;
       relaxed_writes;
       coarse_dir_locks;
+      rcache = rc;
       crash_hook = ignore;
       logical_time = 0;
       eio_returns = 0;
@@ -123,7 +137,18 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
           float_of_int inodes.Simurgh_alloc.Slab_alloc.live );
         ("alloc/fentries_live", float_of_int fes.Simurgh_alloc.Slab_alloc.live);
         ("faults/eio_returns", float_of_int fs.eio_returns);
-      ]);
+      ]
+      @
+      match fs.rcache with
+      | None -> []
+      | Some rc ->
+          let s = Rcache.stats rc in
+          [
+            ("rcache/hits", float_of_int s.Rcache.hits);
+            ("rcache/misses", float_of_int s.Rcache.misses);
+            ("rcache/inserts", float_of_int s.Rcache.inserts);
+            ("rcache/invalidations", float_of_int s.Rcache.invalidations);
+          ]);
   fs
 
 (* Shared-DRAM state per region (paper Section 4: concurrent processes
@@ -132,50 +157,60 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
    the lock registry, otherwise two "processes" would hand out the same
    metadata objects.  The state lives in the region's user slot, so its
    lifetime is exactly the region's (no global registry to leak). *)
-exception Shared_state of Layout.t * Locks.t
+exception Shared_state of Layout.t * Locks.t * Rcache.t option
 
 let lookup_shared region =
   match Region.user_slot region with
-  | Some (Shared_state (layout, locks)) -> Some (layout, locks)
+  | Some (Shared_state (layout, locks, rc)) -> Some (layout, locks, rc)
   | Some _ | None -> None
 
-let register_shared region layout locks =
-  Region.set_user_slot region (Some (Shared_state (layout, locks)))
+let register_shared region layout locks rcache =
+  Region.set_user_slot region (Some (Shared_state (layout, locks, rcache)))
+
+(* [alloc_caches] turns on the allocators' per-thread structures; they
+   hang off the (shared) layout, so one enable covers every mount. *)
+let enable_alloc_caches layout =
+  Simurgh_alloc.Block_alloc.set_thread_segments layout.Layout.balloc true;
+  Simurgh_alloc.Slab_alloc.set_thread_caches layout.Layout.inode_slab true;
+  Simurgh_alloc.Slab_alloc.set_thread_caches layout.Layout.fentry_slab true
 
 (** Format a fresh region and return a mounted file system. *)
 let mkfs ?(cores = 10) ?segments ?call_mode ?relaxed_writes ?coarse_dir_locks
-    ?euid ?egid region =
+    ?striped_locks ?rcache ?(alloc_caches = false) ?euid ?egid region =
   let layout = Layout.format ?segments region ~cores in
   make_root layout;
   let fs =
-    of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid layout
+    of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks
+      ?rcache ?euid ?egid layout
   in
-  register_shared region layout fs.locks;
+  if alloc_caches then enable_alloc_caches layout;
+  register_shared region layout fs.locks fs.rcache;
   (* the FS is live from here: only a clean [unmount] sets the flag
      back, so a crash leaves it clear and forces full recovery *)
   Layout.set_clean_shutdown layout false;
   fs
 
 (** Attach to an already-formatted region: a second mount of a region
-    joins the existing shared-DRAM state (allocator caches, locks), so
-    independent "processes" cooperate exactly as the paper describes;
-    only the open-file map and the credentials are per-process.  Crash
-    recovery is in {!Recovery}. *)
-let mount ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid region =
+    joins the existing shared-DRAM state (allocator caches, locks,
+    resolve cache), so independent "processes" cooperate exactly as the
+    paper describes; only the open-file map and the credentials are
+    per-process.  Crash recovery is in {!Recovery}. *)
+let mount ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks ?rcache
+    ?(alloc_caches = false) ?euid ?egid region =
   match lookup_shared region with
-  | Some (layout, locks) ->
-      let fs =
-        of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid
-          layout
-      in
-      { fs with locks }
+  | Some (layout, locks, rc) ->
+      (* joining mounts inherit the shared structures; the feature flags
+         of the first mount win *)
+      of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks
+        ~shared:(locks, rc) ?euid ?egid layout
   | None ->
       let layout = Layout.attach region in
       let fs =
-        of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?euid ?egid
-          layout
+        of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks
+          ?rcache ?euid ?egid layout
       in
-      register_shared region layout fs.locks;
+      if alloc_caches then enable_alloc_caches layout;
+      register_shared region layout fs.locks fs.rcache;
       Layout.set_clean_shutdown layout false;
       fs
 
@@ -189,6 +224,7 @@ let region t = t.region
 let layout t = t.layout
 let locks t = t.locks
 let locks_of t = t.locks
+let rcache_of t = t.rcache
 let set_crash_hook t f = t.crash_hook <- f
 let set_creds t ~euid ~egid =
   t.euid <- euid;
@@ -293,6 +329,28 @@ let dir_lookup ?ctx t (d : dirref) comp =
   Charge.cpu ?ctx 40.0 (* name hash + compare *);
   found
 
+(* Resolution-path lookup: consult the resolve cache first (one DRAM
+   probe on a hit instead of an NVMM row scan), fall back to the row
+   scan and warm the cache.  Mutating paths keep calling {!dir_lookup}
+   directly — they must observe the rows, not the cache. *)
+let dir_lookup_fe ?ctx t (d : dirref) comp =
+  match t.rcache with
+  | None -> (
+      match dir_lookup ?ctx t d comp with
+      | None -> None
+      | Some (_, _, _, fe) -> Some fe)
+  | Some rc -> (
+      match Rcache.lookup rc ~dir:d.dhead comp with
+      | Some fe ->
+          Charge.cpu ?ctx (cmodel ctx).Simurgh_sim.Cost_model.rcache_hit_cycles;
+          Some fe
+      | None -> (
+          match dir_lookup ?ctx t d comp with
+          | None -> None
+          | Some (_, _, _, fe) ->
+              Rcache.insert rc ~dir:d.dhead comp fe;
+              Some fe))
+
 let max_symlink_depth = 8
 
 (* Resolve the parent directory of [path]; returns the dirref and the
@@ -308,9 +366,9 @@ let rec resolve_parent ?ctx ?(depth = 0) t path =
         | [] -> walk [] d rest (* root/.. = root *))
     | comp :: rest -> (
         check_perm t (Fentry.target t.region d.dfentry) ~want:1;
-        match dir_lookup ?ctx t d comp with
+        match dir_lookup_fe ?ctx t d comp with
         | None -> Errno.raise_ ENOENT path
-        | Some (_, _, _, fe) ->
+        | Some fe ->
             if Fentry.is_dir t.region fe then
               walk (d :: stack)
                 { dfentry = fe; dhead = Fentry.dirblock t.region fe }
@@ -348,9 +406,9 @@ let rec resolve ?ctx ?(follow = true) ?(depth = 0) t path =
   else begin
     let d, final = resolve_parent ?ctx t path in
     check_perm t (Fentry.target t.region d.dfentry) ~want:1;
-    match dir_lookup ?ctx t d final with
+    match dir_lookup_fe ?ctx t d final with
     | None -> Errno.raise_ ENOENT path
-    | Some (_, _, _, fe) ->
+    | Some fe ->
         if follow && Fentry.is_symlink t.region fe then
           resolve ?ctx ~follow ~depth:(depth + 1) t
             (read_symlink_target t fe)
@@ -369,52 +427,172 @@ let set_row_busy ?ctx t (d : dirref) row v =
   Dirblock.set_busy t.region d.dhead row v;
   Charge.write_lines ?ctx 1
 
+(* --- resolve-cache maintenance ------------------------------------------- *)
+
+let rcache_insert t (d : dirref) name fe =
+  match t.rcache with
+  | None -> ()
+  | Some rc -> Rcache.insert rc ~dir:d.dhead name fe
+
+let rcache_invalidate t (d : dirref) name =
+  match t.rcache with
+  | None -> ()
+  | Some rc -> Rcache.invalidate rc ~dir:d.dhead name
+
+(* A directory died: kill every cached child at once (generation bump). *)
+let rcache_invalidate_dir t dhead =
+  match t.rcache with
+  | None -> ()
+  | Some rc -> Rcache.invalidate_dir rc dhead
+
+(* Striped mode: the single persistent rename-log slot of a directory is
+   a genuinely directory-global resource; serialize the write..clear
+   window.  Legacy mode needs no extra lock — the (coarser) row/append
+   locking already serializes conflicting renames. *)
+let with_log_lock ?ctx t dir f =
+  if Locks.striped t.locks then
+    (* the held window is a short exclusive persistent sequence: charge
+       its line writes as posted ntstores so a saturated device queue
+       does not convoy every rename behind the directory-global lock *)
+    Charge.with_spin ?ctx (Locks.log_lock t.locks dir) (fun () ->
+        Charge.posted ?ctx f)
+  else f ()
+
+(* Chain-structure mutations (linking/unlinking hash blocks).  Legacy
+   mode uses the per-directory append lock; striped mode a dedicated
+   short chain lock, because the append locks are per-row there. *)
+let chain_guard ?ctx t dir f =
+  if Locks.striped t.locks then
+    Charge.with_spin ?ctx (Locks.chain_lock t.locks dir) f
+  else Charge.with_spin ?ctx (Locks.dir_append_lock t.locks dir) f
+
 (* --- create -------------------------------------------------------------- *)
 
-(* Insert [fentry] into the row of [name] in directory [d], growing the
-   chain when the row is full (Fig. 5a steps 3-5). *)
-let insert_entry ?ctx t (d : dirref) ~name:n fentry =
-  let hash = Name_hash.hash n in
+(* Striped mode: find — growing the chain when the row is full — a free
+   slot for [hash]'s row, without writing it.  The caller must hold the
+   row lock of that row; since every mutator of a row takes its lock
+   first, the returned slot stays free until the caller fills it (chain
+   growth by other rows only adds slots).  Separating the search from
+   the write lets rename reserve its destination slot ahead of the log
+   window, so the directory-global log lock covers only the short
+   persistent rename sequence, never a chain scan. *)
+let rec striped_reserve ?ctx t (d : dirref) ~hash =
   let lock_row = Dirblock.lock_row_of_hash hash in
   let slot_ref, hops, last =
     Dirblock.find_free_slot t.region ~head:d.dhead ~hash
   in
   Charge.read_lines ?ctx (hops + 1);
   match slot_ref with
-  | Some (blk, row, s) ->
+  | Some s ->
       hook t "insert:slot";
-      Dirblock.set_slot t.region blk row s fentry;
-      Charge.write_lines ?ctx 1
-  | None ->
-      (* Fig. 5a: set the busy flag of the whole line, create a new hash
-         block, link it, then persist the new entry's pointer. *)
+      s
+  | None -> (
       set_row_busy ?ctx t d lock_row true;
       hook t "insert:busy";
-      Charge.with_spin ?ctx (Locks.dir_append_lock t.locks d.dhead)
-        (fun () ->
-          (* re-check under the append lock: another process may have
-             extended the chain meanwhile *)
-          let slot_ref', hops', last' =
-            Dirblock.find_free_slot t.region ~head:last ~hash
-          in
-          Charge.read_lines ?ctx (hops' + 1);
-          match slot_ref' with
-          | Some (blk, row, s) ->
-              Dirblock.set_slot t.region blk row s fentry;
-              Charge.write_lines ?ctx 1
-          | None ->
-              let new_rows =
-                min Dirblock.max_rows (2 * Dirblock.rows t.region last')
-              in
-              let nb = alloc_dirblock ?ctx t ~rows:new_rows in
-              hook t "insert:newblock";
-              Dirblock.set_next t.region last' nb;
-              Charge.write_lines ?ctx 2;
-              hook t "insert:link";
-              Dirblock.set_slot t.region nb (hash mod new_rows) 0 fentry;
-              Charge.write_lines ?ctx 1);
+      let reserved =
+        Charge.with_spin ?ctx
+          (Locks.dir_append_lock ~row:lock_row t.locks d.dhead)
+          (fun () ->
+            (* re-check under the row's append lock: the chain may have
+               grown meanwhile *)
+            let slot_ref', hops', last' =
+              Dirblock.find_free_slot t.region ~head:last ~hash
+            in
+            Charge.read_lines ?ctx (hops' + 1);
+            match slot_ref' with
+            | Some s -> Some s
+            | None ->
+                (* grow: allocate and initialize the new block outside
+                   the chain lock, link under it *)
+                let new_rows =
+                  min Dirblock.max_rows (2 * Dirblock.rows t.region last')
+                in
+                let nb = alloc_dirblock ?ctx t ~rows:new_rows in
+                hook t "insert:newblock";
+                let linked =
+                  chain_guard ?ctx t d.dhead (fun () ->
+                      if Dirblock.next t.region last' = 0 then begin
+                        Dirblock.set_next t.region last' nb;
+                        Charge.write_lines ?ctx 2;
+                        true
+                      end
+                      else false)
+                in
+                if linked then begin
+                  hook t "insert:link";
+                  Some (nb, hash mod new_rows, 0)
+                end
+                else begin
+                  (* lost the link race: another row extended the chain
+                     after our re-check.  Return our block and rescan —
+                     the freshly linked block has a free slot in our
+                     row, so the retry terminates. *)
+                  free_dirblock ?ctx t nb;
+                  None
+                end)
+      in
       hook t "insert:unbusy";
-      set_row_busy ?ctx t d lock_row false
+      set_row_busy ?ctx t d lock_row false;
+      match reserved with
+      | Some s -> s
+      | None -> striped_reserve ?ctx t d ~hash)
+
+(* Insert [fentry] into the row of [name] in directory [d], growing the
+   chain when the row is full (Fig. 5a steps 3-5). *)
+let insert_entry ?ctx t (d : dirref) ~name:n fentry =
+  let hash = Name_hash.hash n in
+  let lock_row = Dirblock.lock_row_of_hash hash in
+  if not (Locks.striped t.locks) then begin
+    (* legacy path: every row-full insert of a directory serializes on
+       one chain-extension lock *)
+    let slot_ref, hops, last =
+      Dirblock.find_free_slot t.region ~head:d.dhead ~hash
+    in
+    Charge.read_lines ?ctx (hops + 1);
+    match slot_ref with
+    | Some (blk, row, s) ->
+        hook t "insert:slot";
+        Dirblock.set_slot t.region blk row s fentry;
+        Charge.write_lines ?ctx 1
+    | None ->
+        (* Fig. 5a: set the busy flag of the whole line, create a new hash
+           block, link it, then persist the new entry's pointer. *)
+        set_row_busy ?ctx t d lock_row true;
+        hook t "insert:busy";
+        Charge.with_spin ?ctx (Locks.dir_append_lock t.locks d.dhead)
+          (fun () ->
+            (* re-check under the append lock: another process may have
+               extended the chain meanwhile *)
+            let slot_ref', hops', last' =
+              Dirblock.find_free_slot t.region ~head:last ~hash
+            in
+            Charge.read_lines ?ctx (hops' + 1);
+            match slot_ref' with
+            | Some (blk, row, s) ->
+                Dirblock.set_slot t.region blk row s fentry;
+                Charge.write_lines ?ctx 1
+            | None ->
+                let new_rows =
+                  min Dirblock.max_rows (2 * Dirblock.rows t.region last')
+                in
+                let nb = alloc_dirblock ?ctx t ~rows:new_rows in
+                hook t "insert:newblock";
+                Dirblock.set_next t.region last' nb;
+                Charge.write_lines ?ctx 2;
+                hook t "insert:link";
+                Dirblock.set_slot t.region nb (hash mod new_rows) 0 fentry;
+                Charge.write_lines ?ctx 1);
+        hook t "insert:unbusy";
+        set_row_busy ?ctx t d lock_row false
+  end
+  else begin
+    (* striped path: row-full inserts of different rows proceed in
+       parallel under per-row append locks; only the physical link of a
+       new hash block takes the (short) directory-global chain lock *)
+    let blk, row, s = striped_reserve ?ctx t d ~hash in
+    Dirblock.set_slot t.region blk row s fentry;
+    Charge.write_lines ?ctx 1
+  end
 
 let create_at ?ctx t (d : dirref) ~name:n ~kind ~perm ~target_inode =
   if String.length n > Fentry.name_max then Errno.raise_ ENAMETOOLONG n;
@@ -464,6 +642,7 @@ let create_at ?ctx t (d : dirref) ~name:n ~kind ~perm ~target_inode =
       | None -> Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.inode_slab inode);
       Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.fentry_slab fe;
       hook t "create:commit";
+      rcache_insert t d n fe;
       fe)
 
 let create_file ?ctx t ?(perm = 0o644) path =
@@ -771,8 +950,13 @@ let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
             Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.inode_slab inode;
             Locks.drop_file_lock t.locks inode;
             (* the directory is gone: reclaim its row/append locks so the
-               volatile registries do not grow without bound *)
-            if is_dir then Locks.drop_dir_locks t.locks ~dir:dirhead
+               volatile registries do not grow without bound, and bump
+               its resolve-cache generation (the head address may be
+               recycled by a future directory) *)
+            if is_dir then begin
+              Locks.drop_dir_locks t.locks ~dir:dirhead;
+              rcache_invalidate_dir t dirhead
+            end
           end;
           hook t "unlink:inode";
           (* step 4: file entry zeroed *)
@@ -781,10 +965,11 @@ let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
           (* step 5: slot pointer zeroed *)
           Dirblock.set_slot t.region blk entry_row s 0;
           Charge.write_lines ?ctx 1;
+          rcache_invalidate t d n;
           hook t "unlink:slot";
           (* step 6 (optional): free an empty non-head hash block *)
           if blk <> d.dhead && Dirblock.block_empty t.region blk then begin
-            Charge.with_spin ?ctx (Locks.dir_append_lock t.locks d.dhead)
+            chain_guard ?ctx t d.dhead
               (fun () ->
                 (* find predecessor and unlink *)
                 let rec pred p =
@@ -858,31 +1043,52 @@ let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
             Fentry.set_dirblock t.region nfe (Fentry.dirblock t.region ofe);
           Charge.write_lines ?ctx 2;
           hook t "rename:shadow";
-          (* step 3-4: mark the hash block and the old line busy *)
-          Dirblock.Log.write t.region d.dhead ~src:d.dhead ~dst:d.dhead
-            ~fentry:ofe ~new_entry:nfe;
-          set_row_busy ?ctx t d old_row true;
-          Charge.write_lines ?ctx 2;
-          hook t "rename:log";
-          (* step 5: old slot now points to the shadow (hash mismatch) *)
-          Dirblock.set_slot t.region oblk orow oslot nfe;
-          Charge.write_lines ?ctx 1;
-          hook t "rename:swap";
-          (* step 6: the old file entry is no longer needed *)
-          Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.fentry_slab ofe;
-          hook t "rename:oldfree";
-          (* step 7: pointer in the new line *)
-          insert_entry ?ctx t d ~name:new_n nfe;
-          hook t "rename:newslot";
-          (* step 8: remove the mismatched pointer from the old line *)
-          Dirblock.set_slot t.region oblk orow oslot 0;
-          Charge.write_lines ?ctx 1;
-          hook t "rename:oldslot";
-          Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.fentry_slab nfe;
-          set_row_busy ?ctx t d old_row false;
-          Dirblock.Log.clear t.region d.dhead;
-          Charge.write_lines ?ctx 2;
-          hook t "rename:done")
+          (* striped mode: reserve the destination slot before the log
+             window (the held row lock keeps it free), so the
+             directory-global log lock covers only the short persistent
+             rename sequence below, never a chain scan *)
+          let reserved =
+            if Locks.striped t.locks then
+              Some (striped_reserve ?ctx t d ~hash:(Name_hash.hash new_n))
+            else None
+          in
+          (* the directory's single persistent log slot is held from
+             write to clear *)
+          with_log_lock ?ctx t d.dhead (fun () ->
+              (* step 3-4: mark the hash block and the old line busy *)
+              Dirblock.Log.write t.region d.dhead ~src:d.dhead ~dst:d.dhead
+                ~fentry:ofe ~new_entry:nfe;
+              set_row_busy ?ctx t d old_row true;
+              Charge.write_lines ?ctx 2;
+              hook t "rename:log";
+              (* step 5: old slot now points to the shadow (hash
+                 mismatch) *)
+              Dirblock.set_slot t.region oblk orow oslot nfe;
+              Charge.write_lines ?ctx 1;
+              hook t "rename:swap";
+              (* step 6: the old file entry is no longer needed *)
+              Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.fentry_slab
+                ofe;
+              hook t "rename:oldfree";
+              (* step 7: pointer in the new line *)
+              (match reserved with
+              | Some (blk, row, s) ->
+                  Dirblock.set_slot t.region blk row s nfe;
+                  Charge.write_lines ?ctx 1
+              | None -> insert_entry ?ctx t d ~name:new_n nfe);
+              hook t "rename:newslot";
+              (* step 8: remove the mismatched pointer from the old line *)
+              Dirblock.set_slot t.region oblk orow oslot 0;
+              Charge.write_lines ?ctx 1;
+              hook t "rename:oldslot";
+              Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.fentry_slab
+                nfe;
+              set_row_busy ?ctx t d old_row false;
+              Dirblock.Log.clear t.region d.dhead;
+              Charge.write_lines ?ctx 2;
+              hook t "rename:done");
+          rcache_invalidate t d old_n;
+          rcache_insert t d new_n nfe)
 
 (* Cross-directory rename: one log entry in the source directory marks
    the transaction (paper Fig. 5 text). *)
@@ -923,29 +1129,46 @@ let rename_cross_dir ?ctx t (ds : dirref) ~old_n (dd : dirref) ~new_n =
             Fentry.set_dirblock t.region nfe (Fentry.dirblock t.region ofe);
           Charge.write_lines ?ctx 2;
           hook t "xrename:shadow";
-          (* step 1-2: the operation recorded in the source log entry *)
-          Dirblock.Log.write t.region ds.dhead ~src:ds.dhead ~dst:dd.dhead
-            ~fentry:ofe ~new_entry:nfe;
-          Charge.write_lines ?ctx 2;
-          hook t "xrename:log";
-          (* step 3: both rows busy *)
-          set_row_busy ?ctx t ds src_row true;
-          set_row_busy ?ctx t dd dst_row true;
-          hook t "xrename:busy";
-          (* step 4: perform — link destination, clear source *)
-          insert_entry ?ctx t dd ~name:new_n nfe;
-          hook t "xrename:dstslot";
-          Dirblock.set_slot t.region oblk orow oslot 0;
-          Charge.write_lines ?ctx 1;
-          hook t "xrename:srcslot";
-          Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.fentry_slab ofe;
-          Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.fentry_slab nfe;
-          hook t "xrename:oldfree";
-          set_row_busy ?ctx t ds src_row false;
-          set_row_busy ?ctx t dd dst_row false;
-          Dirblock.Log.clear t.region ds.dhead;
-          Charge.write_lines ?ctx 2;
-          hook t "xrename:done")
+          (* striped mode: reserve the destination slot ahead of the log
+             window, as in [rename_same_dir] *)
+          let reserved =
+            if Locks.striped t.locks then
+              Some (striped_reserve ?ctx t dd ~hash:(Name_hash.hash new_n))
+            else None
+          in
+          with_log_lock ?ctx t ds.dhead (fun () ->
+              (* step 1-2: the operation recorded in the source log
+                 entry *)
+              Dirblock.Log.write t.region ds.dhead ~src:ds.dhead ~dst:dd.dhead
+                ~fentry:ofe ~new_entry:nfe;
+              Charge.write_lines ?ctx 2;
+              hook t "xrename:log";
+              (* step 3: both rows busy *)
+              set_row_busy ?ctx t ds src_row true;
+              set_row_busy ?ctx t dd dst_row true;
+              hook t "xrename:busy";
+              (* step 4: perform — link destination, clear source *)
+              (match reserved with
+              | Some (blk, row, s) ->
+                  Dirblock.set_slot t.region blk row s nfe;
+                  Charge.write_lines ?ctx 1
+              | None -> insert_entry ?ctx t dd ~name:new_n nfe);
+              hook t "xrename:dstslot";
+              Dirblock.set_slot t.region oblk orow oslot 0;
+              Charge.write_lines ?ctx 1;
+              hook t "xrename:srcslot";
+              Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.fentry_slab
+                ofe;
+              Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.fentry_slab
+                nfe;
+              hook t "xrename:oldfree";
+              set_row_busy ?ctx t ds src_row false;
+              set_row_busy ?ctx t dd dst_row false;
+              Dirblock.Log.clear t.region ds.dhead;
+              Charge.write_lines ?ctx 2;
+              hook t "xrename:done");
+          rcache_invalidate t ds old_n;
+          rcache_insert t dd new_n nfe)
 
 let rename ?ctx t old_path new_path =
   entry_charge ?ctx t;
@@ -1067,6 +1290,7 @@ let with_read_lock ?ctx t inode f =
 let pwrite ?ctx t fd ~pos src =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  if pos < 0 then Errno.raise_ EINVAL (Printf.sprintf "pwrite pos %d" pos);
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
   with_write_lock ?ctx t e.Openfile.inode (fun () ->
@@ -1086,6 +1310,8 @@ let append ?ctx t fd src =
 let pread ?ctx t fd ~pos ~len =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  if pos < 0 then Errno.raise_ EINVAL (Printf.sprintf "pread pos %d" pos);
+  if len < 0 then Errno.raise_ EINVAL (Printf.sprintf "pread len %d" len);
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Wronly then Errno.raise_ EBADF "write-only fd";
   with_read_lock ?ctx t e.Openfile.inode (fun () ->

@@ -5,76 +5,141 @@
     exclusion and the contention accounting.  Per-file read/write locks
     implement the paper's "read/write lock per file ... exclusive writes
     while allowing concurrent reads", with a relaxed mode that disables
-    them (Fig. 7k "relaxed"). *)
+    them (Fig. 7k "relaxed").
+
+    The registries themselves are striped: keys hash to one of
+    {!nstripes} independent sub-tables, so registry lookups from
+    different threads touch different stripes instead of one global
+    structure (in the real system each stripe carries its own guard
+    lock; here the striping keeps the shared-DRAM model honest and the
+    size accounting per-stripe).
+
+    [striped] additionally stripes the {e append} serialization of one
+    directory: instead of a single chain-extension lock per directory,
+    each hash row gets its own append lock, and only the two genuinely
+    directory-global actions keep a (short) global lock — physically
+    linking a new hash block into the chain ({!chain_lock}) and writing
+    the directory's single persistent rename-log entry ({!log_lock}). *)
 
 open Simurgh_sim
 
-type t = {
+type stripe = {
   row_locks : (int * int, Vlock.Spin.t) Hashtbl.t;
       (** (first dir block, row) -> spin lock *)
   file_locks : (int, Vlock.Rw.t) Hashtbl.t;  (** inode pptr -> rwlock *)
-  dir_append_locks : (int, Vlock.Spin.t) Hashtbl.t;
-      (** first dir block -> chain-extension lock *)
+  append_locks : (int * int, Vlock.Spin.t) Hashtbl.t;
+      (** (first dir block, row) -> append lock; legacy mode keys
+          everything under row 0 (one chain-extension lock per dir) *)
+  aux_locks : (int * int, Vlock.Spin.t) Hashtbl.t;
+      (** striped mode only: (dir, 0) = chain-link lock,
+          (dir, 1) = rename-log lock *)
 }
 
-let create () =
+type t = {
+  striped : bool;
+  stripes : stripe array;
+}
+
+let nstripes = 16
+
+let create ?(striped = false) () =
   {
-    row_locks = Hashtbl.create 256;
-    file_locks = Hashtbl.create 256;
-    dir_append_locks = Hashtbl.create 64;
+    striped;
+    stripes =
+      Array.init nstripes (fun _ ->
+          {
+            row_locks = Hashtbl.create 64;
+            file_locks = Hashtbl.create 64;
+            append_locks = Hashtbl.create 16;
+            aux_locks = Hashtbl.create 16;
+          });
   }
 
-let clear t =
-  Hashtbl.reset t.row_locks;
-  Hashtbl.reset t.file_locks;
-  Hashtbl.reset t.dir_append_locks
+let striped t = t.striped
 
-let row_lock t ~dir ~row =
-  match Hashtbl.find_opt t.row_locks (dir, row) with
+let stripe_of t key = t.stripes.(Hashtbl.hash key land (nstripes - 1))
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Hashtbl.reset s.row_locks;
+      Hashtbl.reset s.file_locks;
+      Hashtbl.reset s.append_locks;
+      Hashtbl.reset s.aux_locks)
+    t.stripes
+
+let find_or_create tbl key make =
+  match Hashtbl.find_opt tbl key with
   | Some l -> l
   | None ->
-      let l = Vlock.Spin.create ~site:"dir-row" () in
-      Hashtbl.replace t.row_locks (dir, row) l;
+      let l = make () in
+      Hashtbl.replace tbl key l;
       l
 
+let row_lock t ~dir ~row =
+  let key = (dir, row) in
+  find_or_create (stripe_of t key).row_locks key (fun () ->
+      Vlock.Spin.create ~site:"dir-row" ())
+
 let file_lock t inode =
-  match Hashtbl.find_opt t.file_locks inode with
-  | Some l -> l
-  | None ->
+  find_or_create (stripe_of t inode).file_locks inode (fun () ->
       (* striped readers: Simurgh keeps per-core reader indicators in
          shared DRAM, so concurrent readers of one file do not serialize
          on a counter line *)
-      let l = Vlock.Rw.create ~striped:true () in
-      Hashtbl.replace t.file_locks inode l;
-      l
+      Vlock.Rw.create ~striped:true ())
 
-let dir_append_lock t dir =
-  match Hashtbl.find_opt t.dir_append_locks dir with
-  | Some l -> l
-  | None ->
-      let l = Vlock.Spin.create ~site:"dir-append" () in
-      Hashtbl.replace t.dir_append_locks dir l;
-      l
+(** Chain-extension serialization for an insert into [row] of directory
+    [dir].  Legacy mode: one lock for the whole directory (every row-full
+    insert funnels through it).  Striped mode: one lock per hash row. *)
+let dir_append_lock ?(row = 0) t dir =
+  let key = (dir, if t.striped then row else 0) in
+  find_or_create (stripe_of t key).append_locks key (fun () ->
+      Vlock.Spin.create ~site:"dir-append" ())
 
-let drop_file_lock t inode = Hashtbl.remove t.file_locks inode
+(** Striped mode: short directory-global lock held only while physically
+    linking a freshly initialized hash block into the chain. *)
+let chain_lock t dir =
+  let key = (dir, 0) in
+  find_or_create (stripe_of t key).aux_locks key (fun () ->
+      Vlock.Spin.create ~site:"dir-chain" ())
 
-(** Reclaim every lock belonging to a deleted directory (its row locks
-    and its chain-extension lock).  Without this the registries grow
+(** Striped mode: serializes the directory's single persistent
+    rename-log entry (the first hash block has exactly one log slot). *)
+let log_lock t dir =
+  let key = (dir, 1) in
+  find_or_create (stripe_of t key).aux_locks key (fun () ->
+      Vlock.Spin.create ~site:"dir-log" ())
+
+let drop_file_lock t inode =
+  Hashtbl.remove (stripe_of t inode).file_locks inode
+
+(** Reclaim every lock belonging to a deleted directory (its row locks,
+    append locks and chain/log locks).  Without this the registries grow
     without bound: rmdir used to leave all of them behind, so a
     create/remove-heavy workload leaked one spin lock per touched hash
     row forever. *)
 let drop_dir_locks t ~dir =
-  Hashtbl.remove t.dir_append_locks dir;
-  let doomed =
-    Hashtbl.fold
-      (fun ((d, _) as key) _ acc -> if d = dir then key :: acc else acc)
-      t.row_locks []
+  let drop_keyed tbl =
+    let doomed =
+      Hashtbl.fold
+        (fun ((d, _) as key) _ acc -> if d = dir then key :: acc else acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove tbl) doomed
   in
-  List.iter (Hashtbl.remove t.row_locks) doomed
+  Array.iter
+    (fun s ->
+      drop_keyed s.row_locks;
+      drop_keyed s.append_locks;
+      drop_keyed s.aux_locks)
+    t.stripes
 
-(** Registry sizes (row, file, dir-append) — reported through the
-    observability snapshot so leaks are visible. *)
+(** Registry sizes (row, file, dir-append incl. chain/log) — reported
+    through the observability snapshot so leaks are visible. *)
 let sizes t =
-  ( Hashtbl.length t.row_locks,
-    Hashtbl.length t.file_locks,
-    Hashtbl.length t.dir_append_locks )
+  Array.fold_left
+    (fun (r, f, a) s ->
+      ( r + Hashtbl.length s.row_locks,
+        f + Hashtbl.length s.file_locks,
+        a + Hashtbl.length s.append_locks + Hashtbl.length s.aux_locks ))
+    (0, 0, 0) t.stripes

@@ -1,0 +1,108 @@
+(** Simurgh-side DRAM resolve cache.
+
+    Kernel file systems resolve shared path prefixes through the dcache
+    (Fig. 7e/7f); seed Simurgh resolved every component by scanning
+    directory hash rows in NVMM.  This cache short-circuits that scan:
+    a hit maps (parent directory head, component) straight to the file
+    entry with one DRAM hash probe and {e no} per-dentry lockref
+    traffic — which is exactly why the user-level cache scales where the
+    kernel one collapses.
+
+    Consistency is generation-based.  Every directory (keyed by its
+    first hash block, the same identity the lock registry uses) has a
+    volatile generation number; an entry records the generation seen at
+    insert time and is valid only while it still matches.  Name-level
+    mutations (unlink, rename) both remove the exact key and leave the
+    sibling entries alone; directory-level teardown (rmdir, recovery)
+    bumps the generation, which kills every cached child at once — and,
+    because generations are never reset, also protects against a freed
+    first-block address being reused by a new directory.
+
+    The table lives in shared DRAM (it travels with {!Fs.mount}'s shared
+    state), so an unlink in one process invalidates the entry for all of
+    them, matching the paper's shared-DRAM coordination model.  All
+    mutations happen inside FS operations, which are atomic in the
+    virtual-time engine; the structure itself is host-side and charges
+    nothing — the cost model charge for a hit lives at the call site. *)
+
+type entry = {
+  fe : int;  (** file-entry pptr *)
+  gen : int;  (** parent generation at insert time *)
+}
+
+type t = {
+  table : (int * string, entry) Hashtbl.t;
+      (** (parent first hash block, component) -> entry *)
+  gens : (int, int) Hashtbl.t;  (** dir head -> generation (sticky) *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable invalidations : int;
+}
+
+let create ?(capacity = 1 lsl 16) () =
+  {
+    table = Hashtbl.create 4096;
+    gens = Hashtbl.create 256;
+    capacity;
+    hits = 0;
+    misses = 0;
+    inserts = 0;
+    invalidations = 0;
+  }
+
+let generation t dir =
+  match Hashtbl.find_opt t.gens dir with Some g -> g | None -> 0
+
+let lookup t ~dir name =
+  match Hashtbl.find_opt t.table (dir, name) with
+  | Some e when e.gen = generation t dir ->
+      t.hits <- t.hits + 1;
+      Some e.fe
+  | Some _ ->
+      (* stale generation: reap lazily *)
+      Hashtbl.remove t.table (dir, name);
+      t.misses <- t.misses + 1;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t ~dir name fe =
+  (* cheap epoch flush instead of LRU: the sim working sets are far below
+     any realistic capacity, so hitting the cap at all means a scan-like
+     workload where dropping everything is the right call anyway *)
+  if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
+  t.inserts <- t.inserts + 1;
+  Hashtbl.replace t.table (dir, name) { fe; gen = generation t dir }
+
+(** Name-level invalidation: the entry for [name] under [dir] is gone
+    (unlink, rename source, replaced rename destination). *)
+let invalidate t ~dir name =
+  if Hashtbl.mem t.table (dir, name) then begin
+    Hashtbl.remove t.table (dir, name);
+    t.invalidations <- t.invalidations + 1
+  end
+
+(** Directory-level invalidation: every cached child of [dir] dies.
+    Generations are bumped, never reset, so a later directory reusing
+    the same first-block address can never validate old entries. *)
+let invalidate_dir t dir =
+  Hashtbl.replace t.gens dir (generation t dir + 1);
+  t.invalidations <- t.invalidations + 1
+
+let clear t =
+  (* volatile state rebuild (recovery): entries vanish, generations stay
+     sticky so nothing stale can ever revalidate *)
+  Hashtbl.reset t.table
+
+type stats = { hits : int; misses : int; inserts : int; invalidations : int }
+
+let stats (t : t) : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    inserts = t.inserts;
+    invalidations = t.invalidations;
+  }

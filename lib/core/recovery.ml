@@ -452,7 +452,7 @@ let run ?(skip_log_resolution = false) region =
 let mount_after_crash ?call_mode ?relaxed_writes ?euid ?egid region =
   let layout, report = run region in
   let fs = Fs.of_layout ?call_mode ?relaxed_writes ?euid ?egid layout in
-  Fs.register_shared region layout (Fs.locks_of fs);
+  Fs.register_shared region layout (Fs.locks_of fs) (Fs.rcache_of fs);
   Layout.set_clean_shutdown layout false;
   (fs, report)
 

@@ -15,8 +15,15 @@ let split_parent p =
 
 let basename p = snd (split_parent p)
 
+(** POSIX dirname: the path with its final component removed.  The root
+    (and any spelling of it: "/", "//", "/./") has no final component to
+    remove, so its dirname is "/" rather than an EINVAL from
+    {!split_parent}. *)
 let dirname p =
-  let parents, _ = split_parent p in
-  "/" ^ String.concat "/" parents
+  match split p with
+  | [] -> "/"
+  | comps ->
+      let parents = List.rev (List.tl (List.rev comps)) in
+      "/" ^ String.concat "/" parents
 
 let concat dir name = if dir = "/" then "/" ^ name else dir ^ "/" ^ name

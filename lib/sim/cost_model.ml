@@ -18,6 +18,13 @@ type t = {
       (** VFS layer per-syscall work outside the concrete FS: fd lookup,
           argument checking, generic_file plumbing *)
   dcache_hit_cycles : float;  (** dentry-cache lookup per path component *)
+  dcache_miss_cycles : float;
+      (** failed dentry-cache probe (hash walk that finds nothing) before
+          falling through to the on-media lookup, which is charged
+          separately by the concrete FS *)
+  rcache_hit_cycles : float;
+      (** Simurgh user-level resolve-cache hit: one DRAM hash probe, no
+          kernel lockref traffic (contrast {!dcache_hit_cycles}) *)
   nvmm_read_latency : float;  (** per random cache-line miss *)
   nvmm_meta_read_latency : float;
       (** effective latency of metadata line reads: hot metadata (directory
@@ -45,6 +52,12 @@ let default =
     syscall_cycles = 400.0;
     vfs_dispatch_cycles = 350.0;
     dcache_hit_cycles = 110.0;
+    (* kept equal to the hit cost by default: the historical model charged
+       one blended probe cost on both outcomes, and the published figures
+       are calibrated against that.  Raise it (e.g. in a custom model) to
+       study negative-lookup-heavy workloads. *)
+    dcache_miss_cycles = 110.0;
+    rcache_hit_cycles = 60.0;
     nvmm_read_latency = 750.0 (* ~300 ns *);
     nvmm_meta_read_latency = 200.0 (* blend of LLC hits and media misses *);
     nvmm_write_latency = 250.0 (* ~100 ns to ADR-safe buffer *);

@@ -111,20 +111,46 @@ let nvmm_meta_read_lines ctx n =
       (if dev_done > local_done then dev_done else local_done)
   end
 
-(** [n] random cache-line (non-temporal) writes to NVMM. *)
+(** [n] random cache-line (non-temporal) writes to NVMM.
+
+    In posted mode ({!with_posted_writes}) the thread pays only the
+    local store(-buffer) latency and the device consumes the bandwidth
+    asynchronously — later accessors queue behind the pushed work, so
+    the accounting stays work-conserving.  Outside posted mode the write
+    waits for the device queue as before. *)
 let nvmm_write_lines ctx n =
   if n > 0 then begin
     let cm = cm ctx in
     let lat = float_of_int n *. cm.nvmm_write_latency /. mlp in
     let bytes = n * cm.cacheline in
-    let dev_done =
-      Resource.serve ctx.m.nvmm_write_srv ~now:ctx.thr.Sthread.now
-        ~dur:(float_of_int bytes /. cm.nvmm_write_bw)
-    in
-    let local_done = ctx.thr.Sthread.now +. lat in
-    Sthread.wait_until ctx.thr
-      (if dev_done > local_done then dev_done else local_done)
+    let dur = float_of_int bytes /. cm.nvmm_write_bw in
+    if ctx.thr.Sthread.posted_writes then begin
+      Resource.push_work ctx.m.nvmm_write_srv ~now:ctx.thr.Sthread.now ~dur;
+      Sthread.advance ctx.thr lat
+    end
+    else begin
+      let dev_done =
+        Resource.serve ctx.m.nvmm_write_srv ~now:ctx.thr.Sthread.now ~dur
+      in
+      let local_done = ctx.thr.Sthread.now +. lat in
+      Sthread.wait_until ctx.thr
+        (if dev_done > local_done then dev_done else local_done)
+    end
   end
+
+(** Run [f] with this thread's NVMM line writes charged as posted
+    non-temporal stores.  Meant for short exclusive persistent
+    sequences (a lock-held journal window): a real thread issuing a
+    handful of ntstores inside a critical section stalls on its store
+    buffer, not on the device's whole outstanding queue — charging the
+    FIFO completion wait there would convoy every other thread behind
+    the lock whenever the device is near saturation. *)
+let with_posted_writes ctx f =
+  let prev = ctx.thr.Sthread.posted_writes in
+  ctx.thr.Sthread.posted_writes <- true;
+  Fun.protect
+    ~finally:(fun () -> ctx.thr.Sthread.posted_writes <- prev)
+    f
 
 (** Streaming DRAM traffic (page-cache copies and the like). *)
 let dram_copy ctx bytes =

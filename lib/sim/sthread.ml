@@ -6,10 +6,21 @@ type t = {
   mutable now : float;  (** virtual time, cycles *)
   rng : Rng.t;
   mutable ops : int;  (** operations completed, for throughput reports *)
+  mutable posted_writes : bool;
+      (** when set, NVMM line writes are charged as posted non-temporal
+          stores (local store latency; device bandwidth consumed
+          asynchronously) instead of waiting for the device queue — see
+          {!Machine.with_posted_writes} *)
 }
 
 let create ?(seed = 42L) tid =
-  { tid; now = 0.0; rng = Rng.split (Rng.create seed) tid; ops = 0 }
+  {
+    tid;
+    now = 0.0;
+    rng = Rng.split (Rng.create seed) tid;
+    ops = 0;
+    posted_writes = false;
+  }
 
 let advance t cycles = t.now <- t.now +. cycles
 

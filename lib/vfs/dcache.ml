@@ -65,7 +65,7 @@ let lookup ?ctx t ~parent name =
   | None ->
       t.misses <- t.misses + 1;
       (match ctx with
-      | Some c -> Machine.cpu c (Machine.cm c).Cost_model.dcache_hit_cycles
+      | Some c -> Machine.cpu c (Machine.cm c).Cost_model.dcache_miss_cycles
       | None -> ());
       None
 

@@ -39,6 +39,25 @@ let simurgh ?(relaxed_writes = false) () =
         Fx_simurgh.run machine fs bench ~threads ~ops);
   }
 
+(** Simurgh with the metadata-scalability features on: striped directory
+    locks, per-thread allocator caches and the DRAM resolve cache.  Same
+    on-media layout as {!fresh_simurgh} (only volatile behavior
+    differs), so seed-vs-scaled sweeps isolate the concurrency work. *)
+let fresh_simurgh_scaled ?(region_mb = default_region_mb) () =
+  let region = Simurgh_nvmm.Region.create (region_mb * 1024 * 1024) in
+  Simurgh_core.Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true
+    ~alloc_caches:true region
+
+let simurgh_scaled () =
+  {
+    name = "Simurgh-scaled";
+    run_fx =
+      (fun ?region_mb ~threads ~ops bench ->
+        let fs = fresh_simurgh_scaled ?region_mb () in
+        let machine = Machine.create () in
+        Fx_simurgh.run machine fs bench ~threads ~ops);
+  }
+
 let nova () =
   {
     name = "NOVA";

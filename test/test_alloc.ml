@@ -225,6 +225,89 @@ let prop_slab_states =
         ops;
       S.live_objects s = List.length !live)
 
+(* --- per-thread caches (scaled configuration) ----------------------------- *)
+
+let mk_ctx tid =
+  let m = Simurgh_sim.Machine.create () in
+  Simurgh_sim.Machine.ctx m (Simurgh_sim.Sthread.create tid)
+
+(* With thread affinity on, a thread keeps allocating from the segment
+   its last allocation succeeded in (initially tid mod segments), and
+   moves on only when that segment runs dry. *)
+let test_balloc_thread_affinity () =
+  let _, b = mk_balloc ~segments:4 ~blocks:1024 () in
+  B.set_thread_segments b true;
+  let seg_of addr = (addr - 4096) / 256 / (1024 / 4) in
+  let c1 = mk_ctx 1 and c3 = mk_ctx 3 in
+  let a1 = Option.get (B.alloc ~ctx:c1 b 4) in
+  let a1' = Option.get (B.alloc ~ctx:c1 b 4) in
+  let a3 = Option.get (B.alloc ~ctx:c3 b 4) in
+  Alcotest.(check int) "tid 1 starts in segment 1" 1 (seg_of a1);
+  Alcotest.(check int) "tid 1 stays in segment 1" 1 (seg_of a1');
+  Alcotest.(check int) "tid 3 starts in segment 3" 3 (seg_of a3);
+  (* drain segment 1: the thread must fall over to another segment and
+     re-home there *)
+  let rec drain () =
+    match B.alloc ~ctx:c1 b 4 with
+    | Some a when seg_of a = 1 -> drain ()
+    | Some a -> a
+    | None -> Alcotest.fail "allocator exhausted prematurely"
+  in
+  let moved = drain () in
+  let next = Option.get (B.alloc ~ctx:c1 b 4) in
+  Alcotest.(check int) "re-homed" (seg_of moved) (seg_of next);
+  (* ctx-less callers still use the hint path *)
+  Alcotest.(check bool) "no ctx still works" true (B.alloc b 4 <> None);
+  check_inv b
+
+let test_slab_tcache () =
+  let _, s = mk_slab () in
+  S.set_thread_caches s true;
+  let c0 = mk_ctx 0 and c1 = mk_ctx 1 in
+  (* interleaved allocs from two threads: all distinct, all live *)
+  let take ctx n =
+    List.init n (fun _ ->
+        let p = Option.get (S.alloc ~ctx s) in
+        S.commit ~ctx s p;
+        p)
+  in
+  let p0 = take c0 40 and p1 = take c1 40 in
+  let all = p0 @ p1 in
+  let uniq = List.sort_uniq compare all in
+  Alcotest.(check int) "no double handout" (List.length all)
+    (List.length uniq);
+  Alcotest.(check int) "live" 80 (S.live_objects s);
+  (* free far more than we allocate from one thread: the spill path must
+     return objects to the shared cache, where the other thread can get
+     them again *)
+  List.iter (fun p -> S.free ~ctx:c0 s p) all;
+  Alcotest.(check int) "all freed" 0 (S.live_objects s);
+  let again = take c1 80 in
+  Alcotest.(check int) "recirculated" 80 (List.length (List.sort_uniq compare again));
+  Alcotest.(check int) "live again" 80 (S.live_objects s)
+
+(* rebuild_cache must also clear the per-thread caches: a stale cached
+   address re-handed after recovery would double-allocate *)
+let test_slab_tcache_rebuild () =
+  let _, s = mk_slab () in
+  S.set_thread_caches s true;
+  let c0 = mk_ctx 0 in
+  let p = Option.get (S.alloc ~ctx:c0 s) in
+  S.commit ~ctx:c0 s p;
+  S.free ~ctx:c0 s p;
+  (* p now sits in tid 0's private cache *)
+  S.rebuild_cache s;
+  let n = 32 in
+  let ps =
+    List.init n (fun _ ->
+        let q = Option.get (S.alloc ~ctx:c0 s) in
+        S.commit ~ctx:c0 s q;
+        q)
+  in
+  Alcotest.(check int) "no duplicates after rebuild" n
+    (List.length (List.sort_uniq compare ps));
+  Alcotest.(check int) "live tracked" n (S.live_objects s)
+
 let () =
   Alcotest.run "alloc"
     [
@@ -253,5 +336,13 @@ let () =
           Alcotest.test_case "reuse after free" `Quick
             test_slab_reuse_after_free;
           QCheck_alcotest.to_alcotest prop_slab_states;
+        ] );
+      ( "thread-caches",
+        [
+          Alcotest.test_case "block segment affinity" `Quick
+            test_balloc_thread_affinity;
+          Alcotest.test_case "slab tcache" `Quick test_slab_tcache;
+          Alcotest.test_case "slab tcache rebuild" `Quick
+            test_slab_tcache_rebuild;
         ] );
     ]

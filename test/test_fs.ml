@@ -22,6 +22,20 @@ let expect_err expected f =
       Alcotest.(check string) "errno" (Errno.to_string expected)
         (Errno.to_string e)
 
+(* The scaled configuration (striped directory locks, per-thread
+   allocator caches, DRAM resolve cache) must be semantically invisible:
+   the whole POSIX suite runs again with every feature on. *)
+let fresh_scaled () =
+  Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true ~alloc_caches:true
+    (fresh_region ())
+
+module Posix_scaled =
+  Fs_suite.Make
+    (Fs)
+    (struct
+      let fresh = fresh_scaled
+    end)
+
 (* --- Simurgh-specific ---------------------------------------------------- *)
 
 let test_remount_persists () =
@@ -250,6 +264,180 @@ let test_lock_registries_reclaimed () =
   Alcotest.(check bool) "row locks reclaimed" true (rows <= rows0 + 3);
   Alcotest.(check bool) "append locks reclaimed" true (appends <= appends0 + 1)
 
+(* --- fd edge cases (regressions) ----------------------------------------- *)
+
+(* pread/pwrite used to treat a negative offset as a huge sparse file
+   region (pwrite) or return garbage (pread); POSIX wants EINVAL *)
+let test_pread_pwrite_negative_args () =
+  let fs = fresh () in
+  Fs.create_file fs "/f";
+  let fd = Fs.openf fs Types.rdwr "/f" in
+  ignore (Fs.append fs fd (Bytes.of_string "abc"));
+  expect_err Errno.EINVAL (fun () ->
+      Fs.pwrite fs fd ~pos:(-1) (Bytes.of_string "x"));
+  expect_err Errno.EINVAL (fun () -> Fs.pread fs fd ~pos:(-1) ~len:1);
+  expect_err Errno.EINVAL (fun () -> Fs.pread fs fd ~pos:0 ~len:(-1));
+  (* the legal calls still work after the rejected ones *)
+  Alcotest.(check string) "intact" "abc"
+    (Bytes.to_string (Fs.pread fs fd ~pos:0 ~len:10));
+  Fs.close fs fd
+
+(* --- scaled configuration ------------------------------------------------- *)
+
+let fsck_clean what region =
+  Alcotest.(check (list string)) what []
+    (List.map Simurgh_core.Check.violation_to_string
+       (Simurgh_core.Check.run region))
+
+(* Enough creates in one directory to overflow every 8-slot hash row of
+   the first block repeatedly: the striped insert path must take its
+   row-full detour (busy flag, append lock, chain growth) many times and
+   still produce a correct, fsck-clean directory. *)
+let test_striped_chain_growth () =
+  let region = fresh_region () in
+  let fs =
+    Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true ~alloc_caches:true region
+  in
+  Fs.mkdir fs "/d";
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    Fs.create_file fs (Printf.sprintf "/d/f%d" i)
+  done;
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "f%d exists" i)
+      true
+      (Fs.exists fs (Printf.sprintf "/d/f%d" i))
+  done;
+  expect_err Errno.EEXIST (fun () -> Fs.create_file fs "/d/f0");
+  for i = 0 to (n / 2) - 1 do
+    Fs.unlink fs (Printf.sprintf "/d/f%d" i)
+  done;
+  Alcotest.(check bool) "unlinked gone" false (Fs.exists fs "/d/f0");
+  Alcotest.(check bool) "kept alive" true
+    (Fs.exists fs (Printf.sprintf "/d/f%d" (n - 1)));
+  fsck_clean "after striped churn" region
+
+let test_striped_rename () =
+  let region = fresh_region () in
+  let fs =
+    Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true ~alloc_caches:true region
+  in
+  Fs.mkdir fs "/s";
+  Fs.mkdir fs "/t";
+  for i = 0 to 99 do
+    Fs.create_file fs (Printf.sprintf "/s/a%d" i)
+  done;
+  (* same-directory renames go through the reserve-then-log fast path *)
+  for i = 0 to 49 do
+    Fs.rename fs (Printf.sprintf "/s/a%d" i) (Printf.sprintf "/s/b%d" i)
+  done;
+  (* cross-directory renames, including replacing an existing target *)
+  Fs.create_file fs "/t/b0";
+  for i = 0 to 49 do
+    Fs.rename fs (Printf.sprintf "/s/b%d" i) (Printf.sprintf "/t/b%d" i)
+  done;
+  for i = 0 to 49 do
+    Alcotest.(check bool) "moved" true
+      (Fs.exists fs (Printf.sprintf "/t/b%d" i));
+    Alcotest.(check bool) "source gone" false
+      (Fs.exists fs (Printf.sprintf "/s/b%d" i))
+  done;
+  Alcotest.(check bool) "untouched tail" true (Fs.exists fs "/s/a99");
+  fsck_clean "after striped renames" region
+
+(* The scaled features are volatile-only: a region written by a scaled
+   mount must read back bit-compatibly through a stock (seed) mount. *)
+let test_striped_layout_compatible () =
+  let region = fresh_region () in
+  let fs =
+    Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true ~alloc_caches:true region
+  in
+  Fs.mkdir fs "/home";
+  Fs.create_file fs "/home/file";
+  let fd = Fs.openf fs Types.wronly "/home/file" in
+  ignore (Fs.append fs fd (Bytes.of_string "same layout"));
+  Fs.close fs fd;
+  Fs.unmount fs;
+  Fs.invalidate_shared region;
+  (* stock mount: no striping, no caches *)
+  let fs2 = Fs.mount ~euid:0 region in
+  let fd = Fs.openf fs2 Types.rdonly "/home/file" in
+  Alcotest.(check string) "data readable by seed mount" "same layout"
+    (Bytes.to_string (Fs.pread fs2 fd ~pos:0 ~len:100));
+  Fs.close fs2 fd;
+  fsck_clean "seed mount of scaled image" region
+
+(* --- resolve cache -------------------------------------------------------- *)
+
+let rcache_of fs =
+  match fs.Fs.rcache with
+  | Some rc -> rc
+  | None -> Alcotest.fail "rcache expected"
+
+(* Name mutations through the FS must never let the resolve cache serve
+   a stale entry. *)
+let test_rcache_fs_invalidation () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true region in
+  Fs.mkdir fs "/d";
+  Fs.create_file fs "/d/a";
+  ignore (Fs.stat fs "/d/a");
+  ignore (Fs.stat fs "/d/a");
+  let s = Simurgh_core.Rcache.stats (rcache_of fs) in
+  Alcotest.(check bool) "repeated resolve hits" true
+    (s.Simurgh_core.Rcache.hits > 0);
+  (* unlink: the cached entry must die with the name *)
+  Fs.unlink fs "/d/a";
+  expect_err Errno.ENOENT (fun () -> Fs.stat fs "/d/a");
+  (* recreate: the fresh file must be served, not the old entry *)
+  Fs.create_file fs "/d/a";
+  let fd = Fs.openf fs Types.wronly "/d/a" in
+  ignore (Fs.append fs fd (Bytes.of_string "new"));
+  Fs.close fs fd;
+  let fd = Fs.openf fs Types.rdonly "/d/a" in
+  Alcotest.(check string) "recreated content" "new"
+    (Bytes.to_string (Fs.pread fs fd ~pos:0 ~len:10));
+  Fs.close fs fd;
+  (* rename: source dies, destination resolves *)
+  Fs.rename fs "/d/a" "/d/b";
+  expect_err Errno.ENOENT (fun () -> Fs.stat fs "/d/a");
+  ignore (Fs.stat fs "/d/b");
+  (* rmdir + fresh directory of the same name: generation bump must kill
+     every cached child of the old one *)
+  Fs.unlink fs "/d/b";
+  Fs.rmdir fs "/d";
+  Fs.mkdir fs "/d";
+  expect_err Errno.ENOENT (fun () -> Fs.stat fs "/d/b")
+
+let test_rcache_unit () =
+  let module Rc = Simurgh_core.Rcache in
+  let rc = Rc.create () in
+  Alcotest.(check (option int)) "cold miss" None (Rc.lookup rc ~dir:7 "a");
+  Rc.insert rc ~dir:7 "a" 100;
+  Alcotest.(check (option int)) "hit" (Some 100) (Rc.lookup rc ~dir:7 "a");
+  Alcotest.(check (option int)) "other dir" None (Rc.lookup rc ~dir:8 "a");
+  Rc.invalidate rc ~dir:7 "a";
+  Alcotest.(check (option int)) "name invalidated" None
+    (Rc.lookup rc ~dir:7 "a");
+  Rc.insert rc ~dir:7 "a" 100;
+  Rc.insert rc ~dir:7 "b" 101;
+  Rc.invalidate_dir rc 7;
+  Alcotest.(check (option int)) "gen bump kills a" None
+    (Rc.lookup rc ~dir:7 "a");
+  Alcotest.(check (option int)) "gen bump kills b" None
+    (Rc.lookup rc ~dir:7 "b");
+  (* inserts after the bump are valid under the new generation *)
+  Rc.insert rc ~dir:7 "a" 200;
+  Alcotest.(check (option int)) "new gen entry" (Some 200)
+    (Rc.lookup rc ~dir:7 "a");
+  (* clear drops entries but generations stay sticky *)
+  Rc.clear rc;
+  Alcotest.(check (option int)) "cleared" None (Rc.lookup rc ~dir:7 "a");
+  let s = Rc.stats rc in
+  Alcotest.(check int) "inserts counted" 4 s.Rc.inserts;
+  Alcotest.(check bool) "invalidations counted" true (s.Rc.invalidations >= 2)
+
 let () =
   Alcotest.run "fs"
     [
@@ -282,5 +470,19 @@ let () =
           Alcotest.test_case "lock registries reclaimed" `Quick
             test_lock_registries_reclaimed;
           QCheck_alcotest.to_alcotest prop_random_file_population;
+        ] );
+      ("posix-scaled", Posix_scaled.suite);
+      ( "scaled",
+        [
+          Alcotest.test_case "pread/pwrite negative args" `Quick
+            test_pread_pwrite_negative_args;
+          Alcotest.test_case "striped chain growth" `Quick
+            test_striped_chain_growth;
+          Alcotest.test_case "striped rename" `Quick test_striped_rename;
+          Alcotest.test_case "striped layout compatible" `Quick
+            test_striped_layout_compatible;
+          Alcotest.test_case "rcache FS invalidation" `Quick
+            test_rcache_fs_invalidation;
+          Alcotest.test_case "rcache unit" `Quick test_rcache_unit;
         ] );
     ]

@@ -173,6 +173,43 @@ let test_json_encoding () =
             ("b", Json.List [ Json.Bool true; Json.Null; Json.Float 1.5 ]);
           ]))
 
+(* --- collect: resolve-cache counter sources ------------------------------ *)
+
+(* Both resolve caches must surface in an experiment snapshot: the
+   kernel baselines register dcache/* and a Simurgh mount with the
+   resolve cache on registers rcache/*. *)
+let test_collect_cache_counters () =
+  Collect.install ();
+  let kfs = Simurgh_baselines.Nova.create () in
+  Simurgh_baselines.Nova.mkdir kfs "/d";
+  Simurgh_baselines.Nova.create_file kfs "/d/f";
+  for _ = 1 to 5 do
+    ignore (Simurgh_baselines.Nova.stat kfs "/d/f")
+  done;
+  let region = Simurgh_nvmm.Region.create (64 * 1024 * 1024) in
+  let fs = Simurgh_core.Fs.mkfs ~euid:0 ~rcache:true region in
+  Simurgh_core.Fs.mkdir fs "/d";
+  Simurgh_core.Fs.create_file fs "/d/f";
+  for _ = 1 to 5 do
+    ignore (Simurgh_core.Fs.stat fs "/d/f")
+  done;
+  let run = Collect.drain () in
+  let names = List.map fst (Metrics.to_list run.Run.counters) in
+  List.iter
+    (fun k -> Alcotest.(check bool) (k ^ " present") true (List.mem k names))
+    [
+      "dcache/hits";
+      "dcache/misses";
+      "rcache/hits";
+      "rcache/misses";
+      "rcache/inserts";
+      "rcache/invalidations";
+    ];
+  Alcotest.(check bool) "dcache hits nonzero" true
+    (Metrics.get run.Run.counters "dcache/hits" > 0.0);
+  Alcotest.(check bool) "rcache hits nonzero" true
+    (Metrics.get run.Run.counters "rcache/hits" > 0.0)
+
 (* --- cli ----------------------------------------------------------------- *)
 
 let known = [ "fig7"; "fig9"; "tab1" ]
@@ -235,6 +272,11 @@ let () =
         [ Alcotest.test_case "site counts" `Quick test_contention_counts ] );
       ("run", [ Alcotest.test_case "merge" `Quick test_run_merge ]);
       ("json", [ Alcotest.test_case "encoding" `Quick test_json_encoding ]);
+      ( "collect",
+        [
+          Alcotest.test_case "cache counters" `Quick
+            test_collect_cache_counters;
+        ] );
       ( "cli",
         [
           Alcotest.test_case "ok" `Quick test_cli_ok;

@@ -51,6 +51,10 @@ let test_rename_schedule_invariant () =
 let test_rw_schedule_invariant () =
   check_invariant (Sched.rw_scenario ~threads:2)
 
+(* the striped-lock shared-directory paths must hold the same bar *)
+let test_striped_schedule_invariant () =
+  List.iter check_invariant (Sched.striped_scenarios ~threads:2)
+
 (* --- race detector ------------------------------------------------------- *)
 
 let test_negative_control_fires () =
@@ -105,6 +109,7 @@ let () =
           Alcotest.test_case "create" `Quick test_create_schedule_invariant;
           Alcotest.test_case "rename" `Quick test_rename_schedule_invariant;
           Alcotest.test_case "read-write" `Quick test_rw_schedule_invariant;
+          Alcotest.test_case "striped" `Quick test_striped_schedule_invariant;
         ] );
       ( "race-detector",
         [

@@ -214,6 +214,31 @@ let test_rw_writer_excludes () =
   Alcotest.(check bool) "writer waits for reader" true
     (t1.Sthread.now >= 1000.0 /. 4.0)
 
+(* Posted ntstores: inside with_posted_writes the writer pays only its
+   local store latency, yet the device still consumes the bandwidth —
+   later FIFO writers queue behind the posted work. *)
+let test_posted_writes () =
+  let m = Machine.create () in
+  let t0 = Sthread.create 0 and t1 = Sthread.create 1 in
+  let c0 = Machine.ctx m t0 and c1 = Machine.ctx m t1 in
+  let cm = Machine.cm c0 in
+  let lines = 64 in
+  Machine.with_posted_writes c0 (fun () ->
+      Alcotest.(check bool) "flag set" true t0.Sthread.posted_writes;
+      Machine.nvmm_write_lines c0 lines);
+  Alcotest.(check bool) "flag restored" false t0.Sthread.posted_writes;
+  (* local latency only: lines * write_latency / mlp(4) *)
+  check_float "local store latency"
+    (float_of_int lines *. cm.Cost_model.nvmm_write_latency /. 4.0)
+    t0.Sthread.now;
+  (* work-conserving: the next FIFO write queues behind the posted debt *)
+  let posted_dur =
+    float_of_int (lines * cm.Cost_model.cacheline) /. cm.Cost_model.nvmm_write_bw
+  in
+  Machine.nvmm_write_lines c1 1;
+  Alcotest.(check bool) "device debt preserved" true
+    (t1.Sthread.now >= posted_dur)
+
 exception Poison
 
 (* Regression: with_lock used to leak the lock when the body raised (a
@@ -483,6 +508,7 @@ let () =
       ( "locks",
         [
           Alcotest.test_case "spin serializes" `Quick test_spin_serializes;
+          Alcotest.test_case "posted writes" `Quick test_posted_writes;
           Alcotest.test_case "readers overlap" `Quick test_rw_readers_overlap;
           Alcotest.test_case "writer excludes" `Quick test_rw_writer_excludes;
           Alcotest.test_case "spin releases on raise" `Quick

@@ -86,6 +86,34 @@ let test_mutex_contended_futex_cost () =
   (* the waiter paid the futex path and the backlog *)
   Alcotest.(check bool) "futex cost paid" true (b.Sthread.now > 2000.0)
 
+(* A failed dcache probe must charge its own cost-model constant, not
+   the hit constant (regression: both outcomes used dcache_hit_cycles). *)
+let test_miss_cost_distinct () =
+  let cm =
+    {
+      Cost_model.default with
+      Cost_model.dcache_hit_cycles = 100.0;
+      dcache_miss_cycles = 4000.0;
+    }
+  in
+  let m = Machine.create ~cm () in
+  let thr = Sthread.create 0 in
+  let ctx = Machine.ctx m thr in
+  let d = Dcache.create () in
+  let t0 = thr.Sthread.now in
+  Alcotest.(check (option int)) "miss" None (Dcache.lookup ~ctx d ~parent:1 "a");
+  Alcotest.(check (float 1e-6)) "miss charges dcache_miss_cycles" 4000.0
+    (thr.Sthread.now -. t0);
+  Dcache.insert d ~parent:1 "a" 42;
+  (* first hit bounces the cold lockref; the second is all-local *)
+  ignore (Dcache.lookup ~ctx d ~parent:1 "a");
+  let t1 = thr.Sthread.now in
+  Alcotest.(check (option int)) "hit" (Some 42)
+    (Dcache.lookup ~ctx d ~parent:1 "a");
+  (* hit pays hit cost + a local lockref atomic: far below the miss *)
+  Alcotest.(check bool) "hit charged independently" true
+    (thr.Sthread.now -. t1 < 1000.0)
+
 let () =
   Alcotest.run "vfs"
     [
@@ -100,5 +128,7 @@ let () =
             test_private_dentries_uncontended;
           Alcotest.test_case "mutex futex cost" `Quick
             test_mutex_contended_futex_cost;
+          Alcotest.test_case "miss cost distinct" `Quick
+            test_miss_cost_distinct;
         ] );
     ]
