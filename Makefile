@@ -1,4 +1,4 @@
-.PHONY: all build test check bench fsck races clean
+.PHONY: all build test check bench data fsck races clean
 
 all: build
 
@@ -10,11 +10,17 @@ test: build
 
 # Full gate: build + unit/property/differential tests + a quick smoke run
 # of the region data-path microbenchmark (writes BENCH_region.json), the
-# bounded crash-image explorer / media-fault / checker experiment, and the
-# metadata-scalability sweep (writes BENCH_scale.json), plus the
+# bounded crash-image explorer / media-fault / checker experiment, the
+# metadata-scalability sweep (writes BENCH_scale.json) and the data-path
+# scaling + open-loop experiment (writes BENCH_data.json), plus the
 # schedule-exploration / race-detection self-check.
 check: test races
-	dune exec bench/main.exe -- --scale 0.05 region crash scale
+	dune exec bench/main.exe -- --scale 0.05 region crash scale data
+
+# Data-path scaling: whole-file lock vs byte-range locking on one shared
+# file, plus open-loop tail latency (writes BENCH_data.json).
+data: build
+	dune exec bench/main.exe -- data
 
 # Offline fsck-style self-check: the checker must pass a correctly
 # recovered crash image and flag a deliberately mis-recovered one.

@@ -87,6 +87,74 @@ let ops =
       fun fs -> Fs.rename fs "/d/m" "/e/m2" );
   ]
 
+(* Crash exploration of the byte-range data path: the staged
+   (batched-writeback) extent window and the append/extend publish
+   point.  Beyond fsck-cleanliness these carry a [verify] oracle on
+   every recovered image: the size is either the old or the new value
+   (the publish is a single 8-aligned u62 store), and a published size
+   never covers bytes whose stores had not retired — no torn data, and
+   a hole left by a past-EOF write reads back as zeros. *)
+
+let page = 4096
+
+let read_file fs path =
+  let st = Fs.stat fs path in
+  let fd = Fs.openf fs Types.rdonly path in
+  let b = Fs.pread fs fd ~pos:0 ~len:st.Types.size in
+  Fs.close fs fd;
+  b
+
+let expect_uniform b ~pos ~len c ~what =
+  for i = pos to pos + len - 1 do
+    if Bytes.get b i <> c then
+      failwith
+        (Printf.sprintf "%s: byte %d is %C, want %C" what i (Bytes.get b i) c)
+  done
+
+let one_page_setup fs =
+  let fd = Fs.openf fs (Types.creat Types.rdwr) "/f" in
+  ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make page 'a'));
+  Fs.close fs fd
+
+let range_ops =
+  [
+    ( "range-append",
+      one_page_setup,
+      (fun fs ->
+        let fd = Fs.openf fs Types.rdwr "/f" in
+        ignore (Fs.append fs fd (Bytes.make page 'b'));
+        Fs.close fs fd),
+      fun fs ->
+        let got = read_file fs "/f" in
+        (match Bytes.length got with
+        | n when n = page -> ()
+        | n when n = 2 * page ->
+            expect_uniform got ~pos:page ~len:page 'b'
+              ~what:"published append bytes"
+        | n ->
+            failwith
+              (Printf.sprintf "size %d, want %d or %d" n page (2 * page)));
+        expect_uniform got ~pos:0 ~len:page 'a' ~what:"pre-crash prefix" );
+    ( "range-extend",
+      one_page_setup,
+      (fun fs ->
+        let fd = Fs.openf fs Types.rdwr "/f" in
+        ignore (Fs.pwrite fs fd ~pos:(2 * page) (Bytes.make page 'c'));
+        Fs.close fs fd),
+      fun fs ->
+        let got = read_file fs "/f" in
+        (match Bytes.length got with
+        | n when n = page -> ()
+        | n when n = 3 * page ->
+            expect_uniform got ~pos:page ~len:page '\000' ~what:"hole";
+            expect_uniform got ~pos:(2 * page) ~len:page 'c'
+              ~what:"published extend bytes"
+        | n ->
+            failwith
+              (Printf.sprintf "size %d, want %d or %d" n page (3 * page)));
+        expect_uniform got ~pos:0 ~len:page 'a' ~what:"pre-crash prefix" );
+  ]
+
 (* Media plane: EIO containment on a poisoned data line, then metadata
    quarantine.  Returns (eio_returns_seen, quarantined, violations). *)
 let media_plane () =
@@ -130,23 +198,30 @@ let run ~scale =
   and quarantined = ref 0
   and eio = ref 0
   and violations = ref 0 in
+  let tally name (st : Explore.stats) =
+    points := !points + st.Explore.crash_points;
+    images := !images + st.Explore.images;
+    failures := !failures + List.length st.Explore.failures;
+    Printf.printf
+      "  explore %-13s crash points %3d, images %4d, max pending lines \
+       %2d, violating images %d\n"
+      name st.Explore.crash_points st.Explore.images st.Explore.max_pending
+      (List.length st.Explore.failures);
+    List.iter
+      (fun (label, viols) ->
+        Printf.printf "    FAIL %s: %s\n" label
+          (String.concat "; " (List.map Check.violation_to_string viols)))
+      st.Explore.failures
+  in
   List.iter
     (fun (name, scaled, setup, op) ->
-      let st = Explore.run ~samples ~scaled ~setup ~op () in
-      points := !points + st.Explore.crash_points;
-      images := !images + st.Explore.images;
-      failures := !failures + List.length st.Explore.failures;
-      Printf.printf
-        "  explore %-13s crash points %3d, images %4d, max pending lines \
-         %2d, violating images %d\n"
-        name st.Explore.crash_points st.Explore.images st.Explore.max_pending
-        (List.length st.Explore.failures);
-      List.iter
-        (fun (label, viols) ->
-          Printf.printf "    FAIL %s: %s\n" label
-            (String.concat "; " (List.map Check.violation_to_string viols)))
-        st.Explore.failures)
+      tally name (Explore.run ~samples ~scaled ~setup ~op ()))
     ops;
+  List.iter
+    (fun (name, setup, op, verify) ->
+      tally name
+        (Explore.run ~samples ~scaled:true ~range:true ~setup ~op ~verify ()))
+    range_ops;
   let media_eio, media_quarantined, media_viols = media_plane () in
   eio := media_eio;
   quarantined := media_quarantined;

@@ -40,6 +40,8 @@ let experiments : (string * string * (scale:float -> unit)) list =
      Exp_region.run);
     ("scale", "metadata scalability: seed vs striped/cached Simurgh (JSON)",
      Exp_scale.run);
+    ("data", "data-path scaling: byte-range locks + open-loop tail latency (JSON)",
+     Exp_data.run);
   ]
 
 let is_fig7_sub id =

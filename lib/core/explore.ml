@@ -51,19 +51,20 @@ let point_label = function
    from NVMM.  [scaled] re-enables the volatile scalability features
    (striped locks, resolve cache, allocator caches) on the new mount,
    so recovery and post-crash traffic run through the striped paths. *)
-let fresh_mount ~scaled region =
+let fresh_mount ?(range = false) ~scaled region =
   Fs.invalidate_shared region;
   Fs.mount ~euid:0 ~striped_locks:scaled ~rcache:scaled ~alloc_caches:scaled
-    region
+    ~range_locks:range region
 
 let default_size = 4 lsl 20
 
 let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
-    ?(size = default_size) ?(scaled = false) ?verify ~setup ~op () =
+    ?(size = default_size) ?(scaled = false) ?(range = false) ?verify ~setup
+    ~op () =
   let region = Region.create ~mode:Region.Strict size in
   let fs0 =
     Fs.mkfs ~cores:2 ~euid:0 ~striped_locks:scaled ~rcache:scaled
-      ~alloc_caches:scaled region
+      ~alloc_caches:scaled ~range_locks:range region
   in
   setup fs0;
   (* the operation's own writes must be the only unpersisted lines at
@@ -76,7 +77,7 @@ let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
   let stores = ref 0 in
   let hooks = ref [] (* (label, occurrence) in firing order, reversed *) in
   let hook_count = Hashtbl.create 16 in
-  let fs = fresh_mount ~scaled region in
+  let fs = fresh_mount ~range ~scaled region in
   Region.set_store_hook region (fun () -> incr stores);
   Fs.set_crash_hook fs (fun label ->
       let n = (try Hashtbl.find hook_count label with Not_found -> 0) + 1 in
@@ -98,7 +99,7 @@ let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
     (fun point ->
       (* restore the post-setup state and run the op up to [point] *)
       Region.restore region cp0;
-      let fs = fresh_mount ~scaled region in
+      let fs = fresh_mount ~range ~scaled region in
       (match point with
       | Store n ->
           let k = ref 0 in
@@ -129,10 +130,26 @@ let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
         (match Recovery.run region with
         | _layout, _report -> (
             match Check.run region with
-            | [] ->
-                (match verify with
+            | [] -> (
+                match verify with
                 | None -> ()
-                | Some v -> v (fresh_mount ~scaled region))
+                | Some v -> (
+                    try v (fresh_mount ~range ~scaled region)
+                    with e ->
+                      let kept =
+                        Array.to_list pending
+                        |> List.filter keep_of
+                        |> List.map string_of_int
+                        |> String.concat ","
+                      in
+                      failures :=
+                        ( Printf.sprintf "%s keep={%s}" (point_label point)
+                            kept,
+                          [
+                            Check.Structure
+                              ("verify: " ^ Printexc.to_string e);
+                          ] )
+                        :: !failures))
             | viols ->
                 let kept =
                   Array.to_list pending

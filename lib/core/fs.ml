@@ -31,6 +31,13 @@ type t = {
   rcache : Rcache.t option;
       (** Simurgh-side DRAM resolve cache (shared across mounts);
           [None] = seed behavior, every component scanned in NVMM *)
+  range_locks : bool;
+      (** byte-range data-path locking: writers hold only the 4 KiB
+          rows they touch, appends reserve bytes with a fetch-and-add
+          and publish the size in order, and whole-file operations
+          (truncate, O_TRUNC, unlink) fence everyone out through an
+          exclusive pass over the per-file lock.  Off = seed behavior,
+          one rwlock per file around every data operation. *)
   mutable crash_hook : string -> unit;
   mutable logical_time : int;
   mutable eio_returns : int;
@@ -88,7 +95,7 @@ let make_root layout =
 
 let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
     ?(coarse_dir_locks = false) ?(striped_locks = false) ?(rcache = false)
-    ?shared ?(euid = 1000) ?(egid = 1000) layout =
+    ?(range_locks = false) ?shared ?(euid = 1000) ?(egid = 1000) layout =
   (* [shared] joins an existing mount's shared-DRAM state; otherwise the
      requested feature flags shape a fresh registry/cache *)
   let locks, rc =
@@ -110,6 +117,7 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
       relaxed_writes;
       coarse_dir_locks;
       rcache = rc;
+      range_locks;
       crash_hook = ignore;
       logical_time = 0;
       eio_returns = 0;
@@ -119,6 +127,7 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
      observability snapshot (no-op outside the bench driver) *)
   Simurgh_obs.Collect.note_source (fun () ->
       let rows, files, appends = Locks.sizes fs.locks in
+      let range_rows, file_states = Locks.range_sizes fs.locks in
       let ba = Simurgh_alloc.Block_alloc.stats layout.Layout.balloc in
       let inodes = Simurgh_alloc.Slab_alloc.stats layout.Layout.inode_slab in
       let fes = Simurgh_alloc.Slab_alloc.stats layout.Layout.fentry_slab in
@@ -126,6 +135,8 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
         ("locks/row_locks", float_of_int rows);
         ("locks/file_locks", float_of_int files);
         ("locks/dir_append_locks", float_of_int appends);
+        ("locks/file_range_locks", float_of_int range_rows);
+        ("locks/file_states", float_of_int file_states);
         ( "alloc/block_allocs",
           float_of_int ba.Simurgh_alloc.Block_alloc.allocs );
         ("alloc/block_frees", float_of_int ba.Simurgh_alloc.Block_alloc.frees);
@@ -176,12 +187,13 @@ let enable_alloc_caches layout =
 
 (** Format a fresh region and return a mounted file system. *)
 let mkfs ?(cores = 10) ?segments ?call_mode ?relaxed_writes ?coarse_dir_locks
-    ?striped_locks ?rcache ?(alloc_caches = false) ?euid ?egid region =
+    ?striped_locks ?rcache ?range_locks ?(alloc_caches = false) ?euid ?egid
+    region =
   let layout = Layout.format ?segments region ~cores in
   make_root layout;
   let fs =
     of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks
-      ?rcache ?euid ?egid layout
+      ?rcache ?range_locks ?euid ?egid layout
   in
   if alloc_caches then enable_alloc_caches layout;
   register_shared region layout fs.locks fs.rcache;
@@ -196,18 +208,20 @@ let mkfs ?(cores = 10) ?segments ?call_mode ?relaxed_writes ?coarse_dir_locks
     paper describes; only the open-file map and the credentials are
     per-process.  Crash recovery is in {!Recovery}. *)
 let mount ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks ?rcache
-    ?(alloc_caches = false) ?euid ?egid region =
+    ?range_locks ?(alloc_caches = false) ?euid ?egid region =
   match lookup_shared region with
   | Some (layout, locks, rc) ->
       (* joining mounts inherit the shared structures; the feature flags
-         of the first mount win *)
-      of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks
+         of the first mount win — except [range_locks], which selects a
+         locking *protocol* and must agree across every mount of the
+         region (the reservation words live in the shared registry) *)
+      of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?range_locks
         ~shared:(locks, rc) ?euid ?egid layout
   | None ->
       let layout = Layout.attach region in
       let fs =
         of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks
-          ?rcache ?euid ?egid layout
+          ?rcache ?range_locks ?euid ?egid layout
       in
       if alloc_caches then enable_alloc_caches layout;
       register_shared region layout fs.locks fs.rcache;
@@ -692,8 +706,15 @@ let hardlink ?ctx t ~existing path =
 (* --- data block management ------------------------------------------------ *)
 
 (* Allocate [blocks] (possibly as several extents) and append them to the
-   inode's extent list. *)
-let append_extents ?ctx t inode blocks =
+   inode's extent list.
+
+   [staged]: batched writeback — every slot store is clwb-only and the
+   caller issues a single [Region.sfence] for the whole run, instead of
+   paying a persist barrier per slot.  A crash inside the window can
+   leave any subset of the staged slots: a torn slot (addr set, blocks
+   still 0) maps zero bytes, so readers and recovery both ignore it, and
+   the mark-and-sweep pass reclaims blocks the lost slots leaked. *)
+let append_extents ?ctx ?(staged = false) t inode blocks =
   let balloc = t.layout.Layout.balloc in
   let rec alloc_ranges n acc =
     if n = 0 then acc
@@ -718,7 +739,8 @@ let append_extents ?ctx t inode blocks =
       while (not !placed) && !k < Inode.inline_extents do
         let a, _ = Inode.read_extent region inode !k in
         if a = 0 then begin
-          Inode.write_extent region inode !k ~addr ~blocks:count;
+          (if staged then Inode.stage_extent region inode !k ~addr ~blocks:count
+           else Inode.write_extent region inode !k ~addr ~blocks:count);
           placed := true
         end;
         incr k
@@ -735,16 +757,22 @@ let append_extents ?ctx t inode blocks =
               | Some a -> a
               | None -> Errno.raise_ ENOSPC "out of extent blocks"
             in
+            (* even staged, the zeroed block must be durable before any
+               pointer to it can be: a crash that published the link but
+               not the init would hand recovery a garbage extent chain *)
             Region.zero region nb Inode.overflow_bytes;
             Region.persist region nb Inode.overflow_bytes;
             (match prev with
             | None ->
                 Region.write_u62 region (Inode.f_overflow inode) nb;
-                Region.persist region (Inode.f_overflow inode) 8
+                if staged then Region.clwb region (Inode.f_overflow inode) 8
+                else Region.persist region (Inode.f_overflow inode) 8
             | Some p ->
                 Region.write_u62 region (Inode.ov_next p) nb;
-                Region.persist region (Inode.ov_next p) 8);
-            Inode.write_ov_extent region nb 0 ~addr ~blocks:count
+                if staged then Region.clwb region (Inode.ov_next p) 8
+                else Region.persist region (Inode.ov_next p) 8);
+            if staged then Inode.stage_ov_extent region nb 0 ~addr ~blocks:count
+            else Inode.write_ov_extent region nb 0 ~addr ~blocks:count
           end
           else begin
             let placed_here = ref false in
@@ -777,12 +805,12 @@ let mapped_blocks t inode =
    call (and a file's blocks stay clustered, Section 4.2). *)
 let append_slack_blocks = 256
 
-let ensure_capacity ?ctx t inode bytes =
+let ensure_capacity ?ctx ?staged t inode bytes =
   let bs = block_size t in
   let have = mapped_blocks t inode in
   let needed = ((bytes + bs - 1) / bs) - have in
   if needed > 0 then
-    append_extents ?ctx t inode
+    append_extents ?ctx ?staged t inode
       (if have > 0 then max needed append_slack_blocks else needed)
 
 (* Translate a file offset into (region addr, contiguous bytes there). *)
@@ -801,11 +829,33 @@ let map_offset t inode pos =
    with Exit -> ());
   !result
 
+(* Zero the file bytes [from, upto) in place (no fence; callers batch
+   one sfence over hole + payload).  POSIX requires a hole left behind
+   by a past-EOF pwrite or a growing truncate to read back as zeros,
+   and blocks arrive from the allocator with whatever they last held. *)
+let zero_span ?ctx t inode ~from ~upto =
+  let rec loop off remaining =
+    if remaining > 0 then
+      match map_offset t inode off with
+      | None -> Errno.raise_ EINVAL "zero_span: unmapped offset"
+      | Some (addr, avail) ->
+          let n = min avail remaining in
+          Region.zero t.region addr n;
+          Region.clwb t.region addr n;
+          loop (off + n) (remaining - n)
+  in
+  if upto > from then begin
+    loop from (upto - from);
+    Charge.nvmm_write ?ctx (upto - from)
+  end
+
 (* Copy [src] into the file at [pos] across extents.  Returns bytes
    written (always all of them; capacity was ensured). *)
 let write_data ?ctx t inode ~pos src =
   let len = Bytes.length src in
+  let old_size = Inode.size t.region inode in
   ensure_capacity ?ctx t inode (pos + len);
+  if pos > old_size then zero_span ?ctx t inode ~from:old_size ~upto:pos;
   let rec copy off remaining =
     if remaining > 0 then begin
       match map_offset t inode (pos + off) with
@@ -827,7 +877,6 @@ let write_data ?ctx t inode ~pos src =
      stream) *)
   Charge.nvmm_write ?ctx len;
   Charge.fence ?ctx ();
-  let old_size = Inode.size t.region inode in
   if pos + len > old_size then begin
     Inode.set_size t.region inode (pos + len);
     Inode.set_mtime t.region inode (now ?ctx t);
@@ -875,6 +924,210 @@ let free_data ?ctx t inode =
     end
   in
   chain (Region.read_u62 t.region (Inode.f_overflow inode))
+
+(* --- byte-range data path (range_locks mode) ------------------------------ *)
+
+(* Lock order, outermost first — every path acquires along this chain,
+   so no cycle is possible:
+
+     directory row (unlink only)
+       -> whole-file lock, used as a *fence*: shared by every data
+          operation for its full duration, exclusive by truncate /
+          O_TRUNC / fallocate / unlink to drain and exclude them all
+         -> 4 KiB row locks, ascending row order, only the rows
+            covering [pos, pos+len) (appends take none: the reservation
+            already makes their byte range private)
+           -> extent-map lock, innermost: shared around every
+              map_offset/data copy, exclusive around extent staging and
+              the size publish
+
+   The append publish-wait holds only the fence (shared) — predecessors
+   need the extent lock and their own reservation, never ours. *)
+
+let with_fence_shared ?ctx t inode f =
+  match ctx with
+  | None -> f ()
+  | Some c -> Simurgh_sim.Vlock.Rw.with_read c (Locks.file_lock t.locks inode) f
+
+let with_fence_excl ?ctx t inode f =
+  match ctx with
+  | None -> f ()
+  | Some c ->
+      Simurgh_sim.Vlock.Rw.with_write c (Locks.file_lock t.locks inode) f
+
+(* Hold every row covering [pos, pos+len) across [f], acquired in
+   ascending row order (two writers covering overlapping spans always
+   meet on the first shared row, never in opposite order). *)
+let with_rows ?ctx t inode ~pos ~len ~excl f =
+  match ctx with
+  | None -> f ()
+  | Some c ->
+      let rec go = function
+        | [] -> f ()
+        | row :: rest ->
+            let l = Locks.range_lock t.locks inode ~row in
+            if excl then
+              Simurgh_sim.Vlock.Rw.with_write c l (fun () -> go rest)
+            else Simurgh_sim.Vlock.Rw.with_read c l (fun () -> go rest)
+      in
+      go (Locks.rows_of_range ~pos ~len)
+
+let with_extent_read ?ctx t inode f =
+  match ctx with
+  | None -> f ()
+  | Some c ->
+      Simurgh_sim.Vlock.Rw.with_read c (Locks.extent_lock t.locks inode) f
+
+let with_extent_write ?ctx t inode f =
+  match ctx with
+  | None -> f ()
+  | Some c ->
+      Simurgh_sim.Vlock.Rw.with_write c (Locks.extent_lock t.locks inode) f
+
+(* The volatile size pair of an open file.  [reserved] is bumped by a
+   fetch-and-add before any byte is written; [published] trails it and
+   mirrors the persistent size word.  The registry mints the record
+   atomically with both words [-1]; the first data operation fills them
+   from the inode under the extent lock (shared), which orders the read
+   after any in-flight publisher.  The sentinel check + store sequence
+   has no scheduling point, so exactly one thread performs the fill. *)
+let state_of ?ctx t inode =
+  let st = Locks.file_state t.locks inode in
+  if st.Locks.published < 0 then
+    with_extent_read ?ctx t inode (fun () ->
+        if st.Locks.published < 0 then begin
+          let size = Inode.size t.region inode in
+          st.Locks.reserved <- size;
+          st.Locks.published <- size
+        end);
+  st
+
+(* Stream [src] into [pos, pos+len) without a fence: the caller batches
+   one sfence over the whole operation (hole zeroing included). *)
+let range_copy ?ctx t inode ~pos src =
+  let len = Bytes.length src in
+  let rec copy off remaining =
+    if remaining > 0 then
+      match map_offset t inode (pos + off) with
+      | None -> Errno.raise_ EINVAL "write_data: unmapped offset"
+      | Some (addr, avail) ->
+          let n = min avail remaining in
+          Region.ntstore_from t.region addr src ~pos:off ~len:n;
+          copy (off + n) (remaining - n)
+  in
+  copy 0 len;
+  Charge.nvmm_write ?ctx len
+
+let range_pwrite ?ctx t inode ~pos src =
+  let len = Bytes.length src in
+  if len = 0 then 0
+  else
+    with_fence_shared ?ctx t inode @@ fun () ->
+    let st = state_of ?ctx t inode in
+    let overwrite () =
+      (* bytes below the published size: only the covered rows, extent
+         map shared — disjoint writers never touch the same lock *)
+      with_rows ?ctx t inode ~pos ~len ~excl:true @@ fun () ->
+      with_extent_read ?ctx t inode (fun () ->
+          range_copy ?ctx t inode ~pos src);
+      Region.sfence t.region;
+      Charge.fence ?ctx ();
+      len
+    in
+    if pos + len <= st.Locks.published then overwrite ()
+    else begin
+      (* extending write: drain in-flight appends so the tail is
+         quiescent (holding only the fence shared), then claim it *)
+      Simurgh_sim.Schedule.wait_while (fun () ->
+          st.Locks.reserved <> st.Locks.published);
+      (* an append may have grown the file past us while we waited *)
+      if pos + len <= st.Locks.published then overwrite ()
+      else begin
+        let old_size = st.Locks.published in
+        st.Locks.reserved <- pos + len;
+        Charge.atomic ?ctx ~contended:true ();
+        let from = min pos old_size in
+        with_rows ?ctx t inode ~pos:from ~len:(pos + len - from) ~excl:true
+        @@ fun () ->
+        with_extent_write ?ctx t inode (fun () ->
+            ensure_capacity ?ctx ~staged:true t inode (pos + len));
+        (* staged extent slots durable before any data lands in them *)
+        Region.sfence t.region;
+        with_extent_read ?ctx t inode (fun () ->
+            if pos > old_size then
+              zero_span ?ctx t inode ~from:old_size ~upto:pos;
+            range_copy ?ctx t inode ~pos src);
+        Region.sfence t.region;
+        Charge.fence ?ctx ();
+        (* in-order publish; the drain above made this immediate *)
+        Simurgh_sim.Schedule.wait_while (fun () ->
+            st.Locks.published <> old_size);
+        with_extent_write ?ctx t inode (fun () ->
+            Inode.set_size t.region inode (pos + len);
+            Inode.set_mtime t.region inode (now ?ctx t);
+            Region.persist t.region (Inode.f_size inode) 16;
+            Charge.write_lines ?ctx 1;
+            st.Locks.published <- pos + len);
+        len
+      end
+    end
+
+(* Concurrent append: reserve [r0, r0+len) with a fetch-and-add on the
+   volatile size word (no row locks — the reservation is the mutual
+   exclusion), write the bytes, then publish the new size in reservation
+   order.  The size word is a single 8-aligned u62 store, so a crash
+   either shows the old size or the new one — never a size covering
+   bytes whose sfence had not retired. *)
+let range_append ?ctx t inode src =
+  let len = Bytes.length src in
+  with_fence_shared ?ctx t inode @@ fun () ->
+  let st = state_of ?ctx t inode in
+  let r0 = st.Locks.reserved in
+  st.Locks.reserved <- r0 + len;
+  Charge.atomic ?ctx ~contended:true ();
+  if len > 0 then begin
+    with_extent_write ?ctx t inode (fun () ->
+        ensure_capacity ?ctx ~staged:true t inode (r0 + len));
+    Region.sfence t.region;
+    with_extent_read ?ctx t inode (fun () ->
+        range_copy ?ctx t inode ~pos:r0 src);
+    Region.sfence t.region;
+    Charge.fence ?ctx ();
+    (* wait for every earlier reservation to publish, so the size never
+       covers a hole another append has not written yet *)
+    Simurgh_sim.Schedule.wait_while (fun () -> st.Locks.published <> r0);
+    with_extent_write ?ctx t inode (fun () ->
+        Inode.set_size t.region inode (r0 + len);
+        Inode.set_mtime t.region inode (now ?ctx t);
+        Region.persist t.region (Inode.f_size inode) 16;
+        Charge.write_lines ?ctx 1;
+        st.Locks.published <- r0 + len)
+  end;
+  r0 + len
+
+let range_pread ?ctx t inode ~pos ~len =
+  with_fence_shared ?ctx t inode @@ fun () ->
+  let st = state_of ?ctx t inode in
+  (* clamp against the volatile published size: reserved-but-unwritten
+     bytes are never readable *)
+  let len = max 0 (min len (st.Locks.published - pos)) in
+  with_rows ?ctx t inode ~pos ~len ~excl:false @@ fun () ->
+  with_extent_read ?ctx t inode @@ fun () ->
+  let out = Bytes.create len in
+  let rec copy off remaining =
+    if remaining > 0 then
+      match map_offset t inode (pos + off) with
+      | None -> Errno.raise_ EINVAL "read_data: unmapped offset"
+      | Some (addr, avail) ->
+          let n = min avail remaining in
+          Region.read_bytes_into t.region addr out ~pos:off ~len:n;
+          copy (off + n) (remaining - n)
+  in
+  copy 0 len;
+  Charge.nvmm_read ?ctx len;
+  Charge.memcpy ?ctx len;
+  out
+
 
 (* --- unlink / rmdir (Fig. 5b) --------------------------------------------- *)
 
@@ -947,6 +1200,19 @@ let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
               in
               chain dirhead
             end;
+            (* under range locking, in-flight data operations hold the
+               whole-file lock shared for their entire duration (even
+               through fds opened before the unlink): one exclusive pass
+               drains them all before the inode and its blocks go away.
+               Safe under the directory row lock — data ops never wait
+               on directory rows, so the holders always finish. *)
+            (if t.range_locks then
+               match ctx with
+               | None -> ()
+               | Some c ->
+                   Simurgh_sim.Vlock.Rw.with_write c
+                     (Locks.file_lock t.locks inode)
+                     (fun () -> ()));
             Simurgh_alloc.Slab_alloc.free ?ctx t.layout.Layout.inode_slab inode;
             Locks.drop_file_lock t.locks inode;
             (* the directory is gone: reclaim its row/append locks so the
@@ -1234,20 +1500,30 @@ let openf ?ctx t (flags : Types.open_flags) path =
   let inode = Fentry.target t.region fe in
   if flags.Types.read then check_perm t inode ~want:4;
   if flags.Types.write then check_perm t inode ~want:2;
-  if flags.Types.trunc && Inode.size t.region inode > 0 then begin
-    free_data ?ctx t inode;
-    let rec clear_inline k =
-      if k < Inode.inline_extents then begin
-        Inode.write_extent t.region inode k ~addr:0 ~blocks:0;
-        clear_inline (k + 1)
-      end
-    in
-    clear_inline 0;
-    Region.write_u62 t.region (Inode.f_overflow inode) 0;
-    Inode.set_size t.region inode 0;
-    Region.persist t.region inode Inode.payload_size;
-    Charge.write_lines ?ctx 2
-  end;
+  (if flags.Types.trunc then
+     let trunc_body () =
+       if Inode.size t.region inode > 0 then begin
+         free_data ?ctx t inode;
+         let rec clear_inline k =
+           if k < Inode.inline_extents then begin
+             Inode.write_extent t.region inode k ~addr:0 ~blocks:0;
+             clear_inline (k + 1)
+           end
+         in
+         clear_inline 0;
+         Region.write_u62 t.region (Inode.f_overflow inode) 0;
+         Inode.set_size t.region inode 0;
+         Region.persist t.region inode Inode.payload_size;
+         Charge.write_lines ?ctx 2
+       end
+     in
+     if t.range_locks then
+       with_fence_excl ?ctx t inode (fun () ->
+           trunc_body ();
+           let st = state_of ?ctx t inode in
+           st.Locks.reserved <- 0;
+           st.Locks.published <- 0)
+     else trunc_body ());
   let mode =
     match (flags.Types.read, flags.Types.write) with
     | true, true -> Openfile.Rdwr
@@ -1293,19 +1569,27 @@ let pwrite ?ctx t fd ~pos src =
   if pos < 0 then Errno.raise_ EINVAL (Printf.sprintf "pwrite pos %d" pos);
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
-  with_write_lock ?ctx t e.Openfile.inode (fun () ->
-      write_data ?ctx t e.Openfile.inode ~pos src)
+  if t.range_locks then range_pwrite ?ctx t e.Openfile.inode ~pos src
+  else
+    with_write_lock ?ctx t e.Openfile.inode (fun () ->
+        write_data ?ctx t e.Openfile.inode ~pos src)
 
 let append ?ctx t fd src =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
-  with_write_lock ?ctx t e.Openfile.inode (fun () ->
-      let pos = Inode.size t.region e.Openfile.inode in
-      let n = write_data ?ctx t e.Openfile.inode ~pos src in
-      e.Openfile.pos <- pos + n;
-      n)
+  if t.range_locks then begin
+    let newpos = range_append ?ctx t e.Openfile.inode src in
+    e.Openfile.pos <- newpos;
+    Bytes.length src
+  end
+  else
+    with_write_lock ?ctx t e.Openfile.inode (fun () ->
+        let pos = Inode.size t.region e.Openfile.inode in
+        let n = write_data ?ctx t e.Openfile.inode ~pos src in
+        e.Openfile.pos <- pos + n;
+        n)
 
 let pread ?ctx t fd ~pos ~len =
   entry_charge ?ctx t;
@@ -1314,21 +1598,34 @@ let pread ?ctx t fd ~pos ~len =
   if len < 0 then Errno.raise_ EINVAL (Printf.sprintf "pread len %d" len);
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Wronly then Errno.raise_ EBADF "write-only fd";
-  with_read_lock ?ctx t e.Openfile.inode (fun () ->
-      read_data ?ctx t e.Openfile.inode ~pos ~len)
+  if t.range_locks then range_pread ?ctx t e.Openfile.inode ~pos ~len
+  else
+    with_read_lock ?ctx t e.Openfile.inode (fun () ->
+        read_data ?ctx t e.Openfile.inode ~pos ~len)
 
 let fallocate ?ctx t fd ~len =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
   let e = fd_entry t fd in
-  with_write_lock ?ctx t e.Openfile.inode (fun () ->
-      ensure_capacity ?ctx t e.Openfile.inode len;
-      let inode = e.Openfile.inode in
-      if Inode.size t.region inode < len then begin
-        Inode.set_size t.region inode len;
-        Region.persist t.region (Inode.f_size inode) 8;
-        Charge.write_lines ?ctx 1
-      end)
+  let inode = e.Openfile.inode in
+  let body () =
+    ensure_capacity ?ctx t inode len;
+    if Inode.size t.region inode < len then begin
+      Inode.set_size t.region inode len;
+      Region.persist t.region (Inode.f_size inode) 8;
+      Charge.write_lines ?ctx 1
+    end
+  in
+  if t.range_locks then
+    with_fence_excl ?ctx t inode (fun () ->
+        body ();
+        (* the fence drained every reservation, so both words move *)
+        let st = state_of ?ctx t inode in
+        if len > st.Locks.published then begin
+          st.Locks.reserved <- len;
+          st.Locks.published <- len
+        end)
+  else with_write_lock ?ctx t inode body
 
 (* Simurgh persists synchronously; fsync only needs the entry charge. *)
 let fsync ?ctx t fd =
@@ -1344,28 +1641,42 @@ let truncate ?ctx t path len =
   if Fentry.is_dir t.region fe then Errno.raise_ EISDIR path;
   let inode = Fentry.target t.region fe in
   check_perm t inode ~want:2;
-  with_write_lock ?ctx t inode (fun () ->
-      let size = Inode.size t.region inode in
-      if len < size then begin
-        (* shrink: simplest correct strategy — free everything beyond a
-           block boundary by rebuilding the extent list *)
-        if len = 0 then begin
-          free_data ?ctx t inode;
-          for k = 0 to Inode.inline_extents - 1 do
-            Inode.write_extent t.region inode k ~addr:0 ~blocks:0
-          done;
-          Region.write_u62 t.region (Inode.f_overflow inode) 0
-        end;
-        Inode.set_size t.region inode len;
-        Region.persist t.region inode Inode.payload_size;
-        Charge.write_lines ?ctx 2
-      end
-      else if len > size then begin
-        ensure_capacity ?ctx t inode len;
-        Inode.set_size t.region inode len;
-        Region.persist t.region (Inode.f_size inode) 8;
-        Charge.write_lines ?ctx 1
-      end)
+  let body () =
+    let size = Inode.size t.region inode in
+    if len < size then begin
+      (* shrink: simplest correct strategy — free everything beyond a
+         block boundary by rebuilding the extent list *)
+      if len = 0 then begin
+        free_data ?ctx t inode;
+        for k = 0 to Inode.inline_extents - 1 do
+          Inode.write_extent t.region inode k ~addr:0 ~blocks:0
+        done;
+        Region.write_u62 t.region (Inode.f_overflow inode) 0
+      end;
+      Inode.set_size t.region inode len;
+      Region.persist t.region inode Inode.payload_size;
+      Charge.write_lines ?ctx 2
+    end
+    else if len > size then begin
+      ensure_capacity ?ctx t inode len;
+      (* a partial shrink keeps its blocks, so the bytes re-exposed by
+         growing are stale file contents — POSIX says they read zero *)
+      zero_span ?ctx t inode ~from:size ~upto:len;
+      Inode.set_size t.region inode len;
+      Region.persist t.region (Inode.f_size inode) 8;
+      Charge.write_lines ?ctx 1
+    end
+  in
+  if t.range_locks then
+    with_fence_excl ?ctx t inode (fun () ->
+        body ();
+        (* nothing is in flight behind the exclusive fence: reset the
+           volatile size pair to the new truth (ctx or not — sequential
+           callers rely on this bookkeeping too) *)
+        let st = state_of ?ctx t inode in
+        st.Locks.reserved <- len;
+        st.Locks.published <- len)
+  else with_write_lock ?ctx t inode body
 
 let readdir ?ctx t path =
   entry_charge ?ctx t;

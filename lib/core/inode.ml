@@ -99,6 +99,14 @@ let write_extent r i k ~addr ~blocks =
   Region.write_u32 r (f_extent i k + 8) blocks;
   Region.persist r (f_extent i k) 16
 
+(** Batched-writeback variant: store + clwb only, no fence.  A caller
+    staging several slots issues one [Region.sfence] for the whole run
+    instead of paying a persist barrier per slot. *)
+let stage_extent r i k ~addr ~blocks =
+  Region.write_u62 r (f_extent i k) addr;
+  Region.write_u32 r (f_extent i k + 8) blocks;
+  Region.clwb r (f_extent i k) 16
+
 (* Overflow extent blocks hold [overflow_entries] extents plus a next
    pointer; they are plain block-allocator blocks. *)
 let overflow_entries = 15
@@ -114,6 +122,12 @@ let write_ov_extent r b k ~addr ~blocks =
   Region.write_u62 r (ov_extent b k) addr;
   Region.write_u32 r (ov_extent b k + 8) blocks;
   Region.persist r (ov_extent b k) 16
+
+(** Fence-free overflow-slot store (see {!stage_extent}). *)
+let stage_ov_extent r b k ~addr ~blocks =
+  Region.write_u62 r (ov_extent b k) addr;
+  Region.write_u32 r (ov_extent b k + 8) blocks;
+  Region.clwb r (ov_extent b k) 16
 
 (** Iterate all extents of [i] in file order: [f addr blocks]. *)
 let iter_extents r i f =

@@ -23,6 +23,21 @@
 
 open Simurgh_sim
 
+(** Volatile append/extend coordination of one file (range-lock mode):
+    the shared-DRAM words behind concurrent append.  [reserved] is bumped
+    with a fetch-and-add to hand each appender a private byte range;
+    [published] trails it and equals the persistent size word — an
+    appender publishes only once every earlier reservation has published,
+    so a crash can never expose unwritten bytes.  Whenever no operation
+    is in flight, [reserved = published = persistent size]. *)
+type file_state = {
+  mutable reserved : int;  (** end of the highest handed-out byte range *)
+  mutable published : int;  (** persistent size already made visible *)
+}
+(** Both [-1] until the first data operation fills them from the inode
+    (under the file's extent lock — registry code must not take locks,
+    so it cannot read the size itself without racing a publisher). *)
+
 type stripe = {
   row_locks : (int * int, Vlock.Spin.t) Hashtbl.t;
       (** (first dir block, row) -> spin lock *)
@@ -33,6 +48,12 @@ type stripe = {
   aux_locks : (int * int, Vlock.Spin.t) Hashtbl.t;
       (** striped mode only: (dir, 0) = chain-link lock,
           (dir, 1) = rename-log lock *)
+  range_locks : (int * int, Vlock.Rw.t) Hashtbl.t;
+      (** range-lock mode: (inode pptr, byte row) -> rwlock *)
+  extent_locks : (int, Vlock.Rw.t) Hashtbl.t;
+      (** range-lock mode: inode pptr -> extent-list/size-word lock *)
+  file_states : (int, file_state) Hashtbl.t;
+      (** range-lock mode: inode pptr -> append coordination words *)
 }
 
 type t = {
@@ -52,6 +73,9 @@ let create ?(striped = false) () =
             file_locks = Hashtbl.create 64;
             append_locks = Hashtbl.create 16;
             aux_locks = Hashtbl.create 16;
+            range_locks = Hashtbl.create 64;
+            extent_locks = Hashtbl.create 16;
+            file_states = Hashtbl.create 16;
           });
   }
 
@@ -65,7 +89,10 @@ let clear t =
       Hashtbl.reset s.row_locks;
       Hashtbl.reset s.file_locks;
       Hashtbl.reset s.append_locks;
-      Hashtbl.reset s.aux_locks)
+      Hashtbl.reset s.aux_locks;
+      Hashtbl.reset s.range_locks;
+      Hashtbl.reset s.extent_locks;
+      Hashtbl.reset s.file_states)
     t.stripes
 
 let find_or_create tbl key make =
@@ -86,7 +113,56 @@ let file_lock t inode =
       (* striped readers: Simurgh keeps per-core reader indicators in
          shared DRAM, so concurrent readers of one file do not serialize
          on a counter line *)
-      Vlock.Rw.create ~striped:true ())
+      Vlock.Rw.create ~site:"file-lock" ~striped:true ())
+
+(* --- byte-range locks (range-lock mode) -------------------------------- *)
+
+(** Byte rows a range lock protects: one row per [range_row_bytes] of
+    file offset, matching the allocator's block size so a block-sized
+    I/O takes exactly one row. *)
+let range_row_bytes = 4096
+
+(** The rows whose byte spans intersect [pos, pos+len), ascending — the
+    canonical acquisition order (every holder climbs, so no cycles).
+    [len = 0] covers nothing. *)
+let rows_of_range ~pos ~len =
+  if len <= 0 || pos < 0 then []
+  else begin
+    let first = pos / range_row_bytes in
+    let last = (pos + len - 1) / range_row_bytes in
+    List.init (last - first + 1) (fun i -> first + i)
+  end
+
+(* Contention sites fold the row index mod 16 so the registry stays
+   bounded while BENCH_data can still attribute waits to hot rows
+   ("locks/file_range/r03" etc., satellite: no more single-site blur). *)
+let range_lock t inode ~row =
+  let key = (inode, row) in
+  find_or_create (stripe_of t key).range_locks key (fun () ->
+      Vlock.Rw.create
+        ~site:(Printf.sprintf "file-range/r%02d" (row land 15))
+        ~striped:true ())
+
+(** Innermost lock of the data-path hierarchy: guards the extent list
+    and the size word.  Extent-list growth and the size publish take it
+    exclusive; offset mapping during copies takes it shared. *)
+let extent_lock t inode =
+  find_or_create (stripe_of t inode).extent_locks inode (fun () ->
+      Vlock.Rw.create ~site:"file-extent" ~striped:true ())
+
+(** The file's append/extend coordination words, created on first touch
+    with [init ()] (the persistent size, read under the extent lock by
+    the caller so the probe is ordered against concurrent publishes). *)
+let file_state t inode =
+  let s = stripe_of t inode in
+  match Hashtbl.find_opt s.file_states inode with
+  | Some st -> st
+  | None ->
+      (* lookup + insert runs without a scheduling point, so two
+         threads can never each mint their own state for one inode *)
+      let st = { reserved = -1; published = -1 } in
+      Hashtbl.replace s.file_states inode st;
+      st
 
 (** Chain-extension serialization for an insert into [row] of directory
     [dir].  Legacy mode: one lock for the whole directory (every row-full
@@ -111,7 +187,20 @@ let log_lock t dir =
       Vlock.Spin.create ~site:"dir-log" ())
 
 let drop_file_lock t inode =
-  Hashtbl.remove (stripe_of t inode).file_locks inode
+  let s = stripe_of t inode in
+  Hashtbl.remove s.file_locks inode;
+  Hashtbl.remove s.extent_locks inode;
+  Hashtbl.remove s.file_states inode;
+  (* range rows hash by (inode, row), so they can sit in any stripe *)
+  Array.iter
+    (fun s ->
+      let doomed =
+        Hashtbl.fold
+          (fun ((i, _) as key) _ acc -> if i = inode then key :: acc else acc)
+          s.range_locks []
+      in
+      List.iter (Hashtbl.remove s.range_locks) doomed)
+    t.stripes
 
 (** Reclaim every lock belonging to a deleted directory (its row locks,
     append locks and chain/log locks).  Without this the registries grow
@@ -143,3 +232,12 @@ let sizes t =
         f + Hashtbl.length s.file_locks,
         a + Hashtbl.length s.append_locks + Hashtbl.length s.aux_locks ))
     (0, 0, 0) t.stripes
+
+(** Range-mode registry sizes (byte-range rows, extent locks + append
+    states) — same leak-visibility rationale as {!sizes}. *)
+let range_sizes t =
+  Array.fold_left
+    (fun (r, e) s ->
+      ( r + Hashtbl.length s.range_locks,
+        e + Hashtbl.length s.extent_locks + Hashtbl.length s.file_states ))
+    (0, 0) t.stripes

@@ -394,10 +394,34 @@ let run ?(skip_log_resolution = false) region =
             mark_range b (Dirblock.size_for_rows (Dirblock.rows r b)))
       with Region.Media_error _ -> ())
     reach_dirhead;
-  (* file extents + extent overflow chains *)
+  (* file extents + extent overflow chains.  A crash inside a batched
+     extent-staging window (range_locks data path) can leave a torn
+     slot — address persisted, block count not, or the reverse.  Such a
+     slot maps zero bytes so it is harmless to readers, but it would
+     shadow the slot forever (appends only fill addr = 0 slots): scrub
+     it back to empty here, and let the mark-and-sweep below reclaim
+     whatever blocks the lost stores leaked. *)
+  let scrub_slot read write k =
+    let addr, blocks = read k in
+    if (addr <> 0 && blocks = 0) || (addr = 0 && blocks <> 0) then
+      write k ~addr:0 ~blocks:0
+  in
   Hashtbl.iter
     (fun inode () ->
       try
+        for k = 0 to Inode.inline_extents - 1 do
+          scrub_slot (Inode.read_extent r inode) (Inode.write_extent r inode) k
+        done;
+        let rec ov_scrub b =
+          if b <> 0 then begin
+            for k = 0 to Inode.overflow_entries - 1 do
+              scrub_slot (Inode.read_ov_extent r b) (Inode.write_ov_extent r b)
+                k
+            done;
+            ov_scrub (Region.read_u62 r (Inode.ov_next b))
+          end
+        in
+        ov_scrub (Region.read_u62 r (Inode.f_overflow inode));
         Inode.iter_extents r inode (fun addr blocks ->
             mark_range addr (blocks * bs));
         let rec ov b =

@@ -51,6 +51,17 @@ type scenario = {
       (** mount with the scalability features on (striped locks,
           per-thread allocator caches, resolve cache) — the correctness
           gate for the striped shared-directory paths *)
+  range : bool;
+      (** mount with byte-range data-path locking — the correctness
+          gate for the range/append/publish protocols *)
+  invariant : bool;
+      (** assert the namespace snapshot identical across schedules.
+          Off for scenarios whose outcome legitimately depends on the
+          serialization order (append racing truncate); [check_final]
+          then carries the correctness burden alone *)
+  check_final : (Fs.t -> string option) option;
+      (** extra per-schedule oracle on the final state: [Some msg] is a
+          failure.  Runs on every schedule, invariant or not *)
   setup : Fs.t -> unit;
   body : tid:int -> site:(string -> unit) -> Fs.t -> Machine.ctx -> unit;
       (** one simulated thread's work; [site] labels the current
@@ -94,10 +105,10 @@ let rec snapshot_dir fs path acc =
 
 let snapshot fs = String.concat "\n" (List.rev (snapshot_dir fs "/" []))
 
-let fresh_mount ~scaled region =
+let fresh_mount ?(range = false) ~scaled region =
   Fs.invalidate_shared region;
   Fs.mount ~euid:0 ~striped_locks:scaled ~rcache:scaled ~alloc_caches:scaled
-    region
+    ~range_locks:range region
 
 let default_size = 4 lsl 20
 
@@ -108,7 +119,7 @@ let run ?(seed = 11L) ?(budget = 128) ?(size = default_size) sc =
   let region = Region.create size in
   let fs0 =
     Fs.mkfs ~cores:threads ~euid:0 ~striped_locks:sc.scaled ~rcache:sc.scaled
-      ~alloc_caches:sc.scaled region
+      ~alloc_caches:sc.scaled ~range_locks:sc.range region
   in
   sc.setup fs0;
   Region.persist_all region;
@@ -126,7 +137,7 @@ let run ?(seed = 11L) ?(budget = 128) ?(size = default_size) sc =
   let run_one label policy =
     incr schedules;
     Region.restore region cp0;
-    let fs = fresh_mount ~scaled:sc.scaled region in
+    let fs = fresh_mount ~range:sc.range ~scaled:sc.scaled region in
     let machine = Machine.create () in
     let race = Race.create ~threads in
     (* the block allocator's persistent segment lock words are read
@@ -171,19 +182,32 @@ let run ?(seed = 11L) ?(budget = 128) ?(size = default_size) sc =
           races := r :: !races
         end)
       (Race.reports race);
-    (* oracles: same final namespace, clean fsck — on every schedule *)
-    (match snapshot fs with
-    | snap -> (
-        match !reference with
-        | None -> reference := Some snap
-        | Some r ->
-            if r <> snap then
-              failures :=
-                (label, Printf.sprintf "result diverged:\n%s\n-- want --\n%s"
-                          snap r)
-                :: !failures)
-    | exception e ->
-        failures := (label, "snapshot: " ^ Printexc.to_string e) :: !failures);
+    (* oracles: same final namespace (when the scenario promises it),
+       the scenario's own final-state predicate, clean fsck — on every
+       schedule *)
+    (if sc.invariant then
+       match snapshot fs with
+       | snap -> (
+           match !reference with
+           | None -> reference := Some snap
+           | Some r ->
+               if r <> snap then
+                 failures :=
+                   ( label,
+                     Printf.sprintf "result diverged:\n%s\n-- want --\n%s" snap
+                       r )
+                   :: !failures)
+       | exception e ->
+           failures := (label, "snapshot: " ^ Printexc.to_string e) :: !failures);
+    (match sc.check_final with
+    | None -> ()
+    | Some f -> (
+        match f fs with
+        | None -> ()
+        | Some msg -> failures := (label, "final state: " ^ msg) :: !failures
+        | exception e ->
+            failures := (label, "final state: " ^ Printexc.to_string e)
+                        :: !failures));
     match Check.run region with
     | [] -> ()
     | viols ->
@@ -245,6 +269,9 @@ let create_scenario ~threads =
     name = "create";
     threads;
     scaled = false;
+    range = false;
+    invariant = true;
+    check_final = None;
     setup = (fun fs -> mk_private_dirs threads fs);
     body =
       (fun ~tid ~site fs ctx ->
@@ -258,6 +285,9 @@ let unlink_scenario ~threads =
     name = "unlink";
     threads;
     scaled = false;
+    range = false;
+    invariant = true;
+    check_final = None;
     setup =
       (fun fs ->
         mk_private_dirs threads fs;
@@ -277,6 +307,9 @@ let rename_scenario ~threads =
     name = "rename";
     threads;
     scaled = false;
+    range = false;
+    invariant = true;
+    check_final = None;
     setup =
       (fun fs ->
         for tid = 0 to threads - 1 do
@@ -298,6 +331,9 @@ let rw_scenario ~threads =
     name = "read-write";
     threads;
     scaled = false;
+    range = false;
+    invariant = true;
+    check_final = None;
     setup =
       (fun fs ->
         mk_private_dirs threads fs;
@@ -338,6 +374,9 @@ let shared_scenario ~threads =
     name = "shared-dir";
     threads;
     scaled = false;
+    range = false;
+    invariant = true;
+    check_final = None;
     setup = (fun fs -> Fs.mkdir fs "/s");
     body =
       (fun ~tid ~site fs ctx ->
@@ -376,6 +415,9 @@ let striped_create_scenario ~threads =
     name = "striped-create";
     threads;
     scaled = true;
+    range = false;
+    invariant = true;
+    check_final = None;
     setup = (fun fs -> Fs.mkdir fs "/s");
     body =
       (fun ~tid ~site fs ctx ->
@@ -391,6 +433,9 @@ let striped_same_row_scenario ~threads =
     name = "striped-row";
     threads;
     scaled = true;
+    range = false;
+    invariant = true;
+    check_final = None;
     setup = (fun fs -> Fs.mkdir fs "/s");
     body =
       (fun ~tid ~site fs ctx ->
@@ -409,6 +454,9 @@ let striped_rename_scenario ~threads =
     name = "striped-rename";
     threads;
     scaled = true;
+    range = false;
+    invariant = true;
+    check_final = None;
     setup =
       (fun fs ->
         Fs.mkdir fs "/s";
@@ -430,6 +478,9 @@ let striped_xrename_scenario ~threads =
     name = "striped-xrename";
     threads;
     scaled = true;
+    range = false;
+    invariant = true;
+    check_final = None;
     setup =
       (fun fs ->
         Fs.mkdir fs "/s";
@@ -455,6 +506,212 @@ let striped_scenarios ~threads =
     striped_same_row_scenario ~threads;
     striped_rename_scenario ~threads;
     striped_xrename_scenario ~threads;
+  ]
+
+(* --- byte-range data-path scenarios ------------------------------------ *)
+
+(* All four mount with [range_locks] (plus the striped registry): one
+   shared file, concurrent byte-level traffic.  Writers of disjoint
+   4 KiB rows must scale AND serialize correctly; the explorer proves
+   the correctness half here, with zero race reports required — the
+   reservation/publish protocol and the row/extent locks must carry
+   every happens-before edge themselves. *)
+
+let page = 4096
+let fill tid = Char.chr (Char.code 'a' + tid)
+
+(* Oracle-side whole-file read (fresh fd, no ctx — sequential code). *)
+let read_all fs path =
+  let st = Fs.stat fs path in
+  let fd = Fs.openf fs Types.rdonly path in
+  let got = Fs.pread fs fd ~pos:0 ~len:st.Types.size in
+  Fs.close fs fd;
+  got
+
+let uniform b ~pos ~len c =
+  let ok = ref true in
+  for i = pos to pos + len - 1 do
+    if Bytes.get b i <> c then ok := false
+  done;
+  !ok
+
+(* Every thread overwrites its own 4 KiB row of one shared file: fully
+   deterministic outcome, and the per-row write locks never collide. *)
+let range_write_scenario ~threads =
+  {
+    name = "range-write";
+    threads;
+    scaled = true;
+    range = true;
+    invariant = true;
+    check_final =
+      Some
+        (fun fs ->
+          let got = read_all fs "/f" in
+          if Bytes.length got <> threads * page then
+            Some (Printf.sprintf "size %d, want %d" (Bytes.length got)
+                    (threads * page))
+          else begin
+            let bad = ref None in
+            for tid = 0 to threads - 1 do
+              if not (uniform got ~pos:(tid * page) ~len:page (fill tid)) then
+                bad := Some (Printf.sprintf "row %d not thread %d's" tid tid)
+            done;
+            !bad
+          end);
+    setup =
+      (fun fs ->
+        let fd = Fs.openf fs (Types.creat Types.rdwr) "/f" in
+        ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make (threads * page) 'o'));
+        Fs.close fs fd);
+    body =
+      (fun ~tid ~site fs ctx ->
+        site "pwrite";
+        let fd = Fs.openf ~ctx fs Types.rdwr "/f" in
+        ignore
+          (Fs.pwrite ~ctx fs fd ~pos:(tid * page)
+             (Bytes.make page (fill tid)));
+        Fs.close ~ctx fs fd);
+  }
+
+(* Writer overwrites the row a reader is reading: the row lock must
+   make the read atomic — all old bytes or all new bytes, never a mix.
+   (Thread 0 writes; every other thread reads.) *)
+let range_overlap_scenario ~threads =
+  {
+    name = "range-rw";
+    threads;
+    scaled = true;
+    range = true;
+    invariant = true;
+    check_final =
+      Some
+        (fun fs ->
+          let got = read_all fs "/f" in
+          if Bytes.length got = page && uniform got ~pos:0 ~len:page 'b' then
+            None
+          else Some "writer's bytes did not land");
+    setup =
+      (fun fs ->
+        let fd = Fs.openf fs (Types.creat Types.rdwr) "/f" in
+        ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make page 'a'));
+        Fs.close fs fd);
+    body =
+      (fun ~tid ~site fs ctx ->
+        let fd = Fs.openf ~ctx fs Types.rdwr "/f" in
+        (if tid = 0 then begin
+           site "pwrite";
+           ignore (Fs.pwrite ~ctx fs fd ~pos:0 (Bytes.make page 'b'))
+         end
+         else begin
+           site "pread";
+           let got = Fs.pread ~ctx fs fd ~pos:0 ~len:page in
+           if
+             not
+               (uniform got ~pos:0 ~len:page 'a'
+               || uniform got ~pos:0 ~len:page 'b')
+           then failwith "range-rw: torn read"
+         end);
+        Fs.close ~ctx fs fd);
+  }
+
+(* Concurrent appends to one file: sizes reserved by fetch-and-add,
+   published in order.  The final size is deterministic; the block
+   order is whatever the reservation order was, so the content oracle
+   accepts any permutation of uniform per-thread pages. *)
+let range_append_scenario ~threads =
+  {
+    name = "range-append";
+    threads;
+    scaled = true;
+    range = true;
+    invariant = true;
+    check_final =
+      Some
+        (fun fs ->
+          let got = read_all fs "/f" in
+          if Bytes.length got <> threads * page then
+            Some (Printf.sprintf "size %d, want %d" (Bytes.length got)
+                    (threads * page))
+          else begin
+            let seen = Array.make threads 0 in
+            let bad = ref None in
+            for k = 0 to threads - 1 do
+              let c = Bytes.get got (k * page) in
+              let tid = Char.code c - Char.code 'a' in
+              if tid < 0 || tid >= threads
+                 || not (uniform got ~pos:(k * page) ~len:page c)
+              then bad := Some (Printf.sprintf "page %d torn" k)
+              else seen.(tid) <- seen.(tid) + 1
+            done;
+            (match !bad with
+            | None ->
+                if Array.exists (fun n -> n <> 1) seen then
+                  bad := Some "pages are not a permutation of the appends"
+            | Some _ -> ());
+            !bad
+          end);
+    setup =
+      (fun fs ->
+        let fd = Fs.openf fs (Types.creat Types.wronly) "/f" in
+        Fs.close fs fd);
+    body =
+      (fun ~tid ~site fs ctx ->
+        site "append";
+        let fd = Fs.openf ~ctx fs Types.rdwr "/f" in
+        ignore (Fs.append ~ctx fs fd (Bytes.make page (fill tid)));
+        Fs.close ~ctx fs fd);
+  }
+
+(* Append racing truncate(0): the whole-file fence serializes them, so
+   the result is one of exactly two legal serializations — truncated
+   after the append (empty file) or before it (just the appended page).
+   Not schedule-invariant by design. *)
+let range_append_truncate_scenario ~threads:_ =
+  {
+    name = "range-append-trunc";
+    threads = 2;
+    scaled = true;
+    range = true;
+    invariant = false;
+    check_final =
+      Some
+        (fun fs ->
+          let got = read_all fs "/f" in
+          match Bytes.length got with
+          | 0 -> None
+          | n when n = page ->
+              if uniform got ~pos:0 ~len:page 'b' then None
+              else Some "surviving page is not the append's bytes"
+          | n -> Some (Printf.sprintf "size %d, want 0 or %d" n page));
+    setup =
+      (fun fs ->
+        let fd = Fs.openf fs (Types.creat Types.rdwr) "/f" in
+        ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make page 'a'));
+        Fs.close fs fd);
+    body =
+      (fun ~tid ~site fs ctx ->
+        if tid = 0 then begin
+          site "append";
+          let fd = Fs.openf ~ctx fs Types.rdwr "/f" in
+          ignore (Fs.append ~ctx fs fd (Bytes.make page 'b'));
+          Fs.close ~ctx fs fd
+        end
+        else begin
+          site "truncate";
+          Fs.truncate ~ctx fs "/f" 0
+        end);
+  }
+
+(** The range-locking correctness gate ([make races] runs these next to
+    the default and striped lists): concurrent byte-level traffic on one
+    shared file, asserted race-free and fsck-clean on every schedule. *)
+let data_scenarios ~threads =
+  [
+    range_write_scenario ~threads;
+    range_overlap_scenario ~threads;
+    range_append_scenario ~threads;
+    range_append_truncate_scenario ~threads;
   ]
 
 (* --- negative control --------------------------------------------------- *)

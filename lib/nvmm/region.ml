@@ -526,6 +526,15 @@ let ntstore t off src =
   write_bytes t off src;
   clwb t off (Bytes.length src)
 
+(** [ntstore] from a sub-range of [src] — the allocation-free variant
+    for hot loops (no [Bytes.sub]).  One call per contiguous extent run
+    plus a single trailing [sfence] is the batched-writeback data path:
+    every covered line ends up Flushing, so the one fence persists the
+    whole span. *)
+let ntstore_from t off src ~pos ~len =
+  write_bytes_from t off src ~pos ~len;
+  clwb t off len
+
 (** Commit all pending (Flushing) lines to the persistent image.  Walks
     only the worklist built up by [clwb] — O(lines actually pending),
     not O(overlay size).  A line re-dirtied after its [clwb] is skipped

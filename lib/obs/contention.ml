@@ -67,6 +67,19 @@ let total_acquisitions (t : t) =
 let wait_of (t : t) name =
   match Hashtbl.find_opt t name with Some s -> s.wait_cycles | None -> 0.0
 
+(** Aggregate (acquisitions, contended, wait_cycles) over every site
+    whose name starts with [prefix] — striped lock families (e.g. the
+    per-row "file-range/" sites) report per-row for attribution but are
+    usually summarized as one line. *)
+let sum_of_prefix (t : t) prefix =
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun name s ((acq, cont, wait) as acc) ->
+      if String.length name >= plen && String.sub name 0 plen = prefix then
+        (acq + s.acquisitions, cont + s.contended, wait +. s.wait_cycles)
+      else acc)
+    t (0, 0, 0.0)
+
 (** Sorted (site, stats) pairs — deterministic export order. *)
 let to_list (t : t) =
   Hashtbl.fold (fun k s acc -> (k, s) :: acc) t []

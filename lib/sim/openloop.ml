@@ -1,0 +1,75 @@
+(** Open-loop load generation in virtual time.
+
+    The closed-loop harnesses ({!Engine.run_ops}, fxmark) issue the next
+    operation the instant the previous one completes, so measured
+    latency is just service time and the system never queues.  Real
+    clients do not wait for each other: requests arrive on their own
+    clock, and once the offered load crosses the service capacity the
+    backlog — and the tail latency — grows without bound.  That knee is
+    the signature this module exists to expose.
+
+    Each of [clients] simulated threads draws i.i.d. exponential
+    inter-arrival gaps (a Poisson stream; the superposition of the
+    per-client streams is Poisson at the full [rate]).  An operation
+    {e starts} at [max arrival completion_of_previous] — a backlogged
+    client keeps its queue FIFO — and its {e sojourn} (queueing + lock
+    waits + service, in virtual cycles) is what lands in the latency
+    histogram.  Arrivals never depend on completions, which is the
+    definition of open loop. *)
+
+type result = {
+  offered : float;  (** requested arrival rate, ops/s *)
+  achieved : float;  (** completed ops over the makespan, ops/s *)
+  p50 : float;  (** sojourn percentiles, seconds *)
+  p99 : float;
+  p999 : float;
+  mean : float;
+  max : float;
+  ops : int;
+}
+
+(** [run machine ~clients ~rate ~ops_per_client f] offers [rate] ops/s
+    split over [clients] Poisson streams; [f ctx client op_index]
+    performs one operation.  Virtual-time only — pair it with
+    {!Engine.explore} is meaningless, queueing needs the clocks. *)
+let run ?(seed = 97L) ?schedule machine ~clients ~rate ~ops_per_client f =
+  if clients <= 0 then invalid_arg "Openloop.run: clients";
+  if rate <= 0.0 then invalid_arg "Openloop.run: rate";
+  let cm = machine.Machine.cm in
+  let mean_gap =
+    Cost_model.cycles_of_seconds cm (float_of_int clients /. rate)
+  in
+  let hist = Simurgh_obs.Histogram.create () in
+  let arrivals = Array.make clients 0.0 in
+  let progress = Array.make clients 0 in
+  let threads = Array.init clients (fun i -> Sthread.create ~seed i) in
+  let step thr =
+    let i = thr.Sthread.tid in
+    if progress.(i) >= ops_per_client then false
+    else begin
+      let u = Rng.float thr.Sthread.rng in
+      let gap = -.log (1.0 -. u) *. mean_gap in
+      arrivals.(i) <- arrivals.(i) +. gap;
+      (* an idle client waits for its arrival; a backlogged one starts
+         the moment the previous operation finishes *)
+      if arrivals.(i) > thr.Sthread.now then thr.Sthread.now <- arrivals.(i);
+      let ctx = Machine.ctx machine thr in
+      f ctx i progress.(i);
+      Simurgh_obs.Histogram.record hist (thr.Sthread.now -. arrivals.(i));
+      progress.(i) <- progress.(i) + 1;
+      thr.Sthread.ops <- thr.Sthread.ops + 1;
+      true
+    end
+  in
+  let outcome = Engine.run ?schedule threads step in
+  let sec c = Cost_model.seconds cm c in
+  {
+    offered = rate;
+    achieved = Engine.throughput machine outcome;
+    p50 = sec (Simurgh_obs.Histogram.percentile hist 50.0);
+    p99 = sec (Simurgh_obs.Histogram.percentile hist 99.0);
+    p999 = sec (Simurgh_obs.Histogram.percentile hist 99.9);
+    mean = sec (Simurgh_obs.Histogram.mean hist);
+    max = sec (Simurgh_obs.Histogram.max_value hist);
+    ops = Simurgh_obs.Histogram.count hist;
+  }

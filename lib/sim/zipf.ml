@@ -31,6 +31,13 @@ let create ?(theta = 0.99) items =
   in
   { items; theta; alpha; zetan; eta; half_pow_theta = 1.0 +. (0.5 ** theta) }
 
+(** Theoretical probability mass of rank [k] (0-based): the most popular
+    item carries [1/zeta_n]; used by the property tests to bound the
+    empirical frequencies the sampler produces. *)
+let rank_mass t k =
+  if k < 0 || k >= t.items then invalid_arg "Zipf.rank_mass";
+  1.0 /. (float_of_int (k + 1) ** t.theta) /. t.zetan
+
 (** Sample a rank in [0, items); rank 0 is the most popular item. *)
 let sample t rng =
   let u = Rng.float rng in

@@ -438,6 +438,133 @@ let test_rcache_unit () =
   Alcotest.(check int) "inserts counted" 4 s.Rc.inserts;
   Alcotest.(check bool) "invalidations counted" true (s.Rc.invalidations >= 2)
 
+(* --- byte-range data path (range_locks) ---------------------------------- *)
+
+(* The byte-range configuration must be semantically invisible too: the
+   whole POSIX suite runs a third time with range locking (and every
+   scaled feature) on. *)
+let fresh_range () =
+  Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true ~alloc_caches:true
+    ~range_locks:true (fresh_region ())
+
+module Posix_range =
+  Fs_suite.Make
+    (Fs)
+    (struct
+      let fresh = fresh_range
+    end)
+
+let check_span what b ~pos ~len c =
+  for i = pos to pos + len - 1 do
+    if Bytes.get b i <> c then
+      Alcotest.failf "%s: byte %d is %C, want %C" what i (Bytes.get b i) c
+  done
+
+(* pwrite far past EOF: the hole must read back as zeros, never as the
+   stale content of a recycled block *)
+let test_pwrite_hole_zero fresh () =
+  let fs = fresh () in
+  (* churn some data through the allocator so the hole's blocks are
+     recycled ones that previously held non-zero bytes *)
+  Fs.create_file fs "/junk";
+  let fd = Fs.openf fs Types.rdwr "/junk" in
+  ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make 16384 'J'));
+  Fs.close fs fd;
+  Fs.unlink fs "/junk";
+  Fs.create_file fs "/f";
+  let fd = Fs.openf fs Types.rdwr "/f" in
+  ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make 100 'a'));
+  ignore (Fs.pwrite fs fd ~pos:9000 (Bytes.make 50 'b'));
+  let st = Fs.stat fs "/f" in
+  Alcotest.(check int) "size" 9050 st.Types.size;
+  let got = Fs.pread fs fd ~pos:0 ~len:9050 in
+  check_span "prefix" got ~pos:0 ~len:100 'a';
+  check_span "hole reads zero" got ~pos:100 ~len:8900 '\000';
+  check_span "tail" got ~pos:9000 ~len:50 'b';
+  Fs.close fs fd
+
+(* ftruncate shrink then grow: a partial shrink keeps the file's blocks,
+   so growing back must not re-expose the pre-shrink bytes *)
+let test_truncate_shrink_grow fresh () =
+  let fs = fresh () in
+  Fs.create_file fs "/t";
+  let fd = Fs.openf fs Types.rdwr "/t" in
+  ignore (Fs.pwrite fs fd ~pos:0 (Bytes.make 8192 'x'));
+  Fs.truncate fs "/t" 100;
+  Fs.truncate fs "/t" 8192;
+  let got = Fs.pread fs fd ~pos:0 ~len:8192 in
+  check_span "kept prefix" got ~pos:0 ~len:100 'x';
+  check_span "re-exposed bytes zero" got ~pos:100 ~len:(8192 - 100) '\000';
+  Fs.close fs fd
+
+(* appends through two fds interleave at reservation granularity and
+   the file stays dense (no gap, no overlap) *)
+let test_range_append_two_fds () =
+  let fs = fresh_range () in
+  Fs.create_file fs "/a";
+  let fd1 = Fs.openf fs Types.wronly "/a" in
+  let fd2 = Fs.openf fs Types.wronly "/a" in
+  ignore (Fs.append fs fd1 (Bytes.make 4096 'p'));
+  ignore (Fs.append fs fd2 (Bytes.make 4096 'q'));
+  ignore (Fs.append fs fd1 (Bytes.make 100 'r'));
+  Fs.close fs fd1;
+  Fs.close fs fd2;
+  let st = Fs.stat fs "/a" in
+  Alcotest.(check int) "size" 8292 st.Types.size;
+  let fd = Fs.openf fs Types.rdonly "/a" in
+  let got = Fs.pread fs fd ~pos:0 ~len:8292 in
+  check_span "first append" got ~pos:0 ~len:4096 'p';
+  check_span "second append" got ~pos:4096 ~len:4096 'q';
+  check_span "third append" got ~pos:8192 ~len:100 'r';
+  Fs.close fs fd
+
+(* O_TRUNC must reset the volatile reserve/publish state along with the
+   persistent size, so the next append lands at offset 0 *)
+let test_range_otrunc_resets () =
+  let fs = fresh_range () in
+  Fs.create_file fs "/o";
+  let fd = Fs.openf fs Types.rdwr "/o" in
+  ignore (Fs.append fs fd (Bytes.make 4096 'x'));
+  Fs.close fs fd;
+  let fd = Fs.openf fs { Types.rdwr with Types.trunc = true } "/o" in
+  Alcotest.(check int) "truncated" 0 (Fs.stat fs "/o").Types.size;
+  ignore (Fs.append fs fd (Bytes.make 10 'y'));
+  Alcotest.(check int) "appended at 0" 10 (Fs.stat fs "/o").Types.size;
+  let got = Fs.pread fs fd ~pos:0 ~len:10 in
+  check_span "content" got ~pos:0 ~len:10 'y';
+  Fs.close fs fd
+
+let test_rows_of_range_edges () =
+  let module L = Simurgh_core.Locks in
+  let bs = L.range_row_bytes in
+  Alcotest.(check (list int)) "len=0" [] (L.rows_of_range ~pos:512 ~len:0);
+  Alcotest.(check (list int)) "negative pos" [] (L.rows_of_range ~pos:(-1) ~len:8);
+  Alcotest.(check (list int)) "straddle at block-1" [ 0; 1 ]
+    (L.rows_of_range ~pos:(bs - 1) ~len:2);
+  Alcotest.(check (list int)) "single byte at block-1" [ 0 ]
+    (L.rows_of_range ~pos:(bs - 1) ~len:1);
+  Alcotest.(check (list int)) "whole-file span" [ 0; 1; 2; 3 ]
+    (L.rows_of_range ~pos:0 ~len:(4 * bs))
+
+(* exact coverage: the returned rows are precisely the rows any byte of
+   [pos, pos+len) falls in, ascending and without duplicates *)
+let prop_rows_of_range =
+  QCheck.Test.make ~name:"Locks.rows_of_range covers exactly [pos, pos+len)"
+    ~count:200
+    QCheck.(pair (int_range (-2) 20000) (int_range (-2) 20000))
+    (fun (pos, len) ->
+      let module L = Simurgh_core.Locks in
+      let rows = L.rows_of_range ~pos ~len in
+      if len <= 0 || pos < 0 then rows = []
+      else begin
+        let module IS = Set.Make (Int) in
+        let s = ref IS.empty in
+        for i = pos to pos + len - 1 do
+          s := IS.add (i / L.range_row_bytes) !s
+        done;
+        rows = IS.elements !s
+      end)
+
 let () =
   Alcotest.run "fs"
     [
@@ -484,5 +611,24 @@ let () =
           Alcotest.test_case "rcache FS invalidation" `Quick
             test_rcache_fs_invalidation;
           Alcotest.test_case "rcache unit" `Quick test_rcache_unit;
+        ] );
+      ("posix-range", Posix_range.suite);
+      ( "range",
+        [
+          Alcotest.test_case "pwrite hole zero (default)" `Quick
+            (test_pwrite_hole_zero fresh);
+          Alcotest.test_case "pwrite hole zero (range)" `Quick
+            (test_pwrite_hole_zero fresh_range);
+          Alcotest.test_case "truncate shrink-grow (default)" `Quick
+            (test_truncate_shrink_grow fresh);
+          Alcotest.test_case "truncate shrink-grow (range)" `Quick
+            (test_truncate_shrink_grow fresh_range);
+          Alcotest.test_case "append via two fds" `Quick
+            test_range_append_two_fds;
+          Alcotest.test_case "O_TRUNC resets state" `Quick
+            test_range_otrunc_resets;
+          Alcotest.test_case "rows_of_range edges" `Quick
+            test_rows_of_range_edges;
+          QCheck_alcotest.to_alcotest prop_rows_of_range;
         ] );
     ]

@@ -55,6 +55,12 @@ let test_rw_schedule_invariant () =
 let test_striped_schedule_invariant () =
   List.iter check_invariant (Sched.striped_scenarios ~threads:2)
 
+(* the byte-range data-path scenarios (disjoint writes, overlapping
+   read/write, concurrent appends, append vs truncate) are the
+   correctness gate for the range_locks configuration *)
+let test_data_schedule_invariant () =
+  List.iter check_invariant (Sched.data_scenarios ~threads:2)
+
 (* --- race detector ------------------------------------------------------- *)
 
 let test_negative_control_fires () =
@@ -110,6 +116,7 @@ let () =
           Alcotest.test_case "rename" `Quick test_rename_schedule_invariant;
           Alcotest.test_case "read-write" `Quick test_rw_schedule_invariant;
           Alcotest.test_case "striped" `Quick test_striped_schedule_invariant;
+          Alcotest.test_case "data range" `Quick test_data_schedule_invariant;
         ] );
       ( "race-detector",
         [

@@ -82,6 +82,24 @@ let prop_zipf_in_range =
       done;
       !ok)
 
+(* The empirical frequency of the hottest rank must match the analytic
+   mass [Zipf.rank_mass] across seeds and skews — this pins the sampler
+   to the distribution BENCH_data claims to offer. *)
+let prop_zipf_rank_mass =
+  QCheck.Test.make ~name:"Zipf rank-0 frequency matches rank_mass" ~count:25
+    QCheck.(pair small_nat (float_range 0.6 1.2))
+    (fun (seed, theta) ->
+      let z = Zipf.create ~theta 200 in
+      let rng = Rng.create (Int64.of_int (seed + 1)) in
+      let n = 20_000 in
+      let hits = ref 0 in
+      for _ = 1 to n do
+        if Zipf.sample z rng = 0 then incr hits
+      done;
+      let expected = Zipf.rank_mass z 0 in
+      let got = float_of_int !hits /. float_of_int n in
+      abs_float (got -. expected) < 0.03 +. (0.15 *. expected))
+
 let test_zipf_rank_order () =
   let z = Zipf.create 1000 in
   let rng = Rng.create 5L in
@@ -494,6 +512,7 @@ let () =
           Alcotest.test_case "skew" `Quick test_zipf_skew;
           Alcotest.test_case "rank order" `Quick test_zipf_rank_order;
           QCheck_alcotest.to_alcotest prop_zipf_in_range;
+          QCheck_alcotest.to_alcotest prop_zipf_rank_mass;
         ] );
       ( "resource",
         [
