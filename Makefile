@@ -8,13 +8,16 @@ build:
 test: build
 	dune runtest
 
-# Full gate: build + unit/property/differential tests + a quick smoke run
-# of the region data-path microbenchmark (writes BENCH_region.json), the
-# bounded crash-image explorer / media-fault / checker experiment, the
-# metadata-scalability sweep (writes BENCH_scale.json) and the data-path
-# scaling + open-loop experiment (writes BENCH_data.json), plus the
-# schedule-exploration / race-detection self-check.
-check: test races
+# Full gate: build + unit/property/differential tests (four POSIX-suite
+# passes: default, striped, log-ring, range) + a quick smoke run of the
+# region data-path microbenchmark (writes BENCH_region.json), the
+# bounded crash-image explorer / media-fault / checker experiment
+# (including the log-ring rename machines), the metadata-scalability
+# sweep (writes BENCH_scale.json with the 7d log-ring curve) and the
+# data-path scaling + open-loop experiment (writes BENCH_data.json),
+# plus the schedule-exploration / race-detection and offline-fsck
+# self-checks.
+check: test races fsck
 	dune exec bench/main.exe -- --scale 0.05 region crash scale data
 
 # Data-path scaling: whole-file lock vs byte-range locking on one shared
@@ -23,7 +26,8 @@ data: build
 	dune exec bench/main.exe -- data
 
 # Offline fsck-style self-check: the checker must pass a correctly
-# recovered crash image and flag a deliberately mis-recovered one.
+# recovered crash image (legacy and log-ring media) and flag a
+# deliberately mis-recovered one.
 fsck: build
 	dune exec bench/main.exe -- --check
 

@@ -87,6 +87,25 @@ let ops =
       fun fs -> Fs.rename fs "/d/m" "/e/m2" );
   ]
 
+(* The two rename state machines again on log-ring media (per-directory
+   ring of rename-log slots, scaled mount): a crash may now leave any
+   slot of the ring pending, and every image must still recover to an
+   empty ring. *)
+let ring_ops =
+  [
+    ( "ring-rename",
+      (fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.create_file fs "/d/old"),
+      fun fs -> Fs.rename fs "/d/old" "/d/new" );
+    ( "ring-xrename",
+      (fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.mkdir fs "/e";
+        Fs.create_file fs "/d/m"),
+      fun fs -> Fs.rename fs "/d/m" "/e/m2" );
+  ]
+
 (* Crash exploration of the byte-range data path: the staged
    (batched-writeback) extent window and the append/extend publish
    point.  Beyond fsck-cleanliness these carry a [verify] oracle on
@@ -218,6 +237,10 @@ let run ~scale =
       tally name (Explore.run ~samples ~scaled ~setup ~op ()))
     ops;
   List.iter
+    (fun (name, setup, op) ->
+      tally name (Explore.run ~samples ~scaled:true ~ring:4 ~setup ~op ()))
+    ring_ops;
+  List.iter
     (fun (name, setup, op, verify) ->
       tally name
         (Explore.run ~samples ~scaled:true ~range:true ~setup ~op ~verify ()))
@@ -274,4 +297,20 @@ let fsck () =
   List.iter
     (fun v -> print_endline ("  " ^ Check.violation_to_string v))
     clean;
-  if negative <> [] && clean = [] then 0 else 1
+  (* the same gate on log-ring media: a crashed rename leaves a pending
+     ring slot; full recovery must empty the ring *)
+  let ring_region = Region.create ~mode:Region.Strict (32 * 1024 * 1024) in
+  let rfs = Fs.mkfs ~euid:0 ~log_ring:4 ring_region in
+  Fs.mkdir rfs "/d";
+  Fs.create_file rfs "/d/m";
+  Fs.set_crash_hook rfs (fun l -> if l = "rename:swap" then raise Crash_now);
+  (try Fs.rename rfs "/d/m" "/d/n" with Crash_now -> Region.crash ring_region);
+  Region.clear_guard ring_region;
+  let _ = Recovery.run ring_region in
+  let ring_clean = Check.run ring_region in
+  Printf.printf "fsck: log-ring recovery: %d violation(s)\n"
+    (List.length ring_clean);
+  List.iter
+    (fun v -> print_endline ("  " ^ Check.violation_to_string v))
+    ring_clean;
+  if negative <> [] && clean = [] && ring_clean = [] then 0 else 1

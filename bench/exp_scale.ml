@@ -41,6 +41,9 @@ type series = {
   seed_kops : float list;
   scaled_kops : float list;
   speedup : float list;
+  ring_kops : float list option;
+      (* third curve, rename benches only: the scaled configuration
+         plus the per-directory rename-log ring format *)
 }
 
 let print_thread_header title =
@@ -64,6 +67,29 @@ let sweep (t : Targets.target) bench ~ops =
       let r = t.Targets.run_fx ~region_mb ~threads ~ops bench in
       Util.kops r.Fxmark.throughput)
     thread_counts
+
+(* The log-ring sweep keeps its hands on the file system so the
+   rename-log slot counters can be read back after each run. *)
+let sweep_ring bench ~ops =
+  let acquisitions = ref 0.0 and full_waits = ref 0.0 in
+  let kops =
+    List.map
+      (fun threads ->
+        let region_mb = region_mb_for ~threads ~ops in
+        let fs = Targets.fresh_simurgh_ring ~region_mb () in
+        let machine = Simurgh_sim.Machine.create () in
+        let r = Targets.Fx_simurgh.run machine fs bench ~threads ~ops in
+        let locks = Simurgh_core.Fs.locks fs in
+        acquisitions :=
+          !acquisitions
+          +. float_of_int (Simurgh_core.Locks.log_slot_acquisitions locks);
+        full_waits :=
+          !full_waits
+          +. float_of_int (Simurgh_core.Locks.log_ring_full_waits locks);
+        Util.kops r.Fxmark.throughput)
+      thread_counts
+  in
+  (kops, !acquisitions, !full_waits)
 
 let run ~scale =
   let counters = ref [] in
@@ -92,6 +118,23 @@ let run ~scale =
       Util.series "speedup" " %9.2f" speedup;
       let tmax = List.fold_left max 1 thread_counts in
       let last l = List.nth l (List.length l - 1) in
+      (* rename benches get the third curve: scaled + rename-log ring,
+         the only configuration whose log windows can overlap *)
+      let ring_kops =
+        if bench <> Fxmark.Rename_shared then None
+        else begin
+          let kops, acquisitions, full_waits = sweep_ring bench ~ops in
+          Util.series "Simurgh-logring" " %9.0f" kops;
+          Util.series "ring/scaled"
+            " %9.2f"
+            (List.map2 (fun r sc -> if sc > 0.0 then r /. sc else 0.0) kops
+               scaled_kops);
+          tally (Printf.sprintf "scale/%s/ring_t%d_kops" id tmax) (last kops);
+          tally "rename_log/slot_acquisitions" acquisitions;
+          tally "rename_log/ring_full_waits" full_waits;
+          Some kops
+        end
+      in
       tally (Printf.sprintf "scale/%s/seed_t%d_kops" id tmax) (last seed_kops);
       tally
         (Printf.sprintf "scale/%s/scaled_t%d_kops" id tmax)
@@ -105,6 +148,7 @@ let run ~scale =
           seed_kops;
           scaled_kops;
           speedup;
+          ring_kops;
         }
         :: !all)
     benches;
@@ -123,7 +167,8 @@ let run ~scale =
   out
     "  \"note\": \"kops: virtual-time Kops/s; seed: stock configuration; \
      scaled: striped directory locks + per-thread allocator caches + DRAM \
-     resolve cache (same on-media layout)\",\n";
+     resolve cache (same on-media layout); ring: scaled plus the \
+     per-directory rename-log ring format (log_ring=16)\",\n";
   out "  \"benches\": [\n";
   List.iteri
     (fun i s ->
@@ -131,6 +176,9 @@ let run ~scale =
         s.bench_name s.ops;
       out "     \"seed_kops\": [%s],\n" (floats s.seed_kops);
       out "     \"scaled_kops\": [%s],\n" (floats s.scaled_kops);
+      (match s.ring_kops with
+      | Some kops -> out "     \"ring_kops\": [%s],\n" (floats kops)
+      | None -> ());
       out "     \"speedup\": [%s]}%s\n" (floats s.speedup)
         (if i = List.length all - 1 then "" else ","))
     all;

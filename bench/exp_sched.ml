@@ -8,11 +8,13 @@
     same final namespace and a clean fsck; the race detector
     ({!Simurgh_sim.Race}) must stay silent on the decentralized
     (private-directory) scenarios and on the striped-lock
-    shared-directory scenarios ({!Simurgh_core.Sched_explore.striped_scenarios})
-    and on the byte-range data-path scenarios
+    shared-directory scenarios ({!Simurgh_core.Sched_explore.striped_scenarios}),
+    on the byte-range data-path scenarios
     ({!Simurgh_core.Sched_explore.data_scenarios}, the correctness gate
-    for the [range_locks] configuration).  Two extra parts keep the tooling
-    honest:
+    for the [range_locks] configuration) and on the concurrent-rename
+    log-ring scenarios ({!Simurgh_core.Sched_explore.ring_scenarios},
+    the correctness gate for the [log_ring] format).  Two extra parts
+    keep the tooling honest:
 
     + {b shared-dir}: disjoint names in one directory — real
       cross-thread lock traffic plus the lock-free lookup path; its
@@ -79,7 +81,7 @@ let run ~scale =
       lines := max !lines st.Sched.lines_tracked;
       accesses := !accesses + st.Sched.accesses)
     (Sched.default_scenarios ~threads:2 @ Sched.striped_scenarios ~threads:2
-    @ Sched.data_scenarios ~threads:2);
+    @ Sched.data_scenarios ~threads:2 @ Sched.ring_scenarios ~threads:2);
   (* informational: cross-thread traffic in one shared directory *)
   let shared = Sched.run ~budget:(max 12 (budget / 2)) (Sched.shared_scenario ~threads:3) in
   print_stats shared;
@@ -131,7 +133,7 @@ let selfcheck ~scale () =
         incr bad
       end)
     (Sched.default_scenarios ~threads:2 @ Sched.striped_scenarios ~threads:2
-    @ Sched.data_scenarios ~threads:2);
+    @ Sched.data_scenarios ~threads:2 @ Sched.ring_scenarios ~threads:2);
   let neg = Sched.negative_control () in
   Printf.printf "races: negative control (unlocked stores): %s\n"
     (if neg <> [] then

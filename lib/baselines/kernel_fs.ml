@@ -328,18 +328,42 @@ let rmdir ?ctx t path =
   syscall ?ctx t;
   do_remove ?ctx t ~must_be_dir:true path
 
+(* POSIX ancestry check (the VFS's lock_rename ancestor walk): renaming
+   a directory into its own subtree must fail EINVAL. *)
+let rec in_subtree root node =
+  root == node
+  || Hashtbl.fold
+       (fun _ child acc ->
+         acc || (child.kind = Types.Dir && in_subtree child node))
+       root.children false
+
 let rename ?ctx t old_path new_path =
   syscall ?ctx t;
   let sp, sn = resolve_parent ?ctx t old_path in
   let dp, dn = resolve_parent ?ctx t new_path in
+  if sp.ino = dp.ino && String.equal sn dn then begin
+    (* POSIX: renaming a name to itself succeeds and changes nothing *)
+    if not (Hashtbl.mem sp.children sn) then Errno.raise_ ENOENT old_path
+  end
+  else begin
+  (match Hashtbl.find_opt sp.children sn with
+  | Some n when n.kind = Types.Dir && in_subtree n dp ->
+      Errno.raise_ EINVAL new_path
+  | _ -> ());
   let body () =
     match Hashtbl.find_opt sp.children sn with
     | None -> Errno.raise_ ENOENT old_path
     | Some n ->
         (match Hashtbl.find_opt dp.children dn with
-        | Some existing ->
-            if existing.kind = Types.Dir && Hashtbl.length existing.children > 0
-            then Errno.raise_ ENOTEMPTY new_path
+        | Some existing -> (
+            (* kind agreement between source and existing destination *)
+            match (n.kind, existing.kind) with
+            | Types.Dir, Types.Dir ->
+                if Hashtbl.length existing.children > 0 then
+                  Errno.raise_ ENOTEMPTY new_path
+            | Types.Dir, _ -> Errno.raise_ ENOTDIR new_path
+            | _, Types.Dir -> Errno.raise_ EISDIR new_path
+            | _, _ -> ())
         | None -> ());
         cpu ?ctx t.profile.Profile.rename_cycles;
         journal_op ?ctx t (fun () ->
@@ -358,6 +382,7 @@ let rename ?ctx t old_path new_path =
         let a, b = if sp.ino < dp.ino then (sp, dp) else (dp, sp) in
         with_mutex ?ctx a.dir_mutex (fun () ->
             with_mutex ?ctx b.dir_mutex body))
+  end
 
 let stat_of_node (n : node) =
   {

@@ -44,7 +44,9 @@ type violation =
       (** live object unreachable from the root *)
   | Block_accounting of string
       (** free lists vs. reachable references disagree *)
-  | Log_pending of { block : int }  (** unresolved rename log *)
+  | Log_pending of { block : int; slot : int }
+      (** unresolved rename log (slot 0 = legacy single entry; log-ring
+          media can flag several slots of one block) *)
   | Busy_flag of { block : int; row : int }  (** stuck busy flag *)
   | Media of { line : int }  (** poisoned line hit while checking *)
 
@@ -63,8 +65,8 @@ let pp_violation ppf = function
       Fmt.pf ppf "%s object %#x left in transient state %d" slab obj flags
   | Leak { slab; obj } -> Fmt.pf ppf "%s object %#x live but unreachable" slab obj
   | Block_accounting s -> Fmt.pf ppf "block accounting: %s" s
-  | Log_pending { block } ->
-      Fmt.pf ppf "pending rename log in block %#x" block
+  | Log_pending { block; slot } ->
+      Fmt.pf ppf "pending rename log in block %#x slot %d" block slot
   | Busy_flag { block; row } ->
       Fmt.pf ppf "busy flag stuck in block %#x row %d" block row
   | Media { line } -> Fmt.pf ppf "media error at line %#x while checking" line
@@ -102,7 +104,11 @@ let run ?(include_leaks = true) region =
           let names = Hashtbl.create 16 in
           try
             Dirblock.iter_chain r head (fun _ b ->
-                if Dirblock.Log.pending r b then add (Log_pending { block = b });
+                (* ring emptiness: every log slot — the legacy single
+                   entry or each of the ring's — must be clear *)
+                List.iter
+                  (fun (slot, _) -> add (Log_pending { block = b; slot }))
+                  (Dirblock.Log.pending_slots r b);
                 if b = head then
                   for row = 0 to Dirblock.first_rows - 1 do
                     if Dirblock.busy r b row then
@@ -198,8 +204,7 @@ let run ?(include_leaks = true) region =
            (fun head () ->
              try
                Dirblock.iter_chain r head (fun _ b ->
-                   used "directory block" b
-                     (Dirblock.size_for_rows (Dirblock.rows r b)))
+                   used "directory block" b (Dirblock.size_of r b))
              with Region.Media_error off ->
                add (Media { line = off / Region.line_size }))
            reach_dirhead;

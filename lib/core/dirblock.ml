@@ -20,11 +20,20 @@
     Block layout:
     {v
       +0    next pptr u62
-      +8    rows u32, pad u32
+      +8    rows u32, ring u32
       +16   busy flags, 1 byte per lock row   (64 bytes; first block only)
       +80   log entry                          (40 bytes; first block only)
-      +120  slots: rows x 8 x 8 bytes
-    v} *)
+      +120  ring log slots: ring x 48 bytes    (first block only; ring > 0)
+      +120+ring*48  slots: rows x 8 x 8 bytes
+    v}
+
+    The [ring] word (always zero before the log-ring feature existed)
+    makes each block self-describing: when non-zero, the legacy +80 log
+    entry is unused and the block instead carries a ring of [ring]
+    48-byte log slots so that concurrent renames in one directory each
+    run the Fig. 5 protocol in their own slot.  A ring slot is the
+    legacy 40-byte entry plus an epoch word at +40 that orders pending
+    slots for recovery. *)
 
 open Simurgh_nvmm
 
@@ -32,14 +41,16 @@ let first_rows = 64
 let max_rows = 65536
 let slots_per_row = 8
 let header = 120
+let ring_slot_bytes = 48
 
-let size_for_rows rows = header + (rows * slots_per_row * 8)
+let size_for_rows ?(ring = 0) rows =
+  header + (ring * ring_slot_bytes) + (rows * slots_per_row * 8)
 
 let f_next b = b
 let f_rows b = b + 8
+let f_ring b = b + 12
 let f_busy b row = b + 16 + row
 let f_log b = b + 80
-let f_slot b row s = b + header + (((row * slots_per_row) + s) * 8)
 
 let next r b = Region.read_u62 r (f_next b)
 
@@ -49,7 +60,19 @@ let set_next r b v =
 
 let rows r b = Region.read_u32 r (f_rows b)
 
-let slot r b row s = Region.read_u62 r (f_slot b row s)
+(** Number of ring log slots in this block; 0 means the legacy single
+    +80 log entry. *)
+let ring r b = Region.read_u32 r (f_ring b)
+
+(** On-media size of this block (ring-aware). *)
+let size_of r b = size_for_rows ~ring:(ring r b) (rows r b)
+
+let f_slot r b row s =
+  b + header
+  + (ring r b * ring_slot_bytes)
+  + (((row * slots_per_row) + s) * 8)
+
+let slot r b row s = Region.read_u62 r (f_slot r b row s)
 
 (* A row is [slots_per_row] adjacent u62 slots — exactly one cache line.
    Row scans batch-load it with a single region round into [dst]
@@ -57,13 +80,13 @@ let slot r b row s = Region.read_u62 r (f_slot b row s)
 let row_bytes = slots_per_row * 8
 
 let load_row r b row dst =
-  Region.read_bytes_into r (f_slot b row 0) dst ~pos:0 ~len:row_bytes
+  Region.read_bytes_into r (f_slot r b row 0) dst ~pos:0 ~len:row_bytes
 
 let slot_of_row dst s = Int64.to_int (Bytes.get_int64_le dst (s * 8))
 
 let set_slot r b row s v =
-  Region.write_u62 r (f_slot b row s) v;
-  Region.persist r (f_slot b row s) 8
+  Region.write_u62 r (f_slot r b row s) v;
+  Region.persist r (f_slot r b row s) 8
 
 (* Busy (lock) rows always index the first block's 64 rows. *)
 let lock_row_of_hash h = h mod first_rows
@@ -75,46 +98,87 @@ let set_busy r b row v =
   Region.write_u8 r (f_busy b row) (if v then 1 else 0);
   Region.persist r (f_busy b row) 1
 
-(** Initialize a freshly allocated block of [rows] rows. *)
-let init r b ~rows:nrows =
-  Region.zero r b (size_for_rows nrows);
+(** Initialize a freshly allocated block of [rows] rows.  [ring] ring
+    log slots (first blocks of log-ring directories only; 0 keeps the
+    legacy single +80 log entry and a bit-identical layout). *)
+let init r b ~rows:nrows ?(ring = 0) () =
+  Region.zero r b (size_for_rows ~ring nrows);
   Region.write_u32 r (f_rows b) nrows;
-  Region.persist r b header
+  if ring > 0 then Region.write_u32 r (f_ring b) ring;
+  Region.persist r b (header + (ring * ring_slot_bytes))
 
 (* --- log entry for renames --------------------------------------------- *)
 
 module Log = struct
-  let f_state b = f_log b
-  let f_kind b = f_log b + 1
-  let f_src b = f_log b + 8
-  let f_dst b = f_log b + 16
-  let f_fentry b = f_log b + 24
-  let f_newentry b = f_log b + 32
+  (* A log slot is the Fig. 5 rename log: state u8, kind u8, then four
+     u62 payload words.  Legacy blocks (ring = 0) have exactly one slot,
+     at +80, with no epoch word.  Ring blocks have [ring] slots of
+     [ring_slot_bytes] each starting at +120, each ending in an epoch
+     word at +40 that totally orders pending slots for recovery. *)
+  let base r b slot =
+    if ring r b = 0 then f_log b else b + header + (slot * ring_slot_bytes)
+
+  let f_state o = o
+  let f_kind o = o + 1
+  let f_src o = o + 8
+  let f_dst o = o + 16
+  let f_fentry o = o + 24
+  let f_newentry o = o + 32
+  let f_epoch o = o + 40
 
   let kind_cross_rename = 1
 
-  let pending r b = Region.read_u8 r (f_state b) <> 0
+  (** Number of log slots in this block (1 for legacy blocks). *)
+  let nslots r b =
+    let n = ring r b in
+    if n = 0 then 1 else n
 
-  let write r b ~src ~dst ~fentry ~new_entry =
-    Region.write_u8 r (f_kind b) kind_cross_rename;
-    Region.write_u62 r (f_src b) src;
-    Region.write_u62 r (f_dst b) dst;
-    Region.write_u62 r (f_fentry b) fentry;
-    Region.write_u62 r (f_newentry b) new_entry;
-    Region.persist r (f_log b) 40;
+  let pending r b ~slot = Region.read_u8 r (f_state (base r b slot)) <> 0
+
+  (** Epoch stamp of [slot]; legacy slots read as epoch 0. *)
+  let epoch r b ~slot =
+    if ring r b = 0 then 0 else Region.read_u62 r (f_epoch (base r b slot))
+
+  (** True when any log slot in this block is pending. *)
+  let any_pending r b =
+    let n = nslots r b in
+    let rec go s = s < n && (pending r b ~slot:s || go (s + 1)) in
+    go 0
+
+  (** All pending slots of this block as [(slot, epoch)], unordered. *)
+  let pending_slots r b =
+    let n = nslots r b in
+    let acc = ref [] in
+    for s = n - 1 downto 0 do
+      if pending r b ~slot:s then acc := (s, epoch r b ~slot:s) :: !acc
+    done;
+    !acc
+
+  let write r b ~slot ~epoch ~src ~dst ~fentry ~new_entry =
+    let o = base r b slot in
+    let is_ring = ring r b > 0 in
+    Region.write_u8 r (f_kind o) kind_cross_rename;
+    Region.write_u62 r (f_src o) src;
+    Region.write_u62 r (f_dst o) dst;
+    Region.write_u62 r (f_fentry o) fentry;
+    Region.write_u62 r (f_newentry o) new_entry;
+    if is_ring then Region.write_u62 r (f_epoch o) epoch;
+    Region.persist r o (if is_ring then ring_slot_bytes else 40);
     (* the state bit is set only once the payload is durable *)
-    Region.write_u8 r (f_state b) 1;
-    Region.persist r (f_state b) 1
+    Region.write_u8 r (f_state o) 1;
+    Region.persist r (f_state o) 1
 
-  let read r b =
-    ( Region.read_u62 r (f_src b),
-      Region.read_u62 r (f_dst b),
-      Region.read_u62 r (f_fentry b),
-      Region.read_u62 r (f_newentry b) )
+  let read r b ~slot =
+    let o = base r b slot in
+    ( Region.read_u62 r (f_src o),
+      Region.read_u62 r (f_dst o),
+      Region.read_u62 r (f_fentry o),
+      Region.read_u62 r (f_newentry o) )
 
-  let clear r b =
-    Region.write_u8 r (f_state b) 0;
-    Region.persist r (f_state b) 1
+  let clear r b ~slot =
+    let o = base r b slot in
+    Region.write_u8 r (f_state o) 0;
+    Region.persist r (f_state o) 1
 end
 
 (* --- chain traversal ----------------------------------------------------- *)

@@ -59,12 +59,12 @@ let fresh_mount ?(range = false) ~scaled region =
 let default_size = 4 lsl 20
 
 let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
-    ?(size = default_size) ?(scaled = false) ?(range = false) ?verify ~setup
-    ~op () =
+    ?(size = default_size) ?(scaled = false) ?(range = false) ?(ring = 0)
+    ?verify ~setup ~op () =
   let region = Region.create ~mode:Region.Strict size in
   let fs0 =
     Fs.mkfs ~cores:2 ~euid:0 ~striped_locks:scaled ~rcache:scaled
-      ~alloc_caches:scaled ~range_locks:range region
+      ~alloc_caches:scaled ~range_locks:range ~log_ring:ring region
   in
   setup fs0;
   (* the operation's own writes must be the only unpersisted lines at

@@ -38,6 +38,11 @@ type t = {
           (truncate, O_TRUNC, unlink) fence everyone out through an
           exclusive pass over the per-file lock.  Off = seed behavior,
           one rwlock per file around every data operation. *)
+  log_ring : int;
+      (** format-time rename-log ring size (from the superblock): each
+          directory's first hash block carries this many log slots, and
+          a rename claims one via its per-slot lock instead of the
+          directory-global log lock.  0 = the paper's single slot. *)
   mutable crash_hook : string -> unit;
   mutable logical_time : int;
   mutable eio_returns : int;
@@ -72,15 +77,16 @@ let make_root layout =
     ~mode:(Inode.mode_of_kind ~perm:root_perm Dir)
     ~uid:0 ~gid:0 ~now:0;
   let bs = Simurgh_alloc.Block_alloc.block_size layout.Layout.balloc in
+  let ring = layout.Layout.log_ring in
   let db_blocks =
-    (Dirblock.size_for_rows Dirblock.first_rows + bs - 1) / bs
+    (Dirblock.size_for_rows ~ring Dirblock.first_rows + bs - 1) / bs
   in
   let dirblock =
     match Simurgh_alloc.Block_alloc.alloc layout.Layout.balloc db_blocks with
     | Some b -> b
     | None -> Errno.raise_ ENOSPC "mkfs: no space for root directory block"
   in
-  Dirblock.init region dirblock ~rows:Dirblock.first_rows;
+  Dirblock.init region dirblock ~rows:Dirblock.first_rows ~ring ();
   let fentry =
     match Simurgh_alloc.Slab_alloc.alloc layout.Layout.fentry_slab with
     | Some e -> e
@@ -118,6 +124,7 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
       coarse_dir_locks;
       rcache = rc;
       range_locks;
+      log_ring = layout.Layout.log_ring;
       crash_hook = ignore;
       logical_time = 0;
       eio_returns = 0;
@@ -137,6 +144,10 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
         ("locks/dir_append_locks", float_of_int appends);
         ("locks/file_range_locks", float_of_int range_rows);
         ("locks/file_states", float_of_int file_states);
+        ( "rename_log/slot_acquisitions",
+          float_of_int (Locks.log_slot_acquisitions fs.locks) );
+        ( "rename_log/ring_full_waits",
+          float_of_int (Locks.log_ring_full_waits fs.locks) );
         ( "alloc/block_allocs",
           float_of_int ba.Simurgh_alloc.Block_alloc.allocs );
         ("alloc/block_frees", float_of_int ba.Simurgh_alloc.Block_alloc.frees);
@@ -185,11 +196,13 @@ let enable_alloc_caches layout =
   Simurgh_alloc.Slab_alloc.set_thread_caches layout.Layout.inode_slab true;
   Simurgh_alloc.Slab_alloc.set_thread_caches layout.Layout.fentry_slab true
 
-(** Format a fresh region and return a mounted file system. *)
+(** Format a fresh region and return a mounted file system.  [log_ring]
+    selects the rename-log ring size at format time (0 = the paper's
+    single per-directory log slot, on-media bit-identical). *)
 let mkfs ?(cores = 10) ?segments ?call_mode ?relaxed_writes ?coarse_dir_locks
-    ?striped_locks ?rcache ?range_locks ?(alloc_caches = false) ?euid ?egid
-    region =
-  let layout = Layout.format ?segments region ~cores in
+    ?striped_locks ?rcache ?range_locks ?(alloc_caches = false) ?log_ring ?euid
+    ?egid region =
+  let layout = Layout.format ?segments ?log_ring region ~cores in
   make_root layout;
   let fs =
     of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks
@@ -289,20 +302,20 @@ let alloc_fentry ?ctx t =
 let block_size t = Simurgh_alloc.Block_alloc.block_size t.layout.Layout.balloc
 
 (* Directory hash blocks come straight from the block allocator so chain
-   blocks can grow geometrically (see Dirblock). *)
-let alloc_dirblock ?ctx t ~rows =
+   blocks can grow geometrically (see Dirblock).  Only a directory's
+   *first* block carries the log ring; chain-growth blocks stay plain. *)
+let alloc_dirblock ?ctx ?(ring = 0) t ~rows =
   let bs = block_size t in
-  let blocks = (Dirblock.size_for_rows rows + bs - 1) / bs in
+  let blocks = (Dirblock.size_for_rows ~ring rows + bs - 1) / bs in
   match Simurgh_alloc.Block_alloc.alloc ?ctx t.layout.Layout.balloc blocks with
   | Some b ->
-      Dirblock.init t.region b ~rows;
+      Dirblock.init t.region b ~rows ~ring ();
       b
   | None -> Errno.raise_ ENOSPC "out of blocks for directory"
 
 let free_dirblock ?ctx t b =
   let bs = block_size t in
-  let rows = Dirblock.rows t.region b in
-  let blocks = (Dirblock.size_for_rows rows + bs - 1) / bs in
+  let blocks = (Dirblock.size_of t.region b + bs - 1) / bs in
   Simurgh_alloc.Block_alloc.free ?ctx t.layout.Layout.balloc ~addr:b blocks
 
 let alloc_spill ?ctx t bytes =
@@ -459,18 +472,53 @@ let rcache_invalidate_dir t dhead =
   | None -> ()
   | Some rc -> Rcache.invalidate_dir rc dhead
 
-(* Striped mode: the single persistent rename-log slot of a directory is
-   a genuinely directory-global resource; serialize the write..clear
-   window.  Legacy mode needs no extra lock — the (coarser) row/append
-   locking already serializes conflicting renames. *)
-let with_log_lock ?ctx t dir f =
-  if Locks.striped t.locks then
-    (* the held window is a short exclusive persistent sequence: charge
-       its line writes as posted ntstores so a saturated device queue
-       does not convoy every rename behind the directory-global lock *)
-    Charge.with_spin ?ctx (Locks.log_lock t.locks dir) (fun () ->
-        Charge.posted ?ctx f)
-  else f ()
+(* The rename-log window of directory [dir]: run [f ~slot ~epoch] with
+   the chosen log slot held.
+
+   Legacy media (log_ring = 0): the single persistent rename-log slot is
+   a genuinely directory-global resource.  Striped mode serializes the
+   write..clear window under the (dir, 1) log lock; legacy mode needs no
+   extra lock — the (coarser) row/append locking already serializes
+   conflicting renames.
+
+   Log-ring media: each rename claims one of the ring's slots via that
+   slot's own lock, so N renames of one directory run their Fig. 5 log
+   windows concurrently.  The claim probes from a rotating hint for a
+   slot whose lock is free and falls back to blocking on the hint slot
+   when the whole ring is held (counted as a ring-full wait).  The epoch
+   is fetched inside the caller's row-lock window, so slots of
+   conflicting (row-sharing) renames — which row locks serialize — are
+   stamped in their serialization order; row-disjoint renames commute,
+   so their relative epoch order only needs to be deterministic. *)
+let with_log_slot ?ctx t dir f =
+  let n = t.log_ring in
+  if n = 0 then
+    if Locks.striped t.locks then
+      (* the held window is a short exclusive persistent sequence: charge
+         its line writes as posted ntstores so a saturated device queue
+         does not convoy every rename behind the directory-global lock *)
+      Charge.with_spin ?ctx (Locks.log_lock t.locks dir) (fun () ->
+          Charge.posted ?ctx (fun () -> f ~slot:0 ~epoch:0))
+    else f ~slot:0 ~epoch:0
+  else begin
+    let start = Locks.next_log_slot_hint t.locks ~n in
+    let rec probe i =
+      if i = n then begin
+        Locks.note_log_ring_full_wait t.locks;
+        start
+      end
+      else
+        let s = (start + i) mod n in
+        if Simurgh_sim.Vlock.Spin.locked (Locks.log_slot_lock t.locks dir ~slot:s)
+        then probe (i + 1)
+        else s
+    in
+    let slot = probe 0 in
+    Charge.with_spin ?ctx (Locks.log_slot_lock t.locks dir ~slot) (fun () ->
+        Locks.note_log_slot_acquisition t.locks;
+        let epoch = Locks.next_log_epoch t.locks in
+        Charge.posted ?ctx (fun () -> f ~slot ~epoch))
+  end
 
 (* Chain-structure mutations (linking/unlinking hash blocks).  Legacy
    mode uses the per-directory append lock; striped mode a dedicated
@@ -643,7 +691,9 @@ let create_at ?ctx t (d : dirref) ~name:n ~kind ~perm ~target_inode =
       hook t "create:fentry";
       (* directories get their first hash block before becoming visible *)
       if kind = Inode.Dir then begin
-        let db = alloc_dirblock ?ctx t ~rows:Dirblock.first_rows in
+        let db =
+          alloc_dirblock ?ctx ~ring:t.log_ring t ~rows:Dirblock.first_rows
+        in
         Fentry.set_dirblock t.region fe db;
         Charge.write_lines ?ctx 2
       end;
@@ -1191,9 +1241,8 @@ let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
               let rec chain b =
                 if b <> 0 then begin
                   let nxt = Dirblock.next t.region b in
-                  let rows = Dirblock.rows t.region b in
                   deferred :=
-                    (b, (Dirblock.size_for_rows rows + bs - 1) / bs)
+                    (b, (Dirblock.size_of t.region b + bs - 1) / bs)
                     :: !deferred;
                   chain nxt
                 end
@@ -1318,12 +1367,11 @@ let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
               Some (striped_reserve ?ctx t d ~hash:(Name_hash.hash new_n))
             else None
           in
-          (* the directory's single persistent log slot is held from
-             write to clear *)
-          with_log_lock ?ctx t d.dhead (fun () ->
+          (* the claimed persistent log slot is held from write to clear *)
+          with_log_slot ?ctx t d.dhead (fun ~slot ~epoch ->
               (* step 3-4: mark the hash block and the old line busy *)
-              Dirblock.Log.write t.region d.dhead ~src:d.dhead ~dst:d.dhead
-                ~fentry:ofe ~new_entry:nfe;
+              Dirblock.Log.write t.region d.dhead ~slot ~epoch ~src:d.dhead
+                ~dst:d.dhead ~fentry:ofe ~new_entry:nfe;
               set_row_busy ?ctx t d old_row true;
               Charge.write_lines ?ctx 2;
               hook t "rename:log";
@@ -1350,7 +1398,7 @@ let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
               Simurgh_alloc.Slab_alloc.commit ?ctx t.layout.Layout.fentry_slab
                 nfe;
               set_row_busy ?ctx t d old_row false;
-              Dirblock.Log.clear t.region d.dhead;
+              Dirblock.Log.clear t.region d.dhead ~slot;
               Charge.write_lines ?ctx 2;
               hook t "rename:done");
           rcache_invalidate t d old_n;
@@ -1402,11 +1450,11 @@ let rename_cross_dir ?ctx t (ds : dirref) ~old_n (dd : dirref) ~new_n =
               Some (striped_reserve ?ctx t dd ~hash:(Name_hash.hash new_n))
             else None
           in
-          with_log_lock ?ctx t ds.dhead (fun () ->
+          with_log_slot ?ctx t ds.dhead (fun ~slot ~epoch ->
               (* step 1-2: the operation recorded in the source log
                  entry *)
-              Dirblock.Log.write t.region ds.dhead ~src:ds.dhead ~dst:dd.dhead
-                ~fentry:ofe ~new_entry:nfe;
+              Dirblock.Log.write t.region ds.dhead ~slot ~epoch ~src:ds.dhead
+                ~dst:dd.dhead ~fentry:ofe ~new_entry:nfe;
               Charge.write_lines ?ctx 2;
               hook t "xrename:log";
               (* step 3: both rows busy *)
@@ -1430,11 +1478,27 @@ let rename_cross_dir ?ctx t (ds : dirref) ~old_n (dd : dirref) ~new_n =
               hook t "xrename:oldfree";
               set_row_busy ?ctx t ds src_row false;
               set_row_busy ?ctx t dd dst_row false;
-              Dirblock.Log.clear t.region ds.dhead;
+              Dirblock.Log.clear t.region ds.dhead ~slot;
               Charge.write_lines ?ctx 2;
               hook t "xrename:done");
           rcache_invalidate t ds old_n;
           rcache_insert t dd new_n nfe)
+
+(* POSIX: renaming a directory into its own subtree (rename /a /a/b/c)
+   must fail EINVAL — performing it would detach the subtree into an
+   unreachable cycle.  [sh] heads the source directory's hash chain;
+   walk its subtree looking for the destination parent.  Runs before
+   the lock window (the locked paths re-find the source), like the
+   kernel's lock_rename ancestor check. *)
+let check_rename_cycle ?ctx t ~src_head:sh (dd : dirref) path =
+  let rec subtree h =
+    if h = dd.dhead then Errno.raise_ EINVAL path;
+    Charge.read_lines ?ctx 1;
+    Dirblock.iter_entries t.region h (fun _ _ _ fe ->
+        if Fentry.is_dir t.region fe then
+          subtree (Fentry.dirblock t.region fe))
+  in
+  subtree sh
 
 let rename ?ctx t old_path new_path =
   entry_charge ?ctx t;
@@ -1447,8 +1511,18 @@ let rename ?ctx t old_path new_path =
     | Some _ -> ()
     | None -> Errno.raise_ ENOENT old_path
   end
-  else if ds.dhead = dd.dhead then rename_same_dir ?ctx t ds ~old_n ~new_n
-  else rename_cross_dir ?ctx t ds ~old_n dd ~new_n
+  else begin
+    (* uncharged peek: only directory sources need the cycle walk (the
+       locked paths below re-find the source and charge as before) *)
+    (match Dirblock.find t.region ~head:ds.dhead ~name:old_n with
+    | Some (_, _, _, ofe), _ when Fentry.is_dir t.region ofe ->
+        check_rename_cycle ?ctx t
+          ~src_head:(Fentry.dirblock t.region ofe)
+          dd new_path
+    | _ -> ());
+    if ds.dhead = dd.dhead then rename_same_dir ?ctx t ds ~old_n ~new_n
+    else rename_cross_dir ?ctx t ds ~old_n dd ~new_n
+  end
 
 (* --- open / close / read / write ------------------------------------------ *)
 

@@ -25,12 +25,19 @@ let f_root_fentry = 24 (* pptr to the root directory's file entry *)
 let f_balloc = 32 (* offset of the block-allocator header *)
 let f_inode_slab = 40
 let f_fentry_slab = 48
+let f_log_ring = 56 (* rename-log ring slots per directory; 0 = legacy *)
 
 type t = {
   region : Region.t;
   balloc : Simurgh_alloc.Block_alloc.t;
   inode_slab : Simurgh_alloc.Slab_alloc.t;
   fentry_slab : Simurgh_alloc.Slab_alloc.t;
+  log_ring : int;
+      (** Format-time rename-log ring size: each directory's first hash
+          block carries this many 48-byte log slots instead of the
+          single legacy +80 entry.  0 (the default, and the value every
+          pre-ring region reads back) keeps the on-media layout
+          bit-identical to the paper's single-slot design. *)
 }
 
 let root_fentry t = Region.read_u62 t.region f_root_fentry
@@ -48,13 +55,16 @@ let set_clean_shutdown t v =
   Region.write_u8 t.region f_clean (if v then 1 else 0);
   Region.persist t.region f_clean 1
 
-let format ?segments region ~cores =
+let format ?segments ?(log_ring = 0) region ~cores =
   let size = Region.size region in
   if size < 1 lsl 20 then invalid_arg "Layout.format: region too small";
+  if log_ring < 0 || log_ring > 255 then
+    invalid_arg "Layout.format: log_ring out of range";
   Region.write_u32 region f_magic magic;
   Region.write_u32 region f_version version;
   Region.write_u62 region f_region_size size;
   Region.write_u62 region f_root_fentry 0;
+  Region.write_u32 region f_log_ring log_ring;
   let segments =
     match segments with
     | Some s -> max 1 s
@@ -87,7 +97,7 @@ let format ?segments region ~cores =
   in
   Region.write_u8 region f_clean 1;
   Region.persist region 0 superblock_size;
-  { region; balloc; inode_slab; fentry_slab }
+  { region; balloc; inode_slab; fentry_slab; log_ring }
 
 let attach region =
   if Region.read_u32 region f_magic <> magic then
@@ -105,6 +115,7 @@ let attach region =
       balloc;
       inode_slab = slab (Region.read_u62 region f_inode_slab);
       fentry_slab = slab (Region.read_u62 region f_fentry_slab);
+      log_ring = Region.read_u32 region f_log_ring;
     }
   in
   Simurgh_alloc.Slab_alloc.rebuild_cache t.inode_slab;

@@ -47,7 +47,8 @@ type stripe = {
           everything under row 0 (one chain-extension lock per dir) *)
   aux_locks : (int * int, Vlock.Spin.t) Hashtbl.t;
       (** striped mode only: (dir, 0) = chain-link lock,
-          (dir, 1) = rename-log lock *)
+          (dir, 1) = rename-log lock (legacy single slot),
+          (dir, 2 + s) = lock of rename-log ring slot [s] *)
   range_locks : (int * int, Vlock.Rw.t) Hashtbl.t;
       (** range-lock mode: (inode pptr, byte row) -> rwlock *)
   extent_locks : (int, Vlock.Rw.t) Hashtbl.t;
@@ -59,6 +60,21 @@ type stripe = {
 type t = {
   striped : bool;
   stripes : stripe array;
+  mutable log_epoch : int;
+      (** Mount-global rename-log epoch: each log-ring rename stamps the
+          next value into its slot so recovery can totally order pending
+          slots.  Volatile on purpose — a crash clears every pending
+          slot, so only relative order within one mount matters.  Plain
+          increment is atomic under the fiber scheduler (no yield
+          point). *)
+  mutable log_slot_hint : int;
+      (** Rotating claim hint so concurrent renames start probing the
+          ring at different slots instead of convoying on slot 0. *)
+  mutable log_slot_acquisitions : int;
+      (** obs: ring slots successfully claimed ([rename_log/slot_acq]) *)
+  mutable log_ring_full_waits : int;
+      (** obs: claims that found every ring slot held and had to block
+          ([rename_log/ring_full_waits]) *)
 }
 
 let nstripes = 16
@@ -77,9 +93,35 @@ let create ?(striped = false) () =
             extent_locks = Hashtbl.create 16;
             file_states = Hashtbl.create 16;
           });
+    log_epoch = 0;
+    log_slot_hint = 0;
+    log_slot_acquisitions = 0;
+    log_ring_full_waits = 0;
   }
 
 let striped t = t.striped
+
+(** Next rename-log epoch (monotone within this mount, starts at 1 so a
+    stamped slot is never confused with the zeroed legacy epoch). *)
+let next_log_epoch t =
+  let e = t.log_epoch + 1 in
+  t.log_epoch <- e;
+  e
+
+(** Next starting slot for a ring claim over [n] slots. *)
+let next_log_slot_hint t ~n =
+  let h = t.log_slot_hint in
+  t.log_slot_hint <- h + 1;
+  h mod n
+
+let note_log_slot_acquisition t =
+  t.log_slot_acquisitions <- t.log_slot_acquisitions + 1
+
+let note_log_ring_full_wait t =
+  t.log_ring_full_waits <- t.log_ring_full_waits + 1
+
+let log_slot_acquisitions t = t.log_slot_acquisitions
+let log_ring_full_waits t = t.log_ring_full_waits
 
 let stripe_of t key = t.stripes.(Hashtbl.hash key land (nstripes - 1))
 
@@ -183,6 +225,15 @@ let chain_lock t dir =
     rename-log entry (the first hash block has exactly one log slot). *)
 let log_lock t dir =
   let key = (dir, 1) in
+  find_or_create (stripe_of t key).aux_locks key (fun () ->
+      Vlock.Spin.create ~site:"dir-log" ())
+
+(** Log-ring mode: lock of ring slot [slot] of directory [dir].  Each
+    slot has its own lock, so N renames in one directory can run their
+    Fig. 5 log windows concurrently — the directory-global (dir, 1)
+    serialization point disappears. *)
+let log_slot_lock t dir ~slot =
+  let key = (dir, 2 + slot) in
   find_or_create (stripe_of t key).aux_locks key (fun () ->
       Vlock.Spin.create ~site:"dir-log" ())
 

@@ -94,16 +94,17 @@ let relink layout ~head p =
           | None ->
               failwith "Recovery.relink: out of blocks extending directory"
           | Some nb ->
-              Dirblock.init region nb ~rows:new_rows;
+              Dirblock.init region nb ~rows:new_rows ();
               Dirblock.set_next region last nb;
               Dirblock.set_slot region nb (hash mod new_rows) 0 p))
 
 (* --- pending rename logs ------------------------------------------------ *)
 
-(* Returns [`Forward] or [`Back]. *)
-let resolve_log layout b =
+(* Resolve the pending log in [slot] of first-block [b].  Returns
+   [`Forward] or [`Back]. *)
+let resolve_log layout b ~slot =
   let region = layout.Layout.region in
-  let src, dst, ofe, nfe = Dirblock.Log.read region b in
+  let src, dst, ofe, nfe = Dirblock.Log.read region b ~slot in
   let fentry_slab = layout.Layout.fentry_slab in
   let shadow_linked =
     match find_pointer region ~head:dst ~target:nfe with
@@ -153,7 +154,7 @@ let resolve_log layout b =
       `Back
     end
   in
-  Dirblock.Log.clear region b;
+  Dirblock.Log.clear region b ~slot;
   outcome
 
 (* --- full-system recovery ------------------------------------------------ *)
@@ -192,26 +193,56 @@ let run ?(skip_log_resolution = false) region =
      crashed cross-directory rename leaves its shadow entry dirty in the
      destination; were the destination repaired first, the shadow would
      be mistaken for an interrupted delete and the file lost.  The log
-     in the source directory disambiguates, so logs must win. *)
+     in the source directory disambiguates, so logs must win.
+
+     With the log ring a first block can hold several pending slots at
+     once (one per crashed concurrent rename).  Collect every pending
+     (head, slot) over the reachable heads first, then resolve in
+     ascending epoch order: slots of conflicting renames were stamped in
+     their row-lock serialization order, so replaying by epoch is the
+     deterministic linearization; row-disjoint renames commute, and the
+     epoch merely fixes one order.  Resolution can change reachability
+     (stale links dropped, shadows committed), so iterate to a fixpoint
+     — [log_seen] keys on (head, slot) and guarantees termination. *)
   let log_seen = Hashtbl.create 64 in
-  let rec resolve_logs head =
-    if head <> 0 && not (Hashtbl.mem log_seen head) then begin
-      Hashtbl.replace log_seen head ();
-      try
-        if Dirblock.Log.pending r head then begin
-          match resolve_log layout head with
-          | `Forward -> incr completed_renames
-          | `Back -> incr rolled_back
-        end;
-        Dirblock.iter_entries r head (fun _ _ _ p ->
-            try
-              if Slab.obj_flags fentry_slab p <> 0 && Fentry.is_dir r p then
-                resolve_logs (Fentry.dirblock r p)
-            with Region.Media_error _ -> ())
-      with Region.Media_error _ ->
-        (* poisoned directory block: the mark pass quarantines it *)
-        ()
-    end
+  let resolve_logs root_head =
+    let progress = ref true in
+    while !progress do
+      let head_seen = Hashtbl.create 64 in
+      let found = ref [] in
+      let rec collect head =
+        if head <> 0 && not (Hashtbl.mem head_seen head) then begin
+          Hashtbl.replace head_seen head ();
+          try
+            List.iter
+              (fun (slot, epoch) ->
+                if not (Hashtbl.mem log_seen (head, slot)) then
+                  found := (epoch, head, slot) :: !found)
+              (Dirblock.Log.pending_slots r head);
+            Dirblock.iter_entries r head (fun _ _ _ p ->
+                try
+                  if Slab.obj_flags fentry_slab p <> 0 && Fentry.is_dir r p
+                  then collect (Fentry.dirblock r p)
+                with Region.Media_error _ -> ())
+          with Region.Media_error _ ->
+            (* poisoned directory block: the mark pass quarantines it *)
+            ()
+        end
+      in
+      collect root_head;
+      match List.sort compare !found with
+      | [] -> progress := false
+      | pending ->
+          List.iter
+            (fun (_, head, slot) ->
+              Hashtbl.replace log_seen (head, slot) ();
+              try
+                match resolve_log layout head ~slot with
+                | `Forward -> incr completed_renames
+                | `Back -> incr rolled_back
+              with Region.Media_error _ -> ())
+            pending
+    done
   in
 
   (* Pass 2: mark + repair.  Reachability marks made while descending
@@ -391,7 +422,7 @@ let run ?(skip_log_resolution = false) region =
     (fun head () ->
       try
         Dirblock.iter_chain r head (fun _ b ->
-            mark_range b (Dirblock.size_for_rows (Dirblock.rows r b)))
+            mark_range b (Dirblock.size_of r b))
       with Region.Media_error _ -> ())
     reach_dirhead;
   (* file extents + extent overflow chains.  A crash inside a batched
@@ -506,10 +537,15 @@ let repair_directory fs dirpath =
   let _, fe = Fs.resolve fs dirpath in
   let head = Fentry.dirblock region fe in
   let repaired = ref 0 in
-  if Dirblock.Log.pending region head then begin
-    ignore (resolve_log layout head);
-    incr repaired
-  end;
+  (* every pending log slot of this directory, in epoch order (the ring
+     can hold several after a multi-process crash) *)
+  List.iter
+    (fun (slot, _) ->
+      ignore (resolve_log layout head ~slot);
+      incr repaired)
+    (List.sort
+       (fun (_, e1) (_, e2) -> compare e1 e2)
+       (Dirblock.Log.pending_slots region head));
   let moves = ref [] in
   Dirblock.iter_entries region head (fun b row s p ->
       if not (Slab.is_live layout.Layout.fentry_slab p) then begin

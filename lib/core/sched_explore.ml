@@ -54,6 +54,10 @@ type scenario = {
   range : bool;
       (** mount with byte-range data-path locking — the correctness
           gate for the range/append/publish protocols *)
+  ring : int;
+      (** format with a rename-log ring of this many slots (0 = legacy
+          single slot) — the correctness gate for concurrent renames
+          claiming independent log slots of one directory *)
   invariant : bool;
       (** assert the namespace snapshot identical across schedules.
           Off for scenarios whose outcome legitimately depends on the
@@ -119,7 +123,7 @@ let run ?(seed = 11L) ?(budget = 128) ?(size = default_size) sc =
   let region = Region.create size in
   let fs0 =
     Fs.mkfs ~cores:threads ~euid:0 ~striped_locks:sc.scaled ~rcache:sc.scaled
-      ~alloc_caches:sc.scaled ~range_locks:sc.range region
+      ~alloc_caches:sc.scaled ~range_locks:sc.range ~log_ring:sc.ring region
   in
   sc.setup fs0;
   Region.persist_all region;
@@ -270,6 +274,7 @@ let create_scenario ~threads =
     threads;
     scaled = false;
     range = false;
+    ring = 0;
     invariant = true;
     check_final = None;
     setup = (fun fs -> mk_private_dirs threads fs);
@@ -286,6 +291,7 @@ let unlink_scenario ~threads =
     threads;
     scaled = false;
     range = false;
+    ring = 0;
     invariant = true;
     check_final = None;
     setup =
@@ -308,6 +314,7 @@ let rename_scenario ~threads =
     threads;
     scaled = false;
     range = false;
+    ring = 0;
     invariant = true;
     check_final = None;
     setup =
@@ -332,6 +339,7 @@ let rw_scenario ~threads =
     threads;
     scaled = false;
     range = false;
+    ring = 0;
     invariant = true;
     check_final = None;
     setup =
@@ -375,6 +383,7 @@ let shared_scenario ~threads =
     threads;
     scaled = false;
     range = false;
+    ring = 0;
     invariant = true;
     check_final = None;
     setup = (fun fs -> Fs.mkdir fs "/s");
@@ -416,6 +425,7 @@ let striped_create_scenario ~threads =
     threads;
     scaled = true;
     range = false;
+    ring = 0;
     invariant = true;
     check_final = None;
     setup = (fun fs -> Fs.mkdir fs "/s");
@@ -434,6 +444,7 @@ let striped_same_row_scenario ~threads =
     threads;
     scaled = true;
     range = false;
+    ring = 0;
     invariant = true;
     check_final = None;
     setup = (fun fs -> Fs.mkdir fs "/s");
@@ -455,6 +466,7 @@ let striped_rename_scenario ~threads =
     threads;
     scaled = true;
     range = false;
+    ring = 0;
     invariant = true;
     check_final = None;
     setup =
@@ -479,6 +491,7 @@ let striped_xrename_scenario ~threads =
     threads;
     scaled = true;
     range = false;
+    ring = 0;
     invariant = true;
     check_final = None;
     setup =
@@ -506,6 +519,101 @@ let striped_scenarios ~threads =
     striped_same_row_scenario ~threads;
     striped_rename_scenario ~threads;
     striped_xrename_scenario ~threads;
+  ]
+
+(* --- rename-log-ring scenarios ----------------------------------------- *)
+
+(* Same-directory renames from every thread on log-ring media: instead
+   of serializing on the single log lock, each rename claims its own
+   ring slot, so the log windows genuinely overlap in time.  The
+   explorer proves the per-slot claim discipline keeps every
+   interleaving serializable (identical namespace), fsck-clean (no slot
+   left pending) and race-free (distinct slots never share lines; a
+   contended slot is handed over lock-to-lock). *)
+let ring_rename_scenario ~threads =
+  {
+    name = "ring-rename";
+    threads;
+    scaled = true;
+    range = false;
+    ring = 4;
+    invariant = true;
+    check_final = None;
+    setup =
+      (fun fs ->
+        Fs.mkdir fs "/s";
+        for tid = 0 to threads - 1 do
+          Fs.create_file fs ("/s/" ^ name_in_row ~row:tid 0)
+        done);
+    body =
+      (fun ~tid ~site fs ctx ->
+        site "rename";
+        Fs.rename ~ctx fs
+          ("/s/" ^ name_in_row ~row:tid 0)
+          ("/s/" ^ name_in_row ~row:(tid + 8) 1));
+  }
+
+(* Cross-directory renames sharing one source directory: every thread
+   claims a slot of the SAME source ring concurrently. *)
+let ring_xrename_scenario ~threads =
+  {
+    name = "ring-xrename";
+    threads;
+    scaled = true;
+    range = false;
+    ring = 4;
+    invariant = true;
+    check_final = None;
+    setup =
+      (fun fs ->
+        Fs.mkdir fs "/s";
+        Fs.mkdir fs "/d";
+        for tid = 0 to threads - 1 do
+          Fs.create_file fs ("/s/" ^ name_in_row ~row:tid 0)
+        done);
+    body =
+      (fun ~tid ~site fs ctx ->
+        site "xrename";
+        Fs.rename ~ctx fs
+          ("/s/" ^ name_in_row ~row:tid 0)
+          ("/d/" ^ name_in_row ~row:tid 1));
+  }
+
+(* Slot contention: more threads than ring slots forces the claim loop
+   through its ring-full fallback (blocking on the hint slot), which
+   must still serialize correctly. *)
+let ring_contention_scenario ~threads =
+  {
+    name = "ring-contention";
+    threads;
+    scaled = true;
+    range = false;
+    ring = 1;
+    invariant = true;
+    check_final = None;
+    setup =
+      (fun fs ->
+        Fs.mkdir fs "/s";
+        for tid = 0 to threads - 1 do
+          Fs.create_file fs ("/s/" ^ name_in_row ~row:tid 0)
+        done);
+    body =
+      (fun ~tid ~site fs ctx ->
+        site "rename";
+        Fs.rename ~ctx fs
+          ("/s/" ^ name_in_row ~row:tid 0)
+          ("/s/" ^ name_in_row ~row:(tid + 8) 1));
+  }
+
+(** The log-ring correctness gate ([make races] runs these next to the
+    default, striped and data lists): concurrent renames over one
+    directory's slot ring, asserted schedule-invariant, fsck-clean and
+    race-free. *)
+let ring_scenarios ~threads =
+  [
+    ring_rename_scenario ~threads;
+    ring_xrename_scenario ~threads;
+    ring_contention_scenario ~threads;
   ]
 
 (* --- byte-range data-path scenarios ------------------------------------ *)
@@ -543,6 +651,7 @@ let range_write_scenario ~threads =
     threads;
     scaled = true;
     range = true;
+    ring = 0;
     invariant = true;
     check_final =
       Some
@@ -583,6 +692,7 @@ let range_overlap_scenario ~threads =
     threads;
     scaled = true;
     range = true;
+    ring = 0;
     invariant = true;
     check_final =
       Some
@@ -625,6 +735,7 @@ let range_append_scenario ~threads =
     threads;
     scaled = true;
     range = true;
+    ring = 0;
     invariant = true;
     check_final =
       Some
@@ -673,6 +784,7 @@ let range_append_truncate_scenario ~threads:_ =
     threads = 2;
     scaled = true;
     range = true;
+    ring = 0;
     invariant = false;
     check_final =
       Some

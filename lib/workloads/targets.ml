@@ -58,6 +58,26 @@ let simurgh_scaled () =
         Fx_simurgh.run machine fs bench ~threads ~ops);
   }
 
+(** The scaled configuration plus the rename-log ring format: each
+    directory's first hash block carries a ring of log slots, so
+    concurrent renames stop serializing on the single per-directory log
+    lock.  The only target whose on-media layout differs from the seed
+    (format-time flag; mounts of seed images are unaffected). *)
+let fresh_simurgh_ring ?(region_mb = default_region_mb) () =
+  let region = Simurgh_nvmm.Region.create (region_mb * 1024 * 1024) in
+  Simurgh_core.Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true
+    ~alloc_caches:true ~log_ring:16 region
+
+let simurgh_ring () =
+  {
+    name = "Simurgh-logring";
+    run_fx =
+      (fun ?region_mb ~threads ~ops bench ->
+        let fs = fresh_simurgh_ring ?region_mb () in
+        let machine = Machine.create () in
+        Fx_simurgh.run machine fs bench ~threads ~ops);
+  }
+
 let nova () =
   {
     name = "NOVA";

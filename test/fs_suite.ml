@@ -117,6 +117,110 @@ struct
     F.mkdir fs "/d";
     expect_err Errno.ENOENT (fun () -> F.rename fs "/d/nope" "/d/x")
 
+  (* --- rename edge cases (POSIX pinning) ------------------------------- *)
+
+  let test_rename_self_noop () =
+    let fs = Fresh.fresh () in
+    F.mkdir fs "/d";
+    F.create_file fs "/d/f";
+    let fd = F.openf fs Types.wronly "/d/f" in
+    ignore (F.append fs fd (Bytes.of_string "data"));
+    F.close fs fd;
+    (* POSIX: renaming a name to itself succeeds and changes nothing *)
+    F.rename fs "/d/f" "/d/f";
+    Alcotest.(check bool) "still there" true (F.exists fs "/d/f");
+    Alcotest.(check int) "data intact" 4 (F.stat fs "/d/f").Types.size;
+    F.mkdir fs "/d/sub";
+    F.rename fs "/d/sub" "/d/sub";
+    Alcotest.(check bool) "dir still there" true (F.exists fs "/d/sub")
+
+  let test_rename_into_own_subtree_einval () =
+    let fs = Fresh.fresh () in
+    F.mkdir fs "/a";
+    F.mkdir fs "/a/b";
+    F.mkdir fs "/a/b/c";
+    (* directly into itself *)
+    expect_err Errno.EINVAL (fun () -> F.rename fs "/a" "/a/x");
+    (* deeper descendant *)
+    expect_err Errno.EINVAL (fun () -> F.rename fs "/a" "/a/b/c/x");
+    (* the namespace must be fully intact afterwards *)
+    Alcotest.(check bool) "a" true (F.exists fs "/a");
+    Alcotest.(check bool) "a/b" true (F.exists fs "/a/b");
+    Alcotest.(check bool) "a/b/c" true (F.exists fs "/a/b/c");
+    (* renaming into a *sibling* subtree stays legal *)
+    F.mkdir fs "/other";
+    F.rename fs "/a/b" "/other/b";
+    Alcotest.(check bool) "moved" true (F.exists fs "/other/b/c")
+
+  let test_rename_dir_over_empty_dir () =
+    let fs = Fresh.fresh () in
+    F.mkdir fs "/src";
+    F.create_file fs "/src/payload";
+    F.mkdir fs "/empty";
+    F.rename fs "/src" "/empty";
+    Alcotest.(check bool) "src gone" false (F.exists fs "/src");
+    Alcotest.(check bool) "replaced" true (F.exists fs "/empty/payload")
+
+  let test_rename_dir_over_nonempty_dir () =
+    let fs = Fresh.fresh () in
+    F.mkdir fs "/src";
+    F.mkdir fs "/full";
+    F.create_file fs "/full/occupant";
+    expect_err Errno.ENOTEMPTY (fun () -> F.rename fs "/src" "/full");
+    Alcotest.(check bool) "src kept" true (F.exists fs "/src");
+    Alcotest.(check bool) "occupant kept" true (F.exists fs "/full/occupant")
+
+  let test_rename_file_over_dir_eisdir () =
+    let fs = Fresh.fresh () in
+    F.create_file fs "/f";
+    F.mkdir fs "/d";
+    expect_err Errno.EISDIR (fun () -> F.rename fs "/f" "/d");
+    Alcotest.(check bool) "file kept" true (F.exists fs "/f");
+    Alcotest.(check bool) "dir kept" true
+      ((F.stat fs "/d").Types.kind = Types.Dir)
+
+  let test_rename_dir_over_file_enotdir () =
+    let fs = Fresh.fresh () in
+    F.mkdir fs "/d";
+    F.create_file fs "/f";
+    expect_err Errno.ENOTDIR (fun () -> F.rename fs "/d" "/f");
+    Alcotest.(check bool) "dir kept" true
+      ((F.stat fs "/d").Types.kind = Types.Dir);
+    Alcotest.(check bool) "file kept" true
+      ((F.stat fs "/f").Types.kind = Types.File)
+
+  let test_rename_cross_dir_over_dir () =
+    let fs = Fresh.fresh () in
+    F.mkdir fs "/x";
+    F.mkdir fs "/y";
+    F.mkdir fs "/x/src";
+    F.create_file fs "/x/src/inner";
+    F.mkdir fs "/y/dst";
+    (* cross-directory, destination an empty dir: replaced atomically *)
+    F.rename fs "/x/src" "/y/dst";
+    Alcotest.(check bool) "moved subtree" true (F.exists fs "/y/dst/inner");
+    Alcotest.(check bool) "source slot empty" true (F.readdir fs "/x" = []);
+    (* ... and a non-empty destination refuses, cross-dir too *)
+    F.mkdir fs "/x/again";
+    expect_err Errno.ENOTEMPTY (fun () -> F.rename fs "/x/again" "/y/dst");
+    (* kind mismatches, cross-dir *)
+    F.create_file fs "/x/plain";
+    expect_err Errno.EISDIR (fun () -> F.rename fs "/x/plain" "/y/dst");
+    expect_err Errno.ENOTDIR (fun () -> F.rename fs "/x/again" "/y/dst/inner")
+
+  let test_rename_dir_carries_subtree () =
+    let fs = Fresh.fresh () in
+    F.mkdir fs "/top";
+    F.mkdir fs "/top/mid";
+    F.create_file fs "/top/mid/leaf";
+    F.rename fs "/top" "/renamed";
+    Alcotest.(check bool) "subtree follows" true
+      (F.exists fs "/renamed/mid/leaf");
+    (* the moved directory stays fully operational *)
+    F.create_file fs "/renamed/mid/leaf2";
+    Alcotest.(check bool) "still writable" true
+      (F.exists fs "/renamed/mid/leaf2")
+
   let test_data_roundtrip () =
     let fs = Fresh.fresh () in
     F.create_file fs "/data";
@@ -272,6 +376,21 @@ struct
       Alcotest.test_case "rename cross dir" `Quick test_rename_cross_dir;
       Alcotest.test_case "rename replaces" `Quick test_rename_replaces;
       Alcotest.test_case "rename ENOENT" `Quick test_rename_missing_source;
+      Alcotest.test_case "rename self no-op" `Quick test_rename_self_noop;
+      Alcotest.test_case "rename cycle EINVAL" `Quick
+        test_rename_into_own_subtree_einval;
+      Alcotest.test_case "rename dir over empty dir" `Quick
+        test_rename_dir_over_empty_dir;
+      Alcotest.test_case "rename dir over full dir ENOTEMPTY" `Quick
+        test_rename_dir_over_nonempty_dir;
+      Alcotest.test_case "rename file over dir EISDIR" `Quick
+        test_rename_file_over_dir_eisdir;
+      Alcotest.test_case "rename dir over file ENOTDIR" `Quick
+        test_rename_dir_over_file_enotdir;
+      Alcotest.test_case "rename cross-dir over dir" `Quick
+        test_rename_cross_dir_over_dir;
+      Alcotest.test_case "rename dir carries subtree" `Quick
+        test_rename_dir_carries_subtree;
       Alcotest.test_case "data roundtrip" `Quick test_data_roundtrip;
       Alcotest.test_case "overwrite window" `Quick test_sparse_like_overwrite;
       Alcotest.test_case "append grows" `Quick test_append_grows;

@@ -12,18 +12,18 @@ type harness = {
   head : int;
 }
 
-let mk () =
+let mk ?(ring = 0) () =
   let region = Region.create (16 * 1024 * 1024) in
   let h = { region; cursor = 4096; head = 4096 } in
-  let size = Dirblock.size_for_rows Dirblock.first_rows in
-  Dirblock.init region h.head ~rows:Dirblock.first_rows;
+  let size = Dirblock.size_for_rows ~ring Dirblock.first_rows in
+  Dirblock.init region h.head ~rows:Dirblock.first_rows ~ring ();
   h.cursor <- h.cursor + size + 64;
   h
 
 let alloc_block h rows =
   let b = h.cursor in
   h.cursor <- h.cursor + Dirblock.size_for_rows rows + 64;
-  Dirblock.init h.region b ~rows;
+  Dirblock.init h.region b ~rows ();
   b
 
 let alloc_fentry h name =
@@ -141,14 +141,67 @@ let test_busy_flags () =
 
 let test_log_roundtrip () =
   let h = mk () in
-  Alcotest.(check bool) "idle" false (Dirblock.Log.pending h.region h.head);
-  Dirblock.Log.write h.region h.head ~src:111 ~dst:222 ~fentry:333
-    ~new_entry:444;
-  Alcotest.(check bool) "pending" true (Dirblock.Log.pending h.region h.head);
-  let s, d, f, n = Dirblock.Log.read h.region h.head in
+  Alcotest.(check int) "legacy nslots" 1 (Dirblock.Log.nslots h.region h.head);
+  Alcotest.(check bool) "idle" false
+    (Dirblock.Log.pending h.region h.head ~slot:0);
+  Dirblock.Log.write h.region h.head ~slot:0 ~epoch:0 ~src:111 ~dst:222
+    ~fentry:333 ~new_entry:444;
+  Alcotest.(check bool) "pending" true
+    (Dirblock.Log.pending h.region h.head ~slot:0);
+  let s, d, f, n = Dirblock.Log.read h.region h.head ~slot:0 in
   Alcotest.(check (list int)) "payload" [ 111; 222; 333; 444 ] [ s; d; f; n ];
-  Dirblock.Log.clear h.region h.head;
-  Alcotest.(check bool) "cleared" false (Dirblock.Log.pending h.region h.head)
+  Dirblock.Log.clear h.region h.head ~slot:0;
+  Alcotest.(check bool) "cleared" false
+    (Dirblock.Log.pending h.region h.head ~slot:0)
+
+(* The log ring: slots are independent, epochs round-trip, and
+   [pending_slots] reports exactly the pending subset. *)
+let test_log_ring_roundtrip () =
+  let ring = 4 in
+  let h = mk ~ring () in
+  Alcotest.(check int) "ring size" ring (Dirblock.ring h.region h.head);
+  Alcotest.(check int) "nslots" ring (Dirblock.Log.nslots h.region h.head);
+  Alcotest.(check bool) "fresh ring empty" false
+    (Dirblock.Log.any_pending h.region h.head);
+  (* write slots 1 and 3, leave 0 and 2 clear *)
+  Dirblock.Log.write h.region h.head ~slot:1 ~epoch:7 ~src:11 ~dst:22
+    ~fentry:33 ~new_entry:44;
+  Dirblock.Log.write h.region h.head ~slot:3 ~epoch:5 ~src:55 ~dst:66
+    ~fentry:77 ~new_entry:88;
+  Alcotest.(check bool) "some pending" true
+    (Dirblock.Log.any_pending h.region h.head);
+  Alcotest.(check bool) "slot 0 clear" false
+    (Dirblock.Log.pending h.region h.head ~slot:0);
+  Alcotest.(check (list (pair int int)))
+    "pending slots with epochs"
+    [ (1, 7); (3, 5) ]
+    (Dirblock.Log.pending_slots h.region h.head);
+  let s, d, f, n = Dirblock.Log.read h.region h.head ~slot:3 in
+  Alcotest.(check (list int)) "slot 3 payload" [ 55; 66; 77; 88 ]
+    [ s; d; f; n ];
+  Alcotest.(check int) "slot 3 epoch" 5
+    (Dirblock.Log.epoch h.region h.head ~slot:3);
+  (* clearing one slot leaves the other *)
+  Dirblock.Log.clear h.region h.head ~slot:1;
+  Alcotest.(check (list (pair int int)))
+    "slot 3 survives"
+    [ (3, 5) ]
+    (Dirblock.Log.pending_slots h.region h.head);
+  Dirblock.Log.clear h.region h.head ~slot:3;
+  Alcotest.(check bool) "ring empty again" false
+    (Dirblock.Log.any_pending h.region h.head)
+
+(* A ring block still behaves as a map (slot area shifted by the ring). *)
+let test_ring_block_map () =
+  let h = mk ~ring:8 () in
+  let e = insert h "hello.txt" in
+  Alcotest.(check (option int)) "found" (Some e) (find h "hello.txt");
+  Alcotest.(check (option int)) "absent" None (find h "other.txt");
+  Alcotest.(check bool) "removed" true (remove h "hello.txt");
+  Alcotest.(check int) "count" 0 (Dirblock.count_entries h.region h.head);
+  Alcotest.(check int) "size accounts for ring"
+    (Dirblock.size_for_rows ~ring:8 Dirblock.first_rows)
+    (Dirblock.size_of h.region h.head)
 
 let test_block_empty () =
   let h = mk () in
@@ -219,6 +272,8 @@ let () =
         [
           Alcotest.test_case "busy flags" `Quick test_busy_flags;
           Alcotest.test_case "log roundtrip" `Quick test_log_roundtrip;
+          Alcotest.test_case "log ring roundtrip" `Quick test_log_ring_roundtrip;
+          Alcotest.test_case "ring block as map" `Quick test_ring_block_map;
           Alcotest.test_case "block empty" `Quick test_block_empty;
         ] );
     ]

@@ -92,6 +92,81 @@ let test_explore_cross_rename () =
   in
   assert_no_failures "cross rename" st
 
+(* The same two rename state machines explored on log-ring media (ring
+   of 4 slots, scaled mount): every crash image — including those with a
+   pending ring slot — must recover to a checker-clean ring. *)
+let test_explore_rename_ring () =
+  let st =
+    Explore.run ~scaled:true ~ring:4
+      ~setup:(fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.create_file fs "/d/old")
+      ~op:(fun fs -> Fs.rename fs "/d/old" "/d/new")
+      ~verify:(fun fs ->
+        let o = Fs.exists fs "/d/old" and n = Fs.exists fs "/d/new" in
+        if o = n then
+          Alcotest.failf "ring rename not atomic: old=%b new=%b" o n)
+      ()
+  in
+  assert_no_failures "rename (log ring)" st
+
+let test_explore_cross_rename_ring () =
+  let st =
+    Explore.run ~scaled:true ~ring:4
+      ~setup:(fun fs ->
+        Fs.mkdir fs "/d";
+        Fs.mkdir fs "/e";
+        Fs.create_file fs "/d/m")
+      ~op:(fun fs -> Fs.rename fs "/d/m" "/e/m2")
+      ~verify:(fun fs ->
+        let s = Fs.exists fs "/d/m" and d = Fs.exists fs "/e/m2" in
+        if s = d then
+          Alcotest.failf "ring cross rename not atomic: src=%b dst=%b" s d)
+      ()
+  in
+  assert_no_failures "cross rename (log ring)" st
+
+(* Multi-slot pending states: a crash image that already carries TWO
+   pending slots of one directory's ring (two processes died mid-rename)
+   must come back checker-clean with both renames resolved, whichever
+   subset of the final rename's unpersisted lines survived. *)
+let test_explore_multi_slot_recovery () =
+  let region = Region.create ~mode:Region.Strict (16 * 1024 * 1024) in
+  let fs = Fs.mkfs ~euid:0 ~log_ring:4 region in
+  Fs.mkdir fs "/d";
+  Fs.create_file fs "/d/a";
+  Fs.create_file fs "/d/c";
+  Fs.set_crash_hook fs (fun l -> if l = "rename:swap" then raise Crash_now);
+  (try Fs.rename fs "/d/a" "/d/b" with Crash_now -> ());
+  (try Fs.rename fs "/d/c" "/d/d" with Crash_now -> ());
+  (* the power also fails: every unpersisted line is independently lost
+     or durable — enumerate all images of the two-slot-pending state *)
+  let pending = Array.of_list (Region.pending_lines region) in
+  let idx = Hashtbl.create 16 in
+  Array.iteri (fun i ln -> Hashtbl.replace idx ln i) pending;
+  let cp = Region.checkpoint region in
+  let n = Array.length pending in
+  let images = min (1 lsl n) 256 in
+  for mask = 0 to images - 1 do
+    Region.restore region cp;
+    Region.crash_image region ~keep:(fun ln ->
+        match Hashtbl.find_opt idx ln with
+        | Some i -> mask land (1 lsl i) <> 0
+        | None -> false);
+    Fs.invalidate_shared region;
+    let _ = Recovery.run region in
+    (match Check.run region with
+    | [] -> ()
+    | viols ->
+        Alcotest.failf "mask %d: %s" mask
+          (String.concat "; " (List.map Check.violation_to_string viols)));
+    let fs' = Fs.mount ~euid:0 region in
+    if Fs.exists fs' "/d/a" = Fs.exists fs' "/d/b" then
+      Alcotest.failf "mask %d: first rename not atomic" mask;
+    if Fs.exists fs' "/d/c" = Fs.exists fs' "/d/d" then
+      Alcotest.failf "mask %d: second rename not atomic" mask
+  done
+
 (* A create that must grow the directory's hash-block chain: the new
    block's initialization dirties ~66 lines at once, pushing the crash
    points past [max_exhaustive] and into the seeded-sampling branch of
@@ -181,6 +256,12 @@ let () =
             test_explore_rename;
           Alcotest.test_case "cross rename: all images recover clean" `Quick
             test_explore_cross_rename;
+          Alcotest.test_case "rename on log ring: all images clean" `Quick
+            test_explore_rename_ring;
+          Alcotest.test_case "cross rename on log ring: all images clean"
+            `Quick test_explore_cross_rename_ring;
+          Alcotest.test_case "two pending ring slots: all images clean" `Quick
+            test_explore_multi_slot_recovery;
           Alcotest.test_case "create with chain growth (sampled)" `Quick
             test_explore_create_chain_growth;
         ] );

@@ -454,6 +454,77 @@ module Posix_range =
       let fresh = fresh_range
     end)
 
+(* --- rename-log ring ------------------------------------------------------ *)
+
+(* The log-ring format (per-directory ring of rename-log slots) must be
+   semantically invisible: the whole POSIX suite runs a fourth time with
+   the ring (and every scaled feature) on. *)
+let fresh_ring () =
+  Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true ~alloc_caches:true
+    ~log_ring:8 (fresh_region ())
+
+module Posix_ring =
+  Fs_suite.Make
+    (Fs)
+    (struct
+      let fresh = fresh_ring
+    end)
+
+(* The ring size is a format-time property: it must survive remount and
+   be picked up from the superblock, not from mount options. *)
+let test_ring_format_persists () =
+  let region = fresh_region () in
+  let fs =
+    Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true ~alloc_caches:true
+      ~log_ring:8 region
+  in
+  Alcotest.(check int) "formatted ring" 8
+    (Fs.layout fs).Simurgh_core.Layout.log_ring;
+  Fs.mkdir fs "/d";
+  Fs.create_file fs "/d/a";
+  Fs.rename fs "/d/a" "/d/b";
+  Fs.unmount fs;
+  Fs.invalidate_shared region;
+  (* a plain mount re-reads the ring size from the superblock *)
+  let fs2 = Fs.mount ~euid:0 region in
+  Alcotest.(check int) "remounted ring" 8
+    (Fs.layout fs2).Simurgh_core.Layout.log_ring;
+  Alcotest.(check bool) "rename survived" true (Fs.exists fs2 "/d/b");
+  Fs.rename fs2 "/d/b" "/d/c";
+  Alcotest.(check bool) "rename on remount" true (Fs.exists fs2 "/d/c");
+  fsck_clean "ring image" region
+
+(* Rename churn through the ring path: many renames in one directory
+   (every one claims a ring slot) stay correct and fsck-clean, and the
+   observability counters record the slot traffic. *)
+let test_ring_rename_churn () =
+  let region = fresh_region () in
+  let fs =
+    Fs.mkfs ~euid:0 ~striped_locks:true ~rcache:true ~alloc_caches:true
+      ~log_ring:4 region
+  in
+  Fs.mkdir fs "/s";
+  Fs.mkdir fs "/t";
+  for i = 0 to 99 do
+    Fs.create_file fs (Printf.sprintf "/s/a%d" i)
+  done;
+  for i = 0 to 49 do
+    Fs.rename fs (Printf.sprintf "/s/a%d" i) (Printf.sprintf "/s/b%d" i)
+  done;
+  Fs.create_file fs "/t/b0";
+  for i = 0 to 49 do
+    Fs.rename fs (Printf.sprintf "/s/b%d" i) (Printf.sprintf "/t/b%d" i)
+  done;
+  for i = 0 to 49 do
+    Alcotest.(check bool) "moved" true
+      (Fs.exists fs (Printf.sprintf "/t/b%d" i));
+    Alcotest.(check bool) "source gone" false
+      (Fs.exists fs (Printf.sprintf "/s/b%d" i))
+  done;
+  Alcotest.(check bool) "slot acquisitions counted" true
+    (Simurgh_core.Locks.log_slot_acquisitions (Fs.locks fs) >= 100);
+  fsck_clean "after ring renames" region
+
 let check_span what b ~pos ~len c =
   for i = pos to pos + len - 1 do
     if Bytes.get b i <> c then
@@ -611,6 +682,12 @@ let () =
           Alcotest.test_case "rcache FS invalidation" `Quick
             test_rcache_fs_invalidation;
           Alcotest.test_case "rcache unit" `Quick test_rcache_unit;
+        ] );
+      ("posix-ring", Posix_ring.suite);
+      ( "log-ring",
+        [
+          Alcotest.test_case "format persists" `Quick test_ring_format_persists;
+          Alcotest.test_case "rename churn" `Quick test_ring_rename_churn;
         ] );
       ("posix-range", Posix_range.suite);
       ( "range",

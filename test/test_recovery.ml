@@ -140,6 +140,80 @@ let test_repair_directory_process_crash () =
     (List.map Simurgh_core.Check.violation_to_string
        (Simurgh_core.Check.run region))
 
+let fsck_clean what region =
+  Alcotest.(check (list string)) what []
+    (List.map Simurgh_core.Check.violation_to_string
+       (Simurgh_core.Check.run region))
+
+let dir_head fs path =
+  let _, fe = Fs.resolve fs path in
+  Simurgh_core.Fentry.dirblock (Fs.region fs) fe
+
+(* Regression: recovery pass 1 must resolve EVERY pending rename log it
+   can reach, not just the first one it finds.  Two processes crashed
+   mid-rename in two different directories leave two pending logs; both
+   renames must be resolved (each to exactly one name) and the checker
+   must find nothing. *)
+let test_two_pending_logs_two_dirs () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  Fs.mkdir fs "/d1";
+  Fs.mkdir fs "/d2";
+  Fs.create_file fs "/d1/a";
+  Fs.create_file fs "/d2/c";
+  Fs.set_crash_hook fs (fun l -> if l = "rename:swap" then raise Crash_now);
+  (try Fs.rename fs "/d1/a" "/d1/b" with Crash_now -> ());
+  (try Fs.rename fs "/d2/c" "/d2/d" with Crash_now -> ());
+  (* both logs really are pending before recovery (non-vacuous) *)
+  let r = Fs.region fs in
+  Alcotest.(check int) "d1 log pending" 1
+    (List.length (Simurgh_core.Dirblock.Log.pending_slots r (dir_head fs "/d1")));
+  Alcotest.(check int) "d2 log pending" 1
+    (List.length (Simurgh_core.Dirblock.Log.pending_slots r (dir_head fs "/d2")));
+  Fs.invalidate_shared region;
+  let _ = Recovery.run region in
+  let fs' = Fs.mount ~euid:0 region in
+  Alcotest.(check bool) "d1 rename resolved to one name" true
+    (Fs.exists fs' "/d1/a" <> Fs.exists fs' "/d1/b");
+  Alcotest.(check bool) "d2 rename resolved to one name" true
+    (Fs.exists fs' "/d2/c" <> Fs.exists fs' "/d2/d");
+  fsck_clean "both pending logs resolved" region
+
+(* Same regression on log-ring media: two crashed renames in ONE
+   directory leave two pending slots of the same first hash block's
+   ring.  Recovery must resolve both — in epoch order — and leave the
+   ring empty. *)
+let test_two_pending_slots_one_ring () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 ~log_ring:4 region in
+  Fs.mkdir fs "/d";
+  Fs.create_file fs "/d/a";
+  Fs.create_file fs "/d/c";
+  Fs.set_crash_hook fs (fun l -> if l = "rename:swap" then raise Crash_now);
+  (try Fs.rename fs "/d/a" "/d/b" with Crash_now -> ());
+  (try Fs.rename fs "/d/c" "/d/d" with Crash_now -> ());
+  let r = Fs.region fs in
+  let head = dir_head fs "/d" in
+  let pending = Simurgh_core.Dirblock.Log.pending_slots r head in
+  Alcotest.(check int) "two slots of one ring pending" 2
+    (List.length pending);
+  (* distinct slots, distinct epochs (the ordering key is usable) *)
+  (match pending with
+  | [ (s1, e1); (s2, e2) ] ->
+      Alcotest.(check bool) "distinct slots" true (s1 <> s2);
+      Alcotest.(check bool) "distinct epochs" true (e1 <> e2)
+  | _ -> Alcotest.fail "expected exactly two pending slots");
+  Fs.invalidate_shared region;
+  let _ = Recovery.run region in
+  let fs' = Fs.mount ~euid:0 region in
+  Alcotest.(check bool) "first rename resolved to one name" true
+    (Fs.exists fs' "/d/a" <> Fs.exists fs' "/d/b");
+  Alcotest.(check bool) "second rename resolved to one name" true
+    (Fs.exists fs' "/d/c" <> Fs.exists fs' "/d/d");
+  Alcotest.(check (list (pair int int))) "ring empty after recovery" []
+    (Simurgh_core.Dirblock.Log.pending_slots region head);
+  fsck_clean "both ring slots resolved" region
+
 (* Clean-shutdown fast path: a set clean flag lets [mount_auto] skip the
    mark-and-sweep entirely; a missing unmount (crash) triggers it. *)
 let test_clean_shutdown_fast_path () =
@@ -213,6 +287,10 @@ let () =
             test_repair_directory_runtime;
           Alcotest.test_case "process-crash directory repair" `Quick
             test_repair_directory_process_crash;
+          Alcotest.test_case "two pending logs, two directories" `Quick
+            test_two_pending_logs_two_dirs;
+          Alcotest.test_case "two pending slots, one log ring" `Quick
+            test_two_pending_slots_one_ring;
           Alcotest.test_case "clean shutdown fast path" `Quick
             test_clean_shutdown_fast_path;
           Alcotest.test_case "double recovery stable" `Quick

@@ -61,6 +61,12 @@ let test_striped_schedule_invariant () =
 let test_data_schedule_invariant () =
   List.iter check_invariant (Sched.data_scenarios ~threads:2)
 
+(* concurrent renames over one directory's rename-log ring (independent
+   slot claims, plus the threads > slots contention fallback) are the
+   correctness gate for the log_ring format *)
+let test_ring_schedule_invariant () =
+  List.iter check_invariant (Sched.ring_scenarios ~threads:2)
+
 (* --- race detector ------------------------------------------------------- *)
 
 let test_negative_control_fires () =
@@ -117,6 +123,7 @@ let () =
           Alcotest.test_case "read-write" `Quick test_rw_schedule_invariant;
           Alcotest.test_case "striped" `Quick test_striped_schedule_invariant;
           Alcotest.test_case "data range" `Quick test_data_schedule_invariant;
+          Alcotest.test_case "log ring" `Quick test_ring_schedule_invariant;
         ] );
       ( "race-detector",
         [
