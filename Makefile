@@ -12,13 +12,15 @@ test: build
 # passes: default, striped, log-ring, range) + a quick smoke run of the
 # region data-path microbenchmark (writes BENCH_region.json), the
 # bounded crash-image explorer / media-fault / checker experiment
-# (including the log-ring rename machines), the metadata-scalability
-# sweep (writes BENCH_scale.json with the 7d log-ring curve) and the
-# data-path scaling + open-loop experiment (writes BENCH_data.json),
-# plus the schedule-exploration / race-detection and offline-fsck
-# self-checks.
+# (including the log-ring rename machines and the crash-during-recovery
+# re-entrancy machines), the metadata-scalability sweep (writes
+# BENCH_scale.json with the 7d log-ring curve), the data-path scaling +
+# open-loop experiment (writes BENCH_data.json) and the parallel
+# mark-and-sweep recovery figure (writes BENCH_recovery.json), plus the
+# schedule-exploration / race-detection and offline-fsck self-checks
+# (both of which now also gate parallel recovery).
 check: test races fsck
-	dune exec bench/main.exe -- --scale 0.05 region crash scale data
+	dune exec bench/main.exe -- --scale 0.05 region crash scale data recovery
 
 # Data-path scaling: whole-file lock vs byte-range locking on one shared
 # file, plus open-loop tail latency (writes BENCH_data.json).
@@ -26,15 +28,17 @@ data: build
 	dune exec bench/main.exe -- data
 
 # Offline fsck-style self-check: the checker must pass a correctly
-# recovered crash image (legacy and log-ring media) and flag a
-# deliberately mis-recovered one.
+# recovered crash image (legacy and log-ring media) and flag both
+# deliberately mis-recovered ones — skipped log resolution AND a
+# broken parallel sweep (dropped mark shard).
 fsck: build
 	dune exec bench/main.exe -- --check
 
 # Schedule-exploration + race-detection self-check: every default FS
 # state machine must be schedule-invariant, fsck-clean and race-free
-# under explored interleavings, and the detector's negative control
-# (unlocked racing stores) must fire.
+# under explored interleavings; parallel (fiber-mode) recovery must be
+# schedule-independent under the same bar; and the detector's negative
+# control (unlocked racing stores) must fire.
 races: build
 	dune exec bench/main.exe -- --scale 0.2 --races
 

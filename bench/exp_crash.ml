@@ -245,6 +245,43 @@ let run ~scale =
       tally name
         (Explore.run ~samples ~scaled:true ~range:true ~setup ~op ~verify ()))
     range_ops;
+  (* crash-during-recovery: crash the op, then crash RECOVERY at its
+     own store points and labeled hooks, re-enter on every eviction
+     subset — each image must reach a media fixpoint (idempotence: 2
+     passes) and end checker-clean *)
+  let reentrant_ops =
+    [
+      ( "reenter-rename",
+        (fun fs ->
+          Fs.mkdir fs "/d1";
+          Fs.mkdir fs "/d2";
+          Fs.create_file fs "/d1/a"),
+        fun fs -> Fs.rename fs "/d1/a" "/d2/b" );
+      ( "reenter-create",
+        (fun fs -> Fs.mkdir fs "/d"),
+        fun fs ->
+          Fs.create_file fs "/d/f";
+          Fs.create_file fs "/d/g" );
+    ]
+  in
+  let rec_points = ref 0 and rec_images = ref 0 and rec_passes = ref 0 in
+  List.iter
+    (fun (name, setup, op) ->
+      let st = Explore.run_reentrant ~setup ~op () in
+      rec_points := !rec_points + st.Explore.recovery_points;
+      rec_images := !rec_images + st.Explore.reentry_images;
+      rec_passes := max !rec_passes st.Explore.max_passes;
+      failures := !failures + List.length st.Explore.reentry_failures;
+      Printf.printf
+        "  reenter %-13s mid-recovery points %3d, images %4d, fixpoint in \
+         <= %d pass(es), failing images %d\n"
+        name st.Explore.recovery_points st.Explore.reentry_images
+        st.Explore.max_passes
+        (List.length st.Explore.reentry_failures);
+      List.iter
+        (fun l -> Printf.printf "    FAIL %s\n" l)
+        st.Explore.reentry_failures)
+    reentrant_ops;
   let media_eio, media_quarantined, media_viols = media_plane () in
   eio := media_eio;
   quarantined := media_quarantined;
@@ -261,7 +298,11 @@ let run ~scale =
         ("faults/explorer_failures", float_of_int !failures);
         ("faults/quarantined", float_of_int !quarantined);
         ("faults/checker_violations", float_of_int !violations);
-      ]);
+        ("faults/recovery_crash_points", float_of_int !rec_points);
+        ("faults/recovery_reentry_images", float_of_int !rec_images);
+        ("faults/recovery_fixpoint_passes", float_of_int !rec_passes);
+      ]
+      @ Recovery.counters ());
   Printf.printf
     "  total: %d crash points, %d images explored, %d checker \
      violations%s\n"
@@ -313,4 +354,39 @@ let fsck () =
   List.iter
     (fun v -> print_endline ("  " ^ Check.violation_to_string v))
     ring_clean;
-  if negative <> [] && clean = [] && ring_clean = [] then 0 else 1
+  (* broken-parallel-sweep negative control: drop every mark shard but
+     worker 0's during a 2-worker recovery — the sweep then frees
+     reachable objects, which the checker must flag (the merge step is
+     guarded, not assumed); a full recovery converges the damage *)
+  let par_region = Region.create ~mode:Region.Strict (32 * 1024 * 1024) in
+  let pfs = Fs.mkfs ~euid:0 par_region in
+  Fs.mkdir pfs "/d";
+  for i = 0 to 15 do
+    Fs.create_file pfs (Printf.sprintf "/d/f%d" i)
+  done;
+  Fs.create_file pfs "/loose";
+  Region.persist_all par_region;
+  Fs.invalidate_shared par_region;
+  let machine = Simurgh_sim.Machine.create () in
+  let _ =
+    Recovery.run
+      ~par:(Recovery.Vtime { machine; workers = 2 })
+      ~drop_mark_shard:true par_region
+  in
+  let par_negative = Check.run par_region in
+  Fs.invalidate_shared par_region;
+  let _ = Recovery.run par_region in
+  let par_clean = Check.run par_region in
+  Printf.printf "fsck: negative control (broken parallel sweep): %s\n"
+    (if par_negative <> [] then
+       Printf.sprintf "caught (%d violations)" (List.length par_negative)
+     else "MISSED");
+  Printf.printf "fsck: recovery after broken sweep: %d violation(s)\n"
+    (List.length par_clean);
+  List.iter
+    (fun v -> print_endline ("  " ^ Check.violation_to_string v))
+    par_clean;
+  if negative <> [] && clean = [] && ring_clean = [] && par_negative <> []
+     && par_clean = []
+  then 0
+  else 1

@@ -82,6 +82,38 @@ let run ~scale =
       accesses := !accesses + st.Sched.accesses)
     (Sched.default_scenarios ~threads:2 @ Sched.striped_scenarios ~threads:2
     @ Sched.data_scenarios ~threads:2 @ Sched.ring_scenarios ~threads:2);
+  (* parallel recovery: fiber-mode mark-and-sweep over a crashed image
+     (and a poisoned variant) must be schedule-independent — identical
+     durable media and report under every worker interleaving — plus
+     fsck-clean and race-free *)
+  let rec_failures = ref 0 and rec_races = ref 0 in
+  List.iter
+    (fun poison ->
+      let st =
+        Sched.recovery_run ~budget:(max 8 (budget / 4)) ~poison ()
+      in
+      Printf.printf
+        "  %-11s %4d schedules (%4d distinct), %6d yield points, oracle \
+         failures %d, races %d\n"
+        st.Sched.rscenario st.Sched.rschedules st.Sched.rdistinct
+        st.Sched.ryields
+        (List.length st.Sched.rfailures)
+        (List.length st.Sched.rraces);
+      List.iter
+        (fun (label, detail) ->
+          Printf.printf "    FAIL %s: %s\n" label detail)
+        st.Sched.rfailures;
+      List.iter
+        (fun r -> Printf.printf "    RACE %s\n" (Race.report_to_string r))
+        st.Sched.rraces;
+      rec_failures := !rec_failures + List.length st.Sched.rfailures;
+      rec_races := !rec_races + List.length st.Sched.rraces;
+      schedules := !schedules + st.Sched.rschedules;
+      distinct := !distinct + st.Sched.rdistinct;
+      yields := !yields + st.Sched.ryields)
+    [ false; true ];
+  failures := !failures + !rec_failures;
+  races := !races + !rec_races;
   (* informational: cross-thread traffic in one shared directory *)
   let shared = Sched.run ~budget:(max 12 (budget / 2)) (Sched.shared_scenario ~threads:3) in
   print_stats shared;
@@ -106,6 +138,8 @@ let run ~scale =
         ("race/negative_control_reports", float_of_int (List.length neg));
         ( "race/shared_dir_reports",
           float_of_int (List.length shared.Sched.races) );
+        ("sched/recovery_failures", float_of_int !rec_failures);
+        ("sched/recovery_races", float_of_int !rec_races);
       ]);
   Printf.printf
     "  total: %d schedules (%d distinct), %d oracle failures, %d races on \
@@ -134,6 +168,31 @@ let selfcheck ~scale () =
       end)
     (Sched.default_scenarios ~threads:2 @ Sched.striped_scenarios ~threads:2
     @ Sched.data_scenarios ~threads:2 @ Sched.ring_scenarios ~threads:2);
+  (* parallel recovery must hold the same bar: schedule-independent
+     media, clean fsck, zero races, several distinct interleavings *)
+  List.iter
+    (fun poison ->
+      let st =
+        Sched.recovery_run ~budget:(max 8 (budget / 4)) ~poison ()
+      in
+      Printf.printf
+        "  %-11s %4d schedules (%4d distinct), oracle failures %d, races \
+         %d\n"
+        st.Sched.rscenario st.Sched.rschedules st.Sched.rdistinct
+        (List.length st.Sched.rfailures)
+        (List.length st.Sched.rraces);
+      List.iter
+        (fun (label, detail) ->
+          Printf.printf "    FAIL %s: %s\n" label detail)
+        st.Sched.rfailures;
+      if st.Sched.rfailures <> [] || st.Sched.rraces <> [] then incr bad;
+      if st.Sched.rdistinct < 2 then begin
+        Printf.printf
+          "    FAIL %s: only %d distinct interleaving(s) explored\n"
+          st.Sched.rscenario st.Sched.rdistinct;
+        incr bad
+      end)
+    [ false; true ];
   let neg = Sched.negative_control () in
   Printf.printf "races: negative control (unlocked stores): %s\n"
     (if neg <> [] then

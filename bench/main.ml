@@ -42,6 +42,9 @@ let experiments : (string * string * (scale:float -> unit)) list =
      Exp_scale.run);
     ("data", "data-path scaling: byte-range locks + open-loop tail latency (JSON)",
      Exp_data.run);
+    ("recovery",
+     "recovery time vs file count + parallel-sweep speedup (JSON)",
+     Exp_recovery.run);
   ]
 
 let is_fig7_sub id =

@@ -267,35 +267,42 @@ let live_objects t = t.live
     round per segment instead of one per object, which is what recovery
     pays when it sweeps every slab after a crash.  A callback may mutate
     the object it is visiting (the snapshot is only consulted for later
-    objects' flags, which no callback touches). *)
-let iter_objects t f =
+    objects' flags, which no callback touches).
+
+    [iter_segment_objects] visits one segment — the unit of work for a
+    parallel sweep worker; [iter_objects] walks the whole segment
+    list. *)
+let iter_segment_objects t seg f =
   let seg_bytes = seg_header + (t.objs_per_seg * slot_size t) in
   let snap = Bytes.create seg_bytes in
+  match
+    try
+      Region.read_bytes_into t.region seg snap ~pos:0 ~len:seg_bytes;
+      `Snapshot
+    with Region.Media_error _ -> `Faulted
+  with
+  | `Snapshot ->
+      for i = 0 to t.objs_per_seg - 1 do
+        let addr = obj_addr t seg i in
+        let fl = Char.code (Bytes.get snap (addr - seg)) in
+        f (payload addr) fl
+      done
+  | `Faulted ->
+      (* a poisoned line somewhere in the segment: degrade from the
+         bulk snapshot to per-object header loads so the healthy
+         objects are still visited; unreadable ones are skipped
+         (they stay allocated — quarantined, never recycled) *)
+      for i = 0 to t.objs_per_seg - 1 do
+        let addr = obj_addr t seg i in
+        match Region.read_u8 t.region addr with
+        | fl -> f (payload addr) fl
+        | exception Region.Media_error _ -> ()
+      done
+
+let iter_objects t f =
   let rec seg_loop seg =
     if seg <> 0 then begin
-      (match
-         try
-           Region.read_bytes_into t.region seg snap ~pos:0 ~len:seg_bytes;
-           `Snapshot
-         with Region.Media_error _ -> `Faulted
-       with
-      | `Snapshot ->
-          for i = 0 to t.objs_per_seg - 1 do
-            let addr = obj_addr t seg i in
-            let fl = Char.code (Bytes.get snap (addr - seg)) in
-            f (payload addr) fl
-          done
-      | `Faulted ->
-          (* a poisoned line somewhere in the segment: degrade from the
-             bulk snapshot to per-object header loads so the healthy
-             objects are still visited; unreadable ones are skipped
-             (they stay allocated — quarantined, never recycled) *)
-          for i = 0 to t.objs_per_seg - 1 do
-            let addr = obj_addr t seg i in
-            match Region.read_u8 t.region addr with
-            | fl -> f (payload addr) fl
-            | exception Region.Media_error _ -> ()
-          done);
+      iter_segment_objects t seg f;
       seg_loop (Region.read_u62 t.region seg)
     end
   in

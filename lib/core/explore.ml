@@ -199,3 +199,201 @@ let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
     max_pending = !max_pending;
     failures = List.rev !failures;
   }
+
+(* -- crash-during-recovery re-entrancy -------------------------------- *)
+
+type reentrant_stats = {
+  recovery_points : int;  (** mid-recovery crash points explored *)
+  reentry_images : int;  (** crash images re-entered through recovery *)
+  max_passes : int;
+      (** most recovery passes any image needed to reach a media
+          fixpoint (2 = idempotent: the second pass only confirms) *)
+  reentry_failures : string list;
+      (** images that diverged, raised, or failed the offline checker *)
+}
+
+(** [run_reentrant ~setup ~op ()] crashes recovery {e itself} and
+    re-enters it.  For a strided sample of the operation's store points
+    it takes the dirtiest crash image (every unpersisted line dropped),
+    dry-runs recovery on it to discover recovery's own crash points —
+    strided NVMM stores plus first/middle/last firing of every labeled
+    {!Recovery} hook (pending-log resolution, mark repairs, quarantine
+    detaches, sweep frees) — then crashes recovery at each, enumerates
+    eviction subsets of recovery's unpersisted lines exactly like
+    {!run}, and re-runs recovery on every image until the durable media
+    digest reaches a fixpoint.  Convergence must take at most 4 passes
+    (idempotence predicts 2: repair, then confirm) and every terminal
+    image must pass {!Check.run}. *)
+let run_reentrant ?(seed = 11L) ?(max_exhaustive = 8) ?(samples = 12)
+    ?(size = default_size) ?(op_points = 5) ?(rec_stores = 8) ~setup ~op () =
+  let region = Region.create ~mode:Region.Strict size in
+  let fs0 = Fs.mkfs ~cores:2 ~euid:0 region in
+  setup fs0;
+  Region.persist_all region;
+  let cp0 = Region.checkpoint region in
+
+  (* dry-run the op once to count its stores, then stride [op_points]
+     crash points across them *)
+  let stores = ref 0 in
+  let fs = fresh_mount ~scaled:false region in
+  Region.set_store_hook region (fun () -> incr stores);
+  op fs;
+  Region.clear_store_hook region;
+  let stride = max 1 (!stores / max 1 op_points) in
+  let op_crashes =
+    List.init op_points (fun i -> 1 + (i * stride))
+    |> List.filter (fun p -> p <= !stores)
+    |> List.sort_uniq compare
+  in
+
+  let rng = Simurgh_sim.Rng.create seed in
+  let rec_points = ref 0 in
+  let images = ref 0 in
+  let max_passes = ref 0 in
+  let failures = ref [] in
+
+  List.iter
+    (fun opn ->
+      (* 1. crash the op at store [opn]; drop every unpersisted line —
+            the dirtiest image recovery can be handed *)
+      Region.restore region cp0;
+      let fs = fresh_mount ~scaled:false region in
+      let k = ref 0 in
+      Region.set_store_hook region (fun () ->
+          incr k;
+          if !k = opn then raise Crash_now);
+      (match op fs with () -> () | exception Crash_now -> ());
+      Region.clear_store_hook region;
+      Region.crash_image region ~keep:(fun _ -> false);
+      let cp_dirty = Region.checkpoint region in
+
+      (* 2. dry-run recovery on the dirty image to discover its own
+            crash points *)
+      let rstores = ref 0 in
+      let hook_fires = Hashtbl.create 8 in
+      Fs.invalidate_shared region;
+      Region.set_store_hook region (fun () -> incr rstores);
+      Recovery.set_crash_hook (fun label ->
+          Hashtbl.replace hook_fires label
+            (1 + try Hashtbl.find hook_fires label with Not_found -> 0));
+      ignore (Recovery.run region);
+      Recovery.clear_crash_hook ();
+      Region.clear_store_hook region;
+      let store_pts =
+        let st = max 1 (!rstores / max 1 rec_stores) in
+        List.init rec_stores (fun i -> 1 + (i * st))
+        |> List.filter (fun p -> p <= !rstores)
+        |> List.sort_uniq compare
+        |> List.map (fun n -> Store n)
+      in
+      let hook_pts =
+        Hashtbl.fold
+          (fun label fires acc ->
+            [ 1; (fires + 1) / 2; fires ]
+            |> List.sort_uniq compare
+            |> List.map (fun n -> Hook (label, n))
+            |> fun l -> l @ acc)
+          hook_fires []
+        |> List.sort compare
+      in
+
+      (* 3. crash recovery at each point; re-enter on every eviction
+            subset of its unpersisted lines; require media fixpoint and
+            a clean checker *)
+      List.iter
+        (fun point ->
+          incr rec_points;
+          Region.restore region cp_dirty;
+          Fs.invalidate_shared region;
+          (match point with
+          | Store n ->
+              let k = ref 0 in
+              Region.set_store_hook region (fun () ->
+                  incr k;
+                  if !k = n then raise Crash_now)
+          | Hook (label, n) ->
+              let k = ref 0 in
+              Recovery.set_crash_hook (fun l ->
+                  if l = label then begin
+                    incr k;
+                    if !k = n then raise Crash_now
+                  end));
+          (match Recovery.run region with
+          | _ -> () (* point past recovery's end: still explored *)
+          | exception Crash_now -> ());
+          Region.clear_store_hook region;
+          Recovery.clear_crash_hook ();
+
+          let pending = Array.of_list (Region.pending_lines region) in
+          let n = Array.length pending in
+          let cp_crash = Region.checkpoint region in
+          let explore_mask keep_of =
+            incr images;
+            Region.restore region cp_crash;
+            Region.crash_image region ~keep:keep_of;
+            let label () =
+              Printf.sprintf "op-store:%d %s keep={%s}" opn
+                (point_label point)
+                (Array.to_list pending |> List.filter keep_of
+                |> List.map string_of_int |> String.concat ",")
+            in
+            let rec fix prev passes =
+              if passes > 4 then Error "no media fixpoint after 4 passes"
+              else begin
+                Fs.invalidate_shared region;
+                ignore (Recovery.run region);
+                Region.persist_all region;
+                let d = Region.media_digest region in
+                if prev = Some d then Ok passes else fix (Some d) (passes + 1)
+              end
+            in
+            match fix None 1 with
+            | Ok passes -> (
+                if passes > !max_passes then max_passes := passes;
+                match Check.run region with
+                | [] -> ()
+                | v :: _ as viols ->
+                    failures :=
+                      Printf.sprintf "%s: %d checker violations (%s)"
+                        (label ()) (List.length viols)
+                        (Format.asprintf "%a" Check.pp_violation v)
+                      :: !failures)
+            | Error msg -> failures := (label () ^ ": " ^ msg) :: !failures
+            | exception e ->
+                failures :=
+                  (label () ^ ": recovery raised " ^ Printexc.to_string e)
+                  :: !failures
+          in
+          let keep_of_mask mask =
+            let keep = Hashtbl.create 8 in
+            Array.iteri
+              (fun i ln ->
+                if mask land (1 lsl i) <> 0 then Hashtbl.replace keep ln ())
+              pending;
+            fun ln -> Hashtbl.mem keep ln
+          in
+          if n <= max_exhaustive then
+            for mask = 0 to (1 lsl n) - 1 do
+              explore_mask (keep_of_mask mask)
+            done
+          else begin
+            explore_mask (fun _ -> false);
+            explore_mask (fun _ -> true);
+            for _ = 3 to samples do
+              let keep = Hashtbl.create 16 in
+              Array.iter
+                (fun ln ->
+                  if Simurgh_sim.Rng.int rng 2 = 1 then
+                    Hashtbl.replace keep ln ())
+                pending;
+              explore_mask (fun ln -> Hashtbl.mem keep ln)
+            done
+          end)
+        (store_pts @ hook_pts))
+    op_crashes;
+  {
+    recovery_points = !rec_points;
+    reentry_images = !images;
+    max_passes = !max_passes;
+    reentry_failures = List.rev !failures;
+  }

@@ -826,6 +826,174 @@ let data_scenarios ~threads =
     range_append_truncate_scenario ~threads;
   ]
 
+(* --- parallel-recovery scenarios ---------------------------------------- *)
+
+module Workpool = Simurgh_sim.Workpool
+
+type recovery_stats = {
+  rscenario : string;
+  rschedules : int;  (** parallel recoveries executed (plus 1 seq reference) *)
+  rdistinct : int;  (** distinct fiber interleavings among them *)
+  ryields : int;  (** preemption points offered, summed over schedules *)
+  rfailures : (string * string) list;
+      (** digest / report divergence from the sequential reference,
+          checker violations, or an exception during recovery *)
+  rraces : Race.report list;  (** deduplicated race reports *)
+}
+
+(* A populated, genuinely crashed image for recovery to chew on: a
+   durable tree (directories, files, a nested subdir, a symlink), then
+   a dirty tail — two creates and a rename crashed mid-flight — with
+   every unpersisted line dropped.  [poison] additionally poisons one
+   subdirectory's head-block line, so the parallel mark pass exercises
+   the quarantine escalation under contention. *)
+let build_crashed_image ~poison ~size =
+  let region = Region.create ~mode:Region.Strict size in
+  let fs = Fs.mkfs ~cores:4 ~euid:0 region in
+  for d = 0 to 3 do
+    let dir = Printf.sprintf "/d%d" d in
+    Fs.mkdir fs dir;
+    for i = 0 to 5 do
+      Fs.create_file fs (Printf.sprintf "%s/f%d" dir i)
+    done
+  done;
+  Fs.mkdir fs "/d0/sub";
+  Fs.create_file fs "/d0/sub/leaf";
+  Fs.symlink fs ~target:"/d0/f0" "/d0/link";
+  Region.persist_all region;
+  let fs = fresh_mount ~scaled:false region in
+  Fs.create_file fs "/d1/extra0";
+  Fs.create_file fs "/d1/extra1";
+  let k = ref 0 in
+  Region.set_store_hook region (fun () ->
+      incr k;
+      if !k = 6 then raise Explore.Crash_now);
+  (match Fs.rename fs "/d2/f0" "/d3/moved" with
+  | () -> ()
+  | exception Explore.Crash_now -> ());
+  Region.clear_store_hook region;
+  Region.crash_image region ~keep:(fun _ -> false);
+  if poison then begin
+    let layout = Layout.attach region in
+    let root = Layout.root_fentry layout in
+    let root_head = Fentry.dirblock region root in
+    match Dirblock.find region ~head:root_head ~name:"d3" with
+    | Some (_, _, _, p), _ -> Region.poison region (Fentry.dirblock region p) 64
+    | None, _ -> failwith "build_crashed_image: /d3 vanished"
+  end;
+  region
+
+(** [recovery_run ()] is the parallel-recovery twin of {!run}: one
+    crashed image, one sequential {!Recovery.run} as the reference,
+    then [budget] fiber-mode recoveries under seeded random schedules,
+    each watched by the race detector.  Oracles, per schedule: the
+    durable media digest and the recovery report (modulo virtual time)
+    must equal the sequential reference — parallel recovery is
+    schedule-independent — and {!Check.run} must be clean.  Zero race
+    reports are required: mark/sweep tasks only write task-owned bytes;
+    everything order-sensitive runs in the fenced sequential steps. *)
+let recovery_run ?(seed = 23L) ?(budget = 24) ?(size = default_size)
+    ?(workers = 3) ?(poison = false) () =
+  let name = if poison then "recovery-poison" else "recovery" in
+  let region = build_crashed_image ~poison ~size in
+  let cp0 = Region.checkpoint region in
+
+  (* sequential reference *)
+  Fs.invalidate_shared region;
+  let _, ref_report = Recovery.run region in
+  Region.persist_all region;
+  let ref_digest = Region.media_digest region in
+  let failures = ref [] in
+  (match Check.run region with
+  | [] -> ()
+  | viols ->
+      failures :=
+        ( name ^ "/seq",
+          "fsck: "
+          ^ String.concat "; " (List.map Check.violation_to_string viols) )
+        :: !failures);
+
+  let races = ref [] in
+  let race_seen = Hashtbl.create 16 in
+  let hashes = Hashtbl.create (2 * budget) in
+  let yields = ref 0 in
+  let ref_norm = { ref_report with Recovery.vtime_cycles = 0.0 } in
+
+  for j = 0 to budget - 1 do
+    let label = Printf.sprintf "%s/rnd%d" name j in
+    Region.restore region cp0;
+    Fs.invalidate_shared region;
+    let race = Race.create ~threads:workers in
+    let layout = Layout.attach region in
+    Simurgh_alloc.Block_alloc.iter_lock_words layout.Layout.balloc
+      (fun ~off ~len -> Race.exclude race ~off ~len);
+    Region.set_access_hook region (fun ~off ~len ~write ->
+        if write then Schedule.point Schedule.Store;
+        Race.on_access ~off ~len ~write);
+    Region.set_fence_hook region (fun () ->
+        Schedule.point Schedule.Persist;
+        Race.on_fence ());
+    Workpool.fiber_outcomes := [];
+    let sched =
+      Schedule.random (Int64.add seed (Int64.of_int ((j * 7919) + 13)))
+    in
+    (match
+       Race.with_active race (fun () ->
+           Recovery.run ~par:(Recovery.Fibers { schedule = sched; workers })
+             region)
+     with
+    | _, report ->
+        Region.clear_access_hook region;
+        Region.clear_fence_hook region;
+        Region.persist_all region;
+        if Region.media_digest region <> ref_digest then
+          failures :=
+            (label, "durable media diverged from sequential recovery")
+            :: !failures;
+        if { report with Recovery.vtime_cycles = 0.0 } <> ref_norm then
+          failures :=
+            (label, "recovery report diverged from sequential recovery")
+            :: !failures;
+        (match Check.run region with
+        | [] -> ()
+        | viols ->
+            failures :=
+              ( label,
+                "fsck: "
+                ^ String.concat "; "
+                    (List.map Check.violation_to_string viols) )
+              :: !failures)
+    | exception e ->
+        Region.clear_access_hook region;
+        Region.clear_fence_hook region;
+        failures :=
+          (label, "recovery raised " ^ Printexc.to_string e) :: !failures);
+    List.iter
+      (fun (r : Race.report) ->
+        let k = (r.Race.line, r.Race.site_a, r.Race.site_b) in
+        if not (Hashtbl.mem race_seen k) then begin
+          Hashtbl.replace race_seen k ();
+          races := r :: !races
+        end)
+      (Race.reports race);
+    let outs = !Workpool.fiber_outcomes in
+    Workpool.fiber_outcomes := [];
+    List.iter (fun (o : Engine.explore_outcome) ->
+        yields := !yields + o.Engine.yields) outs;
+    Hashtbl.replace hashes
+      (Hashtbl.hash (List.map (fun (o : Engine.explore_outcome) ->
+           o.Engine.trace_hash) outs))
+      ()
+  done;
+  {
+    rscenario = name;
+    rschedules = budget + 1;
+    rdistinct = Hashtbl.length hashes;
+    ryields = !yields;
+    rfailures = List.rev !failures;
+    rraces = List.rev !races;
+  }
+
 (* --- negative control --------------------------------------------------- *)
 
 (** Two fibers store to the same NVMM word with no lock: the detector

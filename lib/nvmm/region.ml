@@ -612,6 +612,28 @@ let persist_all t =
       Hashtbl.reset t.overlay;
       t.pending <- []
 
+(** Digest of the region's prospective durable contents: the durable
+    image with every unpersisted overlay line applied — exactly what
+    {!persist_all} would make durable.  Statistics, hooks and poison
+    bookkeeping are excluded, so two regions with the same would-be
+    media bytes digest equal regardless of access history.  Oracles use
+    this to assert media no-ops (an already-clean image must be
+    bit-identical across a second recovery pass) and schedule
+    independence (parallel recovery must produce one media image under
+    every interleaving). *)
+let media_digest t =
+  match t.mode with
+  | Fast -> Digest.bytes t.image
+  | Strict ->
+      let merged = Bytes.copy t.image in
+      Hashtbl.iter
+        (fun ln (buf, _st) ->
+          let base = ln * line_size in
+          let len = min line_size (t.size - base) in
+          Bytes.blit buf 0 merged base len)
+        t.overlay;
+      Digest.bytes merged
+
 (* --- media-error plane ------------------------------------------------ *)
 
 (** Mark the lines covering [off, off+len) as uncorrectable: subsequent

@@ -227,6 +227,52 @@ let test_checker_catches_broken_recovery () =
   Alcotest.(check (list string)) "full recovery passes the checker" []
     (List.map Check.violation_to_string (Check.run region))
 
+(* Crash-during-recovery re-entrancy: crash a rename mid-flight, then
+   crash RECOVERY at its own store points and labeled hooks, re-enter
+   recovery on every eviction subset, and demand convergence — a media
+   fixpoint within 4 passes (idempotence predicts 2) and a clean
+   checker on every terminal image. *)
+let test_reentrant_rename () =
+  let st =
+    Explore.run_reentrant
+      ~setup:(fun fs ->
+        Fs.mkdir fs "/d1";
+        Fs.mkdir fs "/d2";
+        Fs.create_file fs "/d1/a";
+        Fs.create_file fs "/d2/c")
+      ~op:(fun fs -> Fs.rename fs "/d1/a" "/d2/b")
+      ()
+  in
+  (match st.Explore.reentry_failures with
+  | [] -> ()
+  | l :: _ ->
+      Alcotest.failf "rename: %d failing re-entry image(s); first: %s"
+        (List.length st.Explore.reentry_failures)
+        l);
+  Alcotest.(check bool) "explored mid-recovery points" true
+    (st.Explore.recovery_points > 0);
+  Alcotest.(check bool) "re-entered images" true (st.Explore.reentry_images > 0);
+  Alcotest.(check bool) "recovery idempotent (fixpoint in 2 passes)" true
+    (st.Explore.max_passes <= 2)
+
+let test_reentrant_create () =
+  let st =
+    Explore.run_reentrant ~op_points:3 ~rec_stores:5
+      ~setup:(fun fs -> Fs.mkdir fs "/d")
+      ~op:(fun fs ->
+        Fs.create_file fs "/d/f";
+        Fs.create_file fs "/d/g")
+      ()
+  in
+  (match st.Explore.reentry_failures with
+  | [] -> ()
+  | l :: _ ->
+      Alcotest.failf "create: %d failing re-entry image(s); first: %s"
+        (List.length st.Explore.reentry_failures)
+        l);
+  Alcotest.(check bool) "recovery idempotent (fixpoint in 2 passes)" true
+    (st.Explore.max_passes <= 2)
+
 (* The checker itself accepts a healthy populated file system. *)
 let test_checker_clean_on_healthy_fs () =
   let region = Region.create (32 * 1024 * 1024) in
@@ -264,6 +310,13 @@ let () =
             test_explore_multi_slot_recovery;
           Alcotest.test_case "create with chain growth (sampled)" `Quick
             test_explore_create_chain_growth;
+        ] );
+      ( "crash-during-recovery",
+        [
+          Alcotest.test_case "rename: recovery re-enters clean" `Quick
+            test_reentrant_rename;
+          Alcotest.test_case "create: recovery re-enters clean" `Quick
+            test_reentrant_create;
         ] );
       ( "checker",
         [

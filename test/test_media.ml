@@ -133,6 +133,44 @@ let test_quarantine_poisoned_subdir_block () =
   Alcotest.(check (list string)) "checker clean after quarantine" []
     (List.map Check.violation_to_string (Check.run region))
 
+(* Regression: poison in the ROOT directory's own chain used to escape
+   [Recovery.run] as a raised [Media_error] from deep in the mark
+   descent — the root has no parent slot to quarantine into, so the old
+   per-entry rollback had nowhere to go and recovery aborted half-
+   marked.  Now the partially-unreadable chain block is spliced out and
+   every entry in its readable rows is salvaged (relinked into the
+   surviving chain): no file is lost, and the checker is clean. *)
+let test_media_error_in_root_chain () =
+  let region, fs = fresh () in
+  (* 12 names hashing to row 0 of the 64-row first block and row 64 of
+     the 128-row growth block: the first 8 fill the row, the next 4
+     force chain growth and land in the second block outside its row 0 *)
+  let name_probing i =
+    let rec go j =
+      let n = Printf.sprintf "n%d_%d" i j in
+      if Simurgh_core.Name_hash.hash n mod 128 = 64 then n else go (j + 1)
+    in
+    go 0
+  in
+  let names = List.init 12 name_probing in
+  List.iter (fun n -> Fs.create_file fs ("/" ^ n)) names;
+  let root = Simurgh_core.Layout.root_fentry (Fs.layout fs) in
+  let head = Fentry.dirblock region root in
+  let b2 = Dirblock.next region head in
+  Alcotest.(check bool) "root chain grew a second block" true (b2 <> 0);
+  (* poison the second line of the growth block: the header words
+     (next/rows/ring, first line) stay readable, its row 0 faults *)
+  Region.poison region (b2 + 64) 1;
+  let fs', report = Recovery.mount_after_crash ~euid:0 region in
+  Alcotest.(check bool) "quarantine reported" true
+    (report.Recovery.quarantined >= 1);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("survives: " ^ n) true (Fs.exists fs' ("/" ^ n)))
+    names;
+  Alcotest.(check (list string)) "checker clean after splice" []
+    (List.map Check.violation_to_string (Check.run region))
+
 let () =
   Alcotest.run "media"
     [
@@ -144,5 +182,7 @@ let () =
             test_quarantine_poisoned_fentry;
           Alcotest.test_case "quarantine poisoned subdir block" `Quick
             test_quarantine_poisoned_subdir_block;
+          Alcotest.test_case "media error in the root chain" `Quick
+            test_media_error_in_root_chain;
         ] );
     ]

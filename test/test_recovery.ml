@@ -251,6 +251,101 @@ let test_double_recovery_stable () =
   Alcotest.(check int) "same used blocks" r1.Recovery.used_blocks
     r2.Recovery.used_blocks
 
+(* Satellite regression: recovery on an already-clean image is a media
+   no-op — every byte recovery writes (free lists, clean flag) must
+   rewrite to the value it already has, so a second pass leaves the
+   region bit-identical. *)
+let test_clean_image_media_noop () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  populate fs;
+  Fs.invalidate_shared region;
+  let _ = Recovery.run region in
+  let d1 = Simurgh_nvmm.Region.media_digest region in
+  Fs.invalidate_shared region;
+  let _ = Recovery.run region in
+  let d2 = Simurgh_nvmm.Region.media_digest region in
+  Alcotest.(check bool) "second pass bit-identical" true (d1 = d2)
+
+(* A populated image with real damage for the parallel drivers to agree
+   on: leaked slab objects, a stale busy flag and a rename crashed at
+   the swap point. *)
+let crashed_fixture () =
+  let region = fresh_region () in
+  let fs = Fs.mkfs ~euid:0 region in
+  populate fs;
+  let layout = Fs.layout fs in
+  for _ = 1 to 7 do
+    ignore (Slab.alloc layout.Layout.inode_slab)
+  done;
+  for _ = 1 to 5 do
+    ignore (Slab.alloc layout.Layout.fentry_slab)
+  done;
+  let region' = Fs.region fs in
+  let root = Layout.root_fentry layout in
+  let head = Simurgh_core.Fentry.dirblock region' root in
+  Simurgh_core.Dirblock.set_busy region' head 3 true;
+  Fs.set_crash_hook fs (fun l -> if l = "rename:swap" then raise Crash_now);
+  (try Fs.rename fs "/a/f0" "/a/g0" with Crash_now -> ());
+  region
+
+(* Tentpole invariant: the three pool drivers (sequential reference,
+   virtual-time list scheduling, cooperative fibers) recover the same
+   image to bit-identical media and byte-identical reports (modulo the
+   virtual-time makespan, which only the vtime driver measures). *)
+let test_parallel_matches_sequential () =
+  let region = crashed_fixture () in
+  let cp = Simurgh_nvmm.Region.checkpoint region in
+  let norm (r : Recovery.report) = { r with Recovery.vtime_cycles = 0.0 } in
+  Fs.invalidate_shared region;
+  let _, rs = Recovery.run region in
+  let ds = Simurgh_nvmm.Region.media_digest region in
+  fsck_clean "sequential recovery fsck" region;
+  Simurgh_nvmm.Region.restore region cp;
+  Fs.invalidate_shared region;
+  let machine = Simurgh_sim.Machine.create () in
+  let _, rv =
+    Recovery.run ~par:(Recovery.Vtime { machine; workers = 4 }) region
+  in
+  let dv = Simurgh_nvmm.Region.media_digest region in
+  Simurgh_nvmm.Region.restore region cp;
+  Fs.invalidate_shared region;
+  let _, rf =
+    Recovery.run
+      ~par:
+        (Recovery.Fibers
+           { schedule = Simurgh_sim.Schedule.random 5L; workers = 3 })
+      region
+  in
+  let df = Simurgh_nvmm.Region.media_digest region in
+  Alcotest.(check bool) "vtime media identical" true (dv = ds);
+  Alcotest.(check bool) "fibers media identical" true (df = ds);
+  Alcotest.(check bool) "vtime report identical" true (norm rv = norm rs);
+  Alcotest.(check bool) "fibers report identical" true (norm rf = norm rs);
+  Alcotest.(check bool) "vtime makespan measured" true
+    (rv.Recovery.vtime_cycles > 0.0);
+  fsck_clean "fibers recovery fsck" region
+
+(* The broken-parallel-sweep negative control: dropping every mark
+   shard but worker 0's loses the subtree marks made by other workers,
+   so the sweep frees reachable objects and the checker must object —
+   proving the checker actually guards the parallel merge.  A full
+   recovery afterwards converges the damaged image back to clean. *)
+let test_drop_mark_shard_flags () =
+  let region = crashed_fixture () in
+  Fs.invalidate_shared region;
+  let machine = Simurgh_sim.Machine.create () in
+  let _ =
+    Recovery.run
+      ~par:(Recovery.Vtime { machine; workers = 2 })
+      ~drop_mark_shard:true region
+  in
+  Alcotest.(check bool) "checker flags the lost marks" true
+    (Simurgh_core.Check.run region <> []);
+  Fs.invalidate_shared region;
+  let _ = Recovery.run region in
+  fsck_clean "full recovery converges the damage" region
+
 let prop_recovery_preserves_random_trees =
   QCheck.Test.make ~name:"recovery preserves arbitrary populations" ~count:20
     QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_range 0 30))
@@ -295,6 +390,12 @@ let () =
             test_clean_shutdown_fast_path;
           Alcotest.test_case "double recovery stable" `Quick
             test_double_recovery_stable;
+          Alcotest.test_case "clean image media no-op" `Quick
+            test_clean_image_media_noop;
+          Alcotest.test_case "parallel drivers match sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "dropped mark shard is caught" `Quick
+            test_drop_mark_shard_flags;
           QCheck_alcotest.to_alcotest prop_recovery_preserves_random_trees;
         ] );
     ]

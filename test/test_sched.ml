@@ -67,6 +67,27 @@ let test_data_schedule_invariant () =
 let test_ring_schedule_invariant () =
   List.iter check_invariant (Sched.ring_scenarios ~threads:2)
 
+(* --- parallel recovery --------------------------------------------------- *)
+
+(* Fiber-mode recovery over a crashed image: every random worker
+   schedule must produce the sequential reference's durable media and
+   report, stay fsck-clean and race-free — including with a poisoned
+   subtree forcing quarantine escalation mid-mark. *)
+let check_recovery ~poison () =
+  let st = Sched.recovery_run ~budget:8 ~poison () in
+  (match st.Sched.rfailures with
+  | [] -> ()
+  | (label, detail) :: _ ->
+      Alcotest.failf "oracle failure under %s: %s" label detail);
+  Alcotest.(check int) "no races in parallel recovery" 0
+    (List.length st.Sched.rraces);
+  Alcotest.(check bool) "several distinct interleavings" true
+    (st.Sched.rdistinct >= 2);
+  Alcotest.(check bool) "preemption points offered" true (st.Sched.ryields > 0)
+
+let test_recovery_schedule_independent () = check_recovery ~poison:false ()
+let test_recovery_poison_schedule_independent () = check_recovery ~poison:true ()
+
 (* --- race detector ------------------------------------------------------- *)
 
 let test_negative_control_fires () =
@@ -124,6 +145,10 @@ let () =
           Alcotest.test_case "striped" `Quick test_striped_schedule_invariant;
           Alcotest.test_case "data range" `Quick test_data_schedule_invariant;
           Alcotest.test_case "log ring" `Quick test_ring_schedule_invariant;
+          Alcotest.test_case "parallel recovery" `Quick
+            test_recovery_schedule_independent;
+          Alcotest.test_case "parallel recovery with poison" `Quick
+            test_recovery_poison_schedule_independent;
         ] );
       ( "race-detector",
         [
