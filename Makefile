@@ -1,4 +1,4 @@
-.PHONY: all build test check bench data fsck races clean
+.PHONY: all build test check bench data numa fsck races clean
 
 all: build
 
@@ -15,17 +15,23 @@ test: build
 # (including the log-ring rename machines and the crash-during-recovery
 # re-entrancy machines), the metadata-scalability sweep (writes
 # BENCH_scale.json with the 7d log-ring curve), the data-path scaling +
-# open-loop experiment (writes BENCH_data.json) and the parallel
-# mark-and-sweep recovery figure (writes BENCH_recovery.json), plus the
+# open-loop experiment (writes BENCH_data.json), the parallel
+# mark-and-sweep recovery figure (writes BENCH_recovery.json) and the
+# multi-region NUMA bandwidth figure (writes BENCH_numa.json), plus the
 # schedule-exploration / race-detection and offline-fsck self-checks
 # (both of which now also gate parallel recovery).
 check: test races fsck
-	dune exec bench/main.exe -- --scale 0.05 region crash scale data recovery
+	dune exec bench/main.exe -- --scale 0.05 region crash scale data recovery numa
 
 # Data-path scaling: whole-file lock vs byte-range locking on one shared
 # file, plus open-loop tail latency (writes BENCH_data.json).
 data: build
 	dune exec bench/main.exe -- data
+
+# Multi-region NVMM: aggregate bandwidth vs region count plus the
+# cross-socket latency surcharge (writes BENCH_numa.json).
+numa: build
+	dune exec bench/main.exe -- numa
 
 # Offline fsck-style self-check: the checker must pass a correctly
 # recovered crash image (legacy and log-ring media) and flag both

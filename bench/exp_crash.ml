@@ -174,6 +174,63 @@ let range_ops =
         expect_uniform got ~pos:0 ~len:page 'a' ~what:"pre-crash prefix" );
   ]
 
+(* Multi-region (sharded) exploration: cross-region renames and creates
+   against a 2-region Shard, with the eviction adversary ranging over
+   the union of both regions' unpersisted lines.  Each region recovers
+   independently and must come out checker-clean; the rename verify
+   oracle additionally pins the copy+unlink contract (the source is
+   unlinked last, so once it is gone the destination is complete). *)
+module Shard = Simurgh_core.Shard
+module Name_hash = Simurgh_core.Name_hash
+
+(* a top-level dir name that routes to region [r] of a 2-region shard *)
+let shard_dir r =
+  let rec go i =
+    let n = Printf.sprintf "d%d_%d" r i in
+    if Name_hash.home n ~regions:2 = r then n else go (i + 1)
+  in
+  "/" ^ go 0
+
+let xfile_bytes = 256
+
+let multi_ops =
+  let d0 = shard_dir 0 and d1 = shard_dir 1 in
+  let src = d0 ^ "/m" and dst = d1 ^ "/m2" in
+  [
+    ( "xregion-rename",
+      (fun sh ->
+        Shard.mkdir sh d0;
+        Shard.mkdir sh d1;
+        let fd = Shard.openf sh (Types.creat Types.rdwr) src in
+        ignore (Shard.pwrite sh fd ~pos:0 (Bytes.make xfile_bytes 'x'));
+        Shard.close sh fd),
+      (fun sh -> Shard.rename sh src dst),
+      Some
+        (fun sh ->
+          if not (Shard.exists sh src) then begin
+            let st = Shard.stat sh dst in
+            if st.Types.size <> xfile_bytes then
+              failwith
+                (Printf.sprintf
+                   "dest size %d after source unlink, want %d" st.Types.size
+                   xfile_bytes);
+            let fd = Shard.openf sh Types.rdonly dst in
+            let got = Shard.pread sh fd ~pos:0 ~len:xfile_bytes in
+            Shard.close sh fd;
+            Bytes.iter
+              (fun c -> if c <> 'x' then failwith "torn dest after unlink")
+              got
+          end) );
+    ( "xregion-create",
+      (fun sh ->
+        Shard.mkdir sh d0;
+        Shard.mkdir sh d1),
+      (fun sh ->
+        Shard.create_file sh (d0 ^ "/a");
+        Shard.create_file sh (d1 ^ "/b")),
+      None );
+  ]
+
 (* Media plane: EIO containment on a poisoned data line, then metadata
    quarantine.  Returns (eio_returns_seen, quarantined, violations). *)
 let media_plane () =
@@ -245,6 +302,10 @@ let run ~scale =
       tally name
         (Explore.run ~samples ~scaled:true ~range:true ~setup ~op ~verify ()))
     range_ops;
+  List.iter
+    (fun (name, setup, op, verify) ->
+      tally name (Explore.run_multi ~samples ~regions:2 ~setup ~op ?verify ()))
+    multi_ops;
   (* crash-during-recovery: crash the op, then crash RECOVERY at its
      own store points and labeled hooks, re-enter on every eviction
      subset — each image must reach a media fixpoint (idempotence: 2

@@ -45,6 +45,9 @@ let experiments : (string * string * (scale:float -> unit)) list =
     ("recovery",
      "recovery time vs file count + parallel-sweep speedup (JSON)",
      Exp_recovery.run);
+    ("numa",
+     "multi-region NVMM: bandwidth scaling + cross-socket surcharge (JSON)",
+     Exp_numa.run);
   ]
 
 let is_fig7_sub id =

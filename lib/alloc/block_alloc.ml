@@ -46,6 +46,9 @@ type t = {
   mutable frees : int;
   mutable blocks_allocated : int;
   mutable blocks_freed : int;
+  mutable blocks_quarantined : int;
+      (** blocks withheld from the free lists at [free] time because a
+          poisoned line sat under them (never recycled; see statfs) *)
 }
 
 let header_size ~segments = header_fixed + (segments * seg_header_size)
@@ -96,6 +99,7 @@ let attach region ~off =
     frees = 0;
     blocks_allocated = 0;
     blocks_freed = 0;
+    blocks_quarantined = 0;
   }
 
 let format region ~off ~base ~blocks ~block_size ~segments =
@@ -358,19 +362,60 @@ let alloc ?ctx ?(hint = 0) t n =
   | None -> ());
   r
 
-(** Return [n] blocks starting at byte address [addr] to their segment. *)
+(** Return [n] blocks starting at byte address [addr] to their segment.
+
+    Blocks carrying a poisoned line are {e withheld}: once a line under
+    a block takes an uncorrectable media error, the block must never be
+    recycled (a later allocation would hand a known-bad device range to
+    fresh data), so the freed range is split around quarantined blocks
+    and only the clean runs rejoin the free lists.  Recovery's free-list
+    rebuild applies the same exclusion; [quarantined_blocks] counts the
+    withheld population so statfs can keep
+    [free + used + quarantined = capacity]. *)
 let free ?ctx t ~addr n =
   if n <= 0 then invalid_arg "Block_alloc.free: n must be positive";
   let b = block_of_addr t addr in
   if b < 0 || b + n > t.total_blocks then
     invalid_arg "Block_alloc.free: range outside managed space";
-  let i = min (b / blocks_per_segment t) (t.segments - 1) in
-  if segment_is_stuck ?ctx t i then recover_segment t i;
-  lock_segment ?ctx t i;
-  free_in_segment ?ctx t i ~addr ~count:n;
-  unlock_segment ?ctx t i;
+  let free_run ~addr ~count =
+    let i =
+      min (block_of_addr t addr / blocks_per_segment t) (t.segments - 1)
+    in
+    if segment_is_stuck ?ctx t i then recover_segment t i;
+    lock_segment ?ctx t i;
+    free_in_segment ?ctx t i ~addr ~count;
+    unlock_segment ?ctx t i
+  in
+  let freed =
+    if Region.poisoned_lines t.region = 0 then begin
+      (* fast path: no poison anywhere, one O(1) head insert as before *)
+      free_run ~addr ~count:n;
+      n
+    end
+    else begin
+      let freed = ref 0 in
+      let run_start = ref (-1) in
+      let flush stop =
+        if !run_start >= 0 then begin
+          free_run ~addr:(block_addr t !run_start) ~count:(stop - !run_start);
+          freed := !freed + (stop - !run_start);
+          run_start := -1
+        end
+      in
+      for blk = b to b + n - 1 do
+        if Region.range_poisoned t.region (block_addr t blk) t.block_size
+        then begin
+          flush blk;
+          t.blocks_quarantined <- t.blocks_quarantined + 1
+        end
+        else if !run_start < 0 then run_start := blk
+      done;
+      flush (b + n);
+      !freed
+    end
+  in
   t.frees <- t.frees + 1;
-  t.blocks_freed <- t.blocks_freed + n
+  t.blocks_freed <- t.blocks_freed + freed
 
 (** Total free blocks (walks every list; diagnostic). *)
 let free_blocks t =
@@ -440,6 +485,20 @@ let segments t = t.segments
 let total_blocks t = t.total_blocks
 let base t = t.base
 
+(** Managed blocks with a poisoned line under them (never recyclable).
+    Counted from the region's poison plane directly, so it is exact
+    whether the poison arrived before or after the blocks were freed. *)
+let quarantined_blocks t =
+  if Region.poisoned_lines t.region = 0 then 0
+  else begin
+    let seen = Hashtbl.create 16 in
+    let managed_end = t.base + (t.total_blocks * t.block_size) in
+    Region.iter_poisoned_lines t.region (fun off ->
+        if off >= t.base && off < managed_end then
+          Hashtbl.replace seen ((off - t.base) / t.block_size) ());
+    Hashtbl.length seen
+  end
+
 (** Rebuild every segment's free list from scratch given a predicate
     telling which blocks are in use (full-system mark-and-sweep recovery,
     paper Section 5.5).  Also clears any stuck segment locks. *)
@@ -478,6 +537,7 @@ type stats = {
   frees : int;
   blocks_allocated : int;
   blocks_freed : int;
+  blocks_quarantined : int;
   total_blocks : int;
 }
 
@@ -488,5 +548,6 @@ let stats (t : t) : stats =
     frees = t.frees;
     blocks_allocated = t.blocks_allocated;
     blocks_freed = t.blocks_freed;
+    blocks_quarantined = t.blocks_quarantined;
     total_blocks = t.total_blocks;
   }

@@ -51,6 +51,12 @@ type t = {
   mutable next_fd : int;
   mutable next_ino : int;
   mutable logical_time : int;
+  mutable home_region : int;
+      (** NVMM region this FS instance's traffic targets in the
+          multi-region DIMM/socket model (default 0, the legacy single
+          device).  Pinned onto the calling thread at every entry point,
+          exactly like Simurgh's [entry_charge] does with its shard
+          index. *)
 }
 
 type fd = int
@@ -75,7 +81,7 @@ let fresh_node t kind perm =
     staged = 0;
   }
 
-let create profile =
+let create ?(region = 0) profile =
   let t =
     {
       profile;
@@ -104,6 +110,7 @@ let create profile =
       next_fd = 3;
       next_ino = 2;
       logical_time = 0;
+      home_region = region;
     }
   in
   (* fold dcache effectiveness into the active experiment's snapshot
@@ -118,6 +125,7 @@ let create profile =
   t
 
 let name t = t.profile.Profile.name
+let set_region t r = t.home_region <- r
 
 let now ?ctx t =
   match ctx with
@@ -138,13 +146,16 @@ let write_lines ?ctx n =
   match ctx with None -> () | Some c -> Machine.nvmm_write_lines c n
 
 let syscall ?ctx t =
+  (* route this operation's NVMM charges to the instance's home region *)
+  (match ctx with
+  | Some c -> c.Machine.thr.Sthread.cur_region <- t.home_region
+  | None -> ());
   let cm =
     match ctx with Some c -> Machine.cm c | None -> Cost_model.default
   in
   cpu ?ctx
     (cm.Cost_model.syscall_cycles +. cm.Cost_model.vfs_dispatch_cycles
-   +. 60.0 (* libc wrapper *));
-  ignore t
+   +. 60.0 (* libc wrapper *))
 
 let with_mutex ?ctx m f =
   match ctx with
@@ -459,7 +470,12 @@ let fd_entry t fd =
    space call for SplitFS. *)
 let data_entry ?ctx t =
   if t.profile.Profile.data_syscall then syscall ?ctx t
-  else cpu ?ctx 300.0 (* LD_PRELOAD interception + staging-map lookup *)
+  else begin
+    (match ctx with
+    | Some c -> c.Machine.thr.Sthread.cur_region <- t.home_region
+    | None -> ());
+    cpu ?ctx 300.0 (* LD_PRELOAD interception + staging-map lookup *)
+  end
 
 let ensure_data_capacity n cap =
   if Bytes.length n.data < cap then begin
@@ -506,6 +522,10 @@ let with_write_sem ?ctx n f =
 
 let pread ?ctx t fd ~pos ~len =
   data_entry ?ctx t;
+  if pos < 0 then Errno.raise_ EINVAL (Printf.sprintf "pread pos %d" pos);
+  if len < 0 then Errno.raise_ EINVAL (Printf.sprintf "pread len %d" len);
+  if pos > max_int - len then
+    Errno.raise_ EINVAL (Printf.sprintf "pread pos %d + len %d overflow" pos len);
   let e = fd_entry t fd in
   let n = e.node in
   with_read_sem ?ctx n (fun () ->
@@ -533,6 +553,9 @@ let do_write ?ctx t n ~pos src =
 
 let pwrite ?ctx t fd ~pos src =
   data_entry ?ctx t;
+  if pos < 0 then Errno.raise_ EINVAL (Printf.sprintf "pwrite pos %d" pos);
+  if pos > max_int - Bytes.length src then
+    Errno.raise_ EINVAL (Printf.sprintf "pwrite pos %d + len overflow" pos);
   let e = fd_entry t fd in
   with_write_sem ?ctx e.node (fun () ->
       (* in-place overwrites skip allocation; extension allocates *)

@@ -257,3 +257,12 @@ let run ?(include_leaks = true) region =
        with Region.Media_error off ->
          add (Media { line = off / Region.line_size }));
       List.rev !out
+
+(** Check every region of a sharded namespace; each violation is tagged
+    with the index of the region it was found on. *)
+let run_all ?include_leaks regions =
+  List.concat
+    (List.mapi
+       (fun i region ->
+         List.map (fun v -> (i, v)) (run ?include_leaks region))
+       (Array.to_list regions))

@@ -200,6 +200,179 @@ let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
     failures = List.rev !failures;
   }
 
+(* -- multi-region (sharded) exploration -------------------------------- *)
+
+(** [run_multi ~regions ~setup ~op ()] is {!run} lifted to a sharded
+    namespace: the operation runs against a {!Shard.t} over [regions]
+    Strict regions, crash points are discovered across {e all} regions
+    (stores are counted globally; labeled hooks are tagged with the
+    region that fired them), and at every point the eviction subsets
+    range over the union of every region's unpersisted lines — so an
+    image can lose lines on the source region of a cross-region rename
+    while keeping them on the destination, and vice versa.  Recovery is
+    {!Recovery.run_all} (each region its own crash domain) and the
+    oracle is {!Check.run_all} reporting zero violations on every
+    region. *)
+let run_multi ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
+    ?(size = default_size) ?(regions = 2) ?verify ~setup ~op () =
+  let sh0 = Shard.mkfs ~mode:Region.Strict ~obs:false ~regions ~euid:0 size in
+  let rs = Shard.regions sh0 in
+  setup sh0;
+  Array.iter Region.persist_all rs;
+  let cps = Array.map Region.checkpoint rs in
+  let fresh () =
+    Array.iter Fs.invalidate_shared rs;
+    Shard.mount ~obs:false ~euid:0 rs
+  in
+
+  (* Pass 1: dry-run to discover crash points across every region.  The
+     op is single-threaded, so the interleaving of stores across regions
+     is deterministic and a global store counter is a stable address. *)
+  let stores = ref 0 in
+  let hooks = ref [] in
+  let hook_count = Hashtbl.create 16 in
+  let sh = fresh () in
+  Array.iter
+    (fun r -> Region.set_store_hook r (fun () -> incr stores))
+    rs;
+  for i = 0 to regions - 1 do
+    Fs.set_crash_hook (Shard.fs_of sh i) (fun label ->
+        let l = Printf.sprintf "%d:%s" i label in
+        let n = (try Hashtbl.find hook_count l with Not_found -> 0) + 1 in
+        Hashtbl.replace hook_count l n;
+        hooks := (l, n) :: !hooks)
+  done;
+  op sh;
+  Array.iter Region.clear_store_hook rs;
+  let points =
+    List.init !stores (fun i -> Store (i + 1))
+    @ List.rev_map (fun (l, n) -> Hook (l, n)) !hooks
+  in
+
+  (* a tagged hook label is "<region>:<original label>" *)
+  let split_tag l =
+    match String.index_opt l ':' with
+    | Some k ->
+        (int_of_string (String.sub l 0 k),
+         String.sub l (k + 1) (String.length l - k - 1))
+    | None -> (0, l)
+  in
+
+  let rng = Simurgh_sim.Rng.create seed in
+  let images = ref 0 in
+  let max_pending = ref 0 in
+  let failures = ref [] in
+
+  List.iter
+    (fun point ->
+      Array.iteri (fun i r -> Region.restore r cps.(i)) rs;
+      let sh = fresh () in
+      (match point with
+      | Store n ->
+          let k = ref 0 in
+          Array.iter
+            (fun r ->
+              Region.set_store_hook r (fun () ->
+                  incr k;
+                  if !k = n then raise Crash_now))
+            rs
+      | Hook (tagged, n) ->
+          let ri, label = split_tag tagged in
+          let k = ref 0 in
+          Fs.set_crash_hook (Shard.fs_of sh ri) (fun l ->
+              if l = label then begin
+                incr k;
+                if !k = n then raise Crash_now
+              end));
+      (match op sh with
+      | () -> ()
+      | exception Crash_now -> ());
+      Array.iter Region.clear_store_hook rs;
+
+      (* unpersisted lines across every region, tagged by region *)
+      let pending =
+        Array.of_list
+          (List.concat
+             (List.mapi
+                (fun i r ->
+                  List.map (fun ln -> (i, ln)) (Region.pending_lines r))
+                (Array.to_list rs)))
+      in
+      let n = Array.length pending in
+      if n > !max_pending then max_pending := n;
+      let cp_crash = Array.map Region.checkpoint rs in
+      let label_of keep_of =
+        Printf.sprintf "%s keep={%s}" (point_label point)
+          (Array.to_list pending |> List.filter keep_of
+          |> List.map (fun (i, ln) -> Printf.sprintf "%d:%d" i ln)
+          |> String.concat ",")
+      in
+      let explore_mask keep_of =
+        incr images;
+        Array.iteri (fun i r -> Region.restore r cp_crash.(i)) rs;
+        Array.iteri
+          (fun i r ->
+            Region.crash_image r ~keep:(fun ln -> keep_of (i, ln));
+            Fs.invalidate_shared r)
+          rs;
+        match Recovery.run_all rs with
+        | _ -> (
+            match Check.run_all rs with
+            | [] -> (
+                match verify with
+                | None -> ()
+                | Some v -> (
+                    try v (fresh ())
+                    with e ->
+                      failures :=
+                        ( label_of keep_of,
+                          [
+                            Check.Structure
+                              ("verify: " ^ Printexc.to_string e);
+                          ] )
+                        :: !failures))
+            | viols ->
+                failures :=
+                  (label_of keep_of, List.map snd viols) :: !failures)
+        | exception e ->
+            failures :=
+              ( Printf.sprintf "%s: recovery raised %s" (point_label point)
+                  (Printexc.to_string e),
+                [] )
+              :: !failures
+      in
+      let keep_of_mask mask =
+        let keep = Hashtbl.create 8 in
+        Array.iteri
+          (fun i tln ->
+            if mask land (1 lsl i) <> 0 then Hashtbl.replace keep tln ())
+          pending;
+        fun tln -> Hashtbl.mem keep tln
+      in
+      if n <= max_exhaustive then
+        for mask = 0 to (1 lsl n) - 1 do
+          explore_mask (keep_of_mask mask)
+        done
+      else begin
+        explore_mask (fun _ -> false);
+        explore_mask (fun _ -> true);
+        for _ = 3 to samples do
+          let keep = Hashtbl.create 16 in
+          Array.iter
+            (fun tln ->
+              if Simurgh_sim.Rng.int rng 2 = 1 then Hashtbl.replace keep tln ())
+            pending;
+          explore_mask (fun tln -> Hashtbl.mem keep tln)
+        done
+      end)
+    points;
+  {
+    crash_points = List.length points;
+    images = !images;
+    max_pending = !max_pending;
+    failures = List.rev !failures;
+  }
+
 (* -- crash-during-recovery re-entrancy -------------------------------- *)
 
 type reentrant_stats = {

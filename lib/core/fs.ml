@@ -200,9 +200,9 @@ let enable_alloc_caches layout =
     selects the rename-log ring size at format time (0 = the paper's
     single per-directory log slot, on-media bit-identical). *)
 let mkfs ?(cores = 10) ?segments ?call_mode ?relaxed_writes ?coarse_dir_locks
-    ?striped_locks ?rcache ?range_locks ?(alloc_caches = false) ?log_ring ?euid
-    ?egid region =
-  let layout = Layout.format ?segments ?log_ring region ~cores in
+    ?striped_locks ?rcache ?range_locks ?(alloc_caches = false) ?log_ring
+    ?shard ?euid ?egid region =
+  let layout = Layout.format ?segments ?log_ring ?shard region ~cores in
   make_root layout;
   let fs =
     of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks
@@ -266,6 +266,14 @@ let cmodel ctx =
 
 (* Per externally visible FS call: libc stub plus the entry mechanism. *)
 let entry_charge ?ctx t =
+  (* pin the calling thread's NVMM traffic to this FS's home region so
+     charges reach the right per-region bandwidth server (no-op for the
+     legacy single-region layout, whose shard index is 0) *)
+  (match ctx with
+  | Some c ->
+      c.Simurgh_sim.Machine.thr.Simurgh_sim.Sthread.cur_region <-
+        t.layout.Layout.shard_index
+  | None -> ());
   let cm = cmodel ctx in
   let cycles =
     match t.call_mode with
@@ -856,6 +864,10 @@ let mapped_blocks t inode =
 let append_slack_blocks = 256
 
 let ensure_capacity ?ctx ?staged t inode bytes =
+  (* a negative target here is always the sign of an integer overflow
+     upstream ([pos + len] wrapping past max_int); growing "to" it would
+     compute a nonsense block count, so fail the operation cleanly *)
+  if bytes < 0 then Errno.raise_ EINVAL "file size overflow";
   let bs = block_size t in
   let have = mapped_blocks t inode in
   let needed = ((bytes + bs - 1) / bs) - have in
@@ -1641,6 +1653,12 @@ let pwrite ?ctx t fd ~pos src =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
   if pos < 0 then Errno.raise_ EINVAL (Printf.sprintf "pwrite pos %d" pos);
+  (* [pos + len] near max_int wraps negative and would sail past the
+     negative-arg checks into the size words (and, in range mode, the
+     volatile reservation) — reject like Linux's EINVAL on offset+count
+     overflow *)
+  if pos > max_int - Bytes.length src then
+    Errno.raise_ EINVAL (Printf.sprintf "pwrite pos %d + len overflow" pos);
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
   if t.range_locks then range_pwrite ?ctx t e.Openfile.inode ~pos src
@@ -1670,6 +1688,8 @@ let pread ?ctx t fd ~pos ~len =
   media_guard t @@ fun () ->
   if pos < 0 then Errno.raise_ EINVAL (Printf.sprintf "pread pos %d" pos);
   if len < 0 then Errno.raise_ EINVAL (Printf.sprintf "pread len %d" len);
+  if pos > max_int - len then
+    Errno.raise_ EINVAL (Printf.sprintf "pread pos %d + len %d overflow" pos len);
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Wronly then Errno.raise_ EBADF "write-only fd";
   if t.range_locks then range_pread ?ctx t e.Openfile.inode ~pos ~len
@@ -1780,6 +1800,13 @@ type fsstat = {
   block_size : int;
   total_blocks : int;
   free_blocks : int;
+  used_blocks : int;
+      (** blocks neither free-listed nor quarantined: in use by live
+          metadata and data (derived, so the three always partition
+          [total_blocks]) *)
+  quarantined_blocks : int;
+      (** blocks withheld from recycling because an uncorrectable media
+          error sits under them — never free, never allocatable *)
   live_inodes : int;
   live_fentries : int;
 }
@@ -1788,10 +1815,18 @@ let statfs ?ctx t =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
   let balloc = t.layout.Layout.balloc in
+  let total = Simurgh_alloc.Block_alloc.total_blocks balloc in
+  (* the free-list walk never touches quarantined blocks (both the
+     runtime [free] and recovery's rebuild withhold them), so free,
+     used and quarantined partition the capacity exactly *)
+  let free = Simurgh_alloc.Block_alloc.free_blocks balloc in
+  let quarantined = Simurgh_alloc.Block_alloc.quarantined_blocks balloc in
   {
     block_size = Simurgh_alloc.Block_alloc.block_size balloc;
-    total_blocks = Simurgh_alloc.Block_alloc.total_blocks balloc;
-    free_blocks = Simurgh_alloc.Block_alloc.free_blocks balloc;
+    total_blocks = total;
+    free_blocks = free;
+    used_blocks = total - free - quarantined;
+    quarantined_blocks = quarantined;
     live_inodes =
       Simurgh_alloc.Slab_alloc.live_objects t.layout.Layout.inode_slab;
     live_fentries =

@@ -26,6 +26,8 @@ let f_balloc = 32 (* offset of the block-allocator header *)
 let f_inode_slab = 40
 let f_fentry_slab = 48
 let f_log_ring = 56 (* rename-log ring slots per directory; 0 = legacy *)
+let f_regions = 60 (* region count of the sharded namespace; 0 = legacy 1 *)
+let f_shard = 64 (* this region's shard index within [f_regions] *)
 
 type t = {
   region : Region.t;
@@ -38,6 +40,12 @@ type t = {
           single legacy +80 entry.  0 (the default, and the value every
           pre-ring region reads back) keeps the on-media layout
           bit-identical to the paper's single-slot design. *)
+  regions : int;
+      (** Region count of the multi-region (sharded) namespace this
+          region belongs to.  Legacy media reads back 0 and is treated
+          as 1; the superblock words are only written when sharded, so
+          single-region media stays bit-identical. *)
+  shard_index : int;  (** this region's index within [regions] *)
 }
 
 let root_fentry t = Region.read_u62 t.region f_root_fentry
@@ -55,16 +63,26 @@ let set_clean_shutdown t v =
   Region.write_u8 t.region f_clean (if v then 1 else 0);
   Region.persist t.region f_clean 1
 
-let format ?segments ?(log_ring = 0) region ~cores =
+let format ?segments ?(log_ring = 0) ?(shard = (0, 1)) region ~cores =
   let size = Region.size region in
   if size < 1 lsl 20 then invalid_arg "Layout.format: region too small";
   if log_ring < 0 || log_ring > 255 then
     invalid_arg "Layout.format: log_ring out of range";
+  let shard_index, regions = shard in
+  if regions < 1 || shard_index < 0 || shard_index >= regions then
+    invalid_arg "Layout.format: bad shard index/region count";
   Region.write_u32 region f_magic magic;
   Region.write_u32 region f_version version;
   Region.write_u62 region f_region_size size;
   Region.write_u62 region f_root_fentry 0;
   Region.write_u32 region f_log_ring log_ring;
+  if regions > 1 then begin
+    (* only sharded media carries the words: a single-region format
+       leaves offsets 60/64 untouched (zero), so legacy images stay
+       bit-identical down to the store counters *)
+    Region.write_u32 region f_regions regions;
+    Region.write_u32 region f_shard shard_index
+  end;
   let segments =
     match segments with
     | Some s -> max 1 s
@@ -97,7 +115,7 @@ let format ?segments ?(log_ring = 0) region ~cores =
   in
   Region.write_u8 region f_clean 1;
   Region.persist region 0 superblock_size;
-  { region; balloc; inode_slab; fentry_slab; log_ring }
+  { region; balloc; inode_slab; fentry_slab; log_ring; regions; shard_index }
 
 let attach region =
   if Region.read_u32 region f_magic <> magic then
@@ -116,6 +134,8 @@ let attach region =
       inode_slab = slab (Region.read_u62 region f_inode_slab);
       fentry_slab = slab (Region.read_u62 region f_fentry_slab);
       log_ring = Region.read_u32 region f_log_ring;
+      regions = (match Region.read_u32 region f_regions with 0 -> 1 | n -> n);
+      shard_index = Region.read_u32 region f_shard;
     }
   in
   Simurgh_alloc.Slab_alloc.rebuild_cache t.inode_slab;

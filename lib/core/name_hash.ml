@@ -17,3 +17,13 @@ let hash64 (s : string) =
 let hash s = Int64.to_int (Int64.shift_right_logical (hash64 s) 2)
 
 let row s ~rows = hash s mod rows
+
+(** Home region of a top-level directory name in an N-region namespace.
+    Uses the {e high} hash bits, so a name's region is uncorrelated with
+    the row its entry occupies inside a directory block ([row] consumes
+    the low bits): a directory's subtree lands on one region without
+    skewing the row distribution there. *)
+let home s ~regions =
+  if regions <= 1 then 0
+  else
+    Int64.to_int (Int64.shift_right_logical (hash64 s) 40) mod regions

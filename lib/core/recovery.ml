@@ -1031,6 +1031,16 @@ let run ?(par = Seq) ?(skip_log_resolution = false) ?(drop_mark_shard = false)
       vtime_cycles;
     } )
 
+(** Recover every region of a sharded (multi-region) namespace.  Each
+    region is an independent crash-consistency domain -- a shard's
+    allocators, slabs and rename logs never reference another region --
+    so recovery is simply the single-region [run] applied per region,
+    in region order.  Returns the layouts and reports in that order. *)
+let run_all ?par ?skip_log_resolution ?drop_mark_shard regions =
+  Array.map
+    (fun region -> run ?par ?skip_log_resolution ?drop_mark_shard region)
+    regions
+
 (** Recover and mount in one step. *)
 let mount_after_crash ?call_mode ?relaxed_writes ?euid ?egid region =
   let layout, report = run region in

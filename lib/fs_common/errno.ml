@@ -13,6 +13,7 @@ type t =
   | EINVAL
   | ELOOP
   | EROFS
+  | EXDEV  (** cross-device (cross-region) link or directory rename *)
   | EIO  (** uncorrectable media error under the accessed range *)
 
 exception Err of t * string
@@ -32,6 +33,7 @@ let to_string = function
   | EINVAL -> "EINVAL"
   | ELOOP -> "ELOOP"
   | EROFS -> "EROFS"
+  | EXDEV -> "EXDEV"
   | EIO -> "EIO"
 
 let pp ppf e = Fmt.string ppf (to_string e)

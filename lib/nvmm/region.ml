@@ -86,7 +86,7 @@ type t = {
   mutable crash_images : int;  (** crash / crash_image applications *)
 }
 
-let create ?(mode = Fast) size =
+let create ?(mode = Fast) ?name size =
   let t =
     {
       image = Bytes.make size '\000';
@@ -111,19 +111,28 @@ let create ?(mode = Fast) size =
     }
   in
   (* fold the region's access statistics into the active experiment's
-     observability snapshot (no-op outside the bench driver) *)
-  Simurgh_obs.Collect.note_source (fun () ->
+     observability snapshot (no-op outside the bench driver).  Unnamed
+     regions keep the historical aggregate [region/...] counter family
+     (same-named sources sum at drain); a [~name]d region — the
+     multi-region substrate passes ["region0"], ["region1"], ... —
+     gets its own exclusive per-region namespace, and registering two
+     regions under one name is an error
+     ({!Simurgh_obs.Collect.Duplicate_source}). *)
+  let prefix = match name with None -> "region" | Some n -> n in
+  Simurgh_obs.Collect.note_source ?name (fun () ->
+      let c k = prefix ^ "/" ^ k in
+      let f k = match name with None -> "faults/" ^ k | Some n -> n ^ "/faults/" ^ k in
       [
-        ("region/loads", float_of_int t.loads);
-        ("region/stores", float_of_int t.stores);
-        ("region/load_bytes", float_of_int t.load_bytes);
-        ("region/store_bytes", float_of_int t.store_bytes);
-        ("region/flush_lines", float_of_int t.flushes);
-        ("region/fences", float_of_int t.fences);
-        ("region/bytes", float_of_int t.size);
-        ("faults/poisoned_lines", float_of_int (Hashtbl.length t.poisoned));
-        ("faults/media_errors", float_of_int t.media_errors);
-        ("faults/crash_images", float_of_int t.crash_images);
+        (c "loads", float_of_int t.loads);
+        (c "stores", float_of_int t.stores);
+        (c "load_bytes", float_of_int t.load_bytes);
+        (c "store_bytes", float_of_int t.store_bytes);
+        (c "flush_lines", float_of_int t.flushes);
+        (c "fences", float_of_int t.fences);
+        (c "bytes", float_of_int t.size);
+        (f "poisoned_lines", float_of_int (Hashtbl.length t.poisoned));
+        (f "media_errors", float_of_int t.media_errors);
+        (f "crash_images", float_of_int t.crash_images);
       ]);
   t
 
@@ -669,6 +678,12 @@ let range_poisoned t off len =
 
 (** Number of currently poisoned lines. *)
 let poisoned_lines t = Hashtbl.length t.poisoned
+
+(** Visit the byte offset of every currently poisoned line (unordered).
+    Lets the allocator account quarantined blocks exactly — a block is
+    quarantined iff any of its lines carries poison. *)
+let iter_poisoned_lines t f =
+  Hashtbl.iter (fun ln () -> f (ln * line_size)) t.poisoned
 
 (* --- fault-injection hooks & checkpoints ------------------------------ *)
 

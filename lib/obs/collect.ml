@@ -13,11 +13,23 @@
 type collector = {
   mutable runs : Run.t list;
   mutable sources : (unit -> (string * float) list) list;
+  named : (string, unit) Hashtbl.t;
+      (** names claimed by [note_source ~name] registrations *)
 }
+
+exception Duplicate_source of string
+
+let () =
+  Printexc.register_printer (function
+    | Duplicate_source n ->
+        Some (Printf.sprintf "Collect.Duplicate_source(%S)" n)
+    | _ -> None)
 
 let current : collector option ref = ref None
 
-let install () = current := Some { runs = []; sources = [] }
+let install () =
+  current := Some { runs = []; sources = []; named = Hashtbl.create 8 }
+
 let active () = !current <> None
 
 (** Register a machine's run (idempotent per run). *)
@@ -27,9 +39,26 @@ let note_run r =
   | None -> ()
 
 (** Register a thunk producing (counter, value) pairs sampled at drain
-    time (region stats, allocator stats, lock registry sizes...). *)
-let note_source f =
-  match !current with Some c -> c.sources <- f :: c.sources | None -> ()
+    time (region stats, allocator stats, lock registry sizes...).
+
+    Anonymous registrations keep the historical behavior: same-named
+    counters from different sources are {e summed} at drain (every
+    region of an experiment contributes to one aggregate [region/...]
+    family).  A [~name]d registration claims its name exclusively for
+    the current collector — a second registration under the same name
+    raises {!Duplicate_source}, catching the two-live-regions (or
+    two-machines) shadowing bug instead of silently merging streams
+    that were meant to stay apart. *)
+let note_source ?name f =
+  match !current with
+  | None -> ()
+  | Some c ->
+      (match name with
+      | None -> ()
+      | Some n ->
+          if Hashtbl.mem c.named n then raise (Duplicate_source n);
+          Hashtbl.replace c.named n ());
+      c.sources <- f :: c.sources
 
 (** Merge all registered runs and sampled sources into one fresh run,
     then uninstall the collector. *)

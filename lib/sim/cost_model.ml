@@ -42,6 +42,19 @@ type t = {
   atomic_uncontended : float;  (** lock cmpxchg, line already local *)
   atomic_contended : float;  (** cache-line transfer between cores *)
   cacheline : int;
+  numa_sockets : int;
+      (** sockets of the DIMM/socket model; region [r] lives on socket
+          [r mod numa_sockets].  With the default single region (id 0)
+          and threads homed on socket 0 no access is ever remote, so the
+          legacy virtual-time results are bit-identical *)
+  numa_remote_lat_mult : float;
+      (** latency multiplier for cache-line NVMM accesses that cross the
+          UPI link (published Optane characterizations put remote PM
+          latency at ~1.7x local) *)
+  numa_remote_bw_mult : float;
+      (** single-thread achievable-bandwidth multiplier for remote
+          streaming NVMM traffic (remote PM write bandwidth collapses
+          far below local; ~0.55x is the conservative published figure) *)
 }
 
 let default =
@@ -72,7 +85,13 @@ let default =
     atomic_uncontended = 20.0;
     atomic_contended = 120.0;
     cacheline = 64;
+    numa_sockets = 2;
+    numa_remote_lat_mult = 1.7;
+    numa_remote_bw_mult = 0.55;
   }
+
+(** Socket a region id maps to in the DIMM/socket model. *)
+let socket_of_region cm r = r mod max 1 cm.numa_sockets
 
 (** Extra cycles Simurgh pays per externally visible operation for the
     protected-function entry/exit versus a plain call (paper Section 5.1:

@@ -7,6 +7,11 @@ type t = {
   nvmm_read_srv : Resource.t;
   nvmm_write_srv : Resource.t;
   dram_srv : Resource.t;
+  mutable extra_nvmm_srvs : (Resource.t * Resource.t) array;
+      (** (read, write) bandwidth-server pairs for NVMM regions 1..N-1
+          of the multi-region DIMM/socket model; region 0 is the legacy
+          [nvmm_read_srv]/[nvmm_write_srv] pair, so single-region runs
+          are untouched.  Grown by {!set_regions}. *)
   obs : Simurgh_obs.Run.t;
       (** per-engine-run observability sinks (lock contention, per-op
           latency histograms, phase spans); scoped to this machine, so a
@@ -25,8 +30,38 @@ let create ?(cm = Cost_model.default) ?obs () =
     nvmm_read_srv = Resource.create "nvmm-read";
     nvmm_write_srv = Resource.create "nvmm-write";
     dram_srv = Resource.create "dram";
+    extra_nvmm_srvs = [||];
     obs;
   }
+
+(** Declare that the machine drives [n] NVMM regions, each behind its
+    own read/write bandwidth-server pair (one set of DIMMs per region).
+    Idempotent; never shrinks, so existing backlogs survive. *)
+let set_regions t n =
+  let have = 1 + Array.length t.extra_nvmm_srvs in
+  if n > have then begin
+    let extra = Array.length t.extra_nvmm_srvs in
+    t.extra_nvmm_srvs <-
+      Array.init (n - 1) (fun i ->
+          if i < extra then t.extra_nvmm_srvs.(i)
+          else
+            ( Resource.create (Printf.sprintf "nvmm-read-%d" (i + 1)),
+              Resource.create (Printf.sprintf "nvmm-write-%d" (i + 1)) ))
+  end
+
+let regions t = 1 + Array.length t.extra_nvmm_srvs
+
+(* Per-region server selection; region ids out of the declared range
+   fold onto region 0 rather than faulting (a context carrying a region
+   id into a machine that never called [set_regions] is a plain
+   single-device run). *)
+let read_srv t r =
+  if r <= 0 || r > Array.length t.extra_nvmm_srvs then t.nvmm_read_srv
+  else fst t.extra_nvmm_srvs.(r - 1)
+
+let write_srv t r =
+  if r <= 0 || r > Array.length t.extra_nvmm_srvs then t.nvmm_write_srv
+  else snd t.extra_nvmm_srvs.(r - 1)
 
 (** Reset the measurement window: bandwidth-server backlogs and the
     observability run, so untimed setup phases leave no trace. *)
@@ -34,6 +69,11 @@ let reset t =
   Resource.reset t.nvmm_read_srv;
   Resource.reset t.nvmm_write_srv;
   Resource.reset t.dram_srv;
+  Array.iter
+    (fun (r, w) ->
+      Resource.reset r;
+      Resource.reset w)
+    t.extra_nvmm_srvs;
   Simurgh_obs.Run.clear t.obs
 
 let obs t = t.obs
@@ -44,6 +84,24 @@ let ctx m thr = { m; thr }
 let cm ctx = ctx.m.cm
 let now ctx = ctx.thr.Sthread.now
 let ctx_obs ctx = ctx.m.obs
+
+(** Run [f] with the thread's NVMM charges routed to region [r] (its
+    bandwidth servers, plus the cross-socket surcharge when the thread's
+    home socket differs from the region's socket).  Restores the
+    previous routing on exit. *)
+let with_region ctx r f =
+  let thr = ctx.thr in
+  let prev = thr.Sthread.cur_region in
+  thr.Sthread.cur_region <- r;
+  Fun.protect ~finally:(fun () -> thr.Sthread.cur_region <- prev) f
+
+(* Cross-socket access test for the thread's current target region.
+   With the defaults (every thread homed on socket 0, every charge
+   targeting region 0) this is always false, so the legacy virtual-time
+   results are bit-identical. *)
+let is_remote ctx =
+  let r = ctx.thr.Sthread.cur_region in
+  Cost_model.socket_of_region ctx.m.cm r <> ctx.thr.Sthread.home_socket
 
 (** Pure CPU work. *)
 let cpu ctx cycles = Sthread.advance ctx.thr cycles
@@ -64,17 +122,34 @@ let transfer ctx srv ~bytes ~thread_rate ~agg_rate =
     Sthread.wait_until t (if dev_done > local_done then dev_done else local_done)
   end
 
+(* Remote streaming traffic keeps the device's aggregate rate (the
+   DIMMs behind the region serve at their own speed) but the requesting
+   thread's achievable rate collapses across the UPI link. *)
+let thread_rate_of ctx rate =
+  if is_remote ctx then rate *. (cm ctx).Cost_model.numa_remote_bw_mult
+  else rate
+
+let line_lat_of ctx lat =
+  if is_remote ctx then lat *. (cm ctx).Cost_model.numa_remote_lat_mult
+  else lat
+
 (** Sequential/streaming read of [bytes] from NVMM. *)
 let nvmm_read ctx bytes =
   let cm = cm ctx in
-  transfer ctx ctx.m.nvmm_read_srv ~bytes
-    ~thread_rate:cm.nvmm_read_bw_thread ~agg_rate:cm.nvmm_read_bw
+  transfer ctx
+    (read_srv ctx.m ctx.thr.Sthread.cur_region)
+    ~bytes
+    ~thread_rate:(thread_rate_of ctx cm.nvmm_read_bw_thread)
+    ~agg_rate:cm.nvmm_read_bw
 
 (** Streaming (non-temporal) write of [bytes] to NVMM. *)
 let nvmm_write ctx bytes =
   let cm = cm ctx in
-  transfer ctx ctx.m.nvmm_write_srv ~bytes
-    ~thread_rate:cm.nvmm_write_bw_thread ~agg_rate:cm.nvmm_write_bw
+  transfer ctx
+    (write_srv ctx.m ctx.thr.Sthread.cur_region)
+    ~bytes
+    ~thread_rate:(thread_rate_of ctx cm.nvmm_write_bw_thread)
+    ~agg_rate:cm.nvmm_write_bw
 
 (* Random cache-line accesses are latency-bound; out-of-order cores keep
    a handful of misses in flight (memory-level parallelism ~4). *)
@@ -84,10 +159,12 @@ let mlp = 4.0
 let nvmm_read_lines ctx n =
   if n > 0 then begin
     let cm = cm ctx in
-    let lat = float_of_int n *. cm.nvmm_read_latency /. mlp in
+    let lat = line_lat_of ctx (float_of_int n *. cm.nvmm_read_latency /. mlp) in
     let bytes = n * cm.cacheline in
     let dev_done =
-      Resource.serve ctx.m.nvmm_read_srv ~now:ctx.thr.Sthread.now
+      Resource.serve
+        (read_srv ctx.m ctx.thr.Sthread.cur_region)
+        ~now:ctx.thr.Sthread.now
         ~dur:(float_of_int bytes /. cm.nvmm_read_bw)
     in
     let local_done = ctx.thr.Sthread.now +. lat in
@@ -100,10 +177,14 @@ let nvmm_read_lines ctx n =
 let nvmm_meta_read_lines ctx n =
   if n > 0 then begin
     let cm = cm ctx in
-    let lat = float_of_int n *. cm.nvmm_meta_read_latency /. mlp in
+    let lat =
+      line_lat_of ctx (float_of_int n *. cm.nvmm_meta_read_latency /. mlp)
+    in
     let bytes = n * cm.cacheline in
     let dev_done =
-      Resource.serve ctx.m.nvmm_read_srv ~now:ctx.thr.Sthread.now
+      Resource.serve
+        (read_srv ctx.m ctx.thr.Sthread.cur_region)
+        ~now:ctx.thr.Sthread.now
         ~dur:(float_of_int bytes /. cm.nvmm_read_bw)
     in
     let local_done = ctx.thr.Sthread.now +. lat in
@@ -121,17 +202,18 @@ let nvmm_meta_read_lines ctx n =
 let nvmm_write_lines ctx n =
   if n > 0 then begin
     let cm = cm ctx in
-    let lat = float_of_int n *. cm.nvmm_write_latency /. mlp in
+    let lat =
+      line_lat_of ctx (float_of_int n *. cm.nvmm_write_latency /. mlp)
+    in
     let bytes = n * cm.cacheline in
     let dur = float_of_int bytes /. cm.nvmm_write_bw in
+    let srv = write_srv ctx.m ctx.thr.Sthread.cur_region in
     if ctx.thr.Sthread.posted_writes then begin
-      Resource.push_work ctx.m.nvmm_write_srv ~now:ctx.thr.Sthread.now ~dur;
+      Resource.push_work srv ~now:ctx.thr.Sthread.now ~dur;
       Sthread.advance ctx.thr lat
     end
     else begin
-      let dev_done =
-        Resource.serve ctx.m.nvmm_write_srv ~now:ctx.thr.Sthread.now ~dur
-      in
+      let dev_done = Resource.serve srv ~now:ctx.thr.Sthread.now ~dur in
       let local_done = ctx.thr.Sthread.now +. lat in
       Sthread.wait_until ctx.thr
         (if dev_done > local_done then dev_done else local_done)

@@ -30,21 +30,13 @@ let reset t =
   t.last <- 0.0;
   t.busy <- 0.0
 
-(** [serve t ~now ~dur] returns the completion time of a request of
-    [dur] cycles issued at [now]. *)
-let serve t ~now ~dur =
-  if now > t.last then begin
-    let elapsed = now -. t.last in
-    t.debt <- (if t.debt > elapsed then t.debt -. elapsed else 0.0);
-    t.last <- now
-  end;
-  t.debt <- t.debt +. dur;
-  t.busy <- t.busy +. dur;
-  now +. t.debt
-
-(** Queue work without waiting for it: used by locks to append their
-    hold duration at release time. *)
-let push_work t ~now ~dur =
+(* The one place the leaky bucket leaks: let the debt drain by the time
+   elapsed since the last considered arrival, then queue [dur] cycles of
+   new work.  Out-of-order arrivals ([now <= t.last]) drain nothing and
+   queue behind the current backlog — both [serve] and [push_work] MUST
+   share this exact sequence, otherwise per-region server replicas drift
+   apart on the out-of-order path and on [busy] accounting. *)
+let drain_and_queue t ~now ~dur =
   if now > t.last then begin
     let elapsed = now -. t.last in
     t.debt <- (if t.debt > elapsed then t.debt -. elapsed else 0.0);
@@ -52,6 +44,17 @@ let push_work t ~now ~dur =
   end;
   t.debt <- t.debt +. dur;
   t.busy <- t.busy +. dur
+
+(** [serve t ~now ~dur] returns the completion time of a request of
+    [dur] cycles issued at [now]. *)
+let serve t ~now ~dur =
+  drain_and_queue t ~now ~dur;
+  now +. t.debt
+
+(** Queue work without waiting for it: used by locks to append their
+    hold duration at release time.  Identical drain/queue/busy semantics
+    to {!serve} by construction; only the completion wait differs. *)
+let push_work t ~now ~dur = drain_and_queue t ~now ~dur
 
 (** Outstanding backlog as seen at [now] (0 when fully drained). *)
 let pending t ~now =

@@ -11,6 +11,15 @@ type t = {
           stores (local store latency; device bandwidth consumed
           asynchronously) instead of waiting for the device queue — see
           {!Machine.with_posted_writes} *)
+  mutable home_socket : int;
+      (** NUMA socket this thread is pinned to (default 0).  NVMM
+          accesses whose target region lives on a different socket pay
+          the cross-socket surcharge — see {!Machine} and
+          {!Cost_model.numa_remote_lat_mult} *)
+  mutable cur_region : int;
+      (** NVMM region id the thread's charges currently target (default
+          0, the legacy single region).  Set around each operation by
+          the multi-region namespace ({!Machine.with_region}) *)
 }
 
 let create ?(seed = 42L) tid =
@@ -20,6 +29,8 @@ let create ?(seed = 42L) tid =
     rng = Rng.split (Rng.create seed) tid;
     ops = 0;
     posted_writes = false;
+    home_socket = 0;
+    cur_region = 0;
   }
 
 let advance t cycles = t.now <- t.now +. cycles

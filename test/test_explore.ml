@@ -289,6 +289,75 @@ let test_checker_clean_on_healthy_fs () =
   Alcotest.(check (list string)) "no violations" []
     (List.map Check.violation_to_string (Check.run region))
 
+(* -- multi-region (sharded) exploration --------------------------------
+
+   The eviction adversary now ranges over the union of both regions'
+   unpersisted lines: a crash image can lose the destination region's
+   copy while keeping the source region's unlink progress and vice
+   versa.  Every image must recover per-region (Recovery.run_all) to a
+   checker-clean pair, and for the rename the copy+unlink contract
+   holds: the source is unlinked last, so once it is gone the
+   destination is complete. *)
+module Shard = Simurgh_core.Shard
+module Name_hash = Simurgh_core.Name_hash
+
+let shard_dir r =
+  let rec go i =
+    let n = Printf.sprintf "d%d_%d" r i in
+    if Name_hash.home n ~regions:2 = r then n else go (i + 1)
+  in
+  "/" ^ go 0
+
+let assert_no_multi_failures name (st : Explore.stats) =
+  (match st.Explore.failures with
+  | [] -> ()
+  | (label, viols) :: _ ->
+      Alcotest.failf "%s: %d violating crash image(s); first at %s: %s" name
+        (List.length st.Explore.failures)
+        label
+        (String.concat "; " (List.map Check.violation_to_string viols)));
+  Alcotest.(check bool) (name ^ ": has crash points") true
+    (st.Explore.crash_points > 0)
+
+let test_explore_multi_region_rename () =
+  let d0 = shard_dir 0 and d1 = shard_dir 1 in
+  let src = d0 ^ "/m" and dst = d1 ^ "/m2" in
+  let bytes = 128 in
+  let st =
+    Explore.run_multi ~regions:2
+      ~setup:(fun sh ->
+        Shard.mkdir sh d0;
+        Shard.mkdir sh d1;
+        let fd = Shard.openf sh (Types.creat Types.rdwr) src in
+        ignore (Shard.pwrite sh fd ~pos:0 (Bytes.make bytes 'x'));
+        Shard.close sh fd)
+      ~op:(fun sh -> Shard.rename sh src dst)
+      ~verify:(fun sh ->
+        if not (Shard.exists sh src) then begin
+          let got = Shard.stat sh dst in
+          if got.Types.size <> bytes then
+            failwith
+              (Printf.sprintf "dest size %d after source unlink, want %d"
+                 got.Types.size bytes)
+        end)
+      ()
+  in
+  assert_no_multi_failures "xregion-rename" st
+
+let test_explore_multi_region_creates () =
+  let d0 = shard_dir 0 and d1 = shard_dir 1 in
+  let st =
+    Explore.run_multi ~regions:2
+      ~setup:(fun sh ->
+        Shard.mkdir sh d0;
+        Shard.mkdir sh d1)
+      ~op:(fun sh ->
+        Shard.create_file sh (d0 ^ "/a");
+        Shard.create_file sh (d1 ^ "/b"))
+      ()
+  in
+  assert_no_multi_failures "xregion-creates" st
+
 let () =
   Alcotest.run "explore"
     [
@@ -310,6 +379,13 @@ let () =
             test_explore_multi_slot_recovery;
           Alcotest.test_case "create with chain growth (sampled)" `Quick
             test_explore_create_chain_growth;
+        ] );
+      ( "multi-region",
+        [
+          Alcotest.test_case "cross-region rename: all images clean" `Quick
+            test_explore_multi_region_rename;
+          Alcotest.test_case "creates on both regions: all images clean"
+            `Quick test_explore_multi_region_creates;
         ] );
       ( "crash-during-recovery",
         [

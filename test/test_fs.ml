@@ -636,6 +636,166 @@ let prop_rows_of_range =
         rows = IS.elements !s
       end)
 
+(* -- integer-overflow argument guards ---------------------------------
+
+   [pos + len] near max_int wraps negative and, unguarded, sails past
+   the negative-argument checks into capacity math (Simurgh) or
+   Bytes.blit (the kernel baselines, where it surfaced as
+   Invalid_argument instead of an errno).  Every implementation must
+   reject the wrap as EINVAL.  Table-driven over the shared FS
+   interface: Simurgh, the four kernel baselines, and the sharded
+   namespace. *)
+let overflow_cases (type a)
+    (module F : Simurgh_fs_common.Fs_intf.S with type t = a) (fs : a) =
+  F.create_file fs "/of";
+  let fd = F.openf fs Types.rdwr "/of" in
+  ignore (F.pwrite fs fd ~pos:0 (Bytes.make 64 'x'));
+  let big = max_int - 8 in
+  List.iter
+    (fun (what, f) ->
+      match f () with
+      | _ -> Alcotest.failf "%s: %s: expected EINVAL" F.name what
+      | exception Errno.Err (EINVAL, _) -> ())
+    [
+      ("pread negative pos", fun () -> ignore (F.pread fs fd ~pos:(-1) ~len:4));
+      ("pread negative len", fun () -> ignore (F.pread fs fd ~pos:0 ~len:(-4)));
+      ( "pread pos+len overflow",
+        fun () -> ignore (F.pread fs fd ~pos:big ~len:64) );
+      ( "pwrite negative pos",
+        fun () -> ignore (F.pwrite fs fd ~pos:(-1) (Bytes.make 4 'x')) );
+      ( "pwrite pos+len overflow",
+        fun () -> ignore (F.pwrite fs fd ~pos:big (Bytes.make 64 'x')) );
+    ];
+  F.close fs fd
+
+let test_overflow_einval () =
+  overflow_cases (module Fs) (fresh ());
+  overflow_cases (module Simurgh_baselines.Nova) (Simurgh_baselines.Nova.create ());
+  overflow_cases (module Simurgh_baselines.Pmfs) (Simurgh_baselines.Pmfs.create ());
+  overflow_cases (module Simurgh_baselines.Ext4dax)
+    (Simurgh_baselines.Ext4dax.create ());
+  overflow_cases (module Simurgh_baselines.Splitfs)
+    (Simurgh_baselines.Splitfs.create ());
+  overflow_cases
+    (module Simurgh_core.Shard)
+    (Simurgh_core.Shard.mkfs ~regions:2 ~euid:0 (16 * 1024 * 1024))
+
+(* -- sharded multi-region namespace ----------------------------------- *)
+
+module Shard = Simurgh_core.Shard
+module Name_hash = Simurgh_core.Name_hash
+
+(* a top-level dir name that Name_hash.home routes to region [r] *)
+let shard_dir ~regions r =
+  let rec go i =
+    let n = Printf.sprintf "d%d_%d" r i in
+    if Name_hash.home n ~regions = r then n else go (i + 1)
+  in
+  "/" ^ go 0
+
+let test_shard_namespace () =
+  let regions = 4 in
+  let sh = Shard.mkfs ~regions ~euid:0 (16 * 1024 * 1024) in
+  let dirs = Array.init regions (fun r -> shard_dir ~regions r) in
+  Array.iter (fun d -> Shard.mkdir sh d) dirs;
+  Array.iteri
+    (fun r d ->
+      Alcotest.(check int) (d ^ " routes to its region") r (Shard.route sh d))
+    dirs;
+  (* files inherit the directory's region; content round-trips *)
+  Array.iteri
+    (fun r d ->
+      let p = d ^ "/f" in
+      let fd = Shard.openf sh (Types.creat Types.rdwr) p in
+      ignore (Shard.pwrite sh fd ~pos:0 (Bytes.of_string "hello"));
+      Shard.close sh fd;
+      Alcotest.(check int) (p ^ " inherits region") r (Shard.route sh p);
+      Alcotest.(check int) "size" 5 (Shard.stat sh p).Types.size)
+    dirs;
+  (* the virtual root merges every shard's listing *)
+  let ls = Shard.readdir sh "/" in
+  Alcotest.(check int) "root lists all shards' dirs" regions (List.length ls);
+  Array.iter
+    (fun d ->
+      let n = String.sub d 1 (String.length d - 1) in
+      Alcotest.(check bool) (n ^ " listed") true (List.mem n ls))
+    dirs;
+  (* statfs aggregates every region *)
+  let st = Shard.statfs sh in
+  let sum f =
+    let acc = ref 0 in
+    for i = 0 to Shard.shard_count sh - 1 do
+      acc := !acc + f (Fs.statfs (Shard.fs_of sh i))
+    done;
+    !acc
+  in
+  Alcotest.(check int) "total aggregated"
+    (sum (fun s -> s.Fs.total_blocks))
+    st.Fs.total_blocks;
+  Alcotest.(check int) "free aggregated"
+    (sum (fun s -> s.Fs.free_blocks))
+    st.Fs.free_blocks;
+  Alcotest.(check int) "partition"
+    st.Fs.total_blocks
+    (st.Fs.free_blocks + st.Fs.used_blocks + st.Fs.quarantined_blocks)
+
+let test_shard_cross_region_rename () =
+  let sh = Shard.mkfs ~regions:2 ~euid:0 (16 * 1024 * 1024) in
+  let d0 = shard_dir ~regions:2 0 and d1 = shard_dir ~regions:2 1 in
+  Shard.mkdir sh d0;
+  Shard.mkdir sh d1;
+  (* directory rename across regions: EXDEV (two crash domains) *)
+  Shard.mkdir sh (d0 ^ "/sub");
+  expect_err EXDEV (fun () -> Shard.rename sh (d0 ^ "/sub") (d1 ^ "/sub"));
+  (* file rename across regions: copy + unlink, content and mode kept *)
+  let p0 = d0 ^ "/m" and p1 = d1 ^ "/m2" in
+  let fd = Shard.openf sh (Types.creat Types.rdwr) p0 in
+  ignore (Shard.pwrite sh fd ~pos:0 (Bytes.make 300 'z'));
+  Shard.close sh fd;
+  Shard.chmod sh p0 0o600;
+  Shard.rename sh p0 p1;
+  Alcotest.(check bool) "source gone" false (Shard.exists sh p0);
+  let st = Shard.stat sh p1 in
+  Alcotest.(check int) "size survived the copy" 300 st.Types.size;
+  Alcotest.(check int) "mode survived the copy" 0o600 st.Types.perm;
+  let fd = Shard.openf sh Types.rdonly p1 in
+  let got = Shard.pread sh fd ~pos:0 ~len:300 in
+  Shard.close sh fd;
+  check_span "content" got ~pos:0 ~len:300 'z';
+  (* a symlink moves across regions by re-creation *)
+  Shard.symlink sh ~target:"m2" (d1 ^ "/sl");
+  Shard.rename sh (d1 ^ "/sl") (d0 ^ "/sl");
+  Alcotest.(check string) "symlink target kept" "m2"
+    (Shard.readlink sh (d0 ^ "/sl"));
+  (* hardlinks cannot span regions; within one region they work *)
+  expect_err EXDEV (fun () -> Shard.hardlink sh ~existing:p1 (d0 ^ "/ln"));
+  Shard.hardlink sh ~existing:p1 (d1 ^ "/ln");
+  (* same-region rename stays the native atomic path *)
+  Shard.rename sh (d1 ^ "/ln") (d1 ^ "/ln2");
+  Alcotest.(check bool) "renamed in place" true (Shard.exists sh (d1 ^ "/ln2"))
+
+let test_shard_remount () =
+  let sh = Shard.mkfs ~regions:2 ~euid:0 (16 * 1024 * 1024) in
+  let d1 = shard_dir ~regions:2 1 in
+  Shard.mkdir sh d1;
+  let fd = Shard.openf sh (Types.creat Types.rdwr) (d1 ^ "/f") in
+  ignore (Shard.pwrite sh fd ~pos:0 (Bytes.of_string "persisted"));
+  Shard.close sh fd;
+  Shard.unmount sh;
+  let rs = Shard.regions sh in
+  Array.iter Fs.invalidate_shared rs;
+  let sh2 = Shard.mount ~euid:0 rs in
+  let fd = Shard.openf sh2 Types.rdonly (d1 ^ "/f") in
+  let got = Shard.pread sh2 fd ~pos:0 ~len:9 in
+  Shard.close sh2 fd;
+  Alcotest.(check string) "content after remount" "persisted"
+    (Bytes.to_string got);
+  (* a permuted region array is caught by the superblock shard index *)
+  Array.iter Fs.invalidate_shared rs;
+  match Shard.mount ~euid:0 [| rs.(1); rs.(0) |] with
+  | _ -> Alcotest.fail "expected invalid_arg on permuted regions"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "fs"
     [
@@ -690,6 +850,20 @@ let () =
           Alcotest.test_case "rename churn" `Quick test_ring_rename_churn;
         ] );
       ("posix-range", Posix_range.suite);
+      ( "overflow",
+        [
+          Alcotest.test_case "EINVAL on pos/len overflow (all FSes)" `Quick
+            test_overflow_einval;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "routing, root merge, statfs" `Quick
+            test_shard_namespace;
+          Alcotest.test_case "cross-region rename semantics" `Quick
+            test_shard_cross_region_rename;
+          Alcotest.test_case "remount + permutation guard" `Quick
+            test_shard_remount;
+        ] );
       ( "range",
         [
           Alcotest.test_case "pwrite hole zero (default)" `Quick

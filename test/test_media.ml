@@ -171,6 +171,58 @@ let test_media_error_in_root_chain () =
   Alcotest.(check (list string)) "checker clean after splice" []
     (List.map Check.violation_to_string (Check.run region))
 
+(* Satellite of the fault plane: the free-space accounting must survive
+   poison.  Freeing a file whose data sits on a poisoned line must
+   withhold the poisoned block from the free lists (re-listing it would
+   hand a known-bad block to the next allocation), statfs must report it
+   as quarantined, and free + used + quarantined must keep partitioning
+   the capacity -- including after a full crash-recovery rebuild. *)
+let test_statfs_accounting_after_poisoned_free () =
+  let region, fs = fresh () in
+  Fs.mkdir fs "/d";
+  Fs.create_file fs "/d/f";
+  let fd = Fs.openf fs Types.wronly "/d/f" in
+  ignore (Fs.append fs fd (Bytes.make 4096 'x'));
+  Fs.close fs fd;
+  let st0 = Fs.statfs fs in
+  Alcotest.(check int) "clean media: nothing quarantined" 0
+    st0.Fs.quarantined_blocks;
+  let _, fe = Fs.resolve fs "/d/f" in
+  let inode = Fentry.target region fe in
+  let mapped = Fs.mapped_blocks fs inode in
+  let addr = first_extent fs "/d/f" in
+  Region.poison region addr 1;
+  (* the free path must skip the poisoned block (pre-fix it wrote the
+     free-list node straight into it, hitting the media error and
+     re-listing a known-bad block) *)
+  Fs.unlink fs "/d/f";
+  let st1 = Fs.statfs fs in
+  Alcotest.(check int) "one block quarantined" 1 st1.Fs.quarantined_blocks;
+  Alcotest.(check int) "freed all mapped blocks but the poisoned one"
+    (st0.Fs.free_blocks + mapped - 1)
+    st1.Fs.free_blocks;
+  Alcotest.(check int) "free + used + quarantined = capacity"
+    st1.Fs.total_blocks
+    (st1.Fs.free_blocks + st1.Fs.used_blocks + st1.Fs.quarantined_blocks);
+  (* crash: recovery rebuilds the free lists from the reachable tree and
+     must reach the same accounting *)
+  let fs2, _report = Recovery.mount_after_crash ~euid:0 region in
+  let st2 = Fs.statfs fs2 in
+  Alcotest.(check int) "still quarantined after recovery" 1
+    st2.Fs.quarantined_blocks;
+  Alcotest.(check int) "recovery rebuild agrees on free" st1.Fs.free_blocks
+    st2.Fs.free_blocks;
+  Alcotest.(check int) "partition holds after recovery" st2.Fs.total_blocks
+    (st2.Fs.free_blocks + st2.Fs.used_blocks + st2.Fs.quarantined_blocks);
+  (* the namespace is intact and the quarantined block stays withheld:
+     fresh traffic never lands on it *)
+  Fs.create_file fs2 "/d/g";
+  let fd = Fs.openf fs2 Types.wronly "/d/g" in
+  ignore (Fs.append fs2 fd (Bytes.make 4096 'y'));
+  Fs.close fs2 fd;
+  Alcotest.(check (list string)) "checker clean" []
+    (List.map Check.violation_to_string (Check.run region))
+
 let () =
   Alcotest.run "media"
     [
@@ -184,5 +236,7 @@ let () =
             test_quarantine_poisoned_subdir_block;
           Alcotest.test_case "media error in the root chain" `Quick
             test_media_error_in_root_chain;
+          Alcotest.test_case "statfs accounting after poisoned free" `Quick
+            test_statfs_accounting_after_poisoned_free;
         ] );
     ]

@@ -210,6 +210,57 @@ let test_collect_cache_counters () =
   Alcotest.(check bool) "rcache hits nonzero" true
     (Metrics.get run.Run.counters "rcache/hits" > 0.0)
 
+(* Named counter sources: a ~name'd registration claims its name for
+   the collector -- a second registration under the same name is the
+   two-live-regions shadowing bug and must raise, while anonymous
+   same-key sources keep the historical summing behavior. *)
+let test_collect_named_source_duplicate () =
+  Collect.install ();
+  Collect.note_source ~name:"dupA" (fun () -> [ ("dupA/x", 1.0) ]);
+  (match Collect.note_source ~name:"dupA" (fun () -> [ ("dupA/x", 5.0) ]) with
+  | () -> Alcotest.fail "expected Duplicate_source"
+  | exception Collect.Duplicate_source n ->
+      Alcotest.(check string) "offending name" "dupA" n);
+  (* a different name is fine, and anonymous sources never collide *)
+  Collect.note_source ~name:"dupB" (fun () -> [ ("dupB/x", 2.0) ]);
+  Collect.note_source (fun () -> [ ("anon/x", 3.0) ]);
+  Collect.note_source (fun () -> [ ("anon/x", 4.0) ]);
+  let run = Collect.drain () in
+  Alcotest.(check (float 1e-9)) "named kept" 1.0
+    (Metrics.get run.Run.counters "dupA/x");
+  Alcotest.(check (float 1e-9)) "second name kept" 2.0
+    (Metrics.get run.Run.counters "dupB/x");
+  Alcotest.(check (float 1e-9)) "anonymous sources sum" 7.0
+    (Metrics.get run.Run.counters "anon/x")
+
+(* Two live regions under one collector: named regions export disjoint
+   [<name>/...] counter families instead of silently merging into one
+   [region/...] stream. *)
+let test_collect_region_namespacing () =
+  Collect.install ();
+  let ra = Simurgh_nvmm.Region.create ~name:"regA" (1 lsl 20) in
+  let rb = Simurgh_nvmm.Region.create ~name:"regB" (1 lsl 20) in
+  Simurgh_nvmm.Region.write_u32 ra 0 7;
+  for _ = 1 to 3 do
+    ignore (Simurgh_nvmm.Region.read_u32 ra 0)
+  done;
+  ignore (Simurgh_nvmm.Region.read_u32 rb 0);
+  (* a second region under the same name is the shadowing bug *)
+  (match Simurgh_nvmm.Region.create ~name:"regA" (1 lsl 20) with
+  | _ -> Alcotest.fail "expected Duplicate_source"
+  | exception Collect.Duplicate_source n ->
+      Alcotest.(check string) "offending name" "regA" n);
+  let run = Collect.drain () in
+  Alcotest.(check (float 1e-9)) "regA loads" 3.0
+    (Metrics.get run.Run.counters "regA/loads");
+  Alcotest.(check (float 1e-9)) "regB loads" 1.0
+    (Metrics.get run.Run.counters "regB/loads");
+  Alcotest.(check (float 1e-9)) "regA stores" 1.0
+    (Metrics.get run.Run.counters "regA/stores");
+  (* nothing leaked into the legacy unprefixed family *)
+  Alcotest.(check (float 1e-9)) "no region/loads" 0.0
+    (Metrics.get run.Run.counters "region/loads")
+
 (* --- cli ----------------------------------------------------------------- *)
 
 let known = [ "fig7"; "fig9"; "tab1" ]
@@ -276,6 +327,10 @@ let () =
         [
           Alcotest.test_case "cache counters" `Quick
             test_collect_cache_counters;
+          Alcotest.test_case "named source duplicate" `Quick
+            test_collect_named_source_duplicate;
+          Alcotest.test_case "per-region namespacing" `Quick
+            test_collect_region_namespacing;
         ] );
       ( "cli",
         [

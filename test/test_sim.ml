@@ -409,6 +409,31 @@ let test_machine_charges_advance_clock () =
   Machine.fence ctx;
   Alcotest.(check bool) "clock moved" true (thr.Sthread.now > 5000.0)
 
+(* Virtual-time oracle for the shared drain/queue sequence behind both
+   Resource.serve and Resource.push_work: draining is clamped at zero,
+   out-of-order arrivals queue behind the backlog without draining, and
+   push_work is serve minus the completion wait -- identical debt and
+   busy accounting. *)
+let test_resource_drain_oracle () =
+  let r = Resource.create "oracle" in
+  check_float "idle serve pays own duration" 10.0
+    (Resource.serve r ~now:0.0 ~dur:10.0);
+  (* 5 cycles elapsed drain 5 of the 10 queued; 5 + (5 + 10) = 20 *)
+  check_float "partial drain then queue" 20.0
+    (Resource.serve r ~now:5.0 ~dur:10.0);
+  (* out-of-order arrival (now < last): no drain, queue behind debt *)
+  check_float "out-of-order queues behind backlog" 20.0
+    (Resource.serve r ~now:3.0 ~dur:2.0);
+  (* long idle gap: debt drains to zero, never negative *)
+  Resource.push_work r ~now:30.0 ~dur:4.0;
+  check_float "pending after push" 4.0 (Resource.pending r ~now:30.0);
+  check_float "pending drains over time" 2.0 (Resource.pending r ~now:32.0);
+  (* a zero-duration probe completes after the remaining backlog *)
+  check_float "probe sees push_work backlog" 34.0
+    (Resource.serve r ~now:32.0 ~dur:0.0);
+  (* busy counts service cycles of both serve and push_work *)
+  check_float "busy cycles" 26.0 (Resource.busy_cycles r)
+
 let test_cost_model_consistency () =
   let cm = Cost_model.default in
   check_float "surcharge" 46.0 (Cost_model.protection_surcharge cm);
@@ -549,6 +574,8 @@ let () =
           Alcotest.test_case "charges advance clock" `Quick
             test_machine_charges_advance_clock;
           Alcotest.test_case "cost model" `Quick test_cost_model_consistency;
+          Alcotest.test_case "resource drain oracle" `Quick
+            test_resource_drain_oracle;
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
       ( "stats",
