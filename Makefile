@@ -1,4 +1,4 @@
-.PHONY: all build test check bench data numa fsck races clean
+.PHONY: all build test check bench data numa secure figs-gate fsck races clean
 
 all: build
 
@@ -17,11 +17,13 @@ test: build
 # BENCH_scale.json with the 7d log-ring curve), the data-path scaling +
 # open-loop experiment (writes BENCH_data.json), the parallel
 # mark-and-sweep recovery figure (writes BENCH_recovery.json) and the
-# multi-region NUMA bandwidth figure (writes BENCH_numa.json), plus the
-# schedule-exploration / race-detection and offline-fsck self-checks
-# (both of which now also gate parallel recovery).
-check: test races fsck
-	dune exec bench/main.exe -- --scale 0.05 region crash scale data recovery numa
+# multi-region NUMA bandwidth figure (writes BENCH_numa.json) and the
+# security-plane overhead sweep with its <=15% protected-path gate
+# (writes BENCH_secure.json), plus the schedule-exploration /
+# race-detection and offline-fsck self-checks (both of which now also
+# gate parallel recovery) and the published-figure digest gate.
+check: test races fsck figs-gate
+	dune exec bench/main.exe -- --scale 0.05 region crash scale data recovery numa secure
 
 # Data-path scaling: whole-file lock vs byte-range locking on one shared
 # file, plus open-loop tail latency (writes BENCH_data.json).
@@ -32,6 +34,21 @@ data: build
 # cross-socket latency surcharge (writes BENCH_numa.json).
 numa: build
 	dune exec bench/main.exe -- numa
+
+# Security plane: plain vs protected entry vs full per-user enforcement
+# across FxMark at 1-40 threads, with the <=15% overhead gate on 7a
+# (writes BENCH_secure.json).
+secure: build
+	dune exec bench/main.exe -- secure
+
+# The security plane must not move a single byte of the published
+# figures when the permission flag is off: the deterministic
+# virtual-time outputs of fig7a/e/f, fig9, fig10 and tab1 are hashed
+# and compared against the committed digest (FIGS.sha256).
+figs-gate: build
+	dune exec bench/main.exe -- --scale 0.05 fig7a fig7e fig7f fig9 fig10 tab1 \
+	  | sha256sum | cut -d' ' -f1 | diff FIGS.sha256 - \
+	  || (echo "figs-gate: published figures diverged from FIGS.sha256" && exit 1)
 
 # Offline fsck-style self-check: the checker must pass a correctly
 # recovered crash image (legacy and log-ring media) and flag both

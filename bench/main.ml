@@ -48,6 +48,9 @@ let experiments : (string * string * (scale:float -> unit)) list =
     ("numa",
      "multi-region NVMM: bandwidth scaling + cross-socket surcharge (JSON)",
      Exp_numa.run);
+    ("secure",
+     "security plane: plain vs protected entry vs full enforcement (JSON)",
+     Exp_secure.run);
   ]
 
 let is_fig7_sub id =

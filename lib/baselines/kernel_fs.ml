@@ -220,8 +220,12 @@ let lookup_child ?ctx t parent comp =
             (t.profile.Profile.lookup_reads (Hashtbl.length parent.children));
           None)
 
+(* the Linux VFS follows up to 40 chained symlinks before ELOOP; the
+   kernel baselines share that limit with Simurgh's resolver *)
+let max_symlink_depth = 40
+
 let rec resolve_parent ?ctx ?(depth = 0) t path =
-  if depth > 8 then Errno.raise_ ELOOP path;
+  if depth > max_symlink_depth then Errno.raise_ ELOOP path;
   let parents, final = Path.split_parent path in
   let rec walk stack node = function
     | [] -> (node, final)
@@ -244,7 +248,7 @@ let rec resolve_parent ?ctx ?(depth = 0) t path =
   walk [] t.root parents
 
 let rec resolve ?ctx ?(follow = true) ?(depth = 0) t path =
-  if depth > 8 then Errno.raise_ ELOOP path;
+  if depth > max_symlink_depth then Errno.raise_ ELOOP path;
   if Path.split path = [] then t.root
   else begin
     let parent, final = resolve_parent ?ctx t path in
@@ -527,6 +531,7 @@ let pread ?ctx t fd ~pos ~len =
   if pos > max_int - len then
     Errno.raise_ EINVAL (Printf.sprintf "pread pos %d + len %d overflow" pos len);
   let e = fd_entry t fd in
+  if not e.flags.Types.read then Errno.raise_ EBADF "write-only fd";
   let n = e.node in
   with_read_sem ?ctx n (fun () ->
       let len = max 0 (min len (n.size - pos)) in
@@ -557,6 +562,7 @@ let pwrite ?ctx t fd ~pos src =
   if pos > max_int - Bytes.length src then
     Errno.raise_ EINVAL (Printf.sprintf "pwrite pos %d + len overflow" pos);
   let e = fd_entry t fd in
+  if not e.flags.Types.write then Errno.raise_ EBADF "read-only fd";
   with_write_sem ?ctx e.node (fun () ->
       (* in-place overwrites skip allocation; extension allocates *)
       journal_op ?ctx t (fun () -> ());
@@ -565,6 +571,7 @@ let pwrite ?ctx t fd ~pos src =
 let append ?ctx t fd src =
   data_entry ?ctx t;
   let e = fd_entry t fd in
+  if not e.flags.Types.write then Errno.raise_ EBADF "read-only fd";
   let n = e.node in
   with_write_sem ?ctx n (fun () ->
       if t.profile.Profile.staged_appends > 0 then begin
@@ -594,6 +601,7 @@ let append ?ctx t fd src =
 let fallocate ?ctx t fd ~len =
   syscall ?ctx t;
   let e = fd_entry t fd in
+  if not e.flags.Types.write then Errno.raise_ EBADF "read-only fd";
   let n = e.node in
   with_write_sem ?ctx n (fun () ->
       let new_blocks = max 0 (((len + 4095) / 4096) - ((n.size + 4095) / 4096)) in

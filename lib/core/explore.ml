@@ -53,6 +53,10 @@ let point_label = function
    so recovery and post-crash traffic run through the striped paths. *)
 let fresh_mount ?(range = false) ~scaled region =
   Fs.invalidate_shared region;
+  (* a dead process's page-table mappings die with it: if the crashed
+     mount had guarded the region (secure mode), the new process starts
+     unguarded until it installs its own protection *)
+  Region.clear_guard region;
   Fs.mount ~euid:0 ~striped_locks:scaled ~rcache:scaled ~alloc_caches:scaled
     ~range_locks:range region
 
@@ -60,11 +64,11 @@ let default_size = 4 lsl 20
 
 let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
     ?(size = default_size) ?(scaled = false) ?(range = false) ?(ring = 0)
-    ?verify ~setup ~op () =
+    ?(secure = false) ?verify ~setup ~op () =
   let region = Region.create ~mode:Region.Strict size in
   let fs0 =
     Fs.mkfs ~cores:2 ~euid:0 ~striped_locks:scaled ~rcache:scaled
-      ~alloc_caches:scaled ~range_locks:range ~log_ring:ring region
+      ~alloc_caches:scaled ~range_locks:range ~log_ring:ring ~secure region
   in
   setup fs0;
   (* the operation's own writes must be the only unpersisted lines at
@@ -127,6 +131,7 @@ let run ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
         Region.restore region cp_crash;
         Region.crash_image region ~keep:keep_of;
         Fs.invalidate_shared region;
+        Region.clear_guard region;
         (match Recovery.run region with
         | _layout, _report -> (
             match Check.run region with
@@ -313,7 +318,8 @@ let run_multi ?(seed = 7L) ?(max_exhaustive = 10) ?(samples = 64)
         Array.iteri
           (fun i r ->
             Region.crash_image r ~keep:(fun ln -> keep_of (i, ln));
-            Fs.invalidate_shared r)
+            Fs.invalidate_shared r;
+            Region.clear_guard r)
           rs;
         match Recovery.run_all rs with
         | _ -> (
@@ -514,6 +520,7 @@ let run_reentrant ?(seed = 11L) ?(max_exhaustive = 8) ?(samples = 12)
               if passes > 4 then Error "no media fixpoint after 4 passes"
               else begin
                 Fs.invalidate_shared region;
+                Region.clear_guard region;
                 ignore (Recovery.run region);
                 Region.persist_all region;
                 let d = Region.media_digest region in

@@ -9,15 +9,24 @@
       +48  target   pptr u62        (inode; for dirs: also dir block head)
       +56  dirblock pptr u62        (directories: first hash block)
       +64  longname pptr u62        (spill block for names > 46 bytes)
-      +72  end
+      +72  end                      (legacy media)
+      +72  owner    u62             (secure media only: uid/gid/mode word)
+      +80  end                      (secure media)
     v}
 
     Directories carry both their inode (ownership, permissions, times)
-    and the head of their hash-block chain. *)
+    and the head of their hash-block chain.
+
+    Volumes formatted with the security plane enabled ([Layout.format
+    ~secure:true]) widen the payload by one word: a packed owner/mode
+    word ([uid:24 | gid:24 | mode:12], bits 60..0 of a u62) checked by
+    the protected entry points on every lookup without touching the
+    inode line.  Legacy media keeps the 72-byte payload bit-identical. *)
 
 open Simurgh_nvmm
 
 let payload_size = 72
+let secure_payload_size = 80
 let inline_name_max = 46
 let name_max = 255
 
@@ -33,6 +42,7 @@ let f_name e = e + 2
 let f_target e = e + 48
 let f_dirblock e = e + 56
 let f_longname e = e + 64
+let f_owner e = e + 72 (* secure media only *)
 
 let flags r e = Region.read_u8 r (f_flags e)
 let is_dir r e = flags r e land fl_dir <> 0
@@ -85,6 +95,29 @@ let init r e ~name:n ~dir ~symlink ~target:tgt ~alloc_spill =
   Region.write_u62 r (f_target e) tgt;
   Region.write_u62 r (f_dirblock e) 0;
   Region.persist r e payload_size
+
+(* --- owner/mode word (secure media only) ----------------------------- *)
+
+(** Pack uid/gid/mode into the +72 owner word: [uid:24 | gid:24 | mode:12]
+    (fits the 62-bit persistent word).  Only meaningful on volumes
+    formatted with [~secure:true]; legacy 72-byte payloads have no room
+    for it and must never call these. *)
+let pack_owner ~uid ~gid ~perm =
+  ((uid land 0xffffff) lsl 36) lor ((gid land 0xffffff) lsl 12)
+  lor (perm land 0xfff)
+
+let set_owner r e ~uid ~gid ~perm =
+  Region.write_u62 r (f_owner e) (pack_owner ~uid ~gid ~perm);
+  Region.persist r (f_owner e) 8
+
+(** [(uid, gid, mode)] from the owner word. *)
+let owner r e =
+  let w = Region.read_u62 r (f_owner e) in
+  ((w lsr 36) land 0xffffff, (w lsr 12) land 0xffffff, w land 0xfff)
+
+let copy_owner r ~src ~dst =
+  Region.write_u62 r (f_owner dst) (Region.read_u62 r (f_owner src));
+  Region.persist r (f_owner dst) 8
 
 (** Compare without allocating for the common inline case. *)
 let name_equals r e n =

@@ -9,11 +9,72 @@
 
 open Simurgh_nvmm
 open Simurgh_fs_common
+module Hw = Simurgh_hw
 
 type call_mode =
   | Protected  (** entry via jmpp/pret (the paper's +46-cycle surcharge) *)
   | Syscall  (** counterfactual: same FS behind a kernel trap (ablation) *)
   | Plain  (** no entry charge (trusted mode without the kernel module) *)
+
+(** File-system statistics (statfs): capacity and usage of the block
+    space and the metadata object pools. *)
+type fsstat = {
+  block_size : int;
+  total_blocks : int;
+  free_blocks : int;
+  used_blocks : int;
+      (** blocks neither free-listed nor quarantined: in use by live
+          metadata and data (derived, so the three always partition
+          [total_blocks]) *)
+  quarantined_blocks : int;
+      (** blocks withheld from recycling because an uncorrectable media
+          error sits under them — never free, never allocatable *)
+  live_inodes : int;
+  live_fentries : int;
+}
+
+(* The per-mount protected universe (paper Fig. 2): every public FS
+   operation has its own entry slot, grouped four-to-a-page (the
+   hardware's fixed 1 KiB entry offsets), registered at mount time and
+   sealed before the first operation.  Each gate runs the real
+   jmpp_check / CPL-switch / pret state machine on this mount's CPU and
+   hands the operation body the [privileged] witness that the internal
+   mutation paths demand — so unprotected mutation is statically
+   unreachable (the witness type has no other constructor).  The gates
+   are typed continuations: [g_op k] enters protected mode and applies
+   [k] to the witness. *)
+type penv = {
+  pcpu : Hw.Cpu.t;
+  puniv : Hw.Protected.t;
+  (* page 0: namespace creation/removal *)
+  g_create : (Hw.Protected.privileged -> unit) -> unit;
+  g_mkdir : (Hw.Protected.privileged -> unit) -> unit;
+  g_unlink : (Hw.Protected.privileged -> unit) -> unit;
+  g_rmdir : (Hw.Protected.privileged -> unit) -> unit;
+  (* page 1: links and rename *)
+  g_rename : (Hw.Protected.privileged -> unit) -> unit;
+  g_symlink : (Hw.Protected.privileged -> unit) -> unit;
+  g_hardlink : (Hw.Protected.privileged -> unit) -> unit;
+  g_readlink : (Hw.Protected.privileged -> string) -> string;
+  (* page 2: file descriptors *)
+  g_open : (Hw.Protected.privileged -> int) -> int;
+  g_close : (Hw.Protected.privileged -> unit) -> unit;
+  g_pread : (Hw.Protected.privileged -> bytes) -> bytes;
+  g_pwrite : (Hw.Protected.privileged -> int) -> int;
+  (* page 3: data path *)
+  g_append : (Hw.Protected.privileged -> int) -> int;
+  g_fallocate : (Hw.Protected.privileged -> unit) -> unit;
+  g_fsync : (Hw.Protected.privileged -> unit) -> unit;
+  g_truncate : (Hw.Protected.privileged -> unit) -> unit;
+  (* page 4: attributes *)
+  g_stat : (Hw.Protected.privileged -> Types.stat) -> Types.stat;
+  g_exists : (Hw.Protected.privileged -> bool) -> bool;
+  g_readdir : (Hw.Protected.privileged -> string list) -> string list;
+  g_chmod : (Hw.Protected.privileged -> unit) -> unit;
+  (* page 5: administrative *)
+  g_utimes : (Hw.Protected.privileged -> unit) -> unit;
+  g_statfs : (Hw.Protected.privileged -> fsstat) -> fsstat;
+}
 
 type t = {
   layout : Layout.t;
@@ -47,6 +108,14 @@ type t = {
   mutable logical_time : int;
   mutable eio_returns : int;
       (** operations that returned [EIO] after hitting a poisoned line *)
+  secure : bool;
+      (** the volume was formatted with the security plane: file entries
+          carry the packed owner/mode word and the protected entry
+          points enforce per-user permissions against it *)
+  quota : Quota.t;
+      (** per-uid block quotas (region-shared volatile state; disabled —
+          zero cost — until the first limit is installed) *)
+  penv : penv;  (** this mount's protected entry points (one process) *)
 }
 
 type fd = int
@@ -94,22 +163,64 @@ let make_root layout =
   in
   Fentry.init region fentry ~name:"/" ~dir:true ~symlink:false ~target:inode
     ~alloc_spill:(fun _ -> assert false);
+  if layout.Layout.secure then
+    Fentry.set_owner region fentry ~uid:0 ~gid:0 ~perm:root_perm;
   Fentry.set_dirblock region fentry dirblock;
   Simurgh_alloc.Slab_alloc.commit layout.Layout.inode_slab inode;
   Simurgh_alloc.Slab_alloc.commit layout.Layout.fentry_slab fentry;
   Layout.set_root_fentry layout fentry
+
+(* Per-mount bootstrap of the protected universe (Fig. 2 steps 3-5): one
+   CPU context per "process", the kernel module maps the entry pages (4
+   slots each) and the protected stacks, registration happens here and
+   nowhere else — the universe is sealed before the mount is returned. *)
+let bootstrap_penv ~euid ~egid =
+  let cpu = Hw.Cpu.create () in
+  let univ = Hw.Protected.bootstrap cpu ~euid ~egid in
+  let gate name = Hw.Protected.register univ ~name (fun w k -> k w) in
+  let penv =
+    {
+      pcpu = cpu;
+      puniv = univ;
+      g_create = gate "simurgh_create";
+      g_mkdir = gate "simurgh_mkdir";
+      g_unlink = gate "simurgh_unlink";
+      g_rmdir = gate "simurgh_rmdir";
+      g_rename = gate "simurgh_rename";
+      g_symlink = gate "simurgh_symlink";
+      g_hardlink = gate "simurgh_hardlink";
+      g_readlink = gate "simurgh_readlink";
+      g_open = gate "simurgh_open";
+      g_close = gate "simurgh_close";
+      g_pread = gate "simurgh_read";
+      g_pwrite = gate "simurgh_write";
+      g_append = gate "simurgh_append";
+      g_fallocate = gate "simurgh_fallocate";
+      g_fsync = gate "simurgh_fsync";
+      g_truncate = gate "simurgh_truncate";
+      g_stat = gate "simurgh_stat";
+      g_exists = gate "simurgh_exists";
+      g_readdir = gate "simurgh_readdir";
+      g_chmod = gate "simurgh_chmod";
+      g_utimes = gate "simurgh_utimes";
+      g_statfs = gate "simurgh_statfs";
+    }
+  in
+  Hw.Protected.seal univ;
+  penv
 
 let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
     ?(coarse_dir_locks = false) ?(striped_locks = false) ?(rcache = false)
     ?(range_locks = false) ?shared ?(euid = 1000) ?(egid = 1000) layout =
   (* [shared] joins an existing mount's shared-DRAM state; otherwise the
      requested feature flags shape a fresh registry/cache *)
-  let locks, rc =
+  let locks, rc, quota =
     match shared with
-    | Some (locks, rc) -> (locks, rc)
+    | Some (locks, rc, quota) -> (locks, rc, quota)
     | None ->
         ( Locks.create ~striped:striped_locks (),
-          if rcache then Some (Rcache.create ()) else None )
+          (if rcache then Some (Rcache.create ()) else None),
+          Quota.create () )
   in
   let fs =
     {
@@ -128,6 +239,9 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
       crash_hook = ignore;
       logical_time = 0;
       eio_returns = 0;
+      secure = layout.Layout.secure;
+      quota;
+      penv = bootstrap_penv ~euid ~egid;
     }
   in
   (* lock-registry sizes and allocator counters join the experiment's
@@ -179,15 +293,16 @@ let of_layout ?(call_mode = Protected) ?(relaxed_writes = false)
    the lock registry, otherwise two "processes" would hand out the same
    metadata objects.  The state lives in the region's user slot, so its
    lifetime is exactly the region's (no global registry to leak). *)
-exception Shared_state of Layout.t * Locks.t * Rcache.t option
+exception Shared_state of Layout.t * Locks.t * Rcache.t option * Quota.t
 
 let lookup_shared region =
   match Region.user_slot region with
-  | Some (Shared_state (layout, locks, rc)) -> Some (layout, locks, rc)
+  | Some (Shared_state (layout, locks, rc, quota)) ->
+      Some (layout, locks, rc, quota)
   | Some _ | None -> None
 
-let register_shared region layout locks rcache =
-  Region.set_user_slot region (Some (Shared_state (layout, locks, rcache)))
+let register_shared region layout locks rcache quota =
+  Region.set_user_slot region (Some (Shared_state (layout, locks, rcache, quota)))
 
 (* [alloc_caches] turns on the allocators' per-thread structures; they
    hang off the (shared) layout, so one enable covers every mount. *)
@@ -201,15 +316,15 @@ let enable_alloc_caches layout =
     single per-directory log slot, on-media bit-identical). *)
 let mkfs ?(cores = 10) ?segments ?call_mode ?relaxed_writes ?coarse_dir_locks
     ?striped_locks ?rcache ?range_locks ?(alloc_caches = false) ?log_ring
-    ?shard ?euid ?egid region =
-  let layout = Layout.format ?segments ?log_ring ?shard region ~cores in
+    ?shard ?secure ?euid ?egid region =
+  let layout = Layout.format ?segments ?log_ring ?shard ?secure region ~cores in
   make_root layout;
   let fs =
     of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks
       ?rcache ?range_locks ?euid ?egid layout
   in
   if alloc_caches then enable_alloc_caches layout;
-  register_shared region layout fs.locks fs.rcache;
+  register_shared region layout fs.locks fs.rcache fs.quota;
   (* the FS is live from here: only a clean [unmount] sets the flag
      back, so a crash leaves it clear and forces full recovery *)
   Layout.set_clean_shutdown layout false;
@@ -223,13 +338,13 @@ let mkfs ?(cores = 10) ?segments ?call_mode ?relaxed_writes ?coarse_dir_locks
 let mount ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks ?rcache
     ?range_locks ?(alloc_caches = false) ?euid ?egid region =
   match lookup_shared region with
-  | Some (layout, locks, rc) ->
+  | Some (layout, locks, rc, quota) ->
       (* joining mounts inherit the shared structures; the feature flags
          of the first mount win — except [range_locks], which selects a
          locking *protocol* and must agree across every mount of the
          region (the reservation words live in the shared registry) *)
       of_layout ?call_mode ?relaxed_writes ?coarse_dir_locks ?range_locks
-        ~shared:(locks, rc) ?euid ?egid layout
+        ~shared:(locks, rc, quota) ?euid ?egid layout
   | None ->
       let layout = Layout.attach region in
       let fs =
@@ -237,7 +352,7 @@ let mount ?call_mode ?relaxed_writes ?coarse_dir_locks ?striped_locks ?rcache
           ?rcache ?range_locks ?euid ?egid layout
       in
       if alloc_caches then enable_alloc_caches layout;
-      register_shared region layout fs.locks fs.rcache;
+      register_shared region layout fs.locks fs.rcache fs.quota;
       Layout.set_clean_shutdown layout false;
       fs
 
@@ -252,10 +367,46 @@ let layout t = t.layout
 let locks t = t.locks
 let locks_of t = t.locks
 let rcache_of t = t.rcache
+let quota_of t = t.quota
 let set_crash_hook t f = t.crash_hook <- f
 let set_creds t ~euid ~egid =
   t.euid <- euid;
   t.egid <- egid
+
+let is_secure t = t.secure
+let protected_cpu t = t.penv.pcpu
+let protected_universe t = t.penv.puniv
+
+(* --- per-uid block quotas ----------------------------------------------- *)
+
+(** Install (or with [blocks < 0] remove) a per-uid block limit.  The
+    quota table is region-shared volatile state: limits installed through
+    any mount bind every tenant of the region.  Accounting starts with
+    the first limit, so install limits at mount time for exact counts. *)
+let set_quota t ~uid ~blocks = Quota.set_limit t.quota ~uid ~blocks
+
+let quota_used t ~uid = Quota.used t.quota ~uid
+let quota_limit t ~uid = Quota.limit t.quota ~uid
+
+(* Charge [blocks] to [uid], failing with EDQUOT before any allocation
+   happens.  One uncontended atomic models the DRAM fetch-and-add; when
+   no limit was ever installed this is a single branch and charges
+   nothing, so legacy runs are bit-identical. *)
+let quota_charge ?ctx t ~uid blocks =
+  if Quota.enabled t.quota && blocks > 0 then begin
+    Charge.atomic ?ctx ~contended:false ();
+    if not (Quota.charge t.quota ~uid ~blocks) then
+      Errno.raise_ EDQUOT
+        (Printf.sprintf "uid %d: %d blocks over limit %d" uid
+           (Quota.used t.quota ~uid + blocks)
+           (Quota.limit t.quota ~uid))
+  end
+
+let quota_release t ~uid blocks = Quota.release t.quota ~uid ~blocks
+
+(* The uid owning blocks charged on behalf of [inode]. *)
+let quota_uid_of_inode t inode =
+  if Quota.enabled t.quota then Some (Inode.uid t.region inode) else None
 
 (* --- charging ----------------------------------------------------------- *)
 
@@ -277,7 +428,12 @@ let entry_charge ?ctx t =
   let cm = cmodel ctx in
   let cycles =
     match t.call_mode with
-    | Protected -> cm.Simurgh_sim.Cost_model.jmpp_pret_cycles
+    | Protected ->
+        (* the measured 70-cycle jmpp+pret figure includes the stack
+           switch; [protected_stack_cycles] defaults to 0 and exists to
+           ablate the relocation separately *)
+        cm.Simurgh_sim.Cost_model.jmpp_pret_cycles
+        +. cm.Simurgh_sim.Cost_model.protected_stack_cycles
     | Syscall ->
         cm.Simurgh_sim.Cost_model.syscall_cycles
         +. cm.Simurgh_sim.Cost_model.vfs_dispatch_cycles
@@ -312,41 +468,87 @@ let block_size t = Simurgh_alloc.Block_alloc.block_size t.layout.Layout.balloc
 (* Directory hash blocks come straight from the block allocator so chain
    blocks can grow geometrically (see Dirblock).  Only a directory's
    *first* block carries the log ring; chain-growth blocks stay plain. *)
-let alloc_dirblock ?ctx ?(ring = 0) t ~rows =
+(* [owner]: uid to charge the blocks to when quotas are active (the
+   directory's owner for chain blocks, the file's owner for spills). *)
+let alloc_dirblock ?ctx ?(ring = 0) ?owner t ~rows =
   let bs = block_size t in
   let blocks = (Dirblock.size_for_rows ~ring rows + bs - 1) / bs in
+  (match owner with Some uid -> quota_charge ?ctx t ~uid blocks | None -> ());
   match Simurgh_alloc.Block_alloc.alloc ?ctx t.layout.Layout.balloc blocks with
   | Some b ->
       Dirblock.init t.region b ~rows ~ring ();
       b
-  | None -> Errno.raise_ ENOSPC "out of blocks for directory"
+  | None ->
+      (match owner with Some uid -> quota_release t ~uid blocks | None -> ());
+      Errno.raise_ ENOSPC "out of blocks for directory"
 
-let free_dirblock ?ctx t b =
+let free_dirblock ?ctx ?owner t b =
   let bs = block_size t in
   let blocks = (Dirblock.size_of t.region b + bs - 1) / bs in
+  (match owner with Some uid -> quota_release t ~uid blocks | None -> ());
   Simurgh_alloc.Block_alloc.free ?ctx t.layout.Layout.balloc ~addr:b blocks
 
-let alloc_spill ?ctx t bytes =
+let alloc_spill ?ctx ?owner t bytes =
   let blocks = (bytes + block_size t - 1) / block_size t in
+  (match owner with Some uid -> quota_charge ?ctx t ~uid blocks | None -> ());
   match Simurgh_alloc.Block_alloc.alloc ?ctx t.layout.Layout.balloc blocks with
   | Some a -> a
-  | None -> Errno.raise_ ENOSPC "out of blocks for long name"
+  | None ->
+      (match owner with Some uid -> quota_release t ~uid blocks | None -> ());
+      Errno.raise_ ENOSPC "out of blocks for long name"
 
 (* --- permission checks --------------------------------------------------- *)
 
-let check_perm ?ctx:_ t inode ~want =
+(* The credentials an operation runs with: a thread that declared its own
+   identity (multi-tenant scenarios set [Sthread.set_creds]) wins over
+   the mount's process-wide credentials. *)
+let creds ?ctx t =
+  match ctx with
+  | Some c ->
+      let thr = c.Simurgh_sim.Machine.thr in
+      if thr.Simurgh_sim.Sthread.euid >= 0 then
+        (thr.Simurgh_sim.Sthread.euid, thr.Simurgh_sim.Sthread.egid)
+      else (t.euid, t.egid)
+  | None -> (t.euid, t.egid)
+
+let deny ~want ~bits euid =
+  Errno.raise_ EACCES
+    (Printf.sprintf "need %o, have %o (euid=%d)" want bits euid)
+
+let check_perm ?ctx t inode ~want =
   (* want: 4 read, 2 write, 1 execute/traverse *)
-  if t.euid <> 0 then begin
+  let euid, egid = creds ?ctx t in
+  if euid <> 0 then begin
     let m = Inode.mode t.region inode land Inode.perm_mask in
     let bits =
-      if Inode.uid t.region inode = t.euid then (m lsr 6) land 7
-      else if Inode.gid t.region inode = t.egid then (m lsr 3) land 7
+      if Inode.uid t.region inode = euid then (m lsr 6) land 7
+      else if Inode.gid t.region inode = egid then (m lsr 3) land 7
       else m land 7
     in
-    if bits land want <> want then
-      Errno.raise_ EACCES
-        (Printf.sprintf "need %o, have %o (euid=%d)" want bits t.euid)
+    if bits land want <> want then deny ~want ~bits euid
   end
+
+(* Fentry-based permission check: on secure media the packed owner/mode
+   word sits in the file entry the lookup just read, so the protected
+   entry point checks it without touching the inode line (one cached
+   word compare, charged as [perm_check_cycles]).  Legacy media falls
+   back to the inode-based check above with no extra charge — the
+   published figures are unchanged. *)
+let check_perm_fe ?ctx t fe ~want =
+  if t.secure then begin
+    let euid, egid = creds ?ctx t in
+    if euid <> 0 then begin
+      Charge.cpu ?ctx (cmodel ctx).Simurgh_sim.Cost_model.perm_check_cycles;
+      let uid, gid, m = Fentry.owner t.region fe in
+      let bits =
+        if uid = euid then (m lsr 6) land 7
+        else if gid = egid then (m lsr 3) land 7
+        else m land 7
+      in
+      if bits land want <> want then deny ~want ~bits euid
+    end
+  end
+  else check_perm ?ctx t (Fentry.target t.region fe) ~want
 
 (* --- path resolution ----------------------------------------------------- *)
 
@@ -357,6 +559,17 @@ type dirref = { dfentry : int; dhead : int }
 let root_dirref t =
   let fe = Layout.root_fentry t.layout in
   { dfentry = fe; dhead = Fentry.dirblock t.region fe }
+
+(* Owner uid of a directory, for quota-charging its chain/spill blocks;
+   [None] when quotas were never enabled (the common case, zero cost). *)
+let dir_quota_uid t (d : dirref) =
+  if Quota.enabled t.quota then
+    Some
+      (if t.secure then
+         let uid, _, _ = Fentry.owner t.region d.dfentry in
+         uid
+       else Inode.uid t.region (Fentry.target t.region d.dfentry))
+  else None
 
 let dir_lookup ?ctx t (d : dirref) comp =
   let found, hops = Dirblock.find t.region ~head:d.dhead ~name:comp in
@@ -386,7 +599,10 @@ let dir_lookup_fe ?ctx t (d : dirref) comp =
               Rcache.insert rc ~dir:d.dhead comp fe;
               Some fe))
 
-let max_symlink_depth = 8
+(* Linux resolves up to 40 chained symlinks before ELOOP (the historical
+   8 matched only POSIX's SYMLOOP_MAX floor and rejected chains real
+   applications produce). *)
+let max_symlink_depth = 40
 
 (* Resolve the parent directory of [path]; returns the dirref and the
    final component name.  Follows symlinks in intermediate components. *)
@@ -400,7 +616,7 @@ let rec resolve_parent ?ctx ?(depth = 0) t path =
         | parent :: up -> walk up parent rest
         | [] -> walk [] d rest (* root/.. = root *))
     | comp :: rest -> (
-        check_perm t (Fentry.target t.region d.dfentry) ~want:1;
+        check_perm_fe ?ctx t d.dfentry ~want:1;
         match dir_lookup_fe ?ctx t d comp with
         | None -> Errno.raise_ ENOENT path
         | Some fe ->
@@ -440,7 +656,7 @@ let rec resolve ?ctx ?(follow = true) ?(depth = 0) t path =
     (root_dirref t, Layout.root_fentry t.layout)
   else begin
     let d, final = resolve_parent ?ctx t path in
-    check_perm t (Fentry.target t.region d.dfentry) ~want:1;
+    check_perm_fe ?ctx t d.dfentry ~want:1;
     match dir_lookup_fe ?ctx t d final with
     | None -> Errno.raise_ ENOENT path
     | Some fe ->
@@ -546,7 +762,7 @@ let chain_guard ?ctx t dir f =
    the write lets rename reserve its destination slot ahead of the log
    window, so the directory-global log lock covers only the short
    persistent rename sequence, never a chain scan. *)
-let rec striped_reserve ?ctx t (d : dirref) ~hash =
+let rec striped_reserve ?ctx ?owner t (d : dirref) ~hash =
   let lock_row = Dirblock.lock_row_of_hash hash in
   let slot_ref, hops, last =
     Dirblock.find_free_slot t.region ~head:d.dhead ~hash
@@ -577,7 +793,7 @@ let rec striped_reserve ?ctx t (d : dirref) ~hash =
                 let new_rows =
                   min Dirblock.max_rows (2 * Dirblock.rows t.region last')
                 in
-                let nb = alloc_dirblock ?ctx t ~rows:new_rows in
+                let nb = alloc_dirblock ?ctx ?owner t ~rows:new_rows in
                 hook t "insert:newblock";
                 let linked =
                   chain_guard ?ctx t d.dhead (fun () ->
@@ -597,7 +813,7 @@ let rec striped_reserve ?ctx t (d : dirref) ~hash =
                      after our re-check.  Return our block and rescan —
                      the freshly linked block has a free slot in our
                      row, so the retry terminates. *)
-                  free_dirblock ?ctx t nb;
+                  free_dirblock ?ctx ?owner t nb;
                   None
                 end)
       in
@@ -605,11 +821,11 @@ let rec striped_reserve ?ctx t (d : dirref) ~hash =
       set_row_busy ?ctx t d lock_row false;
       match reserved with
       | Some s -> s
-      | None -> striped_reserve ?ctx t d ~hash)
+      | None -> striped_reserve ?ctx ?owner t d ~hash)
 
 (* Insert [fentry] into the row of [name] in directory [d], growing the
    chain when the row is full (Fig. 5a steps 3-5). *)
-let insert_entry ?ctx t (d : dirref) ~name:n fentry =
+let insert_entry ?ctx ?owner t (d : dirref) ~name:n fentry =
   let hash = Name_hash.hash n in
   let lock_row = Dirblock.lock_row_of_hash hash in
   if not (Locks.striped t.locks) then begin
@@ -645,7 +861,7 @@ let insert_entry ?ctx t (d : dirref) ~name:n fentry =
                 let new_rows =
                   min Dirblock.max_rows (2 * Dirblock.rows t.region last')
                 in
-                let nb = alloc_dirblock ?ctx t ~rows:new_rows in
+                let nb = alloc_dirblock ?ctx ?owner t ~rows:new_rows in
                 hook t "insert:newblock";
                 Dirblock.set_next t.region last' nb;
                 Charge.write_lines ?ctx 2;
@@ -659,14 +875,25 @@ let insert_entry ?ctx t (d : dirref) ~name:n fentry =
     (* striped path: row-full inserts of different rows proceed in
        parallel under per-row append locks; only the physical link of a
        new hash block takes the (short) directory-global chain lock *)
-    let blk, row, s = striped_reserve ?ctx t d ~hash in
+    let blk, row, s = striped_reserve ?ctx ?owner t d ~hash in
     Dirblock.set_slot t.region blk row s fentry;
     Charge.write_lines ?ctx 1
   end
 
-let create_at ?ctx t (d : dirref) ~name:n ~kind ~perm ~target_inode =
+let create_at ?ctx t (w : Hw.Protected.privileged) (d : dirref) ~name:n ~kind
+    ~perm ~target_inode =
+  Hw.Protected.check_privileged w t.penv.pcpu;
   if String.length n > Fentry.name_max then Errno.raise_ ENAMETOOLONG n;
-  check_perm t (Fentry.target t.region d.dfentry) ~want:3;
+  check_perm_fe ?ctx t d.dfentry ~want:3;
+  let euid, egid = creds ?ctx t in
+  (* quota owner of the new object's blocks: a hardlink's name belongs to
+     the linked inode's owner, everything else to the creator *)
+  let file_owner =
+    match target_inode with
+    | Some i -> Inode.uid t.region i
+    | None -> euid
+  in
+  let qown = if Quota.enabled t.quota then Some file_owner else None in
   let row = Dirblock.lock_row_of_name n in
   lock_row ?ctx t d row (fun () ->
       (match dir_lookup ?ctx t d n with
@@ -683,7 +910,7 @@ let create_at ?ctx t (d : dirref) ~name:n ~kind ~perm ~target_inode =
             let i = alloc_inode ?ctx t in
             Inode.init t.region i
               ~mode:(Inode.mode_of_kind ~perm kind)
-              ~uid:t.euid ~gid:t.egid ~now:(now ?ctx t);
+              ~uid:euid ~gid:egid ~now:(now ?ctx t);
             Charge.write_lines ?ctx 2;
             i
       in
@@ -694,19 +921,30 @@ let create_at ?ctx t (d : dirref) ~name:n ~kind ~perm ~target_inode =
         ~dir:(kind = Inode.Dir)
         ~symlink:(kind = Inode.Symlink)
         ~target:inode
-        ~alloc_spill:(fun b -> alloc_spill ?ctx t b);
+        ~alloc_spill:(fun b -> alloc_spill ?ctx ?owner:qown t b);
+      (* secure media: stamp the owner/mode word the protected entry
+         points check (a hardlink inherits the linked inode's identity) *)
+      if t.secure then begin
+        match target_inode with
+        | Some i ->
+            Fentry.set_owner t.region fe ~uid:(Inode.uid t.region i)
+              ~gid:(Inode.gid t.region i)
+              ~perm:(Inode.perm t.region i)
+        | None -> Fentry.set_owner t.region fe ~uid:euid ~gid:egid ~perm
+      end;
       Charge.write_lines ?ctx 2;
       hook t "create:fentry";
       (* directories get their first hash block before becoming visible *)
       if kind = Inode.Dir then begin
         let db =
-          alloc_dirblock ?ctx ~ring:t.log_ring t ~rows:Dirblock.first_rows
+          alloc_dirblock ?ctx ~ring:t.log_ring ?owner:qown t
+            ~rows:Dirblock.first_rows
         in
         Fentry.set_dirblock t.region fe db;
         Charge.write_lines ?ctx 2
       end;
       (* steps 3-5: persist the pointer into the row *)
-      insert_entry ?ctx t d ~name:n fe;
+      insert_entry ?ctx ?owner:(dir_quota_uid t d) t d ~name:n fe;
       hook t "create:slot";
       (* step 6: unset the dirty bits *)
       (match target_inode with
@@ -720,33 +958,44 @@ let create_at ?ctx t (d : dirref) ~name:n ~kind ~perm ~target_inode =
 let create_file ?ctx t ?(perm = 0o644) path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_create @@ fun w ->
   let d, n = resolve_parent ?ctx t path in
-  ignore (create_at ?ctx t d ~name:n ~kind:Inode.File ~perm ~target_inode:None)
+  ignore
+    (create_at ?ctx t w d ~name:n ~kind:Inode.File ~perm ~target_inode:None)
 
 let mkdir ?ctx t ?(perm = 0o755) path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_mkdir @@ fun w ->
   let d, n = resolve_parent ?ctx t path in
-  ignore (create_at ?ctx t d ~name:n ~kind:Inode.Dir ~perm ~target_inode:None)
+  ignore (create_at ?ctx t w d ~name:n ~kind:Inode.Dir ~perm ~target_inode:None)
 
 let symlink ?ctx t ~target path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_symlink @@ fun w ->
   let d, n = resolve_parent ?ctx t path in
   let fe =
-    create_at ?ctx t d ~name:n ~kind:Inode.Symlink ~perm:0o777
+    create_at ?ctx t w d ~name:n ~kind:Inode.Symlink ~perm:0o777
       ~target_inode:None
   in
   (* store the destination path as the symlink inode's data *)
   let inode = Fentry.target t.region fe in
   let len = String.length target in
-  let blocks = (len + block_size t - 1) / block_size t in
-  (match Simurgh_alloc.Block_alloc.alloc ?ctx ~hint:inode t.layout.Layout.balloc (max blocks 1) with
-  | None -> Errno.raise_ ENOSPC "symlink target"
+  let blocks = max 1 ((len + block_size t - 1) / block_size t) in
+  (match quota_uid_of_inode t inode with
+  | Some uid -> quota_charge ?ctx t ~uid blocks
+  | None -> ());
+  (match Simurgh_alloc.Block_alloc.alloc ?ctx ~hint:inode t.layout.Layout.balloc blocks with
+  | None ->
+      (match quota_uid_of_inode t inode with
+      | Some uid -> quota_release t ~uid blocks
+      | None -> ());
+      Errno.raise_ ENOSPC "symlink target"
   | Some addr ->
       Region.write_string t.region addr target;
       Region.persist t.region addr len;
-      Inode.write_extent t.region inode 0 ~addr ~blocks:(max blocks 1);
+      Inode.write_extent t.region inode 0 ~addr ~blocks;
       Inode.set_size t.region inode len;
       Region.persist t.region (Inode.f_size inode) 8);
   Charge.write_lines ?ctx (2 + (len / 64))
@@ -754,12 +1003,14 @@ let symlink ?ctx t ~target path =
 let hardlink ?ctx t ~existing path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_hardlink @@ fun w ->
   let _, fe = resolve ?ctx t existing in
   if Fentry.is_dir t.region fe then Errno.raise_ EISDIR existing;
   let inode = Fentry.target t.region fe in
   let d, n = resolve_parent ?ctx t path in
   ignore
-    (create_at ?ctx t d ~name:n ~kind:Inode.File ~perm:0 ~target_inode:(Some inode))
+    (create_at ?ctx t w d ~name:n ~kind:Inode.File ~perm:0
+       ~target_inode:(Some inode))
 
 (* --- data block management ------------------------------------------------ *)
 
@@ -772,8 +1023,12 @@ let hardlink ?ctx t ~existing path =
    leave any subset of the staged slots: a torn slot (addr set, blocks
    still 0) maps zero bytes, so readers and recovery both ignore it, and
    the mark-and-sweep pass reclaims blocks the lost slots leaked. *)
-let append_extents ?ctx ?(staged = false) t inode blocks =
+let append_extents ?ctx ?(staged = false) t _w inode blocks =
   let balloc = t.layout.Layout.balloc in
+  (* quota gate first: EDQUOT must fire before any block leaves the
+     allocator, and an ENOSPC after the charge must hand it back *)
+  let quid = quota_uid_of_inode t inode in
+  (match quid with Some uid -> quota_charge ?ctx t ~uid blocks | None -> ());
   let rec alloc_ranges n acc =
     if n = 0 then acc
     else
@@ -786,7 +1041,12 @@ let append_extents ?ctx ?(staged = false) t inode blocks =
             let h = n / 2 in
             alloc_ranges (n - h) (alloc_ranges h acc)
   in
-  let ranges = List.rev (alloc_ranges blocks []) in
+  let ranges =
+    try List.rev (alloc_ranges blocks [])
+    with e ->
+      (match quid with Some uid -> quota_release t ~uid blocks | None -> ());
+      raise e
+  in
   (* stitch into the inode: fill inline slots, then overflow chain *)
   let region = t.region in
   List.iter
@@ -807,13 +1067,23 @@ let append_extents ?ctx ?(staged = false) t inode blocks =
         (* overflow chain: find a free slot or extend *)
         let rec place b prev =
           if b = 0 then begin
+            let ov_blocks =
+              (Inode.overflow_bytes + block_size t - 1) / block_size t
+            in
+            (match quid with
+            | Some uid -> quota_charge ?ctx t ~uid ov_blocks
+            | None -> ());
             let nb =
               match
                 Simurgh_alloc.Block_alloc.alloc ?ctx ~hint:inode balloc
-                  ((Inode.overflow_bytes + block_size t - 1) / block_size t)
+                  ov_blocks
               with
               | Some a -> a
-              | None -> Errno.raise_ ENOSPC "out of extent blocks"
+              | None ->
+                  (match quid with
+                  | Some uid -> quota_release t ~uid ov_blocks
+                  | None -> ());
+                  Errno.raise_ ENOSPC "out of extent blocks"
             in
             (* even staged, the zeroed block must be durable before any
                pointer to it can be: a crash that published the link but
@@ -863,7 +1133,7 @@ let mapped_blocks t inode =
    call (and a file's blocks stay clustered, Section 4.2). *)
 let append_slack_blocks = 256
 
-let ensure_capacity ?ctx ?staged t inode bytes =
+let ensure_capacity ?ctx ?staged t w inode bytes =
   (* a negative target here is always the sign of an integer overflow
      upstream ([pos + len] wrapping past max_int); growing "to" it would
      compute a nonsense block count, so fail the operation cleanly *)
@@ -872,7 +1142,7 @@ let ensure_capacity ?ctx ?staged t inode bytes =
   let have = mapped_blocks t inode in
   let needed = ((bytes + bs - 1) / bs) - have in
   if needed > 0 then
-    append_extents ?ctx ?staged t inode
+    append_extents ?ctx ?staged t w inode
       (if have > 0 then max needed append_slack_blocks else needed)
 
 (* Translate a file offset into (region addr, contiguous bytes there). *)
@@ -913,10 +1183,10 @@ let zero_span ?ctx t inode ~from ~upto =
 
 (* Copy [src] into the file at [pos] across extents.  Returns bytes
    written (always all of them; capacity was ensured). *)
-let write_data ?ctx t inode ~pos src =
+let write_data ?ctx t w inode ~pos src =
   let len = Bytes.length src in
   let old_size = Inode.size t.region inode in
-  ensure_capacity ?ctx t inode (pos + len);
+  ensure_capacity ?ctx t w inode (pos + len);
   if pos > old_size then zero_span ?ctx t inode ~from:old_size ~upto:pos;
   let rec copy off remaining =
     if remaining > 0 then begin
@@ -967,25 +1237,31 @@ let read_data ?ctx t inode ~pos ~len =
   Charge.memcpy ?ctx len;
   out
 
-let free_data ?ctx t inode =
+let free_data ?ctx t _w inode =
   let balloc = t.layout.Layout.balloc in
+  let quid = quota_uid_of_inode t inode in
+  let freed = ref 0 in
   let extents = ref [] in
   Inode.iter_extents t.region inode (fun addr blocks ->
       extents := (addr, blocks) :: !extents);
   List.iter
-    (fun (addr, blocks) -> Simurgh_alloc.Block_alloc.free ?ctx balloc ~addr blocks)
+    (fun (addr, blocks) ->
+      freed := !freed + blocks;
+      Simurgh_alloc.Block_alloc.free ?ctx balloc ~addr blocks)
     !extents;
   (* free the overflow chain blocks themselves *)
   let bs = block_size t in
   let rec chain b =
     if b <> 0 then begin
       let nxt = Region.read_u62 t.region (Inode.ov_next b) in
-      Simurgh_alloc.Block_alloc.free ?ctx balloc ~addr:b
-        ((Inode.overflow_bytes + bs - 1) / bs);
+      let ov_blocks = (Inode.overflow_bytes + bs - 1) / bs in
+      freed := !freed + ov_blocks;
+      Simurgh_alloc.Block_alloc.free ?ctx balloc ~addr:b ov_blocks;
       chain nxt
     end
   in
-  chain (Region.read_u62 t.region (Inode.f_overflow inode))
+  chain (Region.read_u62 t.region (Inode.f_overflow inode));
+  match quid with Some uid -> quota_release t ~uid !freed | None -> ()
 
 (* --- byte-range data path (range_locks mode) ------------------------------ *)
 
@@ -1080,7 +1356,7 @@ let range_copy ?ctx t inode ~pos src =
   copy 0 len;
   Charge.nvmm_write ?ctx len
 
-let range_pwrite ?ctx t inode ~pos src =
+let range_pwrite ?ctx t w inode ~pos src =
   let len = Bytes.length src in
   if len = 0 then 0
   else
@@ -1112,7 +1388,7 @@ let range_pwrite ?ctx t inode ~pos src =
         with_rows ?ctx t inode ~pos:from ~len:(pos + len - from) ~excl:true
         @@ fun () ->
         with_extent_write ?ctx t inode (fun () ->
-            ensure_capacity ?ctx ~staged:true t inode (pos + len));
+            ensure_capacity ?ctx ~staged:true t w inode (pos + len));
         (* staged extent slots durable before any data lands in them *)
         Region.sfence t.region;
         with_extent_read ?ctx t inode (fun () ->
@@ -1140,7 +1416,7 @@ let range_pwrite ?ctx t inode ~pos src =
    order.  The size word is a single 8-aligned u62 store, so a crash
    either shows the old size or the new one — never a size covering
    bytes whose sfence had not retired. *)
-let range_append ?ctx t inode src =
+let range_append ?ctx t w inode src =
   let len = Bytes.length src in
   with_fence_shared ?ctx t inode @@ fun () ->
   let st = state_of ?ctx t inode in
@@ -1149,7 +1425,7 @@ let range_append ?ctx t inode src =
   Charge.atomic ?ctx ~contended:true ();
   if len > 0 then begin
     with_extent_write ?ctx t inode (fun () ->
-        ensure_capacity ?ctx ~staged:true t inode (r0 + len));
+        ensure_capacity ?ctx ~staged:true t w inode (r0 + len));
     Region.sfence t.region;
     with_extent_read ?ctx t inode (fun () ->
         range_copy ?ctx t inode ~pos:r0 src);
@@ -1193,14 +1469,19 @@ let range_pread ?ctx t inode ~pos ~len =
 
 (* --- unlink / rmdir (Fig. 5b) --------------------------------------------- *)
 
-let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
+let remove_entry ?ctx t (w : Hw.Protected.privileged) (d : dirref) ~name:n
+    ~check_dir =
+  Hw.Protected.check_privileged w t.penv.pcpu;
   let row = Dirblock.lock_row_of_name n in
-  check_perm t (Fentry.target t.region d.dfentry) ~want:3;
+  check_perm_fe ?ctx t d.dfentry ~want:3;
   (* block frees are deferred past the row critical section: once the
      slot is zeroed the ranges are unreachable, and freeing them inside
      the busy window would nest allocator-segment contention under the
      directory row lock *)
   let deferred : (int * int) list ref = ref [] in
+  (* owner uid the deferred blocks were charged to (captured before the
+     inode is zeroed below; [None] when nothing is freed or quotas off) *)
+  let freed_owner = ref None in
   lock_row ?ctx t d row (fun () ->
       let found, hops = Dirblock.find t.region ~head:d.dhead ~name:n in
       Charge.read_lines ?ctx (hops + 1);
@@ -1231,6 +1512,7 @@ let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
           end
           else begin
             let bs = block_size t in
+            freed_owner := quota_uid_of_inode t inode;
             (* collect every range now (the inode is zeroed below), free
                them after the row lock is released *)
             Inode.iter_extents t.region inode (fun addr blocks ->
@@ -1305,7 +1587,7 @@ let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
                     let nxt = Dirblock.next t.region p in
                     if nxt = blk then begin
                       Dirblock.set_next t.region p (Dirblock.next t.region blk);
-                      free_dirblock ?ctx t blk
+                      free_dirblock ?ctx ?owner:(dir_quota_uid t d) t blk
                     end
                     else pred nxt
                 in
@@ -1317,25 +1599,33 @@ let remove_entry ?ctx t (d : dirref) ~name:n ~check_dir =
   List.iter
     (fun (addr, blocks) ->
       Simurgh_alloc.Block_alloc.free ?ctx t.layout.Layout.balloc ~addr blocks)
-    !deferred
+    !deferred;
+  match !freed_owner with
+  | Some uid ->
+      quota_release t ~uid (List.fold_left (fun a (_, b) -> a + b) 0 !deferred)
+  | None -> ()
 
 let unlink ?ctx t path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_unlink @@ fun w ->
   let d, n = resolve_parent ?ctx t path in
-  remove_entry ?ctx t d ~name:n ~check_dir:`Must_not_be_dir
+  remove_entry ?ctx t w d ~name:n ~check_dir:`Must_not_be_dir
 
 let rmdir ?ctx t path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_rmdir @@ fun w ->
   let d, n = resolve_parent ?ctx t path in
-  remove_entry ?ctx t d ~name:n ~check_dir:`Must_be_dir
+  remove_entry ?ctx t w d ~name:n ~check_dir:`Must_be_dir
 
 (* --- rename (Fig. 5c / cross-directory) ----------------------------------- *)
 
 (* Same-directory rename, Fig. 5c.  [d] is the directory, [old_n] the
    existing name, [new_n] the new one. *)
-let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
+let rename_same_dir ?ctx t w (d : dirref) ~old_n ~new_n =
+  Hw.Protected.check_privileged w t.penv.pcpu;
+  check_perm_fe ?ctx t d.dfentry ~want:3;
   let old_row = Dirblock.lock_row_of_name old_n in
   let new_row = Dirblock.lock_row_of_name new_n in
   let lock2 f =
@@ -1353,7 +1643,7 @@ let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
           (* destination exists? POSIX: replace it *)
           (match Dirblock.find t.region ~head:d.dhead ~name:new_n with
           | Some _, _ ->
-              remove_entry ?ctx t d ~name:new_n
+              remove_entry ?ctx t w d ~name:new_n
                 ~check_dir:
                   (if Fentry.is_dir t.region ofe then `Must_be_dir
                    else `Must_not_be_dir)
@@ -1365,9 +1655,12 @@ let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
             ~dir:(Fentry.is_dir t.region ofe)
             ~symlink:(Fentry.is_symlink t.region ofe)
             ~target:inode
-            ~alloc_spill:(fun b -> alloc_spill ?ctx t b);
+            ~alloc_spill:(fun b ->
+              alloc_spill ?ctx ?owner:(quota_uid_of_inode t inode) t b);
           if Fentry.is_dir t.region ofe then
             Fentry.set_dirblock t.region nfe (Fentry.dirblock t.region ofe);
+          (* the shadow carries the same identity as the original *)
+          if t.secure then Fentry.copy_owner t.region ~src:ofe ~dst:nfe;
           Charge.write_lines ?ctx 2;
           hook t "rename:shadow";
           (* striped mode: reserve the destination slot before the log
@@ -1376,7 +1669,9 @@ let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
              rename sequence below, never a chain scan *)
           let reserved =
             if Locks.striped t.locks then
-              Some (striped_reserve ?ctx t d ~hash:(Name_hash.hash new_n))
+              Some
+                (striped_reserve ?ctx ?owner:(dir_quota_uid t d) t d
+                   ~hash:(Name_hash.hash new_n))
             else None
           in
           (* the claimed persistent log slot is held from write to clear *)
@@ -1401,7 +1696,9 @@ let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
               | Some (blk, row, s) ->
                   Dirblock.set_slot t.region blk row s nfe;
                   Charge.write_lines ?ctx 1
-              | None -> insert_entry ?ctx t d ~name:new_n nfe);
+              | None ->
+                  insert_entry ?ctx ?owner:(dir_quota_uid t d) t d ~name:new_n
+                    nfe);
               hook t "rename:newslot";
               (* step 8: remove the mismatched pointer from the old line *)
               Dirblock.set_slot t.region oblk orow oslot 0;
@@ -1418,7 +1715,10 @@ let rename_same_dir ?ctx t (d : dirref) ~old_n ~new_n =
 
 (* Cross-directory rename: one log entry in the source directory marks
    the transaction (paper Fig. 5 text). *)
-let rename_cross_dir ?ctx t (ds : dirref) ~old_n (dd : dirref) ~new_n =
+let rename_cross_dir ?ctx t w (ds : dirref) ~old_n (dd : dirref) ~new_n =
+  Hw.Protected.check_privileged w t.penv.pcpu;
+  check_perm_fe ?ctx t ds.dfentry ~want:3;
+  check_perm_fe ?ctx t dd.dfentry ~want:3;
   let src_row = Dirblock.lock_row_of_name old_n in
   let dst_row = Dirblock.lock_row_of_name new_n in
   (* deterministic lock order on (dir head, row) *)
@@ -1438,7 +1738,7 @@ let rename_cross_dir ?ctx t (ds : dirref) ~old_n (dd : dirref) ~new_n =
       | Some (oblk, orow, oslot, ofe) ->
           (match Dirblock.find t.region ~head:dd.dhead ~name:new_n with
           | Some _, _ ->
-              remove_entry ?ctx t dd ~name:new_n
+              remove_entry ?ctx t w dd ~name:new_n
                 ~check_dir:
                   (if Fentry.is_dir t.region ofe then `Must_be_dir
                    else `Must_not_be_dir)
@@ -1450,16 +1750,20 @@ let rename_cross_dir ?ctx t (ds : dirref) ~old_n (dd : dirref) ~new_n =
             ~dir:(Fentry.is_dir t.region ofe)
             ~symlink:(Fentry.is_symlink t.region ofe)
             ~target:inode
-            ~alloc_spill:(fun b -> alloc_spill ?ctx t b);
+            ~alloc_spill:(fun b ->
+              alloc_spill ?ctx ?owner:(quota_uid_of_inode t inode) t b);
           if Fentry.is_dir t.region ofe then
             Fentry.set_dirblock t.region nfe (Fentry.dirblock t.region ofe);
+          if t.secure then Fentry.copy_owner t.region ~src:ofe ~dst:nfe;
           Charge.write_lines ?ctx 2;
           hook t "xrename:shadow";
           (* striped mode: reserve the destination slot ahead of the log
              window, as in [rename_same_dir] *)
           let reserved =
             if Locks.striped t.locks then
-              Some (striped_reserve ?ctx t dd ~hash:(Name_hash.hash new_n))
+              Some
+                (striped_reserve ?ctx ?owner:(dir_quota_uid t dd) t dd
+                   ~hash:(Name_hash.hash new_n))
             else None
           in
           with_log_slot ?ctx t ds.dhead (fun ~slot ~epoch ->
@@ -1478,7 +1782,9 @@ let rename_cross_dir ?ctx t (ds : dirref) ~old_n (dd : dirref) ~new_n =
               | Some (blk, row, s) ->
                   Dirblock.set_slot t.region blk row s nfe;
                   Charge.write_lines ?ctx 1
-              | None -> insert_entry ?ctx t dd ~name:new_n nfe);
+              | None ->
+                  insert_entry ?ctx ?owner:(dir_quota_uid t dd) t dd
+                    ~name:new_n nfe);
               hook t "xrename:dstslot";
               Dirblock.set_slot t.region oblk orow oslot 0;
               Charge.write_lines ?ctx 1;
@@ -1515,6 +1821,7 @@ let check_rename_cycle ?ctx t ~src_head:sh (dd : dirref) path =
 let rename ?ctx t old_path new_path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_rename @@ fun w ->
   let ds, old_n = resolve_parent ?ctx t old_path in
   let dd, new_n = resolve_parent ?ctx t new_path in
   if ds.dhead = dd.dhead && String.equal old_n new_n then begin
@@ -1532,8 +1839,8 @@ let rename ?ctx t old_path new_path =
           ~src_head:(Fentry.dirblock t.region ofe)
           dd new_path
     | _ -> ());
-    if ds.dhead = dd.dhead then rename_same_dir ?ctx t ds ~old_n ~new_n
-    else rename_cross_dir ?ctx t ds ~old_n dd ~new_n
+    if ds.dhead = dd.dhead then rename_same_dir ?ctx t w ds ~old_n ~new_n
+    else rename_cross_dir ?ctx t w ds ~old_n dd ~new_n
   end
 
 (* --- open / close / read / write ------------------------------------------ *)
@@ -1557,6 +1864,7 @@ let stat_of_inode t inode =
 let stat ?ctx t path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_stat @@ fun _w ->
   let _, fe = resolve ?ctx t path in
   Charge.read_lines ?ctx 2;
   stat_of_inode t (Fentry.target t.region fe)
@@ -1564,6 +1872,7 @@ let stat ?ctx t path =
 let exists ?ctx t path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_exists @@ fun _w ->
   match resolve ?ctx t path with
   | _ -> true
   | exception Errno.Err ((ENOENT | ENOTDIR), _) -> false
@@ -1571,6 +1880,7 @@ let exists ?ctx t path =
 let openf ?ctx t (flags : Types.open_flags) path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_open @@ fun w ->
   let fe =
     match resolve ?ctx t path with
     | _, fe ->
@@ -1578,18 +1888,18 @@ let openf ?ctx t (flags : Types.open_flags) path =
         fe
     | exception Errno.Err (ENOENT, _) when flags.Types.create ->
         let d, n = resolve_parent ?ctx t path in
-        create_at ?ctx t d ~name:n ~kind:Inode.File ~perm:0o644
+        create_at ?ctx t w d ~name:n ~kind:Inode.File ~perm:0o644
           ~target_inode:None
     | exception e -> raise e
   in
   if Fentry.is_dir t.region fe then Errno.raise_ EISDIR path;
   let inode = Fentry.target t.region fe in
-  if flags.Types.read then check_perm t inode ~want:4;
-  if flags.Types.write then check_perm t inode ~want:2;
+  if flags.Types.read then check_perm_fe ?ctx t fe ~want:4;
+  if flags.Types.write then check_perm_fe ?ctx t fe ~want:2;
   (if flags.Types.trunc then
      let trunc_body () =
        if Inode.size t.region inode > 0 then begin
-         free_data ?ctx t inode;
+         free_data ?ctx t w inode;
          let rec clear_inline k =
            if k < Inode.inline_extents then begin
              Inode.write_extent t.region inode k ~addr:0 ~blocks:0;
@@ -1621,6 +1931,7 @@ let openf ?ctx t (flags : Types.open_flags) path =
 let close ?ctx t fd =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_close @@ fun _w ->
   if not (Openfile.close ?ctx t.openfiles fd) then
     Errno.raise_ EBADF (string_of_int fd)
 
@@ -1652,6 +1963,7 @@ let with_read_lock ?ctx t inode f =
 let pwrite ?ctx t fd ~pos src =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_pwrite @@ fun w ->
   if pos < 0 then Errno.raise_ EINVAL (Printf.sprintf "pwrite pos %d" pos);
   (* [pos + len] near max_int wraps negative and would sail past the
      negative-arg checks into the size words (and, in range mode, the
@@ -1661,31 +1973,33 @@ let pwrite ?ctx t fd ~pos src =
     Errno.raise_ EINVAL (Printf.sprintf "pwrite pos %d + len overflow" pos);
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
-  if t.range_locks then range_pwrite ?ctx t e.Openfile.inode ~pos src
+  if t.range_locks then range_pwrite ?ctx t w e.Openfile.inode ~pos src
   else
     with_write_lock ?ctx t e.Openfile.inode (fun () ->
-        write_data ?ctx t e.Openfile.inode ~pos src)
+        write_data ?ctx t w e.Openfile.inode ~pos src)
 
 let append ?ctx t fd src =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_append @@ fun w ->
   let e = fd_entry t fd in
   if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
   if t.range_locks then begin
-    let newpos = range_append ?ctx t e.Openfile.inode src in
+    let newpos = range_append ?ctx t w e.Openfile.inode src in
     e.Openfile.pos <- newpos;
     Bytes.length src
   end
   else
     with_write_lock ?ctx t e.Openfile.inode (fun () ->
         let pos = Inode.size t.region e.Openfile.inode in
-        let n = write_data ?ctx t e.Openfile.inode ~pos src in
+        let n = write_data ?ctx t w e.Openfile.inode ~pos src in
         e.Openfile.pos <- pos + n;
         n)
 
 let pread ?ctx t fd ~pos ~len =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_pread @@ fun _w ->
   if pos < 0 then Errno.raise_ EINVAL (Printf.sprintf "pread pos %d" pos);
   if len < 0 then Errno.raise_ EINVAL (Printf.sprintf "pread len %d" len);
   if pos > max_int - len then
@@ -1700,10 +2014,12 @@ let pread ?ctx t fd ~pos ~len =
 let fallocate ?ctx t fd ~len =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_fallocate @@ fun w ->
   let e = fd_entry t fd in
+  if e.Openfile.mode = Openfile.Rdonly then Errno.raise_ EBADF "read-only fd";
   let inode = e.Openfile.inode in
   let body () =
-    ensure_capacity ?ctx t inode len;
+    ensure_capacity ?ctx t w inode len;
     if Inode.size t.region inode < len then begin
       Inode.set_size t.region inode len;
       Region.persist t.region (Inode.f_size inode) 8;
@@ -1725,23 +2041,25 @@ let fallocate ?ctx t fd ~len =
 let fsync ?ctx t fd =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_fsync @@ fun _w ->
   ignore (fd_entry t fd);
   Charge.fence ?ctx ()
 
 let truncate ?ctx t path len =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_truncate @@ fun w ->
   let _, fe = resolve ?ctx t path in
   if Fentry.is_dir t.region fe then Errno.raise_ EISDIR path;
   let inode = Fentry.target t.region fe in
-  check_perm t inode ~want:2;
+  check_perm_fe ?ctx t fe ~want:2;
   let body () =
     let size = Inode.size t.region inode in
     if len < size then begin
       (* shrink: simplest correct strategy — free everything beyond a
          block boundary by rebuilding the extent list *)
       if len = 0 then begin
-        free_data ?ctx t inode;
+        free_data ?ctx t w inode;
         for k = 0 to Inode.inline_extents - 1 do
           Inode.write_extent t.region inode k ~addr:0 ~blocks:0
         done;
@@ -1752,7 +2070,7 @@ let truncate ?ctx t path len =
       Charge.write_lines ?ctx 2
     end
     else if len > size then begin
-      ensure_capacity ?ctx t inode len;
+      ensure_capacity ?ctx t w inode len;
       (* a partial shrink keeps its blocks, so the bytes re-exposed by
          growing are stale file contents — POSIX says they read zero *)
       zero_span ?ctx t inode ~from:size ~upto:len;
@@ -1775,8 +2093,10 @@ let truncate ?ctx t path len =
 let readdir ?ctx t path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_readdir @@ fun _w ->
   let _, fe = resolve ?ctx t path in
   if not (Fentry.is_dir t.region fe) then Errno.raise_ ENOTDIR path;
+  check_perm_fe ?ctx t fe ~want:4;
   let head = Fentry.dirblock t.region fe in
   let names = ref [] in
   let blocks = ref 0 in
@@ -1789,31 +2109,16 @@ let readdir ?ctx t path =
 let readlink ?ctx t path =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_readlink @@ fun _w ->
   let _, fe = resolve ?ctx ~follow:false t path in
   if not (Fentry.is_symlink t.region fe) then Errno.raise_ EINVAL path;
   Charge.read_lines ?ctx 2;
   read_symlink_target t fe
 
-(** File-system statistics (statfs): capacity and usage of the block
-    space and the metadata object pools. *)
-type fsstat = {
-  block_size : int;
-  total_blocks : int;
-  free_blocks : int;
-  used_blocks : int;
-      (** blocks neither free-listed nor quarantined: in use by live
-          metadata and data (derived, so the three always partition
-          [total_blocks]) *)
-  quarantined_blocks : int;
-      (** blocks withheld from recycling because an uncorrectable media
-          error sits under them — never free, never allocatable *)
-  live_inodes : int;
-  live_fentries : int;
-}
-
 let statfs ?ctx t =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_statfs @@ fun _w ->
   let balloc = t.layout.Layout.balloc in
   let total = Simurgh_alloc.Block_alloc.total_blocks balloc in
   (* the free-list walk never touches quarantined blocks (both the
@@ -1836,19 +2141,34 @@ let statfs ?ctx t =
 let chmod ?ctx t path perm =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_chmod @@ fun _w ->
   let _, fe = resolve ?ctx t path in
   let inode = Fentry.target t.region fe in
-  if t.euid <> 0 && Inode.uid t.region inode <> t.euid then
-    Errno.raise_ EACCES path;
+  let euid, _ = creds ?ctx t in
+  let owner_uid =
+    if t.secure then
+      let uid, _, _ = Fentry.owner t.region fe in
+      uid
+    else Inode.uid t.region inode
+  in
+  if euid <> 0 && owner_uid <> euid then Errno.raise_ EACCES path;
   let m = Inode.mode t.region inode in
   Inode.set_mode t.region inode
     ((m land lnot Inode.perm_mask) lor (perm land Inode.perm_mask));
   Region.persist t.region inode 8;
+  (* keep the fentry-side word the protected checks read in sync; a
+     hardlinked inode's sibling names keep their stamped word (documented
+     deviation — see DESIGN.md §16) *)
+  if t.secure then begin
+    let uid, gid, _ = Fentry.owner t.region fe in
+    Fentry.set_owner t.region fe ~uid ~gid ~perm:(perm land Inode.perm_mask)
+  end;
   Charge.write_lines ?ctx 1
 
 let utimes ?ctx t path mtime =
   entry_charge ?ctx t;
   media_guard t @@ fun () ->
+  t.penv.g_utimes @@ fun _w ->
   let _, fe = resolve ?ctx t path in
   let inode = Fentry.target t.region fe in
   Inode.set_mtime t.region inode mtime;

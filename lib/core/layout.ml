@@ -28,6 +28,7 @@ let f_fentry_slab = 48
 let f_log_ring = 56 (* rename-log ring slots per directory; 0 = legacy *)
 let f_regions = 60 (* region count of the sharded namespace; 0 = legacy 1 *)
 let f_shard = 64 (* this region's shard index within [f_regions] *)
+let f_secure = 68 (* security plane: per-fentry owner words; 0 = legacy *)
 
 type t = {
   region : Region.t;
@@ -46,6 +47,12 @@ type t = {
           as 1; the superblock words are only written when sharded, so
           single-region media stays bit-identical. *)
   shard_index : int;  (** this region's index within [regions] *)
+  secure : bool;
+      (** Security plane formatted in: file entries carry the packed
+          owner/mode word at +72 (80-byte slab objects) and the protected
+          entry points enforce per-user permissions against it.  The
+          superblock word at [f_secure] is only written when on, so
+          legacy media stays bit-identical with the flag off. *)
 }
 
 let root_fentry t = Region.read_u62 t.region f_root_fentry
@@ -63,7 +70,8 @@ let set_clean_shutdown t v =
   Region.write_u8 t.region f_clean (if v then 1 else 0);
   Region.persist t.region f_clean 1
 
-let format ?segments ?(log_ring = 0) ?(shard = (0, 1)) region ~cores =
+let format ?segments ?(log_ring = 0) ?(shard = (0, 1)) ?(secure = false) region
+    ~cores =
   let size = Region.size region in
   if size < 1 lsl 20 then invalid_arg "Layout.format: region too small";
   if log_ring < 0 || log_ring > 255 then
@@ -83,6 +91,9 @@ let format ?segments ?(log_ring = 0) ?(shard = (0, 1)) region ~cores =
     Region.write_u32 region f_regions regions;
     Region.write_u32 region f_shard shard_index
   end;
+  (* like the shard words: only secure media carries the flag, so a
+     default format leaves offset 68 untouched and stays bit-identical *)
+  if secure then Region.write_u32 region f_secure 1;
   let segments =
     match segments with
     | Some s -> max 1 s
@@ -109,13 +120,25 @@ let format ?segments ?(log_ring = 0) ?(shard = (0, 1)) region ~cores =
     Simurgh_alloc.Slab_alloc.format region ~off:inode_slab_off
       ~obj_size:Inode.payload_size ~block_alloc:balloc ~objs_per_seg:256
   in
+  let fentry_obj_size =
+    if secure then Fentry.secure_payload_size else Fentry.payload_size
+  in
   let fentry_slab =
     Simurgh_alloc.Slab_alloc.format region ~off:fentry_slab_off
-      ~obj_size:Fentry.payload_size ~block_alloc:balloc ~objs_per_seg:256
+      ~obj_size:fentry_obj_size ~block_alloc:balloc ~objs_per_seg:256
   in
   Region.write_u8 region f_clean 1;
   Region.persist region 0 superblock_size;
-  { region; balloc; inode_slab; fentry_slab; log_ring; regions; shard_index }
+  {
+    region;
+    balloc;
+    inode_slab;
+    fentry_slab;
+    log_ring;
+    regions;
+    shard_index;
+    secure;
+  }
 
 let attach region =
   if Region.read_u32 region f_magic <> magic then
@@ -136,6 +159,7 @@ let attach region =
       log_ring = Region.read_u32 region f_log_ring;
       regions = (match Region.read_u32 region f_regions with 0 -> 1 | n -> n);
       shard_index = Region.read_u32 region f_shard;
+      secure = Region.read_u32 region f_secure <> 0;
     }
   in
   Simurgh_alloc.Slab_alloc.rebuild_cache t.inode_slab;

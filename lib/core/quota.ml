@@ -1,0 +1,50 @@
+(** Per-uid block quotas for the security plane.
+
+    A quota table is volatile DRAM state shared by every process attached
+    to a region (it rides in the region's user slot next to the layout and
+    the lock registry).  It starts empty after a remount: a tenant manager
+    that wants exact post-crash accounting installs limits at mount time
+    before admitting writers.  Accounting is keyed by the *owner* uid
+    of the inode the blocks belong to — charge and release therefore always
+    balance, even when one tenant writes to a file another tenant owns.
+
+    The table starts disabled: until the first limit is installed, charge
+    and release are no-ops with no cycle cost, so legacy single-tenant
+    runs and the published figures are unaffected. *)
+
+type t = {
+  mutable enabled : bool;
+  limits : (int, int) Hashtbl.t;  (** uid -> max blocks (absent = none) *)
+  used : (int, int) Hashtbl.t;  (** uid -> blocks currently charged *)
+}
+
+let create () =
+  { enabled = false; limits = Hashtbl.create 8; used = Hashtbl.create 8 }
+
+let enabled t = t.enabled
+
+let set_limit t ~uid ~blocks =
+  t.enabled <- true;
+  if blocks < 0 then Hashtbl.remove t.limits uid
+  else Hashtbl.replace t.limits uid blocks
+
+let limit t ~uid = Option.value ~default:max_int (Hashtbl.find_opt t.limits uid)
+let used t ~uid = Option.value ~default:0 (Hashtbl.find_opt t.used uid)
+
+(** Attempt to charge [blocks] blocks to [uid]; returns [false] (charging
+    nothing) if that would exceed the uid's limit. *)
+let charge t ~uid ~blocks =
+  if (not t.enabled) || blocks = 0 then true
+  else begin
+    let u = used t ~uid in
+    if u + blocks > limit t ~uid then false
+    else begin
+      Hashtbl.replace t.used uid (u + blocks);
+      true
+    end
+  end
+
+(** Return [blocks] blocks to [uid]'s budget (on free/unlink/truncate). *)
+let release t ~uid ~blocks =
+  if t.enabled && blocks > 0 then
+    Hashtbl.replace t.used uid (max 0 (used t ~uid - blocks))

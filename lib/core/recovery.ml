@@ -1045,7 +1045,8 @@ let run_all ?par ?skip_log_resolution ?drop_mark_shard regions =
 let mount_after_crash ?call_mode ?relaxed_writes ?euid ?egid region =
   let layout, report = run region in
   let fs = Fs.of_layout ?call_mode ?relaxed_writes ?euid ?egid layout in
-  Fs.register_shared region layout (Fs.locks_of fs) (Fs.rcache_of fs);
+  Fs.register_shared region layout (Fs.locks_of fs) (Fs.rcache_of fs)
+    (Fs.quota_of fs);
   Layout.set_clean_shutdown layout false;
   (fs, report)
 

@@ -1,37 +1,23 @@
 (** Secure mode: the Simurgh library behind protected functions
     (paper Section 3.2, Fig. 2).
 
-    The bootstrap maps the NVMM region into the application's address
-    space as kernel pages, loads the FS entry points as protected
-    functions and installs a region guard: any access to FS bytes while
-    the CPU is in user mode faults.  Application code can therefore only
-    reach the file system through jmpp — the returned [t] exposes stubs
-    that do exactly that. *)
+    Since the security plane moved into {!Fs} itself, every public FS
+    operation already runs between jmpp and pret on the mount's own
+    protected universe (one entry slot per operation, sealed at mount
+    time).  What this module adds on top is the *address-space* half of
+    the story: it maps the NVMM region as kernel pages in the mount's
+    page table and installs a region guard, so application code touching
+    FS bytes while the CPU is in user mode faults — the only way in is
+    through the entry points.  The [t] below is a thin capability
+    wrapping the mount with the tenant's credentials bound. *)
 
 open Simurgh_hw
-open Simurgh_fs_common
 
-type t = {
-  fs : Fs.t;
-  cpu : Cpu.t;
-  univ : Protected.t;
-  (* protected stubs; each performs the jmpp / body / pret sequence *)
-  p_create : string * int -> unit;
-  p_mkdir : string * int -> unit;
-  p_unlink : string -> unit;
-  p_rmdir : string -> unit;
-  p_rename : string * string -> unit;
-  p_stat : string -> Types.stat;
-  p_open : Types.open_flags * string -> Fs.fd;
-  p_close : Fs.fd -> unit;
-  p_pread : Fs.fd * int * int -> bytes;
-  p_pwrite : Fs.fd * int * bytes -> int;
-  p_append : Fs.fd * bytes -> int;
-  p_readdir : string -> string list;
-}
+type t = { fs : Fs.t; cpu : Cpu.t; univ : Protected.t }
 
 (** Map the FS region pages as kernel pages in the application's page
-    table and guard the region. *)
+    table and guard the region: any user-mode access to FS bytes faults
+    exactly like a store to a supervisor page would. *)
 let protect_region cpu region =
   let pages =
     (Simurgh_nvmm.Region.size region + Page_table.page_size - 1)
@@ -44,90 +30,39 @@ let protect_region cpu region =
     Page_table.map cpu.Cpu.page_table ~page:p ~kernel:true ~writable:true
   done;
   Simurgh_nvmm.Region.set_guard region (fun ~write ->
-      ignore write;
       if Cpu.mode cpu <> Privilege.Kernel then
-        Fault.raise_
-          (Kernel_page_access { page = base_page; write }))
+        Fault.raise_ (Kernel_page_access { page = base_page; write }))
 
-(** Bootstrap: create the CPU context, run load_protected(), register the
-    FS operations as protected functions and seal the universe. *)
+(** Bootstrap (Fig. 2 steps 1-5 from the application's point of view):
+    bind the tenant's credentials to the mount, reuse the mount's
+    protected universe — registered and sealed when the FS was mounted —
+    and guard the region so only jmpp-entered code can reach it. *)
 let bootstrap ?(euid = 1000) ?(egid = 1000) fs =
-  let cpu = Cpu.create () in
-  let univ = Protected.bootstrap cpu ~euid ~egid in
+  let cpu = Fs.protected_cpu fs in
+  let univ = Fs.protected_universe fs in
   Fs.set_creds fs ~euid ~egid;
   protect_region cpu (Fs.region fs);
-  let reg name f = Protected.register univ ~name f in
-  let t =
-    {
-      fs;
-      cpu;
-      univ;
-      p_create =
-        reg "simurgh_create" (fun w (path, perm) ->
-            Protected.check_privileged w cpu;
-            Fs.create_file fs ~perm path);
-      p_mkdir =
-        reg "simurgh_mkdir" (fun w (path, perm) ->
-            Protected.check_privileged w cpu;
-            Fs.mkdir fs ~perm path);
-      p_unlink =
-        reg "simurgh_unlink" (fun w path ->
-            Protected.check_privileged w cpu;
-            Fs.unlink fs path);
-      p_rmdir =
-        reg "simurgh_rmdir" (fun w path ->
-            Protected.check_privileged w cpu;
-            Fs.rmdir fs path);
-      p_rename =
-        reg "simurgh_rename" (fun w (a, b) ->
-            Protected.check_privileged w cpu;
-            Fs.rename fs a b);
-      p_stat =
-        reg "simurgh_stat" (fun w path ->
-            Protected.check_privileged w cpu;
-            Fs.stat fs path);
-      p_open =
-        reg "simurgh_open" (fun w (flags, path) ->
-            Protected.check_privileged w cpu;
-            Fs.openf fs flags path);
-      p_close =
-        reg "simurgh_close" (fun w fd ->
-            Protected.check_privileged w cpu;
-            Fs.close fs fd);
-      p_pread =
-        reg "simurgh_read" (fun w (fd, pos, len) ->
-            Protected.check_privileged w cpu;
-            Fs.pread fs fd ~pos ~len);
-      p_pwrite =
-        reg "simurgh_write" (fun w (fd, pos, data) ->
-            Protected.check_privileged w cpu;
-            Fs.pwrite fs fd ~pos data);
-      p_append =
-        reg "simurgh_append" (fun w (fd, data) ->
-            Protected.check_privileged w cpu;
-            Fs.append fs fd data);
-      p_readdir =
-        reg "simurgh_readdir" (fun w path ->
-            Protected.check_privileged w cpu;
-            Fs.readdir fs path);
-    }
-  in
-  Protected.seal univ;
-  t
+  { fs; cpu; univ }
 
-(* The libc-style API: each call goes through the protected stub. *)
-let create t ?(perm = 0o644) path = t.p_create (path, perm)
-let mkdir t ?(perm = 0o755) path = t.p_mkdir (path, perm)
-let unlink t path = t.p_unlink path
-let rmdir t path = t.p_rmdir path
-let rename t a b = t.p_rename (a, b)
-let stat t path = t.p_stat path
-let openf t flags path = t.p_open (flags, path)
-let close t fd = t.p_close fd
-let pread t fd ~pos ~len = t.p_pread (fd, pos, len)
-let pwrite t fd ~pos data = t.p_pwrite (fd, pos, data)
-let append t fd data = t.p_append (fd, data)
-let readdir t path = t.p_readdir path
+(** Drop the region guard (process teardown: the dying process's
+    mappings disappear with it).  Crash simulation calls this before
+    handing the media to recovery — a fresh process has no guard. *)
+let shutdown t = Simurgh_nvmm.Region.clear_guard (Fs.region t.fs)
+
+(* The libc-style API: each call lands on the mount's protected entry
+   point for that operation (jmpp / body / pret inside Fs). *)
+let create t ?(perm = 0o644) path = Fs.create_file t.fs ~perm path
+let mkdir t ?(perm = 0o755) path = Fs.mkdir t.fs ~perm path
+let unlink t path = Fs.unlink t.fs path
+let rmdir t path = Fs.rmdir t.fs path
+let rename t a b = Fs.rename t.fs a b
+let stat t path = Fs.stat t.fs path
+let openf t flags path = Fs.openf t.fs flags path
+let close t fd = Fs.close t.fs fd
+let pread t fd ~pos ~len = Fs.pread t.fs fd ~pos ~len
+let pwrite t fd ~pos data = Fs.pwrite t.fs fd ~pos data
+let append t fd data = Fs.append t.fs fd data
+let readdir t path = Fs.readdir t.fs path
 let cpu t = t.cpu
 let universe t = t.univ
 let fs t = t.fs

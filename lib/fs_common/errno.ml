@@ -15,6 +15,7 @@ type t =
   | EROFS
   | EXDEV  (** cross-device (cross-region) link or directory rename *)
   | EIO  (** uncorrectable media error under the accessed range *)
+  | EDQUOT  (** per-uid block quota exhausted *)
 
 exception Err of t * string
 
@@ -35,6 +36,7 @@ let to_string = function
   | EROFS -> "EROFS"
   | EXDEV -> "EXDEV"
   | EIO -> "EIO"
+  | EDQUOT -> "EDQUOT"
 
 let pp ppf e = Fmt.string ppf (to_string e)
 

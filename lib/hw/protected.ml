@@ -5,6 +5,7 @@ type slot = Nop | Fn of string
 type t = {
   cpu : Cpu.t;
   mutable code_pages : int list;  (** pages holding protected code *)
+  mutable stack_pages : int list;  (** pages holding protected stacks *)
   slots : (int, slot) Hashtbl.t;  (** address -> slot *)
   by_name : (string, int) Hashtbl.t;
   bodies : (int, privileged -> unit) Hashtbl.t;
@@ -21,8 +22,11 @@ let entry_offsets = [ 0x000; 0x400; 0x800; 0xc00 ]
 let slots_per_page = List.length entry_offsets
 
 (* Protected code lives in a reserved high range of the address space;
-   the concrete value only matters for page-table bookkeeping. *)
+   the concrete value only matters for page-table bookkeeping.  Protected
+   stacks sit just below the code range (Section 3.2). *)
 let code_base_page = 0x7f000
+let stack_base_page = 0x7e000
+let stack_page_count = 2
 
 let bootstrap cpu ~euid ~egid =
   (* Fig. 2: the preload library calls load_protected(); the kernel
@@ -32,6 +36,7 @@ let bootstrap cpu ~euid ~egid =
     {
       cpu;
       code_pages = [];
+      stack_pages = [];
       slots = Hashtbl.create 16;
       by_name = Hashtbl.create 16;
       bodies = Hashtbl.create 16;
@@ -42,10 +47,21 @@ let bootstrap cpu ~euid ~egid =
       egid;
     }
   in
+  (* Section 3.2: each thread's stack pointer is relocated onto a
+     protected stack while inside a protected function.  The stack pages
+     are supervisor-mapped (writable from kernel mode only, not ep) so a
+     sibling user-mode thread can neither read return addresses nor
+     overwrite them. *)
+  for i = 0 to stack_page_count - 1 do
+    let page = stack_base_page + i in
+    Page_table.map cpu.Cpu.page_table ~page ~kernel:true ~writable:true;
+    t.stack_pages <- page :: t.stack_pages
+  done;
   t
 
 let cpu t = t.cpu
 let pages t = t.code_pages
+let stack_pages t = t.stack_pages
 
 let fresh_code_page t =
   let page = t.next_page in
@@ -104,11 +120,23 @@ let pret t =
     c.Cpu.on_protected_stack <- false
   end
 
+(* Exception-safe unwinding (same shape as Charge.with_lock): [enter] and
+   [pret] bracket the body via [Fun.protect], and nothing that can raise
+   runs between [enter] and the handler installation.  A fault inside the
+   body therefore always restores the privilege level and never leaves the
+   nesting counter stuck in kernel mode. *)
+let protected_call t body =
+  enter t;
+  Fun.protect ~finally:(fun () -> pret t) body
+
 let jmpp_raw t addr =
   jmpp_check t addr;
-  enter t;
+  (* The body lookup must happen before [enter]: a raise after the CPL
+     switch but before the unwinding handler is installed would strand the
+     CPU in kernel mode (the with_lock leak pattern fixed in the locking
+     layer). *)
   let body = Hashtbl.find t.bodies addr in
-  Fun.protect ~finally:(fun () -> pret t) (fun () -> body { cpu_ref = t.cpu })
+  protected_call t (fun () -> body { cpu_ref = t.cpu })
 
 let register t ~name f =
   if t.sealed then
@@ -120,10 +148,7 @@ let register t ~name f =
   Hashtbl.replace t.bodies addr (fun _witness -> ());
   fun arg ->
     jmpp_check t addr;
-    enter t;
-    Fun.protect
-      ~finally:(fun () -> pret t)
-      (fun () -> f { cpu_ref = t.cpu } arg)
+    protected_call t (fun () -> f { cpu_ref = t.cpu } arg)
 
 let seal t = t.sealed <- true
 let address_of t name = Hashtbl.find t.by_name name

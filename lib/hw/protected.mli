@@ -40,6 +40,12 @@ val address_of : t -> string -> int
 val pages : t -> int list
 (** Page numbers holding protected code (marked kernel + ep). *)
 
+val stack_pages : t -> int list
+(** Page numbers holding the protected stacks (Section 3.2): supervisor
+    pages, writable from kernel mode only, mapped at bootstrap so a
+    sibling user-mode thread can neither read nor overwrite a protected
+    call's stack frames. *)
+
 val jmpp_raw : t -> int -> unit
 (** Jump to an arbitrary address with jmpp semantics, faulting exactly as
     the hardware would; used by the security test-suite. *)

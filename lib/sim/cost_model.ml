@@ -55,6 +55,19 @@ type t = {
       (** single-thread achievable-bandwidth multiplier for remote
           streaming NVMM traffic (remote PM write bandwidth collapses
           far below local; ~0.55x is the conservative published figure) *)
+  protected_stack_cycles : float;
+      (** extra cycles per protected entry for relocating the stack
+          pointer onto the protected stack and back (Section 3.2).  The
+          paper's measured 70-cycle jmpp+pret figure already includes the
+          stack switch, so the default is 0.0 and the published virtual
+          times are unchanged; raise it to ablate the stack-relocation
+          cost separately *)
+  perm_check_cycles : float;
+      (** per-operation cost of the in-protected-region permission check
+          against the fentry owner/mode word (one cached metadata word
+          compare).  Charged only when the volume was formatted with the
+          [secure] flag, so legacy media and the published figures are
+          unaffected *)
 }
 
 let default =
@@ -88,6 +101,8 @@ let default =
     numa_sockets = 2;
     numa_remote_lat_mult = 1.7;
     numa_remote_bw_mult = 0.55;
+    protected_stack_cycles = 0.0;
+    perm_check_cycles = 30.0;
   }
 
 (** Socket a region id maps to in the DIMM/socket model. *)

@@ -20,6 +20,11 @@ type t = {
       (** NVMM region id the thread's charges currently target (default
           0, the legacy single region).  Set around each operation by
           the multi-region namespace ({!Machine.with_region}) *)
+  mutable euid : int;
+      (** effective uid this thread presents to the FS security plane;
+          [-1] (the default) inherits the mount's credentials, so legacy
+          single-tenant behaviour is unchanged *)
+  mutable egid : int;  (** effective gid, same convention as {!euid} *)
 }
 
 let create ?(seed = 42L) tid =
@@ -31,7 +36,15 @@ let create ?(seed = 42L) tid =
     posted_writes = false;
     home_socket = 0;
     cur_region = 0;
+    euid = -1;
+    egid = -1;
   }
+
+(** Set the credentials this thread presents to the FS (a per-tenant
+    identity in multi-tenant scenarios). *)
+let set_creds t ~euid ~egid =
+  t.euid <- euid;
+  t.egid <- egid
 
 let advance t cycles = t.now <- t.now +. cycles
 

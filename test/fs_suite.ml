@@ -353,6 +353,60 @@ struct
     done;
     Alcotest.(check (list string)) "emptied" [] (F.readdir fs "/big")
 
+  (* An fd's access mode binds at open time: a read-only descriptor must
+     refuse every mutation entry point and a write-only descriptor must
+     refuse reads (EBADF, matching Linux), however the file's permission
+     bits read.  Table-driven so adding a write path keeps it honest. *)
+  let test_fd_access_mode_matrix () =
+    let fs = Fresh.fresh () in
+    F.create_file fs "/f";
+    let fd = F.openf fs Types.rdwr "/f" in
+    ignore (F.pwrite fs fd ~pos:0 (Bytes.make 100 'x'));
+    F.close fs fd;
+    let buf = Bytes.make 10 'y' in
+    let write_ops =
+      [
+        ("pwrite", fun fd -> ignore (F.pwrite fs fd ~pos:0 buf));
+        ("append", fun fd -> ignore (F.append fs fd buf));
+        ("fallocate", fun fd -> F.fallocate fs fd ~len:8192);
+      ]
+    in
+    let rfd = F.openf fs Types.rdonly "/f" in
+    List.iter
+      (fun (name, op) ->
+        match op rfd with
+        | () -> Alcotest.failf "%s through O_RDONLY fd succeeded" name
+        | exception Errno.Err (EBADF, _) -> ())
+      write_ops;
+    Alcotest.(check int) "reads unaffected" 10
+      (Bytes.length (F.pread fs rfd ~pos:0 ~len:10));
+    F.close fs rfd;
+    Alcotest.(check int) "no mutation leaked through" 100
+      (F.stat fs "/f").Types.size;
+    let wfd = F.openf fs Types.wronly "/f" in
+    (match F.pread fs wfd ~pos:0 ~len:10 with
+    | _ -> Alcotest.fail "pread through O_WRONLY fd succeeded"
+    | exception Errno.Err (EBADF, _) -> ());
+    List.iter (fun (_, op) -> op wfd) write_ops;
+    F.close fs wfd;
+    Alcotest.(check int) "writes landed" 8192 (F.stat fs "/f").Types.size
+
+  (* The resolver follows exactly [40] chained symlinks (the Linux VFS
+     limit) before ELOOP: a 40-hop chain resolves, a 41-hop chain does
+     not. *)
+  let test_symlink_chain_depth_boundary () =
+    let fs = Fresh.fresh () in
+    F.create_file fs "/real";
+    F.symlink fs ~target:"/real" "/l1";
+    for i = 2 to 41 do
+      F.symlink fs
+        ~target:(Printf.sprintf "/l%d" (i - 1))
+        (Printf.sprintf "/l%d" i)
+    done;
+    Alcotest.(check bool) "40 hops resolve" true
+      ((F.stat fs "/l40").Types.kind = Types.File);
+    expect_err Errno.ELOOP (fun () -> F.stat fs "/l41")
+
   let test_fsync_noop_ok () =
     let fs = Fresh.fresh () in
     F.create_file fs "/f";
@@ -397,6 +451,10 @@ struct
       Alcotest.test_case "read past EOF" `Quick test_read_past_eof;
       Alcotest.test_case "open create/trunc" `Quick test_open_create_trunc;
       Alcotest.test_case "EBADF" `Quick test_bad_fd;
+      Alcotest.test_case "fd access-mode matrix" `Quick
+        test_fd_access_mode_matrix;
+      Alcotest.test_case "symlink depth-40 boundary" `Quick
+        test_symlink_chain_depth_boundary;
       Alcotest.test_case "fallocate+truncate" `Quick
         test_fallocate_and_truncate;
       Alcotest.test_case "symlink" `Quick test_symlink;

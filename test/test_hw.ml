@@ -142,6 +142,59 @@ let test_mode_restored_on_exception () =
   (try f () with Failure _ -> ());
   Alcotest.(check int) "CPL restored after exception" 3 (Cpu.cpl cpu)
 
+let test_exception_restores_nesting () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  let boom =
+    Protected.register univ ~name:"boom" (fun _ () -> failwith "inside")
+  in
+  let ok = Protected.register univ ~name:"ok" (fun _ () -> Cpu.cpl cpu) in
+  Protected.seal univ;
+  (* repeated faults may not leak nesting levels: were the counter
+     stranded at > 0 the next entry would start (and stay) in kernel
+     mode even after its pret *)
+  for _ = 1 to 3 do
+    try boom () with Failure _ -> ()
+  done;
+  Alcotest.(check int) "next call enters at CPL 0" 0 (ok ());
+  Alcotest.(check int) "and prets back to user" 3 (Cpu.cpl cpu)
+
+let test_nested_exception_unwinds_inner_only () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  let inner =
+    Protected.register univ ~name:"inner" (fun _ () -> failwith "deep")
+  in
+  let outer =
+    Protected.register univ ~name:"outer" (fun _ () ->
+        (try inner () with Failure _ -> ());
+        Cpu.cpl cpu)
+  in
+  Protected.seal univ;
+  Alcotest.(check int) "outer still kernel after inner fault" 0 (outer ());
+  Alcotest.(check int) "user at the end" 3 (Cpu.cpl cpu);
+  (* exactly one nesting level was consumed by the inner fault *)
+  Alcotest.(check int) "reusable" 0 (outer ())
+
+let test_jmpp_fault_does_not_strand_kernel_mode () =
+  let cpu = Cpu.create () in
+  let univ = Protected.bootstrap cpu ~euid:0 ~egid:0 in
+  let f = Protected.register univ ~name:"f" (fun _ () -> Cpu.cpl cpu) in
+  Protected.seal univ;
+  let addr = Protected.address_of univ "f" in
+  let page = Page_table.page_of_addr addr in
+  (* rejected jmpps fault before the CPL switch: neither the mode nor
+     the nesting counter may move *)
+  List.iter
+    (fun off ->
+      match Protected.jmpp_raw univ ((page * Page_table.page_size) + off) with
+      | () -> Alcotest.fail "expected fault"
+      | exception Fault.Fault _ -> ())
+    [ 0x004; 0x400 ];
+  Alcotest.(check int) "still user" 3 (Cpu.cpl cpu);
+  Alcotest.(check int) "next real call enters kernel" 0 (f ());
+  Alcotest.(check int) "and returns to user" 3 (Cpu.cpl cpu)
+
 let test_creds_via_witness () =
   let cpu = Cpu.create () in
   let univ = Protected.bootstrap cpu ~euid:1234 ~egid:99 in
@@ -240,6 +293,12 @@ let () =
           Alcotest.test_case "sealed" `Quick test_register_after_seal_rejected;
           Alcotest.test_case "exception restores mode" `Quick
             test_mode_restored_on_exception;
+          Alcotest.test_case "exception restores nesting" `Quick
+            test_exception_restores_nesting;
+          Alcotest.test_case "nested exception unwinds inner only" `Quick
+            test_nested_exception_unwinds_inner_only;
+          Alcotest.test_case "jmpp fault leaves user mode" `Quick
+            test_jmpp_fault_does_not_strand_kernel_mode;
           Alcotest.test_case "creds via witness" `Quick test_creds_via_witness;
           Alcotest.test_case "interrupt return" `Quick
             test_interrupt_return_restores_mode;
